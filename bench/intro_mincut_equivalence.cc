@@ -1,0 +1,90 @@
+// bench/intro_mincut_equivalence — validates the Section 1 observation
+// that MinCut (multi-source/multi-sink) is exactly RES_bag(ax*b): we build
+// random flow networks, solve them once as a plain min-cut and once as an
+// RPQ resilience instance, and check the values coincide.
+
+#include <iostream>
+
+#include "flow/dinic.h"
+#include "flow/flow_network.h"
+#include "graphdb/generators.h"
+#include "lang/language.h"
+#include "resilience/local_resilience.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace rpqres;
+
+namespace {
+
+// Direct min-cut encoding of the labeled database: a-facts become ∞ edges
+// from the super-source, b-facts ∞ edges to the super-target, x-facts
+// capacity edges (by multiplicity). This is the inverse of the paper's
+// correspondence.
+Capacity DirectMinCut(const GraphDb& db) {
+  FlowNetwork network;
+  int source = network.AddVertex();
+  int target = network.AddVertex();
+  network.SetSource(source);
+  network.SetTarget(target);
+  std::vector<int> vertex_of(db.num_nodes());
+  for (NodeId v = 0; v < db.num_nodes(); ++v) {
+    vertex_of[v] = network.AddVertex();
+  }
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    const Fact& fact = db.fact(f);
+    switch (fact.label) {
+      case 'a':
+        // Source edge: cutting it costs its multiplicity too! The paper's
+        // correspondence makes a-facts cuttable, so model them as capacity
+        // edges source -> head.
+        network.AddEdge(source, vertex_of[fact.target],
+                        db.multiplicity(f));
+        break;
+      case 'b':
+        network.AddEdge(vertex_of[fact.source], target,
+                        db.multiplicity(f));
+        break;
+      default:
+        network.AddEdge(vertex_of[fact.source], vertex_of[fact.target],
+                        db.multiplicity(f));
+    }
+  }
+  MinCutResult cut = ComputeMinCut(network);
+  return cut.infinite ? kInfiniteCapacity : cut.value;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Section 1: RES_bag(ax*b) ≡ MinCut ===\n\n";
+  Language query = Language::MustFromRegexString("ax*b");
+  TextTable table;
+  table.SetHeader({"instance", "facts", "MinCut", "RES_bag(ax*b)",
+                   "match"});
+  Rng rng(2024);
+  int failures = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    GraphDb db = LayeredFlowDb(&rng, 2 + trial % 4, 2 + trial % 5,
+                               3 + trial % 3, 2 + trial % 3,
+                               0.3 + 0.05 * (trial % 5),
+                               /*max_multiplicity=*/12);
+    Capacity direct = DirectMinCut(db);
+    Result<ResilienceResult> res =
+        SolveLocalResilience(query, db, Semantics::kBag);
+    if (!res.ok()) {
+      table.AddRow({"#" + std::to_string(trial), "-", "-", "-",
+                    res.status().ToString()});
+      ++failures;
+      continue;
+    }
+    bool match = direct == res->value;
+    if (!match) ++failures;
+    table.AddRow({"#" + std::to_string(trial),
+                  std::to_string(db.num_facts()), std::to_string(direct),
+                  std::to_string(res->value), match ? "✓" : "✗"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nFailures: " << failures << "\n";
+  return failures == 0 ? 0 : 1;
+}

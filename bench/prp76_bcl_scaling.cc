@@ -1,0 +1,50 @@
+// bench/prp76_bcl_scaling — measures Proposition 7.6: RES_bag for
+// bipartite chain languages in Õ(|A|·|D|²·|Σ|²). The |D|² term comes from
+// the per-fact-pair wiring, visible in the measured network_edges counter.
+
+#include <benchmark/benchmark.h>
+
+#include "graphdb/generators.h"
+#include "lang/language.h"
+#include "resilience/bcl_resilience.h"
+#include "util/rng.h"
+
+using namespace rpqres;
+
+namespace {
+
+void RunBcl(benchmark::State& state, const char* regex,
+            const std::vector<std::string>& words,
+            const std::vector<char>& letters) {
+  int count = static_cast<int>(state.range(0));
+  Rng rng(7 + count);
+  GraphDb db = WordSoupDb(&rng, words, count, letters,
+                          /*cross_links=*/count * 2,
+                          /*max_multiplicity=*/20);
+  Language query = Language::MustFromRegexString(regex);
+  int64_t network_edges = 0;
+  for (auto _ : state) {
+    Result<ResilienceResult> r =
+        SolveBclResilience(query, db, Semantics::kBag);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    network_edges = r->network_edges;
+    benchmark::DoNotOptimize(r->value);
+  }
+  state.counters["facts"] = db.num_facts();
+  state.counters["network_edges"] = static_cast<double>(network_edges);
+  state.SetComplexityN(db.num_facts());
+}
+
+void BM_Bcl_AbBc(benchmark::State& state) {
+  RunBcl(state, "ab|bc", {"ab", "bc"}, {'a', 'b', 'c'});
+}
+BENCHMARK(BM_Bcl_AbBc)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_Bcl_AxbByc(benchmark::State& state) {
+  RunBcl(state, "axb|byc", {"axb", "byc"}, {'a', 'b', 'c', 'x', 'y'});
+}
+BENCHMARK(BM_Bcl_AxbByc)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

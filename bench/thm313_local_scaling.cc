@@ -1,0 +1,81 @@
+// bench/thm313_local_scaling — measures the combined-complexity claim of
+// Theorem 3.13: RES_bag for local languages in Õ(|A| · |D| · |Σ|).
+// Series 1 scales |D| (layered flow networks, fixed query ax*b);
+// series 2 scales |A| and |Σ| together (disjoint unions a_i x_i* b_i).
+
+#include <benchmark/benchmark.h>
+
+#include "graphdb/generators.h"
+#include "lang/language.h"
+#include "lang/ro_enfa.h"
+#include "resilience/local_resilience.h"
+#include "util/rng.h"
+
+using namespace rpqres;
+
+namespace {
+
+void BM_LocalResilience_DatabaseSize(benchmark::State& state) {
+  int layers = static_cast<int>(state.range(0));
+  Rng rng(1234);
+  GraphDb db = LayeredFlowDb(&rng, /*sources=*/4, layers, /*width=*/6,
+                             /*sinks=*/4, /*density=*/0.4,
+                             /*max_multiplicity=*/50);
+  Language query = Language::MustFromRegexString("ax*b");
+  Enfa ro = BuildRoEnfa(query).ValueOrDie();
+  Capacity value = 0;
+  for (auto _ : state) {
+    ResilienceResult r =
+        SolveLocalResilienceWithRoEnfa(ro, db, Semantics::kBag);
+    value = r.value;
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["facts"] = db.num_facts();
+  state.counters["resilience"] = static_cast<double>(value);
+  state.SetComplexityN(db.num_facts());
+}
+BENCHMARK(BM_LocalResilience_DatabaseSize)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity();
+
+// Disjoint local language union: a0 x0* b0 | a1 x1* b1 | ... stays local
+// because no letters are shared; |Σ| = 3k, |A| grows linearly with k.
+void BM_LocalResilience_QuerySize(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string regex;
+  std::vector<char> letters;
+  // Letters: groups of three distinct letters per branch.
+  const std::string pool =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  for (int i = 0; i < k; ++i) {
+    char a = pool[(3 * i) % pool.size()];
+    char x = pool[(3 * i + 1) % pool.size()];
+    char b = pool[(3 * i + 2) % pool.size()];
+    if (i > 0) regex += "|";
+    regex += std::string(1, a) + std::string(1, x) + "*" +
+             std::string(1, b);
+    letters.insert(letters.end(), {a, x, b});
+  }
+  Language query = Language::MustFromRegexString(regex);
+  Enfa ro = BuildRoEnfa(query).ValueOrDie();
+  Rng rng(99);
+  GraphDb db = RandomGraphDb(&rng, /*num_nodes=*/40, /*num_facts=*/400,
+                             letters, /*max_multiplicity=*/10);
+  for (auto _ : state) {
+    ResilienceResult r =
+        SolveLocalResilienceWithRoEnfa(ro, db, Semantics::kBag);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.counters["automaton_size"] = ro.Size();
+  state.counters["alphabet"] = 3.0 * k;
+  state.SetComplexityN(ro.Size());
+}
+BENCHMARK(BM_LocalResilience_QuerySize)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// rpqres example: classify the resilience complexity of RPQ languages
+// (the Figure 1 pipeline). Pass regexes as arguments, or run without
+// arguments to classify the paper's Figure 1 examples.
+
+#include <iostream>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "lang/language.h"
+
+using namespace rpqres;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> regexes;
+  for (int i = 1; i < argc; ++i) regexes.push_back(argv[i]);
+  if (regexes.empty()) {
+    regexes = {"abc|abd", "ab|ad|cd", "ax*b",  "ab|bc",  "axb|byc",
+               "abc|be",  "abcd|be",  "ax*b|xd", "axb|cxd", "ax*b|cxd",
+               "b(aa)*d", "aa",       "aaaa",   "abca|cab", "ab|bc|ca",
+               "abcd|be|ef", "abcd|bef", "abc|bcd", "abc|bef", "ab*c|ba",
+               "ab*d|ac*d|bc"};
+  }
+  for (const std::string& regex : regexes) {
+    Result<Language> lang = Language::FromRegexString(regex);
+    if (!lang.ok()) {
+      std::cerr << regex << ": " << lang.status() << "\n";
+      continue;
+    }
+    Result<Classification> classification = ClassifyResilience(*lang);
+    if (!classification.ok()) {
+      std::cerr << regex << ": " << classification.status() << "\n";
+      continue;
+    }
+    std::cout << ClassificationReport(*lang, *classification) << "\n";
+  }
+  return 0;
+}

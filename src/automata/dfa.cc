@@ -1,0 +1,101 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace rpqres {
+
+Dfa::Dfa(std::vector<char> alphabet, int num_states)
+    : alphabet_(std::move(alphabet)),
+      num_states_(num_states),
+      final_(num_states, false),
+      next_(num_states, std::vector<int>(alphabet_.size(), kNoState)) {
+  RPQRES_DCHECK(std::is_sorted(alphabet_.begin(), alphabet_.end()));
+  RPQRES_DCHECK(std::adjacent_find(alphabet_.begin(), alphabet_.end()) ==
+                alphabet_.end());
+}
+
+void Dfa::set_initial(int state) {
+  RPQRES_DCHECK(state >= 0 && state < num_states_);
+  initial_ = state;
+}
+
+void Dfa::SetFinal(int state, bool value) {
+  RPQRES_DCHECK(state >= 0 && state < num_states_);
+  final_[state] = value;
+}
+
+int Dfa::NumFinal() const {
+  return static_cast<int>(std::count(final_.begin(), final_.end(), true));
+}
+
+int Dfa::SymbolIndex(char symbol) const {
+  auto it = std::lower_bound(alphabet_.begin(), alphabet_.end(), symbol);
+  if (it == alphabet_.end() || *it != symbol) return -1;
+  return static_cast<int>(it - alphabet_.begin());
+}
+
+void Dfa::SetTransition(int from, char symbol, int to) {
+  int idx = SymbolIndex(symbol);
+  RPQRES_CHECK_MSG(idx >= 0, "symbol not in DFA alphabet");
+  RPQRES_DCHECK(from >= 0 && from < num_states_);
+  RPQRES_DCHECK(to >= 0 && to < num_states_);
+  next_[from][idx] = to;
+}
+
+int Dfa::Next(int from, char symbol) const {
+  int idx = SymbolIndex(symbol);
+  if (idx < 0) return kNoState;
+  return next_[from][idx];
+}
+
+int Dfa::Run(const std::string& word) const { return RunFrom(initial_, word); }
+
+int Dfa::RunFrom(int state, const std::string& word) const {
+  int current = state;
+  for (char c : word) {
+    if (current == kNoState) return kNoState;
+    current = Next(current, c);
+  }
+  return current;
+}
+
+bool Dfa::Accepts(const std::string& word) const {
+  int state = Run(word);
+  return state != kNoState && final_[state];
+}
+
+bool Dfa::IsComplete() const {
+  for (int s = 0; s < num_states_; ++s) {
+    for (size_t a = 0; a < alphabet_.size(); ++a) {
+      if (next_[s][a] == kNoState) return false;
+    }
+  }
+  return true;
+}
+
+std::string Dfa::ToDot(const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=circle];\n";
+  for (int s = 0; s < num_states_; ++s) {
+    if (final_[s]) os << "  q" << s << " [shape=doublecircle];\n";
+  }
+  os << "  start [shape=point];\n";
+  os << "  start -> q" << initial_ << ";\n";
+  for (int s = 0; s < num_states_; ++s) {
+    for (size_t a = 0; a < alphabet_.size(); ++a) {
+      if (next_[s][a] != kNoState) {
+        os << "  q" << s << " -> q" << next_[s][a] << " [label=\""
+           << alphabet_[a] << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rpqres

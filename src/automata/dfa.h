@@ -1,0 +1,71 @@
+// rpqres — automata/dfa: deterministic finite automata with a dense
+// transition table over an explicit alphabet.
+//
+// A Dfa may be partial (missing transitions encoded as kNoState). Most
+// algebraic operations in ops.h require or produce *complete* DFAs.
+
+#ifndef RPQRES_AUTOMATA_DFA_H_
+#define RPQRES_AUTOMATA_DFA_H_
+
+#include <string>
+#include <vector>
+
+namespace rpqres {
+
+/// Marker for a missing transition in a partial DFA.
+inline constexpr int kNoState = -1;
+
+/// A DFA with dense transition table next[state][symbol_index].
+class Dfa {
+ public:
+  Dfa() = default;
+  /// Creates a DFA with the given sorted, deduplicated alphabet and
+  /// `num_states` states, all transitions missing, no finals, initial 0.
+  Dfa(std::vector<char> alphabet, int num_states);
+
+  const std::vector<char>& alphabet() const { return alphabet_; }
+  int num_states() const { return num_states_; }
+  int initial() const { return initial_; }
+  void set_initial(int state);
+
+  bool IsFinal(int state) const { return final_[state]; }
+  void SetFinal(int state, bool value = true);
+  /// Number of final states.
+  int NumFinal() const;
+
+  /// Index of `symbol` in the alphabet, or -1 if absent.
+  int SymbolIndex(char symbol) const;
+
+  /// Sets δ(from, symbol) = to. The symbol must be in the alphabet.
+  void SetTransition(int from, char symbol, int to);
+  /// δ(from, symbol), or kNoState if missing / symbol not in alphabet.
+  int Next(int from, char symbol) const;
+  /// δ(from, symbol_index), or kNoState.
+  int NextByIndex(int from, int symbol_index) const {
+    return next_[from][symbol_index];
+  }
+
+  /// Runs the DFA on `word` from the initial state; kNoState if it dies.
+  int Run(const std::string& word) const;
+  /// Runs the DFA on `word` starting at `state`; kNoState if it dies.
+  int RunFrom(int state, const std::string& word) const;
+  /// Membership test.
+  bool Accepts(const std::string& word) const;
+
+  /// True iff every state has a transition for every alphabet symbol.
+  bool IsComplete() const;
+
+  /// Graphviz rendering.
+  std::string ToDot(const std::string& name) const;
+
+ private:
+  std::vector<char> alphabet_;
+  int num_states_ = 0;
+  int initial_ = 0;
+  std::vector<bool> final_;
+  std::vector<std::vector<int>> next_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_AUTOMATA_DFA_H_

@@ -1,0 +1,143 @@
+#include "automata/enfa.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace rpqres {
+
+int Enfa::AddState() { return num_states_++; }
+
+int Enfa::AddStates(int count) {
+  RPQRES_DCHECK(count >= 0);
+  int first = num_states_;
+  num_states_ += count;
+  return first;
+}
+
+void Enfa::AddTransition(int from, char symbol, int to) {
+  RPQRES_DCHECK(from >= 0 && from < num_states_);
+  RPQRES_DCHECK(to >= 0 && to < num_states_);
+  transitions_.push_back(EnfaTransition{from, symbol, to});
+}
+
+namespace {
+void InsertSorted(std::vector<int>* vec, int value) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), value);
+  if (it == vec->end() || *it != value) vec->insert(it, value);
+}
+}  // namespace
+
+void Enfa::AddInitial(int state) {
+  RPQRES_DCHECK(state >= 0 && state < num_states_);
+  InsertSorted(&initial_states_, state);
+}
+
+void Enfa::AddFinal(int state) {
+  RPQRES_DCHECK(state >= 0 && state < num_states_);
+  InsertSorted(&final_states_, state);
+}
+
+bool Enfa::IsInitial(int state) const {
+  return std::binary_search(initial_states_.begin(), initial_states_.end(),
+                            state);
+}
+
+bool Enfa::IsFinal(int state) const {
+  return std::binary_search(final_states_.begin(), final_states_.end(),
+                            state);
+}
+
+bool Enfa::IsEpsilonFree() const {
+  for (const EnfaTransition& t : transitions_) {
+    if (t.symbol == kEpsilonSymbol) return false;
+  }
+  return true;
+}
+
+std::vector<char> Enfa::Alphabet() const {
+  std::vector<char> letters;
+  for (const EnfaTransition& t : transitions_) {
+    if (t.symbol != kEpsilonSymbol) letters.push_back(t.symbol);
+  }
+  std::sort(letters.begin(), letters.end());
+  letters.erase(std::unique(letters.begin(), letters.end()), letters.end());
+  return letters;
+}
+
+std::vector<int> Enfa::EpsilonClosure(const std::vector<int>& states) const {
+  std::vector<std::vector<int>> eps_out(num_states_);
+  for (const EnfaTransition& t : transitions_) {
+    if (t.symbol == kEpsilonSymbol) eps_out[t.from].push_back(t.to);
+  }
+  std::vector<bool> seen(num_states_, false);
+  std::queue<int> queue;
+  for (int s : states) {
+    if (!seen[s]) {
+      seen[s] = true;
+      queue.push(s);
+    }
+  }
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop();
+    for (int to : eps_out[s]) {
+      if (!seen[to]) {
+        seen[to] = true;
+        queue.push(to);
+      }
+    }
+  }
+  std::vector<int> closure;
+  for (int s = 0; s < num_states_; ++s) {
+    if (seen[s]) closure.push_back(s);
+  }
+  return closure;
+}
+
+bool Enfa::Accepts(const std::string& word) const {
+  std::vector<int> current = EpsilonClosure(initial_states_);
+  for (char c : word) {
+    std::vector<int> next;
+    for (const EnfaTransition& t : transitions_) {
+      if (t.symbol == c &&
+          std::binary_search(current.begin(), current.end(), t.from)) {
+        next.push_back(t.to);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = EpsilonClosure(next);
+    if (current.empty()) return false;
+  }
+  for (int s : current) {
+    if (IsFinal(s)) return true;
+  }
+  return false;
+}
+
+std::string Enfa::ToDot(const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=circle];\n";
+  for (int s : final_states_) {
+    os << "  q" << s << " [shape=doublecircle];\n";
+  }
+  for (int s : initial_states_) {
+    os << "  start" << s << " [shape=point];\n";
+    os << "  start" << s << " -> q" << s << ";\n";
+  }
+  for (const EnfaTransition& t : transitions_) {
+    os << "  q" << t.from << " -> q" << t.to << " [label=\""
+       << (t.symbol == kEpsilonSymbol ? std::string("ε")
+                                      : std::string(1, t.symbol))
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rpqres

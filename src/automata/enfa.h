@@ -1,0 +1,83 @@
+// rpqres — automata/enfa: nondeterministic finite automata with
+// ε-transitions (εNFA, Section 2 of the paper).
+//
+// States are dense integers 0..num_states-1. A transition labeled
+// kEpsilonSymbol is an ε-transition. An NFA is an εNFA without
+// ε-transitions; a DFA has its own dense representation in dfa.h.
+
+#ifndef RPQRES_AUTOMATA_ENFA_H_
+#define RPQRES_AUTOMATA_ENFA_H_
+
+#include <string>
+#include <vector>
+
+namespace rpqres {
+
+/// Sentinel label marking an ε-transition.
+inline constexpr char kEpsilonSymbol = '\0';
+
+/// A single transition (from, symbol, to); symbol may be kEpsilonSymbol.
+struct EnfaTransition {
+  int from = 0;
+  char symbol = kEpsilonSymbol;
+  int to = 0;
+
+  bool operator==(const EnfaTransition& other) const = default;
+};
+
+/// An εNFA A = (S, I, F, Δ). |A| = |S| + |Δ| (paper, Section 2).
+class Enfa {
+ public:
+  Enfa() = default;
+
+  /// Adds a fresh state and returns its id.
+  int AddState();
+  /// Adds `count` fresh states; returns the id of the first.
+  int AddStates(int count);
+  /// Adds a transition; symbol == kEpsilonSymbol makes it an ε-transition.
+  void AddTransition(int from, char symbol, int to);
+  /// Marks a state as initial (idempotent).
+  void AddInitial(int state);
+  /// Marks a state as final (idempotent).
+  void AddFinal(int state);
+
+  int num_states() const { return num_states_; }
+  const std::vector<int>& initial_states() const { return initial_states_; }
+  const std::vector<int>& final_states() const { return final_states_; }
+  const std::vector<EnfaTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// |S| + |Δ|, the paper's size measure.
+  int Size() const {
+    return num_states_ + static_cast<int>(transitions_.size());
+  }
+
+  bool IsInitial(int state) const;
+  bool IsFinal(int state) const;
+
+  /// True iff the automaton has no ε-transition (i.e. it is an NFA).
+  bool IsEpsilonFree() const;
+
+  /// Letters (excluding ε) appearing on transitions, sorted, deduplicated.
+  std::vector<char> Alphabet() const;
+
+  /// Membership test by subset simulation with ε-closures. O(|word|·|A|).
+  bool Accepts(const std::string& word) const;
+
+  /// ε-closure of a set of states (sorted state list in, sorted out).
+  std::vector<int> EpsilonClosure(const std::vector<int>& states) const;
+
+  /// Graphviz rendering (used to regenerate Figure 2).
+  std::string ToDot(const std::string& name) const;
+
+ private:
+  int num_states_ = 0;
+  std::vector<int> initial_states_;  // sorted, unique
+  std::vector<int> final_states_;    // sorted, unique
+  std::vector<EnfaTransition> transitions_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_AUTOMATA_ENFA_H_

@@ -1,0 +1,90 @@
+#include "automata/thompson.h"
+
+#include "util/check.h"
+
+namespace rpqres {
+namespace {
+
+struct Fragment {
+  int start;
+  int end;
+};
+
+Fragment Build(const Regex& r, Enfa* a) {
+  switch (r.kind) {
+    case RegexKind::kEmptySet: {
+      Fragment f{a->AddState(), a->AddState()};
+      return f;  // no transition: nothing accepted
+    }
+    case RegexKind::kEpsilon: {
+      Fragment f{a->AddState(), a->AddState()};
+      a->AddTransition(f.start, kEpsilonSymbol, f.end);
+      return f;
+    }
+    case RegexKind::kLiteral: {
+      Fragment f{a->AddState(), a->AddState()};
+      a->AddTransition(f.start, r.literal, f.end);
+      return f;
+    }
+    case RegexKind::kConcat: {
+      RPQRES_DCHECK(!r.children.empty());
+      Fragment first = Build(r.children[0], a);
+      int current_end = first.end;
+      for (size_t i = 1; i < r.children.size(); ++i) {
+        Fragment next = Build(r.children[i], a);
+        a->AddTransition(current_end, kEpsilonSymbol, next.start);
+        current_end = next.end;
+      }
+      return Fragment{first.start, current_end};
+    }
+    case RegexKind::kUnion: {
+      RPQRES_DCHECK(!r.children.empty());
+      Fragment f{a->AddState(), a->AddState()};
+      for (const Regex& child : r.children) {
+        Fragment sub = Build(child, a);
+        a->AddTransition(f.start, kEpsilonSymbol, sub.start);
+        a->AddTransition(sub.end, kEpsilonSymbol, f.end);
+      }
+      return f;
+    }
+    case RegexKind::kStar: {
+      Fragment sub = Build(r.children[0], a);
+      Fragment f{a->AddState(), a->AddState()};
+      a->AddTransition(f.start, kEpsilonSymbol, sub.start);
+      a->AddTransition(f.start, kEpsilonSymbol, f.end);
+      a->AddTransition(sub.end, kEpsilonSymbol, sub.start);
+      a->AddTransition(sub.end, kEpsilonSymbol, f.end);
+      return f;
+    }
+    case RegexKind::kPlus: {
+      Fragment sub = Build(r.children[0], a);
+      Fragment f{a->AddState(), a->AddState()};
+      a->AddTransition(f.start, kEpsilonSymbol, sub.start);
+      a->AddTransition(sub.end, kEpsilonSymbol, sub.start);
+      a->AddTransition(sub.end, kEpsilonSymbol, f.end);
+      return f;
+    }
+    case RegexKind::kOptional: {
+      Fragment sub = Build(r.children[0], a);
+      Fragment f{a->AddState(), a->AddState()};
+      a->AddTransition(f.start, kEpsilonSymbol, sub.start);
+      a->AddTransition(f.start, kEpsilonSymbol, f.end);
+      a->AddTransition(sub.end, kEpsilonSymbol, f.end);
+      return f;
+    }
+  }
+  RPQRES_CHECK_MSG(false, "unreachable regex kind");
+  return Fragment{0, 0};
+}
+
+}  // namespace
+
+Enfa ThompsonEnfa(const Regex& regex) {
+  Enfa a;
+  Fragment f = Build(regex, &a);
+  a.AddInitial(f.start);
+  a.AddFinal(f.end);
+  return a;
+}
+
+}  // namespace rpqres

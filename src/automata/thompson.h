@@ -1,0 +1,17 @@
+// rpqres — automata/thompson: Thompson construction regex -> εNFA.
+
+#ifndef RPQRES_AUTOMATA_THOMPSON_H_
+#define RPQRES_AUTOMATA_THOMPSON_H_
+
+#include "automata/enfa.h"
+#include "regex/ast.h"
+
+namespace rpqres {
+
+/// Builds an εNFA recognizing L(regex) by the Thompson construction.
+/// The result has exactly one initial and one final state, O(|regex|) size.
+Enfa ThompsonEnfa(const Regex& regex);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_AUTOMATA_THOMPSON_H_

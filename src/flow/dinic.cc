@@ -1,0 +1,169 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace rpqres {
+namespace {
+
+/// Residual-graph representation for Dinic: each input edge becomes a
+/// forward arc and a zero-capacity reverse arc, paired by xor-ing the id.
+class Dinic {
+ public:
+  explicit Dinic(const FlowNetwork& network)
+      : network_(network), head_(network.num_vertices(), -1) {
+    // Effective infinity: strictly more than any finite cut can cost.
+    Capacity total_finite = network.TotalFiniteCapacity();
+    RPQRES_CHECK_MSG(total_finite < kInfiniteCapacity / 4,
+                     "total finite capacity too large");
+    effective_infinity_ = total_finite + 1;
+    arcs_.reserve(2 * network.edges().size());
+    for (const FlowNetwork::Edge& e : network.edges()) {
+      Capacity cap = e.capacity == kInfiniteCapacity ? effective_infinity_
+                                                     : e.capacity;
+      AddArc(e.from, e.to, cap);
+      AddArc(e.to, e.from, 0);
+    }
+  }
+
+  // Runs the max-flow computation; stops early once the flow provably
+  // exceeds every finite cut.
+  void Run() {
+    int s = network_.source();
+    int t = network_.target();
+    RPQRES_CHECK_MSG(s >= 0 && t >= 0, "source/target not set");
+    if (s == t) {
+      flow_ = effective_infinity_;
+      return;
+    }
+    while (Bfs(s, t)) {
+      iter_.assign(network_.num_vertices(), -1);
+      for (int v = 0; v < network_.num_vertices(); ++v) iter_[v] = head_[v];
+      for (;;) {
+        Capacity pushed = Dfs(s, t, kInfiniteCapacity);
+        if (pushed == 0) break;
+        flow_ += pushed;
+        if (flow_ >= effective_infinity_) return;  // unbounded w.r.t. cuts
+      }
+    }
+  }
+
+  Capacity flow() const { return flow_; }
+  Capacity effective_infinity() const { return effective_infinity_; }
+
+  // Vertices reachable from the source in the residual graph.
+  std::vector<bool> ResidualSourceSide() const {
+    std::vector<bool> seen(network_.num_vertices(), false);
+    std::queue<int> queue;
+    seen[network_.source()] = true;
+    queue.push(network_.source());
+    while (!queue.empty()) {
+      int v = queue.front();
+      queue.pop();
+      for (int a = head_[v]; a != -1; a = arcs_[a].next) {
+        if (arcs_[a].capacity > 0 && !seen[arcs_[a].to]) {
+          seen[arcs_[a].to] = true;
+          queue.push(arcs_[a].to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  struct Arc {
+    int to;
+    int next;  // next arc id out of the same vertex, -1 at end
+    Capacity capacity;
+  };
+
+  void AddArc(int from, int to, Capacity capacity) {
+    arcs_.push_back(Arc{to, head_[from], capacity});
+    head_[from] = static_cast<int>(arcs_.size()) - 1;
+  }
+
+  bool Bfs(int s, int t) {
+    level_.assign(network_.num_vertices(), -1);
+    std::queue<int> queue;
+    level_[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      int v = queue.front();
+      queue.pop();
+      for (int a = head_[v]; a != -1; a = arcs_[a].next) {
+        if (arcs_[a].capacity > 0 && level_[arcs_[a].to] < 0) {
+          level_[arcs_[a].to] = level_[v] + 1;
+          queue.push(arcs_[a].to);
+        }
+      }
+    }
+    return level_[t] >= 0;
+  }
+
+  Capacity Dfs(int v, int t, Capacity limit) {
+    if (v == t) return limit;
+    for (int& a = iter_[v]; a != -1; a = arcs_[a].next) {
+      Arc& arc = arcs_[a];
+      if (arc.capacity <= 0 || level_[arc.to] != level_[v] + 1) continue;
+      Capacity pushed =
+          Dfs(arc.to, t, std::min(limit, arc.capacity));
+      if (pushed > 0) {
+        arc.capacity -= pushed;
+        arcs_[a ^ 1].capacity += pushed;
+        return pushed;
+      }
+    }
+    level_[v] = -1;  // dead end
+    return 0;
+  }
+
+  const FlowNetwork& network_;
+  std::vector<int> head_;
+  std::vector<Arc> arcs_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+  Capacity flow_ = 0;
+  Capacity effective_infinity_ = 0;
+};
+
+}  // namespace
+
+MinCutResult ComputeMinCut(const FlowNetwork& network) {
+  Dinic dinic(network);
+  dinic.Run();
+  MinCutResult result;
+  if (dinic.flow() >= dinic.effective_infinity()) {
+    result.infinite = true;
+    result.value = 0;
+    return result;
+  }
+  result.value = dinic.flow();
+  result.source_side = dinic.ResidualSourceSide();
+  const std::vector<FlowNetwork::Edge>& edges = network.edges();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (result.source_side[edges[i].from] &&
+        !result.source_side[edges[i].to]) {
+      RPQRES_CHECK_MSG(edges[i].capacity != kInfiniteCapacity,
+                       "infinite edge crosses a finite cut");
+      if (edges[i].capacity > 0) {
+        result.cut_edges.push_back(static_cast<int>(i));
+      }
+    }
+  }
+#ifndef NDEBUG
+  // Max-flow min-cut self check: the crossing capacities sum to the flow.
+  Capacity crossing = 0;
+  for (int id : result.cut_edges) crossing += edges[id].capacity;
+  RPQRES_CHECK(crossing == result.value);
+#endif
+  return result;
+}
+
+Capacity MaxFlowValue(const FlowNetwork& network) {
+  MinCutResult result = ComputeMinCut(network);
+  return result.infinite ? kInfiniteCapacity : result.value;
+}
+
+}  // namespace rpqres

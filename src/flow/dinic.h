@@ -1,0 +1,42 @@
+// rpqres — flow/dinic: Dinic max-flow and minimum-cut extraction.
+//
+// The paper relies on MinCut being in PTIME (max-flow min-cut theorem /
+// Menger) and cites near-linear algorithms [21]; we use Dinic, whose
+// O(V²E) worst case is near-linear on the sparse product networks built by
+// the resilience reductions (documented substitution, DESIGN.md §4).
+
+#ifndef RPQRES_FLOW_DINIC_H_
+#define RPQRES_FLOW_DINIC_H_
+
+#include <vector>
+
+#include "flow/flow_network.h"
+
+namespace rpqres {
+
+/// Result of a min-cut computation.
+struct MinCutResult {
+  /// True iff every source-target cut uses an infinite-capacity edge.
+  bool infinite = false;
+  /// Cut cost; meaningful iff !infinite.
+  Capacity value = 0;
+  /// Ids (into FlowNetwork::edges()) of the cut edges: edges from the
+  /// source side to the target side of the residual reachability split.
+  /// All have finite capacity when !infinite.
+  std::vector<int> cut_edges;
+  /// source_side[v] == true iff v is reachable from the source in the
+  /// final residual graph.
+  std::vector<bool> source_side;
+};
+
+/// Computes a minimum cut (and max flow value) of `network` with Dinic's
+/// algorithm. Infinite capacities are handled exactly: a cut is reported
+/// infinite iff its value must exceed the total finite capacity.
+MinCutResult ComputeMinCut(const FlowNetwork& network);
+
+/// Max-flow value only; kInfiniteCapacity if unbounded.
+Capacity MaxFlowValue(const FlowNetwork& network);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_FLOW_DINIC_H_

@@ -1,0 +1,46 @@
+#include "flow/flow_network.h"
+
+#include "util/check.h"
+
+namespace rpqres {
+
+int FlowNetwork::AddVertex() { return num_vertices_++; }
+
+int FlowNetwork::AddVertices(int count) {
+  RPQRES_DCHECK(count >= 0);
+  int first = num_vertices_;
+  num_vertices_ += count;
+  return first;
+}
+
+int FlowNetwork::AddEdge(int from, int to, Capacity capacity) {
+  RPQRES_DCHECK(from >= 0 && from < num_vertices_);
+  RPQRES_DCHECK(to >= 0 && to < num_vertices_);
+  RPQRES_CHECK_MSG(capacity >= 0, "negative edge capacity");
+  edges_.push_back(Edge{from, to, capacity});
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+void FlowNetwork::SetSource(int vertex) {
+  RPQRES_DCHECK(vertex >= 0 && vertex < num_vertices_);
+  source_ = vertex;
+}
+
+void FlowNetwork::SetTarget(int vertex) {
+  RPQRES_DCHECK(vertex >= 0 && vertex < num_vertices_);
+  target_ = vertex;
+}
+
+Capacity FlowNetwork::TotalFiniteCapacity() const {
+  Capacity total = 0;
+  for (const Edge& e : edges_) {
+    if (e.capacity == kInfiniteCapacity) continue;
+    RPQRES_CHECK_MSG(total <= std::numeric_limits<Capacity>::max() -
+                                  e.capacity,
+                     "finite capacities overflow int64");
+    total += e.capacity;
+  }
+  return total;
+}
+
+}  // namespace rpqres

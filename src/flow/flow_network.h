@@ -1,0 +1,63 @@
+// rpqres — flow/flow_network: flow networks N = (V, t_source, t_target, E, c)
+// (Section 2, "Networks and cuts").
+//
+// Capacities are int64 with a dedicated +∞ sentinel; edges with infinite
+// capacity can never belong to a (finite) minimum cut, which is how the
+// resilience reductions mark non-fact edges.
+
+#ifndef RPQRES_FLOW_FLOW_NETWORK_H_
+#define RPQRES_FLOW_FLOW_NETWORK_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rpqres {
+
+using Capacity = int64_t;
+
+/// Sentinel for infinite capacity.
+inline constexpr Capacity kInfiniteCapacity =
+    std::numeric_limits<Capacity>::max();
+
+/// A directed flow network with one source and one target.
+class FlowNetwork {
+ public:
+  /// An edge with its capacity (kInfiniteCapacity allowed).
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    Capacity capacity = 0;
+  };
+
+  FlowNetwork() = default;
+
+  /// Adds a fresh vertex and returns its id.
+  int AddVertex();
+  /// Adds `count` vertices; returns the id of the first.
+  int AddVertices(int count);
+  /// Adds a directed edge; returns its edge id. Capacity must be >= 0 or
+  /// kInfiniteCapacity.
+  int AddEdge(int from, int to, Capacity capacity);
+
+  void SetSource(int vertex);
+  void SetTarget(int vertex);
+
+  int num_vertices() const { return num_vertices_; }
+  int source() const { return source_; }
+  int target() const { return target_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Sum of all finite edge capacities (used as the effective infinity).
+  Capacity TotalFiniteCapacity() const;
+
+ private:
+  int num_vertices_ = 0;
+  int source_ = -1;
+  int target_ = -1;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_FLOW_FLOW_NETWORK_H_

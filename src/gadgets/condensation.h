@@ -1,0 +1,56 @@
+// rpqres — gadgets/condensation: the condensation rules of Section 4.3.
+//
+// Edge-domination: e ⊆ e' (e ≠ e') removes the superset edge e'.
+// Node-domination: E(v) ⊆ E(v') (v ≠ v') removes v from the hypergraph.
+// Both preserve the minimum hitting set size (Claim 4.8). Protected
+// vertices (the endpoint facts F_in/F_out of a completed gadget) are never
+// removed by node-domination, matching the gadget definition (Def 4.9)
+// where the odd path must run from F_in to F_out.
+
+#ifndef RPQRES_GADGETS_CONDENSATION_H_
+#define RPQRES_GADGETS_CONDENSATION_H_
+
+#include <string>
+#include <vector>
+
+#include "gadgets/hypergraph.h"
+
+namespace rpqres {
+
+/// A record of one condensation step (for traces/demos).
+struct CondensationStep {
+  enum class Kind { kEdgeDomination, kNodeDomination };
+  Kind kind;
+  std::string description;
+};
+
+/// Result of condensing to a fixpoint.
+struct CondensationResult {
+  Hypergraph condensed;          ///< vertices renumbered away; names kept
+  std::vector<int> kept_vertices;  ///< original ids of surviving vertices
+  std::vector<CondensationStep> steps;
+};
+
+/// Applies the condensation rules to a fixpoint, never node-dominating a
+/// protected vertex. The rules are confluent [5], so the greedy order used
+/// here is canonical up to isomorphism.
+CondensationResult Condense(const Hypergraph& h,
+                            const std::vector<int>& protected_vertices);
+
+/// Verdict of the odd-path shape check of Definition 4.9.
+struct OddPathCheck {
+  bool is_odd_path = false;
+  int path_edges = 0;  ///< the (odd) number of hyperedges = the ℓ of Prp 4.2
+  std::string reason;  ///< why not, when is_odd_path == false
+  std::vector<int> path_vertices;  ///< vertex ids from `from` to `to`
+};
+
+/// Checks that `h` (typically a condensation output, with original vertex
+/// ids from kept_vertices applied) is an odd path from `from` to `to`: all
+/// edges have size 2, every vertex lies on the path, endpoints are `from`
+/// and `to`, and the edge count is odd.
+OddPathCheck CheckOddPath(const Hypergraph& h, int from, int to);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_GADGETS_CONDENSATION_H_

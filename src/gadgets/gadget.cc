@@ -1,0 +1,93 @@
+#include "gadgets/gadget.h"
+
+#include "util/check.h"
+
+namespace rpqres {
+
+Status ValidatePreGadget(const PreGadget& gadget) {
+  if (gadget.t_in == gadget.t_out) {
+    return Status::FailedPrecondition("pre-gadget: t_in == t_out");
+  }
+  if (gadget.t_in < 0 || gadget.t_in >= gadget.db.num_nodes() ||
+      gadget.t_out < 0 || gadget.t_out >= gadget.db.num_nodes()) {
+    return Status::InvalidArgument("pre-gadget: endpoint not a node");
+  }
+  for (FactId f = 0; f < gadget.db.num_facts(); ++f) {
+    NodeId head = gadget.db.fact(f).target;
+    if (head == gadget.t_in || head == gadget.t_out) {
+      return Status::FailedPrecondition(
+          "pre-gadget: " + std::string(1, gadget.db.fact(f).label) +
+          "-fact has t_in/t_out as head (violates Def 4.3)");
+    }
+  }
+  return Status::OK();
+}
+
+CompletedGadget Complete(const PreGadget& gadget) {
+  Status status = ValidatePreGadget(gadget);
+  RPQRES_CHECK_MSG(status.ok(), status.ToString());
+  CompletedGadget out;
+  out.db = gadget.db;
+  out.s_in = out.db.AddNode("s_in");
+  out.s_out = out.db.AddNode("s_out");
+  out.f_in = out.db.AddFact(out.s_in, gadget.label, gadget.t_in);
+  out.f_out = out.db.AddFact(out.s_out, gadget.label, gadget.t_out);
+  return out;
+}
+
+Result<GadgetVerification> VerifyGadget(const Language& lang,
+                                        const PreGadget& gadget) {
+  GadgetVerification verification;
+  Status valid = ValidatePreGadget(gadget);
+  if (!valid.ok()) {
+    verification.reason = valid.ToString();
+    return verification;
+  }
+  CompletedGadget completed = Complete(gadget);
+  RPQRES_ASSIGN_OR_RETURN(verification.matches,
+                          HypergraphOfMatches(lang, completed.db));
+  verification.condensation =
+      Condense(verification.matches, {completed.f_in, completed.f_out});
+
+  // Locate the endpoint facts among the surviving vertices.
+  int from = -1, to = -1;
+  const std::vector<int>& kept = verification.condensation.kept_vertices;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (kept[i] == completed.f_in) from = static_cast<int>(i);
+    if (kept[i] == completed.f_out) to = static_cast<int>(i);
+  }
+  if (from < 0 || to < 0) {
+    verification.reason =
+        "an endpoint fact was condensed away (no match contains it)";
+    return verification;
+  }
+  verification.odd_path =
+      CheckOddPath(verification.condensation.condensed, from, to);
+  verification.valid = verification.odd_path.is_odd_path;
+  if (!verification.valid) verification.reason = verification.odd_path.reason;
+  return verification;
+}
+
+NodeId AddPathFrom(GraphDb* db, NodeId from, const std::string& word) {
+  NodeId current = from;
+  for (char c : word) {
+    NodeId next = db->AddNode();
+    db->AddFact(current, c, next);
+    current = next;
+  }
+  return current;
+}
+
+void AddPathInto(GraphDb* db, NodeId from, const std::string& word,
+                 NodeId to) {
+  RPQRES_CHECK_MSG(!word.empty(), "AddPathInto requires a non-empty word");
+  NodeId current = from;
+  for (size_t i = 0; i + 1 < word.size(); ++i) {
+    NodeId next = db->AddNode();
+    db->AddFact(current, word[i], next);
+    current = next;
+  }
+  db->AddFact(current, word.back(), to);
+}
+
+}  // namespace rpqres

@@ -1,0 +1,77 @@
+// rpqres — gadgets/gadget: pre-gadgets, completions, and gadget
+// verification (Defs 4.3 and 4.9).
+//
+// This module is the analogue of the authors' companion sanity-check
+// implementation [3]: given a pre-gadget and a language, it completes the
+// gadget, enumerates the hypergraph of matches, condenses it (protecting
+// the endpoint facts), and checks the odd-path condition. A verified
+// gadget yields NP-hardness via Prp 4.11.
+
+#ifndef RPQRES_GADGETS_GADGET_H_
+#define RPQRES_GADGETS_GADGET_H_
+
+#include <string>
+
+#include "gadgets/condensation.h"
+#include "gadgets/hypergraph.h"
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+/// A pre-gadget Γ = (D, t_in, t_out, a) (Def 4.3).
+struct PreGadget {
+  GraphDb db;
+  NodeId t_in = 0;
+  NodeId t_out = 0;
+  char label = 'a';
+  std::string name;
+};
+
+/// A completed gadget D' = D + {s_in -a-> t_in, s_out -a-> t_out}.
+struct CompletedGadget {
+  GraphDb db;
+  NodeId s_in = 0;
+  NodeId s_out = 0;
+  FactId f_in = 0;   ///< the endpoint fact F_in = s_in -a-> t_in
+  FactId f_out = 0;  ///< the endpoint fact F_out = s_out -a-> t_out
+};
+
+/// Checks the structural conditions of Def 4.3: t_in ≠ t_out, and neither
+/// occurs as the head (target) of a fact of D.
+Status ValidatePreGadget(const PreGadget& gadget);
+
+/// Builds the completion (Def 4.3). Aborts if the pre-gadget is invalid.
+CompletedGadget Complete(const PreGadget& gadget);
+
+/// Outcome of the full gadget check (Def 4.9).
+struct GadgetVerification {
+  bool valid = false;
+  std::string reason;         ///< failure explanation if !valid
+  Hypergraph matches;         ///< H_{L,D'} on the completion
+  CondensationResult condensation;
+  OddPathCheck odd_path;      ///< path_edges is the subdivision length ℓ
+};
+
+/// Verifies that `gadget` is a gadget for `lang` (Def 4.9): the hypergraph
+/// of matches of the completion condenses to an odd path from F_in to
+/// F_out. Errors (not `valid=false`) indicate the check could not be run
+/// (e.g. unboundedly many matches).
+Result<GadgetVerification> VerifyGadget(const Language& lang,
+                                        const PreGadget& gadget);
+
+// --- Construction helpers (used by paper_gadgets.cc and tests) ------------
+
+/// Adds a fresh path labeled `word` starting at `from`; returns its last
+/// node (== from when word is empty).
+NodeId AddPathFrom(GraphDb* db, NodeId from, const std::string& word);
+
+/// Adds a path labeled `word` from `from` whose final edge enters `to`
+/// (intermediate nodes fresh). Requires word non-empty.
+void AddPathInto(GraphDb* db, NodeId from, const std::string& word,
+                 NodeId to);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_GADGETS_GADGET_H_

@@ -1,0 +1,265 @@
+#include "gadgets/hypergraph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "automata/ops.h"
+#include "util/check.h"
+
+namespace rpqres {
+
+void Hypergraph::Normalize() {
+  for (std::vector<int>& edge : edges) {
+    std::sort(edge.begin(), edge.end());
+    edge.erase(std::unique(edge.begin(), edge.end()), edge.end());
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream os;
+  for (const std::vector<int>& edge : edges) {
+    os << "{";
+    for (size_t i = 0; i < edge.size(); ++i) {
+      if (i > 0) os << ", ";
+      if (edge[i] < static_cast<int>(vertex_names.size()) &&
+          !vertex_names[edge[i]].empty()) {
+        os << vertex_names[edge[i]];
+      } else {
+        os << edge[i];
+      }
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// True iff the fact graph of `db` has a directed cycle (nodes as vertices).
+bool HasDirectedCycle(const GraphDb& db) {
+  int n = db.num_nodes();
+  std::vector<int> color(n, 0);
+  for (int root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<int, size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i >= db.OutFacts(v).size()) {
+        color[v] = 2;
+        stack.pop_back();
+        continue;
+      }
+      NodeId to = db.fact(db.OutFacts(v)[i]).target;
+      ++i;
+      if (color[to] == 1) return true;
+      if (color[to] == 0) {
+        color[to] = 1;
+        stack.push_back({to, 0});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Hypergraph> HypergraphOfMatches(const Language& lang,
+                                       const GraphDb& db, size_t max_walks) {
+  // Determine a walk-length bound.
+  int max_length;
+  if (lang.IsFinite()) {
+    RPQRES_ASSIGN_OR_RETURN(std::vector<std::string> words, lang.Words());
+    max_length = 0;
+    for (const std::string& w : words) {
+      max_length = std::max(max_length, static_cast<int>(w.size()));
+    }
+  } else {
+    if (HasDirectedCycle(db)) {
+      return Status::FailedPrecondition(
+          "HypergraphOfMatches: infinite language over a cyclic database "
+          "(matches cannot be enumerated as bounded walks)");
+    }
+    max_length = db.num_nodes();  // acyclic: walks repeat no node
+  }
+
+  Hypergraph h;
+  h.num_vertices = db.num_facts();
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    const Fact& fact = db.fact(f);
+    h.vertex_names.push_back(std::string(1, fact.label) + "(" +
+                             db.node_name(fact.source) + "," +
+                             db.node_name(fact.target) + ")");
+  }
+
+  // DFS over all walks up to max_length from every node; every walk whose
+  // label is in L contributes its fact set as a hyperedge. Walks may repeat
+  // facts; the match is the set.
+  std::set<std::vector<int>> matches;
+  size_t walks = 0;
+  std::vector<FactId> walk;
+  std::string label;
+
+  // Recursive lambda via explicit stack of (node, next fact index).
+  for (NodeId start = 0; start < db.num_nodes(); ++start) {
+    struct Frame {
+      NodeId node;
+      size_t index = 0;
+    };
+    std::vector<Frame> stack{{start}};
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.index >= db.OutFacts(frame.node).size() ||
+          static_cast<int>(walk.size()) >= max_length) {
+        stack.pop_back();
+        if (!walk.empty()) {
+          walk.pop_back();
+          label.pop_back();
+        }
+        continue;
+      }
+      FactId f = db.OutFacts(frame.node)[frame.index++];
+      if (++walks > max_walks) {
+        return Status::OutOfRange("HypergraphOfMatches: more than " +
+                                  std::to_string(max_walks) + " walks");
+      }
+      walk.push_back(f);
+      label.push_back(db.fact(f).label);
+      if (lang.Contains(label)) {
+        std::vector<int> match(walk.begin(), walk.end());
+        std::sort(match.begin(), match.end());
+        match.erase(std::unique(match.begin(), match.end()), match.end());
+        matches.insert(std::move(match));
+      }
+      stack.push_back(Frame{db.fact(f).target});
+    }
+    RPQRES_DCHECK(walk.empty());
+  }
+  h.edges.assign(matches.begin(), matches.end());
+  h.Normalize();
+  return h;
+}
+
+namespace {
+
+void HittingSetBranch(const std::vector<std::vector<int>>& edges,
+                      std::vector<bool>* chosen, int cost, int* best) {
+  if (cost >= *best) return;
+  // Find the first unhit edge.
+  const std::vector<int>* unhit = nullptr;
+  for (const std::vector<int>& edge : edges) {
+    bool hit = false;
+    for (int v : edge) {
+      if ((*chosen)[v]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      unhit = &edge;
+      break;
+    }
+  }
+  if (unhit == nullptr) {
+    *best = cost;
+    return;
+  }
+  for (int v : *unhit) {
+    (*chosen)[v] = true;
+    HittingSetBranch(edges, chosen, cost + 1, best);
+    (*chosen)[v] = false;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+void WeightedHittingSetBranch(const std::vector<std::vector<int>>& edges,
+                              const std::vector<Capacity>& weights,
+                              std::vector<bool>* chosen, Capacity cost,
+                              Capacity* best_cost,
+                              std::vector<bool>* best_set) {
+  if (cost >= *best_cost) return;
+  const std::vector<int>* unhit = nullptr;
+  for (const std::vector<int>& edge : edges) {
+    bool hit = false;
+    for (int v : edge) {
+      if ((*chosen)[v]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      unhit = &edge;
+      break;
+    }
+  }
+  if (unhit == nullptr) {
+    *best_cost = cost;
+    *best_set = *chosen;
+    return;
+  }
+  for (int v : *unhit) {
+    if (weights[v] == kInfiniteCapacity) continue;  // exogenous
+    (*chosen)[v] = true;
+    WeightedHittingSetBranch(edges, weights, chosen, cost + weights[v],
+                             best_cost, best_set);
+    (*chosen)[v] = false;
+  }
+}
+
+}  // namespace
+
+HittingSetSolution MinimumWeightHittingSet(
+    const Hypergraph& h, const std::vector<Capacity>& weights) {
+  RPQRES_CHECK(static_cast<int>(weights.size()) == h.num_vertices);
+  HittingSetSolution solution;
+  // Feasibility: every edge needs at least one finite-weight vertex.
+  for (const std::vector<int>& edge : h.edges) {
+    bool usable = false;
+    for (int v : edge) usable |= weights[v] != kInfiniteCapacity;
+    if (!usable) {
+      solution.feasible = false;
+      return solution;
+    }
+  }
+  // Upper bound: choose every finite-weight vertex that is on some edge.
+  Capacity best_cost = 0;
+  std::vector<bool> best_set(h.num_vertices, false);
+  for (const std::vector<int>& edge : h.edges) {
+    for (int v : edge) {
+      if (!best_set[v] && weights[v] != kInfiniteCapacity) {
+        best_set[v] = true;
+        best_cost += weights[v];
+      }
+    }
+  }
+  std::vector<bool> chosen(h.num_vertices, false);
+  Capacity cost_bound = best_cost + 1;
+  WeightedHittingSetBranch(h.edges, weights, &chosen, 0, &cost_bound,
+                           &best_set);
+  solution.cost = std::min(cost_bound, best_cost);
+  for (int v = 0; v < h.num_vertices; ++v) {
+    if (best_set[v]) solution.vertices.push_back(v);
+  }
+  return solution;
+}
+
+int MinimumHittingSetSize(const Hypergraph& h) {
+  for (const std::vector<int>& edge : h.edges) {
+    if (edge.empty()) return -1;
+  }
+  int best = 0;
+  // Upper bound: one vertex per edge.
+  best = static_cast<int>(h.edges.size());
+  std::vector<bool> chosen(h.num_vertices, false);
+  int result = best + 1;
+  HittingSetBranch(h.edges, &chosen, 0, &result);
+  return std::min(result, best);
+}
+
+}  // namespace rpqres

@@ -1,0 +1,442 @@
+#include "gadgets/paper_gadgets.h"
+
+#include "util/check.h"
+
+namespace rpqres {
+namespace {
+
+// Shorthand: node by name (creates on first use).
+NodeId N(GraphDb* db, const std::string& name) {
+  return db->GetOrAddNode(name);
+}
+
+}  // namespace
+
+PreGadget AaGadget() {
+  // Fig 3b. Pre-gadget facts: tu -a-> 1 -a-> 2 -a-> 3 and tv -a-> 2.
+  PreGadget g;
+  g.name = "Fig3b(aa)";
+  g.label = 'a';
+  g.t_in = N(&g.db, "tu");
+  g.t_out = N(&g.db, "tv");
+  g.db.AddFact(g.t_in, 'a', N(&g.db, "1"));
+  g.db.AddFact(N(&g.db, "1"), 'a', N(&g.db, "2"));
+  g.db.AddFact(N(&g.db, "2"), 'a', N(&g.db, "3"));
+  g.db.AddFact(g.t_out, 'a', N(&g.db, "2"));
+  return g;
+}
+
+PreGadget AaaGadget(char a) {
+  // Fig 10 — the paper notes it is the same database as Fig 3b.
+  PreGadget g = AaGadget();
+  g.name = std::string("Fig10(") + a + a + a + ")";
+  if (a != 'a') {
+    // Relabel for languages whose tripled letter differs.
+    GraphDb relabeled;
+    for (NodeId v = 0; v < g.db.num_nodes(); ++v) {
+      relabeled.AddNode(g.db.node_name(v));
+    }
+    for (FactId f = 0; f < g.db.num_facts(); ++f) {
+      relabeled.AddFact(g.db.fact(f).source, a, g.db.fact(f).target);
+    }
+    g.db = relabeled;
+    g.label = a;
+  }
+  return g;
+}
+
+PreGadget AxbCxdGadget() {
+  // Fig 4a, transcribed fact by fact from the paper's figure.
+  PreGadget g;
+  g.name = "Fig4a(axb|cxd)";
+  g.label = 'a';
+  GraphDb* db = &g.db;
+  g.t_in = N(db, "tin");
+  g.t_out = N(db, "tout");
+  db->AddFact(g.t_in, 'x', N(db, "1"));
+  db->AddFact(N(db, "1"), 'b', N(db, "2"));
+  db->AddFact(N(db, "1"), 'd', N(db, "3"));
+  db->AddFact(N(db, "5"), 'a', N(db, "4"));
+  db->AddFact(N(db, "4"), 'x', N(db, "1"));
+  db->AddFact(N(db, "6"), 'c', N(db, "4"));
+  db->AddFact(N(db, "8"), 'c', N(db, "7"));
+  db->AddFact(N(db, "7"), 'x', N(db, "1"));
+  db->AddFact(N(db, "7"), 'x', N(db, "9"));
+  db->AddFact(N(db, "9"), 'd', N(db, "10"));
+  db->AddFact(N(db, "9"), 'b', N(db, "11"));
+  db->AddFact(N(db, "13"), 'a', N(db, "12"));
+  db->AddFact(N(db, "14"), 'c', N(db, "12"));
+  db->AddFact(N(db, "12"), 'x', N(db, "9"));
+  db->AddFact(N(db, "12"), 'x', N(db, "15"));
+  db->AddFact(N(db, "15"), 'b', N(db, "16"));
+  db->AddFact(g.t_out, 'x', N(db, "15"));
+  return g;
+}
+
+PreGadget FourLeggedCase1Gadget(const FourLeggedWitness& witness) {
+  // Fig 5: the generalization of Fig 4a. Decompose the stable legs as in
+  // the proof of Thm 5.3 Case 1: α' = aα, β' = βb, γ' = cγ, δ' = δd.
+  RPQRES_CHECK(!witness.alpha.empty() && !witness.beta.empty() &&
+               !witness.gamma.empty() && !witness.delta.empty());
+  const char a = witness.alpha.front();
+  const std::string alpha = witness.alpha.substr(1);
+  const char b = witness.beta.back();
+  const std::string beta =
+      witness.beta.substr(0, witness.beta.size() - 1);
+  const char c = witness.gamma.front();
+  const std::string gamma = witness.gamma.substr(1);
+  const char d = witness.delta.back();
+  const std::string delta =
+      witness.delta.substr(0, witness.delta.size() - 1);
+  const char x = witness.body;
+
+  PreGadget g;
+  g.name = "Fig5(case1)";
+  g.label = a;
+  GraphDb* db = &g.db;
+  g.t_in = db->AddNode("tin");
+  g.t_out = db->AddNode("tout");
+
+  // Junction n1 fed by the completion chain (t_in · α · x), an aα-chain,
+  // a cγ-chain, and a cγ-chain with a second x; n1 carries βb and δd.
+  NodeId n1 = db->AddNode("n1");
+  NodeId entry_end = AddPathFrom(db, g.t_in, alpha);
+  db->AddFact(entry_end, x, n1);
+  AddPathFrom(db, n1, beta + b);
+  AddPathFrom(db, n1, delta + d);
+
+  // u-block: aα and cγ chains converging on u3, x into n1.
+  NodeId u3 = db->AddNode("u3");
+  AddPathInto(db, db->AddNode("u1"), a + alpha, u3);
+  AddPathInto(db, db->AddNode("v1"), c + gamma, u3);
+  db->AddFact(u3, x, n1);
+
+  // w-block: one cγ chain with x into both n1 and n2.
+  NodeId w3 = db->AddNode("w3");
+  AddPathInto(db, db->AddNode("w1"), c + gamma, w3);
+  db->AddFact(w3, x, n1);
+  NodeId n2 = db->AddNode("n2");
+  db->AddFact(w3, x, n2);
+  AddPathFrom(db, n2, beta + b);
+  AddPathFrom(db, n2, delta + d);
+
+  // p-block: aα and cγ chains on p3, x into n2 and n3.
+  NodeId p3 = db->AddNode("p3");
+  AddPathInto(db, db->AddNode("p1"), a + alpha, p3);
+  AddPathInto(db, db->AddNode("q1"), c + gamma, p3);
+  db->AddFact(p3, x, n2);
+  NodeId n3 = db->AddNode("n3");
+  db->AddFact(p3, x, n3);
+  AddPathFrom(db, n3, beta + b);
+
+  // Exit: t_out · α · x into n3.
+  NodeId exit_end = AddPathFrom(db, g.t_out, alpha);
+  db->AddFact(exit_end, x, n3);
+  return g;
+}
+
+std::vector<PreGadget> FourLeggedCase2Candidates(
+    const FourLeggedWitness& witness) {
+  // Fig 6 reconstruction. The key structural element (visible in the
+  // paper's figure as the cycle 4 → 5 → … → 13 → 4) is a γ'xβ' *cycle*:
+  // the wrap-around walk reuses the cycle's facts, so its match-set is
+  // strictly contained in the parasite matches of Case 2 (the infixes of
+  // γ'xβ' that are in L) and edge-domination eliminates them, leaving the
+  // 9-hyperedge odd path with vertex types c·d·c·b·a·b·x·c·d·c exactly as
+  // in the figure's condensed hypergraph.
+  std::vector<PreGadget> candidates;
+  {
+    const char c1 = witness.gamma.front();
+    const std::string gamma1 = witness.gamma.substr(1);
+    const char x = witness.body;
+
+    PreGadget g;
+    g.name = "Fig6(case2, γ'xβ' cycle)";
+    g.label = c1;
+    GraphDb* db = &g.db;
+    g.t_in = db->AddNode("tin");
+    g.t_out = db->AddNode("tout");
+
+    // M1: completion γ'-walk into a δ'-only junction n0.
+    NodeId n0 = db->AddNode("n0");
+    NodeId g0 = AddPathFrom(db, g.t_in, gamma1);
+    db->AddFact(g0, x, n0);
+    AddPathFrom(db, n0, witness.delta);
+    // M2/M3: a γ'-chain whose end reaches both n0 and a β'-junction n1.
+    NodeId g1 = db->AddNode("g1");
+    AddPathInto(db, db->AddNode("e1"), witness.gamma, g1);
+    db->AddFact(g1, x, n0);
+    NodeId n1 = db->AddNode("n1");
+    db->AddFact(g1, x, n1);
+    AddPathFrom(db, n1, witness.beta);
+    // M4/M5: an α'-chain into n1 and into the cycle entry node s.
+    NodeId h1 = db->AddNode("h1");
+    AddPathInto(db, db->AddNode("f1"), witness.alpha, h1);
+    db->AddFact(h1, x, n1);
+    NodeId s = db->AddNode("s");
+    db->AddFact(h1, x, s);
+    // The cycle: s ─β'→ q ─γ'→ r ─x→ s, with a δ'-arm at s and an
+    // α'-entry into r.
+    NodeId q = AddPathFrom(db, s, witness.beta);
+    NodeId r = AddPathFrom(db, q, witness.gamma);
+    db->AddFact(r, x, s);
+    AddPathFrom(db, s, witness.delta);
+    AddPathInto(db, db->AddNode("e2"), witness.alpha, r);
+    // M8/M9: a second x out of r into a δ'-only junction s3, shared with
+    // the completion γ'-walk from t_out.
+    NodeId s3 = db->AddNode("s3");
+    db->AddFact(r, x, s3);
+    AddPathFrom(db, s3, witness.delta);
+    NodeId g9 = AddPathFrom(db, g.t_out, gamma1);
+    db->AddFact(g9, x, s3);
+    candidates.push_back(std::move(g));
+  }
+  {
+    PreGadget g = FourLeggedCase1Gadget(witness);
+    g.name = "Fig6-candidateB(case2, Fig4a topology)";
+    candidates.push_back(std::move(g));
+  }
+  return candidates;
+}
+
+PreGadget RepeatedLetterGadget(char a, const std::string& gamma,
+                               const std::string& delta) {
+  // Figs 7 (δ = ε) and 8 (δ ≠ ε), for a maximal-gap word aγaδ where no
+  // infix of γaγ is in the language.
+  //
+  // Special case γ = ε, δ ≠ ε (word a·a·δ): the spine construction would
+  // make the F_out arm's δ-tail collide with a spine δ-tail, so we use the
+  // generalization of Fig 11's shape instead (its odd path has length 3).
+  // Maximal-gap words with γ = ε have a-free δ, as Claim 6.14 requires.
+  if (gamma.empty() && !delta.empty()) {
+    PreGadget g;
+    g.name = "Fig11-general(a·a·δ)";
+    g.label = a;
+    GraphDb* db = &g.db;
+    g.t_in = db->AddNode("tin");
+    g.t_out = db->AddNode("tout");
+    NodeId n1 = db->AddNode("1");
+    db->AddFact(g.t_in, a, n1);
+    AddPathFrom(db, n1, delta);
+    NodeId n3 = db->AddNode("3");
+    db->AddFact(g.t_out, a, n3);
+    db->AddFact(n3, a, n1);
+    AddPathFrom(db, n3, delta);
+    return g;
+  }
+
+  PreGadget g;
+  g.name = delta.empty() ? "Fig7(a·γ·a)" : "Fig8(a·γ·a·δ)";
+  g.label = a;
+  GraphDb* db = &g.db;
+  g.t_in = db->AddNode("tin");
+  g.t_out = db->AddNode("tout");
+
+  // Spine: t_in ·γ· [A1] ·γ· [A2] ·γ· [A3], with δ-tails after every A.
+  NodeId g1 = AddPathFrom(db, g.t_in, gamma);
+  NodeId h1 = db->AddNode("h1");
+  db->AddFact(g1, a, h1);
+  NodeId g2 = AddPathFrom(db, h1, gamma);
+  NodeId h2 = db->AddNode("h2");
+  db->AddFact(g2, a, h2);
+  NodeId g3 = AddPathFrom(db, h2, gamma);
+  NodeId h3 = db->AddNode("h3");
+  db->AddFact(g3, a, h3);
+  // Side: t_out ·γ· [A4] ·γ· into g3 (A3's tail).
+  NodeId g4 = AddPathFrom(db, g.t_out, gamma);
+  NodeId h4;
+  if (gamma.empty()) {
+    h4 = g3;
+    db->AddFact(g4, a, g3);
+  } else {
+    h4 = db->AddNode("h4");
+    db->AddFact(g4, a, h4);
+    AddPathInto(db, h4, gamma, g3);
+  }
+  if (!delta.empty()) {
+    // One δ-tail per distinct a-head (h4 may coincide with g3 = the tail
+    // of A3 when γ = ε, but never with another head).
+    std::vector<NodeId> heads = {h1, h2, h3};
+    if (h4 != h1 && h4 != h2 && h4 != h3) heads.push_back(h4);
+    for (NodeId h : heads) AddPathFrom(db, h, delta);
+  }
+  return g;
+}
+
+PreGadget AbaBabGadget(char a, char b) {
+  // Fig 9, transcribed from the proof of Claim 6.10.
+  PreGadget g;
+  g.name = "Fig9(aba,bab)";
+  g.label = a;
+  GraphDb* db = &g.db;
+  g.t_in = N(db, "tin");
+  g.t_out = N(db, "tout");
+  db->AddFact(g.t_in, b, N(db, "1"));
+  db->AddFact(N(db, "5"), b, N(db, "1"));
+  db->AddFact(N(db, "1"), a, N(db, "2"));
+  db->AddFact(N(db, "2"), b, N(db, "3"));
+  db->AddFact(N(db, "3"), a, N(db, "4"));
+  db->AddFact(N(db, "7"), a, N(db, "4"));
+  db->AddFact(N(db, "4"), b, N(db, "6"));
+  db->AddFact(N(db, "8"), b, N(db, "7"));
+  db->AddFact(g.t_out, b, N(db, "7"));
+  return g;
+}
+
+PreGadget AabGadget(char a, char b) {
+  // Fig 11, transcribed from the proof of Claim 6.14.
+  RPQRES_CHECK(a != b);
+  PreGadget g;
+  g.name = "Fig11(aab)";
+  g.label = a;
+  GraphDb* db = &g.db;
+  g.t_in = N(db, "tin");
+  g.t_out = N(db, "tout");
+  db->AddFact(g.t_in, a, N(db, "1"));
+  db->AddFact(N(db, "1"), b, N(db, "2"));
+  db->AddFact(g.t_out, a, N(db, "3"));
+  db->AddFact(N(db, "3"), a, N(db, "1"));
+  db->AddFact(N(db, "3"), b, N(db, "4"));
+  return g;
+}
+
+std::vector<PreGadget> AxEtaYaCandidates(char a, char x,
+                                         const std::string& eta, char y) {
+  // Fig 12 reconstruction candidates for L ⊇ {a·x·η·y·a, y·a·x}. The
+  // figure's exact wiring is not recoverable from the paper text; the
+  // candidates below follow its visible structure (a cycle
+  // x·η·y·a closing on itself, entered and exited through a-edges).
+  std::vector<PreGadget> candidates;
+  {
+    // Candidate A: one cycle, entry/exit arms.
+    PreGadget g;
+    g.name = "Fig12-candidateA(one cycle)";
+    g.label = a;
+    GraphDb* db = &g.db;
+    g.t_in = db->AddNode("tin");
+    g.t_out = db->AddNode("tout");
+    // Entry W: t_in · x · η · y · a -> hub.
+    NodeId hub = db->AddNode("hub");
+    NodeId e1 = db->AddNode("e1");
+    db->AddFact(g.t_in, x, e1);
+    NodeId e2 = AddPathFrom(db, e1, eta);
+    NodeId e3 = db->AddNode("e3");
+    db->AddFact(e2, y, e3);
+    db->AddFact(e3, a, hub);
+    // Cycle: hub · x · η · y · back -> a -> hub, with an exit a-edge.
+    NodeId c1 = db->AddNode("c1");
+    db->AddFact(hub, x, c1);
+    NodeId c2 = AddPathFrom(db, c1, eta);
+    NodeId back = db->AddNode("back");
+    db->AddFact(c2, y, back);
+    db->AddFact(back, a, hub);
+    NodeId exit = db->AddNode("exit");
+    db->AddFact(back, a, exit);
+    // Exit V-chain: exit · x into a dead node (y·a·x matches only).
+    NodeId dead = db->AddNode("dead");
+    db->AddFact(exit, x, dead);
+    // Second (y, a) pair into `exit`'s x-tail, fed by the t_out arm:
+    // t_out · x · η · y · a -> exit2 -> x(dead).
+    NodeId f1 = db->AddNode("f1");
+    db->AddFact(g.t_out, x, f1);
+    NodeId f2 = AddPathFrom(db, f1, eta);
+    NodeId f3 = db->AddNode("f3");
+    db->AddFact(f2, y, f3);
+    NodeId exit2 = db->AddNode("exit2");
+    db->AddFact(f3, a, exit2);
+    db->AddFact(exit2, x, dead);
+    candidates.push_back(std::move(g));
+  }
+  {
+    // Candidate B: two mirrored cycles joined by the dead x-node.
+    PreGadget g;
+    g.name = "Fig12-candidateB(two cycles)";
+    g.label = a;
+    GraphDb* db = &g.db;
+    g.t_in = db->AddNode("tin");
+    g.t_out = db->AddNode("tout");
+    NodeId dead = db->AddNode("dead");
+    auto build_side = [&](NodeId t, const std::string& tag) {
+      NodeId hub = db->AddNode("hub" + tag);
+      NodeId e1 = db->AddNode("e1" + tag);
+      db->AddFact(t, x, e1);
+      NodeId e2 = AddPathFrom(db, e1, eta);
+      NodeId e3 = db->AddNode("e3" + tag);
+      db->AddFact(e2, y, e3);
+      db->AddFact(e3, a, hub);
+      NodeId c1 = db->AddNode("c1" + tag);
+      db->AddFact(hub, x, c1);
+      NodeId c2 = AddPathFrom(db, c1, eta);
+      NodeId back = db->AddNode("back" + tag);
+      db->AddFact(c2, y, back);
+      db->AddFact(back, a, hub);
+      NodeId exit = db->AddNode("exit" + tag);
+      db->AddFact(back, a, exit);
+      db->AddFact(exit, x, dead);
+    };
+    build_side(g.t_in, "L");
+    build_side(g.t_out, "R");
+    candidates.push_back(std::move(g));
+  }
+  return candidates;
+}
+
+PreGadget AbBcCaGadget() {
+  // Fig 13 (Prp 7.4).
+  PreGadget g;
+  g.name = "Fig13(ab|bc|ca)";
+  g.label = 'a';
+  GraphDb* db = &g.db;
+  g.t_in = N(db, "tin");
+  g.t_out = N(db, "tout");
+  db->AddFact(g.t_in, 'b', N(db, "1"));
+  db->AddFact(N(db, "1"), 'c', N(db, "2"));
+  db->AddFact(N(db, "2"), 'a', N(db, "3"));
+  db->AddFact(N(db, "3"), 'b', N(db, "4"));
+  db->AddFact(N(db, "4"), 'c', N(db, "5"));
+  db->AddFact(g.t_out, 'b', N(db, "4"));
+  return g;
+}
+
+PreGadget AbcdGadget() {
+  // Figs 15/16 (Prp 7.11) — the shared database for abcd|be|ef and
+  // abcd|bef.
+  PreGadget g;
+  g.name = "Fig15/16(abcd…)";
+  g.label = 'a';
+  GraphDb* db = &g.db;
+  g.t_in = N(db, "tin");
+  g.t_out = N(db, "tout");
+  db->AddFact(g.t_in, 'b', N(db, "1"));
+  db->AddFact(N(db, "1"), 'c', N(db, "2"));
+  db->AddFact(N(db, "2"), 'd', N(db, "3"));
+  db->AddFact(N(db, "1"), 'e', N(db, "4"));
+  db->AddFact(N(db, "4"), 'f', N(db, "5"));
+  db->AddFact(N(db, "6"), 'a', N(db, "7"));
+  db->AddFact(N(db, "7"), 'b', N(db, "8"));
+  db->AddFact(N(db, "8"), 'e', N(db, "4"));
+  db->AddFact(N(db, "8"), 'c', N(db, "9"));
+  db->AddFact(N(db, "9"), 'd', N(db, "10"));
+  db->AddFact(g.t_out, 'b', N(db, "11"));
+  db->AddFact(N(db, "11"), 'c', N(db, "9"));
+  return g;
+}
+
+Result<PreGadget> FirstValidGadget(const Language& lang,
+                                   std::vector<PreGadget> candidates) {
+  std::string reasons;
+  for (PreGadget& candidate : candidates) {
+    Result<GadgetVerification> verification =
+        VerifyGadget(lang, candidate);
+    if (verification.ok() && verification->valid) {
+      return std::move(candidate);
+    }
+    reasons += "\n  " + candidate.name + ": " +
+               (verification.ok() ? verification->reason
+                                  : verification.status().ToString());
+  }
+  return Status::NotFound("no candidate gadget verified for " +
+                          lang.description() + ":" + reasons);
+}
+
+}  // namespace rpqres

@@ -1,0 +1,82 @@
+// rpqres — gadgets/paper_gadgets: the hardness gadgets of the paper.
+//
+//   Fig 3b : aa                     (Prp 4.1)
+//   Fig 4a : axb|cxd                (Prp 4.13)
+//   Fig 5  : four-legged, Case 1    (Thm 5.3) — parameterized by stable legs
+//   Fig 6  : four-legged, Case 2    (Thm 5.3) — candidate reconstructions
+//   Fig 7/8: aγa / aγaδ             (Lem 6.6)
+//   Fig 9  : aba + bab              (Claim 6.10)
+//   Fig 10 : aaa                    (Claim 6.11)
+//   Fig 11 : aab, a ≠ b             (Claim 6.14)
+//   Fig 12 : axηya + yax            (Claim 6.13) — candidate reconstructions
+//   Fig 13 : ab|bc|ca               (Prp 7.4)
+//   Fig 15 : abcd|be|ef             (Prp 7.11)
+//   Fig 16 : abcd|bef               (Prp 7.11; same database as Fig 15)
+//
+// Figures 6 and 12 cannot be transcribed verbatim from the paper text, so
+// this module exposes *families* of candidate pre-gadgets for them; the
+// companion verifier (VerifyGadget) selects a valid one at runtime, which
+// is exactly the methodology of the authors' sanity-check tool [3].
+
+#ifndef RPQRES_GADGETS_PAPER_GADGETS_H_
+#define RPQRES_GADGETS_PAPER_GADGETS_H_
+
+#include <string>
+#include <vector>
+
+#include "gadgets/gadget.h"
+#include "lang/four_legged.h"
+#include "lang/language.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+/// Fig 3b: the gadget for aa.
+PreGadget AaGadget();
+
+/// Fig 10: the gadget for any infix-free language containing aaa
+/// (structurally identical to Fig 3b, as the paper remarks).
+PreGadget AaaGadget(char a = 'a');
+
+/// Fig 4a: the gadget for axb|cxd (19 facts when completed).
+PreGadget AxbCxdGadget();
+
+/// Fig 5 (generalized Fig 4a): Case 1 of Thm 5.3, for a four-legged
+/// language with *stable* legs such that no infix of γxβ is in L.
+/// The witness legs are the full words α', β', γ', δ' of the proof.
+PreGadget FourLeggedCase1Gadget(const FourLeggedWitness& witness);
+
+/// Fig 6 candidates: Case 2 of Thm 5.3 (some infix of γxβ is in L).
+std::vector<PreGadget> FourLeggedCase2Candidates(
+    const FourLeggedWitness& witness);
+
+/// Figs 7/8 (Lem 6.6): gadget for a language containing aγaδ where no
+/// infix of γaγ is in the language. δ may be empty (Fig 7) or not (Fig 8).
+PreGadget RepeatedLetterGadget(char a, const std::string& gamma,
+                               const std::string& delta);
+
+/// Fig 9: gadget for any infix-free language containing aba and bab.
+PreGadget AbaBabGadget(char a = 'a', char b = 'b');
+
+/// Fig 11: gadget for any infix-free language containing aab (a ≠ b).
+PreGadget AabGadget(char a = 'a', char b = 'b');
+
+/// Fig 12 candidates: gadget for an infix-free language containing
+/// a·x·η·y·a and y·a·x with x, y distinct from a (Claim 6.13).
+std::vector<PreGadget> AxEtaYaCandidates(char a, char x,
+                                         const std::string& eta, char y);
+
+/// Fig 13: gadget for ab|bc|ca (Prp 7.4).
+PreGadget AbBcCaGadget();
+
+/// Figs 15/16: the shared gadget database for abcd|be|ef and abcd|bef.
+PreGadget AbcdGadget();
+
+/// Convenience: verifies a list of candidates and returns the first valid
+/// gadget for `lang`, or NotFound.
+Result<PreGadget> FirstValidGadget(const Language& lang,
+                                   std::vector<PreGadget> candidates);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_GADGETS_PAPER_GADGETS_H_

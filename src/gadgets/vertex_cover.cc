@@ -1,0 +1,88 @@
+#include "gadgets/vertex_cover.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rpqres {
+
+void UndirectedGraph::AddEdge(int u, int v) {
+  RPQRES_CHECK_MSG(u != v, "self-loops not supported");
+  RPQRES_DCHECK(u >= 0 && u < num_vertices && v >= 0 && v < num_vertices);
+  if (u > v) std::swap(u, v);
+  auto edge = std::make_pair(u, v);
+  if (std::find(edges.begin(), edges.end(), edge) == edges.end()) {
+    edges.push_back(edge);
+  }
+}
+
+DirectedGraph OrientArbitrarily(const UndirectedGraph& graph) {
+  DirectedGraph out;
+  out.num_vertices = graph.num_vertices;
+  out.edges = graph.edges;  // already stored as (u < v)
+  return out;
+}
+
+UndirectedGraph Subdivide(const UndirectedGraph& graph, int ell) {
+  RPQRES_CHECK_MSG(ell >= 1, "subdivision length must be >= 1");
+  UndirectedGraph out;
+  out.num_vertices = graph.num_vertices;
+  for (auto [u, v] : graph.edges) {
+    int prev = u;
+    for (int i = 0; i + 1 < ell; ++i) {
+      int mid = out.num_vertices++;
+      out.AddEdge(prev, mid);
+      prev = mid;
+    }
+    out.AddEdge(prev, v);
+  }
+  return out;
+}
+
+namespace {
+
+void VcBranch(const std::vector<std::pair<int, int>>& edges,
+              std::vector<bool>* chosen, int cost, int* best) {
+  if (cost >= *best) return;
+  const std::pair<int, int>* uncovered = nullptr;
+  for (const auto& edge : edges) {
+    if (!(*chosen)[edge.first] && !(*chosen)[edge.second]) {
+      uncovered = &edge;
+      break;
+    }
+  }
+  if (uncovered == nullptr) {
+    *best = cost;
+    return;
+  }
+  for (int v : {uncovered->first, uncovered->second}) {
+    (*chosen)[v] = true;
+    VcBranch(edges, chosen, cost + 1, best);
+    (*chosen)[v] = false;
+  }
+}
+
+}  // namespace
+
+int VertexCoverNumber(const UndirectedGraph& graph) {
+  std::vector<bool> chosen(graph.num_vertices, false);
+  int best = static_cast<int>(graph.edges.size()) + 1;
+  VcBranch(graph.edges, &chosen, 0, &best);
+  return std::min<int>(best, static_cast<int>(graph.edges.size()));
+}
+
+UndirectedGraph RandomUndirectedGraph(Rng* rng, int num_vertices,
+                                      int num_edges) {
+  RPQRES_CHECK(num_vertices >= 2);
+  UndirectedGraph graph;
+  graph.num_vertices = num_vertices;
+  for (int i = 0; i < num_edges; ++i) {
+    int u = static_cast<int>(rng->NextBelow(num_vertices));
+    int v = static_cast<int>(rng->NextBelow(num_vertices));
+    if (u == v) continue;
+    graph.AddEdge(u, v);
+  }
+  return graph;
+}
+
+}  // namespace rpqres

@@ -1,0 +1,48 @@
+// rpqres — gadgets/vertex_cover: undirected graphs, exact vertex cover, and
+// the subdivision identity of Prp 4.2:
+//   vc(ℓ-subdivision of G) = vc(G) + m(ℓ−1)/2   for odd ℓ, m = |E(G)|.
+
+#ifndef RPQRES_GADGETS_VERTEX_COVER_H_
+#define RPQRES_GADGETS_VERTEX_COVER_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rpqres {
+
+/// A simple undirected graph (no self-loops; parallel edges deduplicated).
+struct UndirectedGraph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;  ///< normalized u < v, unique
+
+  /// Adds an edge (idempotent; u != v required).
+  void AddEdge(int u, int v);
+};
+
+/// A simple directed graph.
+struct DirectedGraph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Orients every edge arbitrarily (u < v direction), as in Prp 4.11's
+/// reduction ("pick an arbitrary orientation").
+DirectedGraph OrientArbitrarily(const UndirectedGraph& graph);
+
+/// The ℓ-subdivision of G: each edge replaced by a path with ℓ-1 fresh
+/// internal vertices (Prp 4.2).
+UndirectedGraph Subdivide(const UndirectedGraph& graph, int ell);
+
+/// Exact vertex cover number (branch & bound on an uncovered edge).
+/// Intended for the small graphs of gadget validation tests.
+int VertexCoverNumber(const UndirectedGraph& graph);
+
+/// Uniform random graph G(n, edge_count) (simple).
+UndirectedGraph RandomUndirectedGraph(Rng* rng, int num_vertices,
+                                      int num_edges);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_GADGETS_VERTEX_COVER_H_

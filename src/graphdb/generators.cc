@@ -1,0 +1,137 @@
+#include "graphdb/generators.h"
+
+#include "util/check.h"
+
+namespace rpqres {
+namespace {
+
+Capacity DrawMultiplicity(Rng* rng, Capacity max_multiplicity) {
+  if (max_multiplicity <= 1) return 1;
+  return rng->NextInRange(1, max_multiplicity);
+}
+
+}  // namespace
+
+GraphDb RandomGraphDb(Rng* rng, int num_nodes, int num_facts,
+                      const std::vector<char>& labels,
+                      Capacity max_multiplicity) {
+  RPQRES_CHECK(num_nodes > 0);
+  RPQRES_CHECK(!labels.empty());
+  GraphDb db;
+  for (int i = 0; i < num_nodes; ++i) db.AddNode();
+  for (int i = 0; i < num_facts; ++i) {
+    NodeId u = static_cast<NodeId>(rng->NextBelow(num_nodes));
+    NodeId v = static_cast<NodeId>(rng->NextBelow(num_nodes));
+    char label = labels[rng->NextBelow(labels.size())];
+    db.AddFact(u, label, v, DrawMultiplicity(rng, max_multiplicity));
+  }
+  return db;
+}
+
+GraphDb LayeredFlowDb(Rng* rng, int sources, int layers, int width,
+                      int sinks, double density, Capacity max_multiplicity) {
+  RPQRES_CHECK(layers >= 1 && width >= 1 && sources >= 1 && sinks >= 1);
+  GraphDb db;
+  // Internal grid of `layers` columns of `width` nodes.
+  std::vector<std::vector<NodeId>> grid(layers);
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      grid[l].push_back(
+          db.AddNode("L" + std::to_string(l) + "_" + std::to_string(w)));
+    }
+  }
+  // a-edges from fresh source stubs into the first layer.
+  for (int i = 0; i < sources; ++i) {
+    NodeId stub = db.AddNode("src" + std::to_string(i));
+    NodeId entry = grid[0][rng->NextBelow(width)];
+    db.AddFact(stub, 'a', entry, DrawMultiplicity(rng, max_multiplicity));
+  }
+  // x-edges between consecutive layers; guarantee at least one per column.
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      NodeId from = grid[l][w];
+      bool added = false;
+      for (int w2 = 0; w2 < width; ++w2) {
+        if (rng->NextDouble() < density) {
+          db.AddFact(from, 'x', grid[l + 1][w2],
+                     DrawMultiplicity(rng, max_multiplicity));
+          added = true;
+        }
+      }
+      if (!added) {
+        db.AddFact(from, 'x', grid[l + 1][rng->NextBelow(width)],
+                   DrawMultiplicity(rng, max_multiplicity));
+      }
+    }
+  }
+  // b-edges from the last layer to fresh sink stubs.
+  for (int i = 0; i < sinks; ++i) {
+    NodeId exit = grid[layers - 1][rng->NextBelow(width)];
+    NodeId stub = db.AddNode("snk" + std::to_string(i));
+    db.AddFact(exit, 'b', stub, DrawMultiplicity(rng, max_multiplicity));
+  }
+  return db;
+}
+
+GraphDb PathDb(const std::string& word) {
+  GraphDb db;
+  NodeId prev = db.AddNode();
+  for (char c : word) {
+    NodeId next = db.AddNode();
+    db.AddFact(prev, c, next);
+    prev = next;
+  }
+  return db;
+}
+
+GraphDb WordSoupDb(Rng* rng, const std::vector<std::string>& words,
+                   int count, const std::vector<char>& extra_labels,
+                   int cross_links, Capacity max_multiplicity) {
+  RPQRES_CHECK(!words.empty());
+  GraphDb db;
+  for (int i = 0; i < count; ++i) {
+    const std::string& word = words[rng->NextBelow(words.size())];
+    NodeId prev = db.AddNode();
+    for (char c : word) {
+      NodeId next = db.AddNode();
+      db.AddFact(prev, c, next, DrawMultiplicity(rng, max_multiplicity));
+      prev = next;
+    }
+  }
+  if (db.num_nodes() > 0 && !extra_labels.empty()) {
+    for (int i = 0; i < cross_links; ++i) {
+      NodeId u = static_cast<NodeId>(rng->NextBelow(db.num_nodes()));
+      NodeId v = static_cast<NodeId>(rng->NextBelow(db.num_nodes()));
+      char label = extra_labels[rng->NextBelow(extra_labels.size())];
+      db.AddFact(u, label, v, DrawMultiplicity(rng, max_multiplicity));
+    }
+  }
+  return db;
+}
+
+GraphDb DanglingPairsDb(Rng* rng, int num_nodes, int base_facts,
+                        const std::vector<char>& base_labels, char x, char y,
+                        int pair_count, Capacity max_multiplicity) {
+  RPQRES_CHECK(num_nodes > 0);
+  GraphDb db;
+  for (int i = 0; i < num_nodes; ++i) db.AddNode();
+  for (int i = 0; i < base_facts; ++i) {
+    NodeId u = static_cast<NodeId>(rng->NextBelow(num_nodes));
+    NodeId v = static_cast<NodeId>(rng->NextBelow(num_nodes));
+    char label = base_labels[rng->NextBelow(base_labels.size())];
+    db.AddFact(u, label, v, DrawMultiplicity(rng, max_multiplicity));
+  }
+  for (int i = 0; i < pair_count; ++i) {
+    // x into a shared middle node, y out of it; endpoints may be shared
+    // with the base part, creating interaction between {xy} and the base
+    // language matches.
+    NodeId u = static_cast<NodeId>(rng->NextBelow(num_nodes));
+    NodeId mid = static_cast<NodeId>(rng->NextBelow(num_nodes));
+    NodeId w = static_cast<NodeId>(rng->NextBelow(num_nodes));
+    db.AddFact(u, x, mid, DrawMultiplicity(rng, max_multiplicity));
+    db.AddFact(mid, y, w, DrawMultiplicity(rng, max_multiplicity));
+  }
+  return db;
+}
+
+}  // namespace rpqres

@@ -1,0 +1,125 @@
+#include "graphdb/graph_db.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace rpqres {
+
+NodeId GraphDb::AddNode() {
+  return AddNode("n" + std::to_string(node_names_.size()));
+}
+
+NodeId GraphDb::AddNode(const std::string& name) {
+  NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  out_facts_.emplace_back();
+  in_facts_.emplace_back();
+  return id;
+}
+
+NodeId GraphDb::GetOrAddNode(const std::string& name) {
+  auto it = nodes_by_name_.find(name);
+  if (it != nodes_by_name_.end()) return it->second;
+  NodeId id = AddNode(name);
+  nodes_by_name_[name] = id;
+  return id;
+}
+
+FactId GraphDb::AddFact(NodeId source, char label, NodeId target,
+                        Capacity multiplicity) {
+  RPQRES_DCHECK(source >= 0 && source < num_nodes());
+  RPQRES_DCHECK(target >= 0 && target < num_nodes());
+  RPQRES_CHECK_MSG(multiplicity >= 1, "fact multiplicity must be >= 1");
+  auto key = std::make_tuple(source, label, target);
+  auto it = fact_index_.find(key);
+  if (it != fact_index_.end()) {
+    multiplicities_[it->second] += multiplicity;
+    return it->second;
+  }
+  FactId id = static_cast<FactId>(facts_.size());
+  facts_.push_back(Fact{source, label, target});
+  multiplicities_.push_back(multiplicity);
+  exogenous_.push_back(false);
+  out_facts_[source].push_back(id);
+  in_facts_[target].push_back(id);
+  fact_index_[key] = id;
+  return id;
+}
+
+void GraphDb::SetExogenous(FactId id, bool exogenous) {
+  RPQRES_DCHECK(id >= 0 && id < num_facts());
+  exogenous_[id] = exogenous;
+}
+
+int GraphDb::NumExogenous() const {
+  return static_cast<int>(
+      std::count(exogenous_.begin(), exogenous_.end(), true));
+}
+
+FactId GraphDb::FindFact(NodeId source, char label, NodeId target) const {
+  auto it = fact_index_.find(std::make_tuple(source, label, target));
+  return it == fact_index_.end() ? -1 : it->second;
+}
+
+Capacity GraphDb::TotalCost(Semantics semantics) const {
+  Capacity total = 0;
+  for (FactId id = 0; id < num_facts(); ++id) {
+    if (!exogenous_[id]) total += Cost(id, semantics);
+  }
+  return total;
+}
+
+std::vector<char> GraphDb::Labels() const {
+  std::vector<char> labels;
+  for (const Fact& f : facts_) labels.push_back(f.label);
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+GraphDb GraphDb::RemoveFacts(const std::vector<FactId>& fact_ids) const {
+  std::vector<bool> removed(facts_.size(), false);
+  for (FactId id : fact_ids) {
+    RPQRES_DCHECK(id >= 0 && id < num_facts());
+    removed[id] = true;
+  }
+  GraphDb out;
+  for (const std::string& name : node_names_) out.AddNode(name);
+  out.nodes_by_name_ = nodes_by_name_;
+  for (FactId id = 0; id < num_facts(); ++id) {
+    if (!removed[id]) {
+      FactId copy = out.AddFact(facts_[id].source, facts_[id].label,
+                                facts_[id].target, multiplicities_[id]);
+      if (exogenous_[id]) out.SetExogenous(copy);
+    }
+  }
+  return out;
+}
+
+GraphDb GraphDb::MirrorDb() const {
+  GraphDb out;
+  for (const std::string& name : node_names_) out.AddNode(name);
+  out.nodes_by_name_ = nodes_by_name_;
+  for (FactId id = 0; id < num_facts(); ++id) {
+    FactId copy = out.AddFact(facts_[id].target, facts_[id].label,
+                              facts_[id].source, multiplicities_[id]);
+    if (exogenous_[id]) out.SetExogenous(copy);
+  }
+  return out;
+}
+
+std::string GraphDb::ToString() const {
+  std::ostringstream os;
+  for (FactId id = 0; id < num_facts(); ++id) {
+    const Fact& f = facts_[id];
+    os << node_names_[f.source] << " -" << f.label << "-> "
+       << node_names_[f.target];
+    if (multiplicities_[id] != 1) os << " [x" << multiplicities_[id] << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rpqres

@@ -1,0 +1,122 @@
+// rpqres — graphdb/graph_db: graph databases (Section 2).
+//
+// A graph database D ⊆ V × Σ × V with single-character edge labels. Bag
+// semantics attaches a positive int64 multiplicity to each fact (the
+// deletion cost); set semantics is the special case where solvers treat
+// every fact as cost 1 (paper, Section 2: RES_set reduces to RES_bag with
+// unit multiplicities).
+
+#ifndef RPQRES_GRAPHDB_GRAPH_DB_H_
+#define RPQRES_GRAPHDB_GRAPH_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "flow/flow_network.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+using NodeId = int32_t;
+using FactId = int32_t;
+
+/// Whether fact multiplicities count as deletion costs (bag) or every fact
+/// costs 1 (set).
+enum class Semantics { kSet, kBag };
+
+/// A fact v --label--> v'.
+struct Fact {
+  NodeId source = 0;
+  char label = '\0';
+  NodeId target = 0;
+
+  bool operator==(const Fact& other) const = default;
+};
+
+/// A graph database under set or bag semantics.
+///
+/// Nodes are dense integers with optional display names. Facts are a set:
+/// adding an existing (source, label, target) triple accumulates its
+/// multiplicity instead of duplicating the fact.
+class GraphDb {
+ public:
+  GraphDb() = default;
+
+  /// Adds an anonymous node.
+  NodeId AddNode();
+  /// Adds a named node (names are display-only and need not be unique,
+  /// but GetOrAddNode gives name-keyed access).
+  NodeId AddNode(const std::string& name);
+  /// Returns the node with this name, creating it if absent.
+  NodeId GetOrAddNode(const std::string& name);
+
+  /// Adds a fact with the given multiplicity (>= 1); if the fact already
+  /// exists its multiplicity is increased. Returns the fact id.
+  FactId AddFact(NodeId source, char label, NodeId target,
+                 Capacity multiplicity = 1);
+  /// Fact id of (source, label, target), or -1.
+  FactId FindFact(NodeId source, char label, NodeId target) const;
+
+  /// Marks a fact as *exogenous*: it can never belong to a contingency set
+  /// (the paper's Theorem 2.2 remark — equivalently, deletion cost +∞).
+  void SetExogenous(FactId id, bool exogenous = true);
+  bool IsExogenous(FactId id) const { return exogenous_[id]; }
+  /// Number of exogenous facts.
+  int NumExogenous() const;
+
+  int num_nodes() const { return static_cast<int>(node_names_.size()); }
+  int num_facts() const { return static_cast<int>(facts_.size()); }
+  const std::vector<Fact>& facts() const { return facts_; }
+  const Fact& fact(FactId id) const { return facts_[id]; }
+  Capacity multiplicity(FactId id) const { return multiplicities_[id]; }
+  /// Deletion cost of a fact under the given semantics
+  /// (kInfiniteCapacity for exogenous facts).
+  Capacity Cost(FactId id, Semantics semantics) const {
+    if (exogenous_[id]) return kInfiniteCapacity;
+    return semantics == Semantics::kSet ? 1 : multiplicities_[id];
+  }
+  /// Sum of costs of all *endogenous* facts (the cost of deleting
+  /// everything deletable).
+  Capacity TotalCost(Semantics semantics) const;
+
+  const std::string& node_name(NodeId id) const { return node_names_[id]; }
+
+  /// Fact ids whose source is `node`.
+  const std::vector<FactId>& OutFacts(NodeId node) const {
+    return out_facts_[node];
+  }
+  /// Fact ids whose target is `node`.
+  const std::vector<FactId>& InFacts(NodeId node) const {
+    return in_facts_[node];
+  }
+
+  /// Edge labels present in the database, sorted, deduplicated.
+  std::vector<char> Labels() const;
+
+  /// Copy of this database without the given facts (node set unchanged).
+  GraphDb RemoveFacts(const std::vector<FactId>& fact_ids) const;
+
+  /// Copy with every edge reversed (the database mirror of Prp 6.3). Fact
+  /// ids are preserved: fact i of the mirror is fact i reversed.
+  GraphDb MirrorDb() const;
+
+  /// Human-readable listing ("u -a-> v [x3]").
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<Fact> facts_;
+  std::vector<Capacity> multiplicities_;
+  std::vector<bool> exogenous_;
+  std::vector<std::vector<FactId>> out_facts_;
+  std::vector<std::vector<FactId>> in_facts_;
+  std::map<std::string, NodeId> nodes_by_name_;
+  std::map<std::tuple<NodeId, char, NodeId>, FactId> fact_index_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_GRAPHDB_GRAPH_DB_H_

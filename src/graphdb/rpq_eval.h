@@ -1,0 +1,52 @@
+// rpqres — graphdb/rpq_eval: Boolean RPQ evaluation Q_L(D) and witness-walk
+// extraction, via the standard product construction (database × automaton)
+// plus reachability (paper cites [Mendelzon & Wood, Lemma 3.1]).
+
+#ifndef RPQRES_GRAPHDB_RPQ_EVAL_H_
+#define RPQRES_GRAPHDB_RPQ_EVAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/enfa.h"
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+
+namespace rpqres {
+
+/// A witness walk: the fact ids of an L-walk, in walk order (a fact may
+/// repeat). Empty when ε ∈ L (the query holds vacuously).
+using WitnessWalk = std::vector<FactId>;
+
+/// True iff D contains an L(A)-walk (i.e. Q_L(D) = 1). O(|A|·|D|).
+/// If `removed_facts` is given, facts with removed_facts[id] == true are
+/// treated as deleted (used by the exact branch-and-bound solver to avoid
+/// copying the database at every node).
+bool EvaluatesToTrue(const GraphDb& db, const Enfa& query,
+                     const std::vector<bool>* removed_facts = nullptr);
+bool EvaluatesToTrue(const GraphDb& db, const Language& lang);
+
+/// A shortest witness walk (fewest facts, counting repetitions), or nullopt
+/// when Q does not hold. The empty walk is returned iff ε ∈ L.
+std::optional<WitnessWalk> ShortestWitnessWalk(
+    const GraphDb& db, const Enfa& query,
+    const std::vector<bool>* removed_facts = nullptr);
+std::optional<WitnessWalk> ShortestWitnessWalk(const GraphDb& db,
+                                               const Language& lang);
+
+/// Fixed-endpoint variant (the non-Boolean RPQ setting of Section 8):
+/// true iff D contains an L(A)-walk from `source` to `target`. The empty
+/// walk counts iff ε ∈ L and source == target.
+bool EvaluatesToTrueBetween(const GraphDb& db, const Enfa& query,
+                            NodeId source, NodeId target,
+                            const std::vector<bool>* removed_facts = nullptr);
+
+/// The word labeling a witness walk.
+std::string WalkLabel(const GraphDb& db, const WitnessWalk& walk);
+
+/// Distinct facts of a walk, sorted (the *match* of Def 4.7 defined by it).
+std::vector<FactId> WalkMatch(const WitnessWalk& walk);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_GRAPHDB_RPQ_EVAL_H_

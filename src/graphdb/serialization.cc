@@ -1,0 +1,79 @@
+#include "graphdb/serialization.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace rpqres {
+
+std::string SerializeGraphDb(const GraphDb& db) {
+  std::ostringstream os;
+  os << "# rpqres graph database: " << db.num_nodes() << " nodes, "
+     << db.num_facts() << " facts\n";
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    const Fact& fact = db.fact(f);
+    os << db.node_name(fact.source) << " " << fact.label << " "
+       << db.node_name(fact.target);
+    if (db.multiplicity(f) != 1 || db.IsExogenous(f)) {
+      os << " " << db.multiplicity(f);
+    }
+    if (db.IsExogenous(f)) os << " exo";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<GraphDb> ParseGraphDb(const std::string& text) {
+  GraphDb db;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  auto error = [&line_number](const std::string& message) {
+    return Status::InvalidArgument("graph db parse error at line " +
+                                   std::to_string(line_number) + ": " +
+                                   message);
+  };
+  while (std::getline(stream, line)) {
+    ++line_number;
+    // Strip comments.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    std::string source, label, target;
+    if (!(fields >> source)) continue;  // blank line
+    if (!(fields >> label >> target)) {
+      return error("expected '<source> <label> <target>'");
+    }
+    if (label.size() != 1) {
+      return error("label must be a single character, got '" + label +
+                   "'");
+    }
+    Capacity multiplicity = 1;
+    bool exogenous = false;
+    std::string token;
+    if (fields >> token) {
+      if (token == "exo") {
+        exogenous = true;
+      } else {
+        try {
+          multiplicity = std::stoll(token);
+        } catch (...) {
+          return error("bad multiplicity '" + token + "'");
+        }
+        if (multiplicity < 1) return error("multiplicity must be >= 1");
+        if (fields >> token) {
+          if (token != "exo") return error("unexpected token '" + token +
+                                           "'");
+          exogenous = true;
+        }
+      }
+    }
+    if (fields >> token) return error("unexpected token '" + token + "'");
+    FactId id = db.AddFact(db.GetOrAddNode(source), label[0],
+                           db.GetOrAddNode(target), multiplicity);
+    if (exogenous) db.SetExogenous(id);
+  }
+  return db;
+}
+
+}  // namespace rpqres

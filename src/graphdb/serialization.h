@@ -1,0 +1,28 @@
+// rpqres — graphdb/serialization: a line-oriented text format for graph
+// databases, for saving instances from examples/benches and loading them
+// back (or editing them by hand).
+//
+// Format (one fact per line, '#' comments, blank lines ignored):
+//   <source> <label> <target> [multiplicity] [exo]
+// Node names are arbitrary whitespace-free tokens; labels are single
+// characters; the optional trailing "exo" marks the fact exogenous.
+
+#ifndef RPQRES_GRAPHDB_SERIALIZATION_H_
+#define RPQRES_GRAPHDB_SERIALIZATION_H_
+
+#include <string>
+
+#include "graphdb/graph_db.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+/// Renders `db` in the text format (round-trips through ParseGraphDb).
+std::string SerializeGraphDb(const GraphDb& db);
+
+/// Parses the text format; InvalidArgument with a line number on errors.
+Result<GraphDb> ParseGraphDb(const std::string& text);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_GRAPHDB_SERIALIZATION_H_

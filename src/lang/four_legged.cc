@@ -1,0 +1,129 @@
+#include "lang/four_legged.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace rpqres {
+
+bool SomeInfixInLanguage(const Language& lang, const std::string& word) {
+  for (size_t start = 0; start <= word.size(); ++start) {
+    for (size_t len = 0; start + len <= word.size(); ++len) {
+      if (lang.Contains(word.substr(start, len))) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<FourLeggedWitness> FindFourLeggedWitness(const Language& lang,
+                                                       int max_word_length) {
+  // Candidate words: all of L if finite, else all words up to the bound.
+  std::vector<std::string> words;
+  if (lang.IsFinite()) {
+    Result<std::vector<std::string>> r = lang.Words();
+    if (!r.ok()) return std::nullopt;  // astronomically many words
+    words = std::move(r).ValueOrDie();
+  } else {
+    Result<std::vector<std::string>> r = lang.WordsUpTo(max_word_length);
+    if (!r.ok()) return std::nullopt;
+    words = std::move(r).ValueOrDie();
+  }
+
+  std::optional<FourLeggedWitness> unstable;
+  for (const std::string& w1 : words) {
+    for (size_t i = 0; i < w1.size(); ++i) {
+      // Legs α, β non-empty: 1 <= i <= |w1|-2.
+      if (i == 0 || i + 1 >= w1.size()) continue;
+      char x = w1[i];
+      for (const std::string& w2 : words) {
+        for (size_t j = 0; j < w2.size(); ++j) {
+          if (w2[j] != x || j == 0 || j + 1 >= w2.size()) continue;
+          FourLeggedWitness witness;
+          witness.body = x;
+          witness.alpha = w1.substr(0, i);
+          witness.beta = w1.substr(i + 1);
+          witness.gamma = w2.substr(0, j);
+          witness.delta = w2.substr(j + 1);
+          std::string cross = witness.CrossWord();
+          if (lang.Contains(cross)) continue;
+          if (!SomeInfixInLanguage(lang, cross)) {
+            witness.stable = true;
+            return witness;  // prefer stable witnesses
+          }
+          if (!unstable) unstable = witness;
+        }
+      }
+    }
+  }
+  return unstable;
+}
+
+FourLeggedWitness MakeStableLegs(const Language& lang,
+                                 const FourLeggedWitness& witness) {
+  // Proof of Lemma 5.5, verbatim. Invariant: `current` is a valid witness
+  // with body x; each iteration either certifies stability or strictly
+  // shrinks |αxδ|, so the loop terminates.
+  FourLeggedWitness current = witness;
+  const char x = witness.body;
+  for (;;) {
+    std::string eta_prime = current.CrossWord();  // α'xδ'
+    RPQRES_CHECK(!lang.Contains(eta_prime));
+    // Find a strict infix η of η' that is in L, if any.
+    bool found = false;
+    size_t found_start = 0, found_len = 0;
+    for (size_t start = 0; start <= eta_prime.size() && !found; ++start) {
+      for (size_t len = 0; start + len <= eta_prime.size(); ++len) {
+        if (len == eta_prime.size() && start == 0) continue;  // not strict
+        if (lang.Contains(eta_prime.substr(start, len))) {
+          found = true;
+          found_start = start;
+          found_len = len;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      current.stable = true;
+      return current;
+    }
+    // η must straddle the body position |α'| (else it would be a strict
+    // infix of a word of the infix-free language L). Write α' = α2 α1,
+    // δ' = δ1 δ2 with η = α1 x δ1.
+    size_t body_pos = current.alpha.size();
+    RPQRES_CHECK_MSG(found_start <= body_pos &&
+                         found_start + found_len > body_pos,
+                     "infix does not straddle the body; L not infix-free?");
+    std::string alpha1 = current.alpha.substr(found_start);
+    std::string delta1 =
+        eta_prime.substr(body_pos + 1,
+                         found_start + found_len - body_pos - 1);
+    bool alpha2_nonempty = found_start > 0;
+    bool delta2_nonempty =
+        found_start + found_len < eta_prime.size();
+    RPQRES_CHECK(alpha2_nonempty || delta2_nonempty);
+    RPQRES_CHECK(!alpha1.empty() && !delta1.empty());
+
+    FourLeggedWitness next;
+    next.body = x;
+    if (delta2_nonempty) {
+      // Case δ2 ≠ ε: α := γ', β := δ', γ := α1, δ := δ1.
+      next.alpha = current.gamma;
+      next.beta = current.delta;
+      next.gamma = alpha1;
+      next.delta = delta1;
+    } else {
+      // Case α2 ≠ ε: α := α1, β := δ1, γ := α', δ := β'.
+      next.alpha = alpha1;
+      next.beta = delta1;
+      next.gamma = current.alpha;
+      next.delta = current.beta;
+    }
+    RPQRES_CHECK(lang.Contains(next.FirstWord()));
+    RPQRES_CHECK(lang.Contains(next.SecondWord()));
+    RPQRES_CHECK(!lang.Contains(next.CrossWord()));
+    current = next;
+  }
+}
+
+}  // namespace rpqres

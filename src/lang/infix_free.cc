@@ -1,0 +1,43 @@
+#include "lang/infix_free.h"
+
+#include "automata/ops.h"
+#include "util/strings.h"
+
+namespace rpqres {
+
+Language InfixFreeSublanguage(const Language& lang) {
+  const std::vector<char>& sigma = lang.used_letters();
+  const Enfa& e = lang.enfa();
+  // Σ⁺ L Σ*  ∪  Σ* L Σ⁺ — words having a strict infix in L.
+  Enfa left = EnfaConcat(EnfaConcat(EnfaSigmaPlus(sigma), e),
+                         EnfaSigmaStar(sigma));
+  Enfa right = EnfaConcat(EnfaConcat(EnfaSigmaStar(sigma), e),
+                          EnfaSigmaPlus(sigma));
+  Dfa with_strict_infix = MinimalDfa(EnfaUnion(left, right));
+  Dfa result = Minimize(DifferenceDfa(lang.min_dfa(), with_strict_infix));
+  Language out = Language::FromDfa(result);
+  out.set_description("IF(" + lang.description() + ")");
+  return out;
+}
+
+bool IsInfixFree(const Language& lang) {
+  return lang.EquivalentTo(InfixFreeSublanguage(lang));
+}
+
+std::vector<std::string> InfixFreeWords(
+    const std::vector<std::string>& words) {
+  std::vector<std::string> out;
+  for (const std::string& w : words) {
+    bool has_strict_infix_in_language = false;
+    for (const std::string& other : words) {
+      if (ContainsStrictInfix(w, other)) {
+        has_strict_infix_in_language = true;
+        break;
+      }
+    }
+    if (!has_strict_infix_in_language) out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace rpqres

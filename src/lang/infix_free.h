@@ -1,0 +1,29 @@
+// rpqres — lang/infix_free: the infix-free sublanguage IF(L) (Section 2).
+//
+// IF(L) = { α ∈ L | no strict infix of α is in L }. The paper's key
+// observation is that Q_L = Q_IF(L), so all classification happens on IF(L).
+
+#ifndef RPQRES_LANG_INFIX_FREE_H_
+#define RPQRES_LANG_INFIX_FREE_H_
+
+#include "lang/language.h"
+
+namespace rpqres {
+
+/// Computes IF(L) via the identity IF(L) = L \ (Σ⁺LΣ* ∪ Σ*LΣ⁺)
+/// (Appendix B of the paper). May incur the exponential blowup of
+/// [Barceló et al., Prp 6]; fine at query scale.
+Language InfixFreeSublanguage(const Language& lang);
+
+/// True iff L = IF(L) (L is an infix code, Section 2).
+bool IsInfixFree(const Language& lang);
+
+/// Direct word-level computation for explicit finite languages: keeps the
+/// words with no strict infix among the others (used to cross-check the
+/// automaton construction).
+std::vector<std::string> InfixFreeWords(
+    const std::vector<std::string>& words);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_LANG_INFIX_FREE_H_

@@ -1,0 +1,41 @@
+// rpqres — lang/one_dangling: one-dangling languages (Def 7.8).
+//
+// A one-dangling language is L₀ ∪ {xy} where L₀ is local over an alphabet
+// Σ and x ≠ y with at least one of x, y outside Σ. Prp 7.9 gives a PTIME
+// resilience algorithm by rewriting to a local-language instance.
+
+#ifndef RPQRES_LANG_ONE_DANGLING_H_
+#define RPQRES_LANG_ONE_DANGLING_H_
+
+#include <optional>
+#include <string>
+
+#include "lang/language.h"
+
+namespace rpqres {
+
+/// A decomposition L = base ∪ {xy} witnessing that L is one-dangling.
+struct OneDanglingDecomposition {
+  char x = '\0';
+  char y = '\0';
+  Language base;        ///< L₀ = L \ {xy}, a local language
+  bool x_in_base = false;  ///< whether x occurs in words of L₀
+  bool y_in_base = false;  ///< whether y occurs in words of L₀ (not both)
+};
+
+/// Searches for a one-dangling decomposition of L (Def 7.8): a two-letter
+/// word xy ∈ L, x ≠ y, such that L \ {xy} is local and x or y does not
+/// occur in L \ {xy}. Returns nullopt if none exists.
+///
+/// Note this analyzes L as given; Prp 6.3 lets callers also try Mirror(L)
+/// (the resilience solver does so internally for the y ∈ Σ case).
+std::optional<OneDanglingDecomposition> FindOneDanglingDecomposition(
+    const Language& lang);
+
+/// True iff L or its mirror admits a one-dangling decomposition; both
+/// directions are PTIME for resilience via Prp 7.9 + Prp 6.3.
+bool IsOneDanglingOrMirror(const Language& lang);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_LANG_ONE_DANGLING_H_

@@ -1,0 +1,82 @@
+#include "lang/repeated_letter.h"
+
+#include "automata/ops.h"
+#include "automata/thompson.h"
+#include "util/check.h"
+
+namespace rpqres {
+namespace {
+
+// εNFA for Σ* a Σ* a Σ* over the used alphabet of `lang`.
+Enfa TwoOccurrences(char a, const std::vector<char>& sigma) {
+  Enfa sigma_star = EnfaSigmaStar(sigma);
+  Enfa letter = EnfaFromWord(std::string(1, a));
+  return EnfaConcat(
+      EnfaConcat(EnfaConcat(EnfaConcat(sigma_star, letter), sigma_star),
+                 letter),
+      sigma_star);
+}
+
+}  // namespace
+
+bool HasRepeatedLetterWord(const Language& lang) {
+  for (char a : lang.used_letters()) {
+    Dfa pattern = MinimalDfa(TwoOccurrences(a, lang.used_letters()));
+    if (!DfaIsEmptyLanguage(IntersectDfa(lang.min_dfa(), pattern))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> ShortestRepeatedLetterWord(const Language& lang) {
+  std::optional<std::string> best;
+  for (char a : lang.used_letters()) {
+    Dfa pattern = MinimalDfa(TwoOccurrences(a, lang.used_letters()));
+    std::optional<std::string> word =
+        ShortestWord(IntersectDfa(lang.min_dfa(), pattern));
+    if (word && (!best || word->size() < best->size() ||
+                 (word->size() == best->size() && *word < *best))) {
+      best = word;
+    }
+  }
+  return best;
+}
+
+std::optional<RepeatedLetterWord> BestRepeatInWord(const std::string& word) {
+  std::optional<RepeatedLetterWord> best;
+  for (size_t i = 0; i < word.size(); ++i) {
+    for (size_t j = i + 1; j < word.size(); ++j) {
+      if (word[i] != word[j]) continue;
+      if (!best || j - i - 1 > best->gap()) {
+        best = RepeatedLetterWord{word, word[i], i, j};
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<RepeatedLetterWord> FindMaximalGapWord(
+    const std::vector<std::string>& words) {
+  std::optional<RepeatedLetterWord> best;
+  for (const std::string& word : words) {
+    std::optional<RepeatedLetterWord> candidate = BestRepeatInWord(word);
+    if (!candidate) continue;
+    if (!best || candidate->gap() > best->gap() ||
+        (candidate->gap() == best->gap() &&
+         candidate->word.size() > best->word.size())) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::optional<RepeatedLetterWord> FindMaximalGapWord(const Language& lang) {
+  Result<std::vector<std::string>> words = lang.Words();
+  RPQRES_CHECK_MSG(words.ok(),
+                   "FindMaximalGapWord requires a finite language: " +
+                       words.status().ToString());
+  return FindMaximalGapWord(*words);
+}
+
+}  // namespace rpqres

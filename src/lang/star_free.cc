@@ -1,0 +1,100 @@
+#include "lang/star_free.h"
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "automata/ops.h"
+
+namespace rpqres {
+namespace {
+
+using Element = std::vector<int>;  // total function states -> states
+
+Element Compose(const Element& f, const Element& g) {
+  // (f ∘ g)(q) = g(f(q)): first apply f, then g — matches reading a word
+  // labeled f then a word labeled g.
+  Element out(f.size());
+  for (size_t q = 0; q < f.size(); ++q) out[q] = g[f[q]];
+  return out;
+}
+
+// Generates the transition monoid of a complete DFA; empty result (error)
+// if it exceeds the cap.
+Result<std::vector<Element>> GenerateMonoid(const Dfa& dfa,
+                                            size_t max_monoid_size) {
+  int n = dfa.num_states();
+  Element identity(n);
+  for (int q = 0; q < n; ++q) identity[q] = q;
+
+  std::vector<Element> generators;
+  for (size_t i = 0; i < dfa.alphabet().size(); ++i) {
+    Element gen(n);
+    for (int q = 0; q < n; ++q) gen[q] = dfa.NextByIndex(q, static_cast<int>(i));
+    generators.push_back(std::move(gen));
+  }
+
+  std::map<Element, int> seen;
+  std::vector<Element> elements;
+  std::queue<Element> queue;
+  auto add = [&](Element e) {
+    if (seen.insert({e, static_cast<int>(elements.size())}).second) {
+      elements.push_back(e);
+      queue.push(std::move(e));
+    }
+  };
+  add(identity);
+  while (!queue.empty()) {
+    Element e = queue.front();
+    queue.pop();
+    for (const Element& gen : generators) {
+      if (elements.size() > max_monoid_size) {
+        return Status::OutOfRange(
+            "transition monoid exceeds cap of " +
+            std::to_string(max_monoid_size) + " elements");
+      }
+      add(Compose(e, gen));
+    }
+  }
+  return elements;
+}
+
+// True iff f^k = f^{k+1} for some k (the aperiodicity condition per
+// element). The powers of f eventually cycle; aperiodic iff the cycle has
+// length 1.
+bool ElementIsAperiodic(const Element& f) {
+  std::map<Element, int> position;
+  Element current = f;
+  int step = 1;
+  for (;;) {
+    auto [it, inserted] = position.insert({current, step});
+    if (!inserted) {
+      int cycle_length = step - it->second;
+      return cycle_length == 1;
+    }
+    current = Compose(current, f);
+    ++step;
+  }
+}
+
+}  // namespace
+
+Result<bool> IsStarFree(const Language& lang, size_t max_monoid_size) {
+  const Dfa& dfa = lang.min_dfa();  // minimal complete DFA
+  RPQRES_ASSIGN_OR_RETURN(std::vector<Element> monoid,
+                          GenerateMonoid(dfa, max_monoid_size));
+  for (const Element& e : monoid) {
+    if (!ElementIsAperiodic(e)) return false;
+  }
+  return true;
+}
+
+Result<size_t> TransitionMonoidSize(const Language& lang,
+                                    size_t max_monoid_size) {
+  RPQRES_ASSIGN_OR_RETURN(
+      std::vector<Element> monoid,
+      GenerateMonoid(lang.min_dfa(), max_monoid_size));
+  return monoid.size();
+}
+
+}  // namespace rpqres

@@ -1,0 +1,185 @@
+#include "regex/ast.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rpqres {
+
+Regex Regex::EmptySet() {
+  Regex r;
+  r.kind = RegexKind::kEmptySet;
+  return r;
+}
+
+Regex Regex::Epsilon() {
+  Regex r;
+  r.kind = RegexKind::kEpsilon;
+  return r;
+}
+
+Regex Regex::Literal(char letter) {
+  Regex r;
+  r.kind = RegexKind::kLiteral;
+  r.literal = letter;
+  return r;
+}
+
+Regex Regex::Concat(std::vector<Regex> parts) {
+  std::vector<Regex> flat;
+  for (Regex& part : parts) {
+    if (part.kind == RegexKind::kEpsilon) continue;
+    if (part.kind == RegexKind::kEmptySet) return EmptySet();
+    if (part.kind == RegexKind::kConcat) {
+      for (Regex& child : part.children) flat.push_back(std::move(child));
+    } else {
+      flat.push_back(std::move(part));
+    }
+  }
+  if (flat.empty()) return Epsilon();
+  if (flat.size() == 1) return std::move(flat[0]);
+  Regex r;
+  r.kind = RegexKind::kConcat;
+  r.children = std::move(flat);
+  return r;
+}
+
+Regex Regex::Union(std::vector<Regex> parts) {
+  std::vector<Regex> flat;
+  for (Regex& part : parts) {
+    if (part.kind == RegexKind::kEmptySet) continue;
+    if (part.kind == RegexKind::kUnion) {
+      for (Regex& child : part.children) flat.push_back(std::move(child));
+    } else {
+      flat.push_back(std::move(part));
+    }
+  }
+  if (flat.empty()) return EmptySet();
+  if (flat.size() == 1) return std::move(flat[0]);
+  Regex r;
+  r.kind = RegexKind::kUnion;
+  r.children = std::move(flat);
+  return r;
+}
+
+Regex Regex::Star(Regex inner) {
+  if (inner.kind == RegexKind::kEpsilon || inner.kind == RegexKind::kEmptySet)
+    return Epsilon();
+  Regex r;
+  r.kind = RegexKind::kStar;
+  r.children.push_back(std::move(inner));
+  return r;
+}
+
+Regex Regex::Plus(Regex inner) {
+  if (inner.kind == RegexKind::kEpsilon) return Epsilon();
+  if (inner.kind == RegexKind::kEmptySet) return EmptySet();
+  Regex r;
+  r.kind = RegexKind::kPlus;
+  r.children.push_back(std::move(inner));
+  return r;
+}
+
+Regex Regex::Optional(Regex inner) {
+  if (inner.kind == RegexKind::kEpsilon) return Epsilon();
+  if (inner.kind == RegexKind::kEmptySet) return Epsilon();
+  Regex r;
+  r.kind = RegexKind::kOptional;
+  r.children.push_back(std::move(inner));
+  return r;
+}
+
+Regex Regex::FromWord(const std::string& word) {
+  std::vector<Regex> letters;
+  letters.reserve(word.size());
+  for (char c : word) letters.push_back(Literal(c));
+  return Concat(std::move(letters));
+}
+
+Regex Regex::FromWords(const std::vector<std::string>& words) {
+  std::vector<Regex> parts;
+  parts.reserve(words.size());
+  for (const std::string& w : words) parts.push_back(FromWord(w));
+  return Union(std::move(parts));
+}
+
+namespace {
+
+// Precedence levels for printing: union < concat < postfix.
+int Precedence(RegexKind kind) {
+  switch (kind) {
+    case RegexKind::kUnion:
+      return 0;
+    case RegexKind::kConcat:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+void Render(const Regex& r, int parent_precedence, std::string* out) {
+  int prec = Precedence(r.kind);
+  bool parens = prec < parent_precedence;
+  if (parens) out->push_back('(');
+  switch (r.kind) {
+    case RegexKind::kEmptySet:
+      *out += "∅";
+      break;
+    case RegexKind::kEpsilon:
+      *out += "ε";
+      break;
+    case RegexKind::kLiteral:
+      out->push_back(r.literal);
+      break;
+    case RegexKind::kConcat:
+      for (const Regex& child : r.children) Render(child, 2, out);
+      break;
+    case RegexKind::kUnion:
+      for (size_t i = 0; i < r.children.size(); ++i) {
+        if (i > 0) out->push_back('|');
+        Render(r.children[i], 1, out);
+      }
+      break;
+    case RegexKind::kStar:
+      Render(r.children[0], 2, out);
+      out->push_back('*');
+      break;
+    case RegexKind::kPlus:
+      Render(r.children[0], 2, out);
+      out->push_back('+');
+      break;
+    case RegexKind::kOptional:
+      Render(r.children[0], 2, out);
+      out->push_back('?');
+      break;
+  }
+  if (parens) out->push_back(')');
+}
+
+void CollectLetters(const Regex& r, std::vector<char>* out) {
+  if (r.kind == RegexKind::kLiteral) out->push_back(r.literal);
+  for (const Regex& child : r.children) CollectLetters(child, out);
+}
+
+}  // namespace
+
+std::string Regex::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+std::vector<char> Regex::Alphabet() const {
+  std::vector<char> letters;
+  CollectLetters(*this, &letters);
+  std::sort(letters.begin(), letters.end());
+  letters.erase(std::unique(letters.begin(), letters.end()), letters.end());
+  return letters;
+}
+
+bool Regex::operator==(const Regex& other) const {
+  return kind == other.kind && literal == other.literal &&
+         children == other.children;
+}
+
+}  // namespace rpqres

@@ -1,0 +1,60 @@
+// rpqres — regex/ast: regular-expression abstract syntax tree.
+//
+// Alphabet letters are single printable characters, exactly as in the paper
+// ("ab|ad|cd", "ax*b", "b(aa)*d"). The AST is a plain value type; nodes own
+// their children by value.
+
+#ifndef RPQRES_REGEX_AST_H_
+#define RPQRES_REGEX_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace rpqres {
+
+/// Node kinds of the regex AST.
+enum class RegexKind {
+  kEmptySet,  ///< ∅ — matches nothing
+  kEpsilon,   ///< ε — matches the empty word
+  kLiteral,   ///< a single letter
+  kConcat,    ///< children in sequence
+  kUnion,     ///< any child (the paper's `|`)
+  kStar,      ///< zero or more repetitions of the single child
+  kPlus,      ///< one or more repetitions of the single child
+  kOptional,  ///< zero or one occurrence of the single child
+};
+
+/// A regular expression over single-character letters.
+struct Regex {
+  RegexKind kind = RegexKind::kEmptySet;
+  char literal = '\0';           ///< set iff kind == kLiteral
+  std::vector<Regex> children;   ///< concat/union: >= 1; star/plus/opt: == 1
+
+  // -- Factory helpers ------------------------------------------------------
+  static Regex EmptySet();
+  static Regex Epsilon();
+  static Regex Literal(char letter);
+  /// Concatenation; flattens nested concats and simplifies trivial cases.
+  static Regex Concat(std::vector<Regex> parts);
+  /// Union; flattens nested unions.
+  static Regex Union(std::vector<Regex> parts);
+  static Regex Star(Regex inner);
+  static Regex Plus(Regex inner);
+  static Regex Optional(Regex inner);
+  /// Builds the concatenation of the letters of `word` (ε for empty word).
+  static Regex FromWord(const std::string& word);
+  /// Builds the union of the given words (∅ for an empty list).
+  static Regex FromWords(const std::vector<std::string>& words);
+
+  /// Renders the regex using the paper's syntax (`|`, `*`, parentheses).
+  std::string ToString() const;
+
+  /// All letters occurring in the expression, sorted and deduplicated.
+  std::vector<char> Alphabet() const;
+
+  bool operator==(const Regex& other) const;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_REGEX_AST_H_

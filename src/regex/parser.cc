@@ -1,0 +1,127 @@
+#include "regex/parser.h"
+
+#include <cctype>
+
+#include "util/check.h"
+
+namespace rpqres {
+namespace {
+
+/// Recursive-descent parser over a character buffer.
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : input_(input) {}
+
+  Result<Regex> Parse() {
+    RPQRES_ASSIGN_OR_RETURN(Regex r, ParseUnion());
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Error("unexpected character '" + std::string(1, input_[pos_]) +
+                   "'");
+    }
+    return r;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("regex parse error at position " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return false;
+    char c = input_[pos_];
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '(';
+  }
+
+  Result<Regex> ParseUnion() {
+    std::vector<Regex> parts;
+    RPQRES_ASSIGN_OR_RETURN(Regex first, ParseConcat());
+    parts.push_back(std::move(first));
+    SkipSpace();
+    while (pos_ < input_.size() && input_[pos_] == '|') {
+      ++pos_;
+      RPQRES_ASSIGN_OR_RETURN(Regex next, ParseConcat());
+      parts.push_back(std::move(next));
+      SkipSpace();
+    }
+    return Regex::Union(std::move(parts));
+  }
+
+  Result<Regex> ParseConcat() {
+    if (!AtAtomStart()) return Error("expected a letter or '('");
+    std::vector<Regex> parts;
+    while (AtAtomStart()) {
+      RPQRES_ASSIGN_OR_RETURN(Regex next, ParsePostfix());
+      parts.push_back(std::move(next));
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  Result<Regex> ParsePostfix() {
+    RPQRES_ASSIGN_OR_RETURN(Regex r, ParseAtom());
+    SkipSpace();
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '*') {
+        r = Regex::Star(std::move(r));
+      } else if (c == '+') {
+        r = Regex::Plus(std::move(r));
+      } else if (c == '?') {
+        r = Regex::Optional(std::move(r));
+      } else {
+        break;
+      }
+      ++pos_;
+      SkipSpace();
+    }
+    return r;
+  }
+
+  Result<Regex> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Error("unexpected end of input");
+    char c = input_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      ++pos_;
+      return Regex::Literal(c);
+    }
+    if (c == '(') {
+      ++pos_;
+      RPQRES_ASSIGN_OR_RETURN(Regex inner, ParseUnion());
+      SkipSpace();
+      if (pos_ >= input_.size() || input_[pos_] != ')') {
+        return Error("expected ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    return Error("unexpected character '" + std::string(1, c) + "'");
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Regex> ParseRegex(const std::string& input) {
+  return Parser(input).Parse();
+}
+
+Regex MustParseRegex(const std::string& input) {
+  Result<Regex> result = ParseRegex(input);
+  RPQRES_CHECK_MSG(result.ok(), "MustParseRegex(\"" + input +
+                                    "\"): " + result.status().ToString());
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace rpqres

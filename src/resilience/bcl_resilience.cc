@@ -1,0 +1,171 @@
+#include "resilience/bcl_resilience.h"
+
+#include <algorithm>
+#include <map>
+
+#include "flow/dinic.h"
+#include "flow/flow_network.h"
+#include "lang/chain.h"
+#include "lang/infix_free.h"
+#include "util/check.h"
+
+namespace rpqres {
+
+Result<ResilienceResult> SolveBclResilience(const Language& lang,
+                                            const GraphDb& db,
+                                            Semantics semantics) {
+  ResilienceResult result;
+  result.algorithm = "bipartite chain flow (Prp 7.6)";
+
+  // Work on IF(L) (same query; BCL-ness is preserved by IF, Lem 7.5).
+  Language ifl = InfixFreeSublanguage(lang);
+  if (ifl.ContainsEpsilon()) {
+    result.infinite = true;
+    return result;
+  }
+  ChainAnalysis chain = AnalyzeChain(ifl);
+  if (!chain.is_chain) {
+    return Status::FailedPrecondition(
+        "SolveBclResilience: IF(" + lang.description() +
+        ") is not a chain language: " + chain.violation);
+  }
+
+  // Preprocessing (proof of Prp 7.6): single-letter words force the removal
+  // of every fact with that label. In the infix-free language, such a
+  // letter occurs in no other word, so those facts are inert afterwards.
+  std::vector<bool> forced_label(256, false);
+  std::vector<std::string> long_words;
+  for (const std::string& w : chain.words) {
+    RPQRES_CHECK(!w.empty());  // ε was handled above
+    if (w.size() == 1) {
+      forced_label[static_cast<unsigned char>(w[0])] = true;
+    } else {
+      long_words.push_back(w);
+    }
+  }
+  Capacity forced_cost = 0;
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    if (forced_label[static_cast<unsigned char>(db.fact(f).label)]) {
+      if (db.IsExogenous(f)) {
+        // A single-letter-word match on an undeletable fact: the query
+        // cannot be falsified.
+        result.infinite = true;
+        result.contingency.clear();
+        return result;
+      }
+      forced_cost += db.Cost(f, semantics);
+      result.contingency.push_back(f);
+    }
+  }
+
+  // Bipartition of the endpoint graph (Def 7.2): 0 = source partition,
+  // 1 = target partition.
+  EndpointGraph endpoint_graph = BuildEndpointGraph(long_words);
+  std::optional<std::map<char, int>> coloring =
+      BipartitionEndpointGraph(endpoint_graph);
+  if (!coloring) {
+    return Status::FailedPrecondition(
+        "SolveBclResilience: the endpoint graph of IF(" + lang.description() +
+        ") is not bipartite");
+  }
+
+  if (long_words.empty()) {
+    result.value = forced_cost;
+    std::sort(result.contingency.begin(), result.contingency.end());
+    return result;
+  }
+
+  // Letters relevant to matches of the long words.
+  std::vector<bool> relevant_label(256, false);
+  for (const std::string& w : long_words) {
+    for (char c : w) relevant_label[static_cast<unsigned char>(c)] = true;
+  }
+  // Endpoint letters and their partition side.
+  std::vector<int> endpoint_side(256, -1);  // -1: not an endpoint letter
+  for (const std::string& w : long_words) {
+    endpoint_side[static_cast<unsigned char>(w.front())] =
+        coloring->at(w.front());
+    endpoint_side[static_cast<unsigned char>(w.back())] =
+        coloring->at(w.back());
+  }
+
+  // Network: one start/end vertex pair and one finite fact edge per
+  // relevant fact.
+  FlowNetwork network;
+  int source = network.AddVertex();
+  int target = network.AddVertex();
+  network.SetSource(source);
+  network.SetTarget(target);
+  std::vector<int> start_of(db.num_facts(), -1), end_of(db.num_facts(), -1);
+  std::map<int, FactId> fact_of_edge;
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    char label = db.fact(f).label;
+    if (!relevant_label[static_cast<unsigned char>(label)]) continue;
+    if (forced_label[static_cast<unsigned char>(label)]) continue;
+    start_of[f] = network.AddVertex();
+    end_of[f] = network.AddVertex();
+    int edge =
+        network.AddEdge(start_of[f], end_of[f], db.Cost(f, semantics));
+    fact_of_edge[edge] = f;
+  }
+
+  // Facts grouped by label for the pair wiring.
+  std::map<char, std::vector<FactId>> facts_by_label;
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    if (start_of[f] >= 0) facts_by_label[db.fact(f).label].push_back(f);
+  }
+
+  // Word wiring. A word is *forward* if its first letter lies in the source
+  // partition (then its last letter is in the target partition since the
+  // coloring is proper), *reversed* otherwise.
+  for (const std::string& w : long_words) {
+    bool forward = coloring->at(w.front()) == 0;
+    for (size_t i = 0; i + 1 < w.size(); ++i) {
+      char a = w[i], b = w[i + 1];
+      for (FactId f1 : facts_by_label[a]) {
+        for (FactId f2 : facts_by_label[b]) {
+          if (db.fact(f1).target != db.fact(f2).source) continue;
+          if (forward) {
+            network.AddEdge(end_of[f1], start_of[f2], kInfiniteCapacity);
+          } else {
+            network.AddEdge(end_of[f2], start_of[f1], kInfiniteCapacity);
+          }
+        }
+      }
+    }
+  }
+  // Source/target hookup by endpoint letter partition.
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    if (start_of[f] < 0) continue;
+    int side = endpoint_side[static_cast<unsigned char>(db.fact(f).label)];
+    if (side == 0) {
+      network.AddEdge(source, start_of[f], kInfiniteCapacity);
+    } else if (side == 1) {
+      network.AddEdge(end_of[f], target, kInfiniteCapacity);
+    }
+  }
+
+  MinCutResult cut = ComputeMinCut(network);
+  if (cut.infinite) {
+    // Some match consists of exogenous facts only.
+    result.infinite = true;
+    result.contingency.clear();
+    return result;
+  }
+  result.value = forced_cost + cut.value;
+  for (int edge : cut.cut_edges) {
+    auto it = fact_of_edge.find(edge);
+    RPQRES_CHECK_MSG(it != fact_of_edge.end(),
+                     "cut contains a non-fact edge");
+    result.contingency.push_back(it->second);
+  }
+  std::sort(result.contingency.begin(), result.contingency.end());
+  result.contingency.erase(
+      std::unique(result.contingency.begin(), result.contingency.end()),
+      result.contingency.end());
+  result.network_vertices = network.num_vertices();
+  result.network_edges = static_cast<int64_t>(network.edges().size());
+  return result;
+}
+
+}  // namespace rpqres

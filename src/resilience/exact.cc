@@ -1,0 +1,304 @@
+#include "resilience/exact.h"
+
+#include <algorithm>
+
+#include "gadgets/condensation.h"
+#include "gadgets/hypergraph.h"
+#include "graphdb/rpq_eval.h"
+#include "lang/infix_free.h"
+#include "util/check.h"
+
+namespace rpqres {
+namespace {
+
+/// Branch & bound state shared across the recursion.
+class BranchAndBound {
+ public:
+  BranchAndBound(const Language& lang, const GraphDb& db, Semantics semantics,
+                 const ExactOptions& options)
+      : lang_(lang), db_(db), semantics_(semantics), options_(options) {}
+
+  Status Run() {
+    removed_.assign(db_.num_facts(), false);
+    // Initial incumbent: delete every endogenous fact (a valid
+    // contingency set — the caller ruled out fully-exogenous matches).
+    best_value_ = db_.TotalCost(semantics_);
+    best_set_.clear();
+    for (FactId f = 0; f < db_.num_facts(); ++f) {
+      if (!db_.IsExogenous(f)) best_set_.push_back(f);
+    }
+
+    if (options_.use_disjoint_match_bound) {
+      // Greedy fact-disjoint matches give a lower bound; when an incumbent
+      // reaches it, the search can stop with a proof of optimality.
+      root_lower_bound_ = DisjointMatchLowerBound();
+      if (best_value_ <= root_lower_bound_) return Status::OK();
+    }
+    return Recurse(0, root_lower_bound_);
+  }
+
+  Capacity best_value() const { return best_value_; }
+  const std::vector<FactId>& best_set() const { return best_set_; }
+  uint64_t nodes() const { return nodes_; }
+
+ private:
+  // Greedy packing of fact-disjoint matches: their min-fact-costs sum to a
+  // valid lower bound, since a contingency set must hit each of them with
+  // distinct facts.
+  Capacity DisjointMatchLowerBound() {
+    std::vector<bool> blocked(db_.num_facts(), false);
+    Capacity bound = 0;
+    for (;;) {
+      std::optional<WitnessWalk> walk =
+          ShortestWitnessWalk(db_, lang_.enfa(), &blocked);
+      if (!walk) break;
+      RPQRES_CHECK(!walk->empty());  // ε ∉ L was checked by the caller
+      Capacity cheapest = kInfiniteCapacity;
+      for (FactId f : WalkMatch(*walk)) {
+        cheapest = std::min(cheapest, db_.Cost(f, semantics_));
+        blocked[f] = true;
+      }
+      bound += cheapest;
+    }
+    return bound;
+  }
+
+  Status Recurse(Capacity cost, Capacity lower_bound_hint) {
+    if (proved_optimal_) return Status::OK();
+    if (++nodes_ > options_.max_search_nodes) {
+      return Status::OutOfRange(
+          "exact resilience: exceeded max_search_nodes = " +
+          std::to_string(options_.max_search_nodes));
+    }
+    if (cost + lower_bound_hint >= best_value_) return Status::OK();
+    std::optional<WitnessWalk> walk =
+        ShortestWitnessWalk(db_, lang_.enfa(), &removed_);
+    if (!walk) {
+      // Current removal set is a contingency set cheaper than the best.
+      best_value_ = cost;
+      best_set_.clear();
+      for (FactId f = 0; f < db_.num_facts(); ++f) {
+        if (removed_[f]) best_set_.push_back(f);
+      }
+      if (options_.use_disjoint_match_bound &&
+          best_value_ <= root_lower_bound_) {
+        proved_optimal_ = true;  // incumbent meets the lower bound
+      }
+      return Status::OK();
+    }
+    RPQRES_CHECK(!walk->empty());
+    std::vector<FactId> match = WalkMatch(*walk);
+    // Exogenous facts cannot be deleted; the caller established that no
+    // match is fully exogenous, so at least one branch remains.
+    match.erase(std::remove_if(match.begin(), match.end(),
+                               [this](FactId f) {
+                                 return db_.IsExogenous(f);
+                               }),
+                match.end());
+    // Heuristic: try cheap facts first — they keep the cost budget low and
+    // tend to reach good incumbents early.
+    std::sort(match.begin(), match.end(), [this](FactId a, FactId b) {
+      return db_.Cost(a, semantics_) < db_.Cost(b, semantics_);
+    });
+    for (FactId f : match) {
+      if (proved_optimal_) break;
+      Capacity branch_cost = cost + db_.Cost(f, semantics_);
+      if (branch_cost >= best_value_) continue;
+      removed_[f] = true;
+      RPQRES_RETURN_IF_ERROR(Recurse(branch_cost, 0));
+      removed_[f] = false;
+    }
+    return Status::OK();
+  }
+
+  const Language& lang_;
+  const GraphDb& db_;
+  Semantics semantics_;
+  const ExactOptions& options_;
+
+  std::vector<bool> removed_;
+  Capacity best_value_ = 0;
+  std::vector<FactId> best_set_;
+  Capacity root_lower_bound_ = 0;
+  bool proved_optimal_ = false;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+Result<ResilienceResult> SolveExactResilience(const Language& lang,
+                                              const GraphDb& db,
+                                              Semantics semantics,
+                                              const ExactOptions& options) {
+  ResilienceResult result;
+  result.algorithm = "exact branch & bound";
+  // Work on IF(L): same query, shorter witness matches.
+  Language ifl = InfixFreeSublanguage(lang);
+  if (ifl.ContainsEpsilon()) {
+    result.infinite = true;
+    return result;
+  }
+  if (!EvaluatesToTrue(db, ifl)) {
+    return result;  // already false: resilience 0
+  }
+  // Infinite iff the query survives the deletion of every endogenous fact
+  // (then some match is fully exogenous, and conversely).
+  std::vector<bool> all_endogenous_removed(db.num_facts(), false);
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    all_endogenous_removed[f] = !db.IsExogenous(f);
+  }
+  if (EvaluatesToTrue(db, ifl.enfa(), &all_endogenous_removed)) {
+    result.infinite = true;
+    return result;
+  }
+  BranchAndBound solver(ifl, db, semantics, options);
+  RPQRES_RETURN_IF_ERROR(solver.Run());
+  result.value = solver.best_value();
+  result.contingency = solver.best_set();
+  result.search_nodes = solver.nodes();
+  return result;
+}
+
+Result<ResilienceResult> SolveBruteForceResilience(const Language& lang,
+                                                   const GraphDb& db,
+                                                   Semantics semantics,
+                                                   int max_facts) {
+  ResilienceResult result;
+  result.algorithm = "brute force (all subsets)";
+  if (db.num_facts() > max_facts || max_facts > 24) {
+    return Status::OutOfRange("brute force limited to " +
+                              std::to_string(std::min(max_facts, 24)) +
+                              " facts, database has " +
+                              std::to_string(db.num_facts()));
+  }
+  if (lang.ContainsEpsilon()) {
+    result.infinite = true;
+    return result;
+  }
+  int n = db.num_facts();
+  Capacity best = kInfiniteCapacity;
+  uint32_t best_mask = 0;
+  std::vector<bool> removed(n, false);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Capacity cost = 0;
+    bool touches_exogenous = false;
+    for (int f = 0; f < n; ++f) {
+      removed[f] = (mask >> f) & 1u;
+      if (removed[f]) {
+        if (db.IsExogenous(f)) touches_exogenous = true;
+        cost += db.Cost(f, semantics);
+      }
+    }
+    if (touches_exogenous || cost >= best) continue;
+    if (!EvaluatesToTrue(db, lang.enfa(), &removed)) {
+      best = cost;
+      best_mask = mask;
+    }
+  }
+  if (best == kInfiniteCapacity) {
+    // No endogenous subset falsifies the query (exogenous-only matches).
+    result.infinite = true;
+    return result;
+  }
+  result.value = best;
+  for (int f = 0; f < n; ++f) {
+    if ((best_mask >> f) & 1u) result.contingency.push_back(f);
+  }
+  result.search_nodes = 1ull << n;
+  return result;
+}
+
+Result<ResilienceResult> SolveBruteForceResilienceBetween(
+    const Language& lang, const GraphDb& db, NodeId source, NodeId target,
+    Semantics semantics, int max_facts) {
+  ResilienceResult result;
+  result.algorithm = "brute force, fixed endpoints";
+  if (db.num_facts() > max_facts || max_facts > 24) {
+    return Status::OutOfRange("brute force limited to " +
+                              std::to_string(std::min(max_facts, 24)) +
+                              " facts, database has " +
+                              std::to_string(db.num_facts()));
+  }
+  if (lang.ContainsEpsilon() && source == target) {
+    result.infinite = true;
+    return result;
+  }
+  int n = db.num_facts();
+  Capacity best = kInfiniteCapacity;
+  uint32_t best_mask = 0;
+  std::vector<bool> removed(n, false);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Capacity cost = 0;
+    bool touches_exogenous = false;
+    for (int f = 0; f < n; ++f) {
+      removed[f] = (mask >> f) & 1u;
+      if (removed[f]) {
+        if (db.IsExogenous(f)) touches_exogenous = true;
+        cost += db.Cost(f, semantics);
+      }
+    }
+    if (touches_exogenous || cost >= best) continue;
+    if (!EvaluatesToTrueBetween(db, lang.enfa(), source, target,
+                                &removed)) {
+      best = cost;
+      best_mask = mask;
+    }
+  }
+  if (best == kInfiniteCapacity) {
+    result.infinite = true;
+    return result;
+  }
+  result.value = best;
+  for (int f = 0; f < n; ++f) {
+    if ((best_mask >> f) & 1u) result.contingency.push_back(f);
+  }
+  result.search_nodes = 1ull << n;
+  return result;
+}
+
+Result<ResilienceResult> SolveHittingSetResilience(const Language& lang,
+                                                   const GraphDb& db,
+                                                   Semantics semantics) {
+  ResilienceResult result;
+  result.algorithm = "hypergraph hitting set (Def 4.7)";
+  Language ifl = InfixFreeSublanguage(lang);
+  if (ifl.ContainsEpsilon()) {
+    result.infinite = true;
+    return result;
+  }
+  RPQRES_ASSIGN_OR_RETURN(Hypergraph matches,
+                          HypergraphOfMatches(ifl, db));
+  std::vector<Capacity> weights(db.num_facts());
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    weights[f] = db.Cost(f, semantics);
+  }
+
+  if (semantics == Semantics::kSet && db.NumExogenous() == 0) {
+    // Unit weights: the Section 4.3 condensation rules apply (they
+    // preserve minimum-cardinality hitting sets, Claim 4.8), and any
+    // hitting set of the condensed hypergraph hits the original.
+    CondensationResult condensed = Condense(matches, {});
+    HittingSetSolution solution = MinimumWeightHittingSet(
+        condensed.condensed,
+        std::vector<Capacity>(condensed.condensed.num_vertices, 1));
+    RPQRES_CHECK(solution.feasible);  // unit weights are always usable
+    result.value = solution.cost;
+    for (int v : solution.vertices) {
+      result.contingency.push_back(condensed.kept_vertices[v]);
+    }
+  } else {
+    // Weighted / exogenous: solve on the raw hypergraph (node-domination
+    // is unsound for weights: the dominating vertex may cost more).
+    HittingSetSolution solution = MinimumWeightHittingSet(matches, weights);
+    if (!solution.feasible) {
+      result.infinite = true;  // some match is fully exogenous
+      return result;
+    }
+    result.value = solution.cost;
+    result.contingency = solution.vertices;
+  }
+  std::sort(result.contingency.begin(), result.contingency.end());
+  return result;
+}
+
+}  // namespace rpqres

@@ -1,0 +1,62 @@
+// rpqres — resilience/exact: exact (exponential-time) resilience solvers.
+//
+// These are the ground truth against which the polynomial flow-based
+// solvers are validated, and the baseline on the NP-hard side of the
+// dichotomy:
+//  * SolveExactResilience — branch & bound on witness matches: any
+//    contingency set must hit the facts of a shortest L-walk, so branching
+//    on which fact of that walk to delete is complete. Works for arbitrary
+//    regular languages, set and bag semantics.
+//  * SolveBruteForceResilience — enumeration of all fact subsets; only for
+//    tiny instances, used to validate the branch & bound itself.
+
+#ifndef RPQRES_RESILIENCE_EXACT_H_
+#define RPQRES_RESILIENCE_EXACT_H_
+
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+#include "resilience/result.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+/// Tuning knobs for the exact solver.
+struct ExactOptions {
+  /// Hard cap on branch-and-bound nodes; OutOfRange when exceeded.
+  uint64_t max_search_nodes = 50'000'000;
+  /// Compute a root lower bound from greedy fact-disjoint matches.
+  bool use_disjoint_match_bound = true;
+};
+
+/// Exact resilience for an arbitrary regular language (exponential time).
+Result<ResilienceResult> SolveExactResilience(const Language& lang,
+                                              const GraphDb& db,
+                                              Semantics semantics,
+                                              const ExactOptions& options = {});
+
+/// All-subsets brute force; requires db.num_facts() <= max_facts (<= 24).
+Result<ResilienceResult> SolveBruteForceResilience(const Language& lang,
+                                                   const GraphDb& db,
+                                                   Semantics semantics,
+                                                   int max_facts = 20);
+
+/// Fixed-endpoint all-subsets brute force (ground truth for the
+/// non-Boolean extension of SolveLocalResilienceFixedEndpoints).
+Result<ResilienceResult> SolveBruteForceResilienceBetween(
+    const Language& lang, const GraphDb& db, NodeId source, NodeId target,
+    Semantics semantics, int max_facts = 20);
+
+/// Exact resilience via the hypergraph of matches (Def 4.7): enumerate
+/// matches, condense with the Section 4.3 rules (set semantics only —
+/// they preserve minimum *cardinality*), and solve a minimum(-weight)
+/// hitting set. Works for finite languages, or infinite languages over
+/// acyclic databases; this is the hitting-set view the paper uses
+/// throughout its hardness proofs, and doubles as an independent
+/// cross-check of the walk-based branch & bound.
+Result<ResilienceResult> SolveHittingSetResilience(const Language& lang,
+                                                   const GraphDb& db,
+                                                   Semantics semantics);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_RESILIENCE_EXACT_H_

@@ -1,0 +1,166 @@
+#include "resilience/local_resilience.h"
+
+#include <algorithm>
+#include <map>
+
+#include "flow/dinic.h"
+#include "flow/flow_network.h"
+#include "lang/infix_free.h"
+#include "lang/ro_enfa.h"
+#include "util/check.h"
+
+namespace rpqres {
+
+namespace {
+
+// Shared implementation of Thm 3.13's product network. With
+// fixed_source/fixed_target >= 0, only walks between those nodes count
+// (the non-Boolean extension; the cut↔contingency correspondence is
+// unaffected by which product vertices hook to the terminals).
+ResilienceResult SolveLocalProduct(const Enfa& ro, const GraphDb& db,
+                                   Semantics semantics, NodeId fixed_source,
+                                   NodeId fixed_target) {
+  RPQRES_CHECK_MSG(IsRoEnfa(ro), "automaton is not read-once");
+  ResilienceResult result;
+  result.algorithm = fixed_source < 0
+                         ? "local flow (Thm 3.13)"
+                         : "local flow, fixed endpoints (Thm 3.13 ext)";
+  if (ro.Accepts("") &&
+      (fixed_source < 0 || fixed_source == fixed_target)) {
+    // ε ∈ L: the (possibly endpoint-constrained) query holds on every
+    // subinstance, so resilience is +∞.
+    result.infinite = true;
+    return result;
+  }
+
+  int S = ro.num_states();
+  int V = db.num_nodes();
+  // Network N_{D,A}: source, target, and one vertex per (node, state).
+  FlowNetwork network;
+  int source = network.AddVertex();
+  int target = network.AddVertex();
+  network.AddVertices(V * S);
+  network.SetSource(source);
+  network.SetTarget(target);
+  auto vertex = [S](NodeId v, int s) { return 2 + v * S + s; };
+
+  // The unique letter-transition per symbol (read-once property).
+  std::map<char, std::pair<int, int>> letter_edge;
+  for (const EnfaTransition& t : ro.transitions()) {
+    if (t.symbol != kEpsilonSymbol) {
+      letter_edge[t.symbol] = {t.from, t.to};
+    }
+  }
+
+  // One finite-capacity edge per fact of D (the 1-to-1 correspondence that
+  // makes cuts = contingency sets).
+  std::map<int, FactId> fact_of_edge;  // network edge id -> fact id
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    const Fact& fact = db.fact(f);
+    auto it = letter_edge.find(fact.label);
+    if (it == letter_edge.end()) continue;  // letter not in L: inert fact
+    auto [s_from, s_to] = it->second;
+    int edge = network.AddEdge(vertex(fact.source, s_from),
+                               vertex(fact.target, s_to),
+                               db.Cost(f, semantics));
+    fact_of_edge[edge] = f;
+  }
+  // ε-transitions: infinite edges within each database node.
+  for (const EnfaTransition& t : ro.transitions()) {
+    if (t.symbol != kEpsilonSymbol) continue;
+    for (NodeId v = 0; v < V; ++v) {
+      network.AddEdge(vertex(v, t.from), vertex(v, t.to), kInfiniteCapacity);
+    }
+  }
+  // Source/target hookup: initial and final states at every node (or at
+  // the fixed endpoints only).
+  for (NodeId v = 0; v < V; ++v) {
+    if (fixed_source < 0 || v == fixed_source) {
+      for (int s : ro.initial_states()) {
+        network.AddEdge(source, vertex(v, s), kInfiniteCapacity);
+      }
+    }
+    if (fixed_target < 0 || v == fixed_target) {
+      for (int s : ro.final_states()) {
+        network.AddEdge(vertex(v, s), target, kInfiniteCapacity);
+      }
+    }
+  }
+
+  MinCutResult cut = ComputeMinCut(network);
+  if (cut.infinite) {
+    // With ε ∉ L every source-target path crosses a fact edge, so an
+    // infinite cut means some L-walk consists of exogenous facts only:
+    // the query cannot be falsified by deleting endogenous facts.
+    result.infinite = true;
+    return result;
+  }
+  result.value = cut.value;
+  for (int edge : cut.cut_edges) {
+    auto it = fact_of_edge.find(edge);
+    RPQRES_CHECK_MSG(it != fact_of_edge.end(),
+                     "cut contains a non-fact edge");
+    result.contingency.push_back(it->second);
+  }
+  std::sort(result.contingency.begin(), result.contingency.end());
+  result.contingency.erase(
+      std::unique(result.contingency.begin(), result.contingency.end()),
+      result.contingency.end());
+  result.network_vertices = network.num_vertices();
+  result.network_edges = static_cast<int64_t>(network.edges().size());
+  return result;
+}
+
+// Obtains an RO-εNFA for L or IF(L); IF(L) may be local even when L is
+// not (e.g. a|aa). Note IF preserves the query even with fixed endpoints:
+// a sub-walk of an s→t walk witnesses Q existentially, but conversely the
+// IF rewrite is only safe for endpoint-free queries OR when used on a
+// language that is already infix-free; we therefore only fall back to
+// IF(L) when it is equivalent to L for the constrained semantics, i.e.
+// for Boolean use. Fixed-endpoint callers pass require_exact = true.
+Result<Enfa> RoEnfaForSolver(const Language& lang, bool require_exact) {
+  Result<Enfa> ro = BuildRoEnfa(lang);
+  if (ro.ok()) return ro;
+  if (!require_exact) {
+    Language ifl = InfixFreeSublanguage(lang);
+    ro = BuildRoEnfa(ifl);
+    if (ro.ok()) return ro;
+  }
+  return Status::FailedPrecondition(
+      "local resilience: " + lang.description() +
+      " is not a local language" +
+      (require_exact ? " (IF-rewriting is unsound with fixed endpoints)"
+                     : " and neither is its infix-free sublanguage"));
+}
+
+}  // namespace
+
+ResilienceResult SolveLocalResilienceWithRoEnfa(const Enfa& ro,
+                                                const GraphDb& db,
+                                                Semantics semantics) {
+  return SolveLocalProduct(ro, db, semantics, /*fixed_source=*/-1,
+                           /*fixed_target=*/-1);
+}
+
+Result<ResilienceResult> SolveLocalResilience(const Language& lang,
+                                              const GraphDb& db,
+                                              Semantics semantics) {
+  RPQRES_ASSIGN_OR_RETURN(Enfa ro,
+                          RoEnfaForSolver(lang, /*require_exact=*/false));
+  return SolveLocalResilienceWithRoEnfa(ro, db, semantics);
+}
+
+Result<ResilienceResult> SolveLocalResilienceFixedEndpoints(
+    const Language& lang, const GraphDb& db, NodeId source, NodeId target,
+    Semantics semantics) {
+  if (source < 0 || source >= db.num_nodes() || target < 0 ||
+      target >= db.num_nodes()) {
+    return Status::InvalidArgument(
+        "fixed endpoints must be nodes of the database");
+  }
+  RPQRES_ASSIGN_OR_RETURN(Enfa ro,
+                          RoEnfaForSolver(lang, /*require_exact=*/true));
+  return SolveLocalProduct(ro, db, semantics, source, target);
+}
+
+}  // namespace rpqres

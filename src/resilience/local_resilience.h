@@ -1,0 +1,46 @@
+// rpqres — resilience/local_resilience: Theorem 3.13.
+//
+// RES_bag(L) for local L, via the RO-εNFA × database product network and
+// one MinCut: each fact of D contributes exactly one finite-capacity edge
+// (read-once!), all structural edges are infinite, so minimum cuts are
+// exactly minimum contingency sets. Runs in Õ(|A|·|D|·|Σ|) plus the MinCut.
+
+#ifndef RPQRES_RESILIENCE_LOCAL_RESILIENCE_H_
+#define RPQRES_RESILIENCE_LOCAL_RESILIENCE_H_
+
+#include "automata/enfa.h"
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+#include "resilience/result.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+/// Solves RES(Q_L, D) for a language whose infix-free sublanguage is local.
+/// Fails with FailedPrecondition otherwise.
+Result<ResilienceResult> SolveLocalResilience(const Language& lang,
+                                              const GraphDb& db,
+                                              Semantics semantics);
+
+/// Core of Theorem 3.13: resilience given an RO-εNFA for the language.
+/// `ro` must be read-once (checked); the language may be any local language.
+ResilienceResult SolveLocalResilienceWithRoEnfa(const Enfa& ro,
+                                                const GraphDb& db,
+                                                Semantics semantics);
+
+/// **Extension beyond the paper** (its Section 8 lists the non-Boolean
+/// setting as future work): resilience with *fixed endpoints* — the
+/// minimum cost to remove every L-walk from `source` to `target`. For
+/// local languages the Thm 3.13 product construction carries over
+/// unchanged because its cut↔contingency-set correspondence never uses
+/// where walks start or end: the network simply hooks t_source/t_target
+/// only at (source, initial) / (target, final) product vertices.
+/// (For non-local languages the problem relates to length-bounded cuts
+/// and is open; this entry point requires IF(L) local.)
+Result<ResilienceResult> SolveLocalResilienceFixedEndpoints(
+    const Language& lang, const GraphDb& db, NodeId source, NodeId target,
+    Semantics semantics);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_RESILIENCE_LOCAL_RESILIENCE_H_

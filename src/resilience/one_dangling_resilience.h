@@ -1,0 +1,41 @@
+// rpqres — resilience/one_dangling_resilience: Proposition 7.9.
+//
+// RES_bag(L ∪ {xy}) for a one-dangling language (L local, y fresh — the
+// x-fresh case is handled through the mirror reduction of Prp 6.3):
+//  1. rewrite the language: every x becomes xz for a fresh letter z
+//     (L' stays local, by an RO-εNFA edit);
+//  2. rewrite the database: per node v, route x-edges through a new node
+//     (v,in), add a z-edge (v,in) -> v with *signed* multiplicity
+//     Σmult(x into v) − Σmult(y out of v), and erase y-edges;
+//  3. RES_bag(L ∪ {xy}, D) = RES_ex_bag(L', D') + κ with κ the total
+//     y-multiplicity, where the extended bag semantics removes non-positive
+//     facts for free (Claim 7.10).
+// The witness contingency set is mapped back to D following the proof.
+
+#ifndef RPQRES_RESILIENCE_ONE_DANGLING_RESILIENCE_H_
+#define RPQRES_RESILIENCE_ONE_DANGLING_RESILIENCE_H_
+
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+#include "lang/one_dangling.h"
+#include "resilience/result.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+/// Solves RES(Q_L, D) for a language whose infix-free sublanguage is
+/// one-dangling, directly or after mirroring (Prp 6.3). FailedPrecondition
+/// if no decomposition exists.
+Result<ResilienceResult> SolveOneDanglingResilience(const Language& lang,
+                                                    const GraphDb& db,
+                                                    Semantics semantics);
+
+/// Core of Prp 7.9 for an explicit decomposition base ∪ {xy}. Requires
+/// y ∉ Σ(base) (callers mirror first when only x is fresh).
+Result<ResilienceResult> SolveOneDanglingCore(
+    const OneDanglingDecomposition& decomposition, const GraphDb& db,
+    Semantics semantics);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_RESILIENCE_ONE_DANGLING_RESILIENCE_H_

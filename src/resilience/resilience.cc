@@ -1,0 +1,124 @@
+#include "resilience/resilience.h"
+
+#include "graphdb/rpq_eval.h"
+#include "lang/chain.h"
+#include "lang/infix_free.h"
+#include "lang/local.h"
+#include "lang/one_dangling.h"
+#include "resilience/bcl_resilience.h"
+#include "resilience/exact.h"
+#include "resilience/local_resilience.h"
+#include "resilience/one_dangling_resilience.h"
+
+namespace rpqres {
+
+Result<ResilienceResult> ComputeResilience(const Language& lang,
+                                           const GraphDb& db,
+                                           Semantics semantics,
+                                           const ResilienceOptions& options) {
+  switch (options.method) {
+    case ResilienceMethod::kLocalFlow:
+      return SolveLocalResilience(lang, db, semantics);
+    case ResilienceMethod::kBclFlow:
+      return SolveBclResilience(lang, db, semantics);
+    case ResilienceMethod::kOneDanglingFlow:
+      return SolveOneDanglingResilience(lang, db, semantics);
+    case ResilienceMethod::kExact:
+      return SolveExactResilience(lang, db, semantics);
+    case ResilienceMethod::kBruteForce:
+      return SolveBruteForceResilience(lang, db, semantics);
+    case ResilienceMethod::kAuto:
+      break;
+  }
+
+  // kAuto: classify IF(L) and dispatch.
+  Language ifl = InfixFreeSublanguage(lang);
+  if (ifl.ContainsEpsilon()) {
+    ResilienceResult result;
+    result.infinite = true;
+    result.algorithm = "trivial (ε ∈ L)";
+    return result;
+  }
+  if (ifl.IsEmpty()) {
+    ResilienceResult result;
+    result.algorithm = "trivial (L = ∅)";
+    return result;
+  }
+  if (IsLocal(ifl)) {
+    return SolveLocalResilience(ifl, db, semantics);
+  }
+  if (IsBipartiteChainLanguage(ifl)) {
+    return SolveBclResilience(ifl, db, semantics);
+  }
+  if (IsOneDanglingOrMirror(ifl)) {
+    return SolveOneDanglingResilience(ifl, db, semantics);
+  }
+  if (options.allow_exponential) {
+    return SolveExactResilience(ifl, db, semantics);
+  }
+  return Status::Unimplemented(
+      "no polynomial-time algorithm known for IF(" + lang.description() +
+      ") and exponential fallback disabled");
+}
+
+Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,
+                              Semantics semantics, Capacity k,
+                              const ResilienceOptions& options) {
+  RPQRES_ASSIGN_OR_RETURN(ResilienceResult result,
+                          ComputeResilience(lang, db, semantics, options));
+  if (result.infinite) return false;
+  return result.value <= k;
+}
+
+Status VerifyResilienceResult(const Language& lang, const GraphDb& db,
+                              Semantics semantics,
+                              const ResilienceResult& result) {
+  // Resilience is +∞ iff ε ∈ L, or the query survives deleting every
+  // endogenous fact (a fully-exogenous match exists).
+  bool unfalsifiable = lang.ContainsEpsilon();
+  if (!unfalsifiable && db.NumExogenous() > 0) {
+    std::vector<bool> endogenous_removed(db.num_facts(), false);
+    for (FactId f = 0; f < db.num_facts(); ++f) {
+      endogenous_removed[f] = !db.IsExogenous(f);
+    }
+    unfalsifiable = EvaluatesToTrue(db, lang.enfa(), &endogenous_removed);
+  }
+  if (result.infinite != unfalsifiable) {
+    return Status::Internal(
+        "result.infinite disagrees with falsifiability (infinite=" +
+        std::to_string(result.infinite) +
+        ", unfalsifiable=" + std::to_string(unfalsifiable) + ")");
+  }
+  if (result.infinite) return Status::OK();
+
+  Capacity cost = 0;
+  std::vector<bool> removed(db.num_facts(), false);
+  for (FactId f : result.contingency) {
+    if (f < 0 || f >= db.num_facts()) {
+      return Status::Internal("contingency contains invalid fact id " +
+                              std::to_string(f));
+    }
+    if (removed[f]) {
+      return Status::Internal("contingency contains duplicate fact id " +
+                              std::to_string(f));
+    }
+    if (db.IsExogenous(f)) {
+      return Status::Internal("contingency contains exogenous fact id " +
+                              std::to_string(f));
+    }
+    removed[f] = true;
+    cost += db.Cost(f, semantics);
+  }
+  if (cost != result.value) {
+    return Status::Internal("contingency cost " + std::to_string(cost) +
+                            " != reported value " +
+                            std::to_string(result.value));
+  }
+  if (EvaluatesToTrue(db, lang.enfa(), &removed)) {
+    return Status::Internal(
+        "query still holds after removing the contingency set");
+  }
+  return Status::OK();
+}
+
+}  // namespace rpqres

@@ -1,0 +1,55 @@
+// rpqres — resilience/resilience: the public entry point.
+//
+// ComputeResilience classifies the query language (on its infix-free
+// sublanguage) and routes to the best algorithm:
+//   local (Thm 3.13) → BCL (Prp 7.6) → one-dangling (Prp 7.9) →
+//   exact branch & bound (exponential; the paper's NP-hard side).
+
+#ifndef RPQRES_RESILIENCE_RESILIENCE_H_
+#define RPQRES_RESILIENCE_RESILIENCE_H_
+
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+#include "resilience/result.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+/// Which algorithm to use.
+enum class ResilienceMethod {
+  kAuto,             ///< classify the language, pick the best solver
+  kLocalFlow,        ///< Theorem 3.13 (requires IF(L) local)
+  kBclFlow,          ///< Proposition 7.6 (requires IF(L) BCL)
+  kOneDanglingFlow,  ///< Proposition 7.9 (requires IF(L) one-dangling)
+  kExact,            ///< branch & bound (any regular L; exponential)
+  kBruteForce,       ///< all subsets (tiny instances; for validation)
+};
+
+struct ResilienceOptions {
+  ResilienceMethod method = ResilienceMethod::kAuto;
+  /// With kAuto: whether falling back to the exponential exact solver is
+  /// allowed when no polynomial algorithm applies.
+  bool allow_exponential = true;
+};
+
+/// Computes RES(Q_L, D) under the given semantics. See ResilienceResult for
+/// the contract on the returned witness contingency set.
+Result<ResilienceResult> ComputeResilience(
+    const Language& lang, const GraphDb& db, Semantics semantics,
+    const ResilienceOptions& options = {});
+
+/// Decision variant (Section 2 problem statement): RES(Q_L, D) <= k?
+Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,
+                              Semantics semantics, Capacity k,
+                              const ResilienceOptions& options = {});
+
+/// Validates a result against the database: the contingency set's cost
+/// equals `value`, its removal falsifies Q_L, and `infinite` matches ε ∈ L.
+/// (Optimality is NOT checked — use a second solver for that.)
+Status VerifyResilienceResult(const Language& lang, const GraphDb& db,
+                              Semantics semantics,
+                              const ResilienceResult& result);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_RESILIENCE_RESILIENCE_H_

@@ -1,0 +1,40 @@
+// rpqres — util/check: internal invariant checking macros.
+//
+// RPQRES_CHECK fires in all build types and is reserved for invariants whose
+// violation indicates a bug inside the library (never for user input, which
+// is reported through Status).
+
+#ifndef RPQRES_UTIL_CHECK_H_
+#define RPQRES_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#define RPQRES_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::cerr << "RPQRES_CHECK failed at " << __FILE__ << ":"         \
+                << __LINE__ << ": " #cond << std::endl;                 \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#define RPQRES_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::cerr << "RPQRES_CHECK failed at " << __FILE__ << ":"         \
+                << __LINE__ << ": " #cond << " — " << (msg)             \
+                << std::endl;                                           \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define RPQRES_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define RPQRES_DCHECK(cond) RPQRES_CHECK(cond)
+#endif
+
+#endif  // RPQRES_UTIL_CHECK_H_

@@ -1,0 +1,63 @@
+// rpqres — util/rng: deterministic pseudo-random generator for tests,
+// generators, and benchmarks. SplitMix64-based; identical sequences across
+// platforms for a given seed (unlike std::mt19937 + distributions, whose
+// distribution output is implementation-defined).
+
+#ifndef RPQRES_UTIL_RNG_H_
+#define RPQRES_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace rpqres {
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    RPQRES_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    RPQRES_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with probability numer/denom.
+  bool NextChance(uint64_t numer, uint64_t denom) {
+    RPQRES_DCHECK(denom > 0);
+    return NextBelow(denom) < numer;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_UTIL_RNG_H_

@@ -1,0 +1,152 @@
+// rpqres — util/status: Status and Result<T> error handling.
+//
+// Public library entry points that can fail return Status (or Result<T>),
+// RocksDB/Arrow style; exceptions are never thrown across library
+// boundaries. Internal invariants use the RPQRES_CHECK macros instead.
+
+#ifndef RPQRES_UTIL_STATUS_H_
+#define RPQRES_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rpqres {
+
+/// Error category attached to a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or an error code + message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result aborts with a diagnostic (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "Accessed value of errored Result: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates an error Status from a sub-call.
+#define RPQRES_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::rpqres::Status _rpqres_status = (expr);          \
+    if (!_rpqres_status.ok()) return _rpqres_status;   \
+  } while (false)
+
+#define RPQRES_CONCAT_IMPL_(x, y) x##y
+#define RPQRES_CONCAT_(x, y) RPQRES_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on failure returns the error from the enclosing function.
+#define RPQRES_ASSIGN_OR_RETURN(lhs, expr)                          \
+  RPQRES_ASSIGN_OR_RETURN_IMPL_(                                    \
+      RPQRES_CONCAT_(_rpqres_result_, __LINE__), lhs, expr)
+
+#define RPQRES_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace rpqres
+
+#endif  // RPQRES_UTIL_STATUS_H_

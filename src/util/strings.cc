@@ -1,0 +1,48 @@
+#include "util/strings.h"
+
+namespace rpqres {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+bool ContainsInfix(const std::string& word, const std::string& infix) {
+  return word.find(infix) != std::string::npos;
+}
+
+bool ContainsStrictInfix(const std::string& word, const std::string& infix) {
+  if (infix.size() >= word.size()) return false;
+  return ContainsInfix(word, infix);
+}
+
+std::string Mirror(const std::string& word) {
+  return std::string(word.rbegin(), word.rend());
+}
+
+std::string DisplayWord(const std::string& word) {
+  if (word.empty()) return "ε";
+  return word;
+}
+
+}  // namespace rpqres

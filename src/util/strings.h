@@ -1,0 +1,33 @@
+// rpqres — util/strings: small string helpers shared across modules.
+
+#ifndef RPQRES_UTIL_STRINGS_H_
+#define RPQRES_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace rpqres {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; keeps empty pieces.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// True iff `infix` occurs contiguously inside `word`.
+bool ContainsInfix(const std::string& word, const std::string& infix);
+
+/// True iff `infix` occurs inside `word` as a *strict* infix, i.e. the
+/// occurrence does not cover all of `word` (Section 2 of the paper).
+bool ContainsStrictInfix(const std::string& word, const std::string& infix);
+
+/// Reverses a word (the mirror operation of Prp 6.3).
+std::string Mirror(const std::string& word);
+
+/// Renders a word for display: "ε" for the empty word, the word otherwise.
+std::string DisplayWord(const std::string& word);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_UTIL_STRINGS_H_

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rpqres {
+namespace {
+
+// Display width of a UTF-8 string, counting multi-byte sequences as one
+// column (good enough for the Greek letters and arrows used in output).
+size_t DisplayWidth(const std::string& s) {
+  size_t width = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++width;  // count non-continuation bytes
+  }
+  return width;
+}
+
+void PrintPadded(std::ostream& os, const std::string& s, size_t width) {
+  os << s;
+  size_t w = DisplayWidth(s);
+  for (size_t i = w; i < width; ++i) os << ' ';
+}
+
+}  // namespace
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+void TextTable::Print(std::ostream& os) const {
+  size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+  std::vector<size_t> widths(columns, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], DisplayWidth(cells[i]));
+    }
+  };
+  account(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) account(row.cells);
+  }
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < columns; ++i) {
+      if (i > 0) os << "  ";
+      PrintPadded(os, i < cells.size() ? cells[i] : "", widths[i]);
+    }
+    os << "\n";
+  };
+  size_t total = 0;
+  for (size_t i = 0; i < columns; ++i) total += widths[i] + (i > 0 ? 2 : 0);
+
+  if (!header_.empty()) {
+    print_cells(header_);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << std::string(total, '-') << "\n";
+    } else {
+      print_cells(row.cells);
+    }
+  }
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace rpqres

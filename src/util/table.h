@@ -1,0 +1,39 @@
+// rpqres — util/table: fixed-width ASCII table printer used by the
+// benchmark harness and examples to regenerate the paper's figures as text.
+
+#ifndef RPQRES_UTIL_TABLE_H_
+#define RPQRES_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rpqres {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+  /// Appends a data row; rows may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_UTIL_TABLE_H_

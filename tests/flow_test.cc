@@ -1,0 +1,175 @@
+// Tests for the flow substrate: FlowNetwork construction, Dinic max-flow,
+// min-cut values and cut extraction, infinite capacities.
+
+#include <gtest/gtest.h>
+
+#include "flow/dinic.h"
+#include "flow/flow_network.h"
+#include "util/rng.h"
+
+namespace rpqres {
+namespace {
+
+TEST(FlowNetworkTest, Basics) {
+  FlowNetwork n;
+  int s = n.AddVertex();
+  int t = n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  int e = n.AddEdge(s, t, 5);
+  EXPECT_EQ(e, 0);
+  EXPECT_EQ(n.num_vertices(), 2);
+  EXPECT_EQ(n.TotalFiniteCapacity(), 5);
+  n.AddEdge(s, t, kInfiniteCapacity);
+  EXPECT_EQ(n.TotalFiniteCapacity(), 5);  // infinity not counted
+}
+
+TEST(DinicTest, SingleEdge) {
+  FlowNetwork n;
+  int s = n.AddVertex(), t = n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  n.AddEdge(s, t, 7);
+  MinCutResult cut = ComputeMinCut(n);
+  EXPECT_FALSE(cut.infinite);
+  EXPECT_EQ(cut.value, 7);
+  EXPECT_EQ(cut.cut_edges, (std::vector<int>{0}));
+}
+
+TEST(DinicTest, NoPathMeansZeroCut) {
+  FlowNetwork n;
+  int s = n.AddVertex(), t = n.AddVertex();
+  n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  n.AddEdge(s, 2, 3);  // dead end
+  MinCutResult cut = ComputeMinCut(n);
+  EXPECT_FALSE(cut.infinite);
+  EXPECT_EQ(cut.value, 0);
+  EXPECT_TRUE(cut.cut_edges.empty());
+}
+
+TEST(DinicTest, ClassicDiamond) {
+  //        a
+  //   s <     > t   with a cross edge a->b
+  //        b
+  FlowNetwork n;
+  int s = n.AddVertex(), t = n.AddVertex();
+  int a = n.AddVertex(), b = n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  n.AddEdge(s, a, 10);
+  n.AddEdge(s, b, 10);
+  n.AddEdge(a, t, 4);
+  n.AddEdge(b, t, 9);
+  n.AddEdge(a, b, 6);
+  EXPECT_EQ(MaxFlowValue(n), 13);  // 4 via a, 9 via b (6 rerouted)
+}
+
+TEST(DinicTest, InfiniteEdgeNeverCut) {
+  FlowNetwork n;
+  int s = n.AddVertex(), t = n.AddVertex(), m = n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  n.AddEdge(s, m, kInfiniteCapacity);
+  int finite = n.AddEdge(m, t, 3);
+  MinCutResult cut = ComputeMinCut(n);
+  EXPECT_FALSE(cut.infinite);
+  EXPECT_EQ(cut.value, 3);
+  EXPECT_EQ(cut.cut_edges, (std::vector<int>{finite}));
+}
+
+TEST(DinicTest, InfiniteCutDetected) {
+  FlowNetwork n;
+  int s = n.AddVertex(), t = n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  n.AddEdge(s, t, kInfiniteCapacity);
+  n.AddEdge(s, t, 100);
+  MinCutResult cut = ComputeMinCut(n);
+  EXPECT_TRUE(cut.infinite);
+  EXPECT_EQ(MaxFlowValue(n), kInfiniteCapacity);
+}
+
+TEST(DinicTest, ParallelAndAntiparallelEdges) {
+  FlowNetwork n;
+  int s = n.AddVertex(), t = n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  n.AddEdge(s, t, 2);
+  n.AddEdge(s, t, 3);
+  n.AddEdge(t, s, 50);  // backwards, irrelevant
+  EXPECT_EQ(MaxFlowValue(n), 5);
+}
+
+TEST(DinicTest, ZeroCapacityEdge) {
+  FlowNetwork n;
+  int s = n.AddVertex(), t = n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  n.AddEdge(s, t, 0);
+  MinCutResult cut = ComputeMinCut(n);
+  EXPECT_EQ(cut.value, 0);
+  EXPECT_TRUE(cut.cut_edges.empty());  // zero edges excluded from the cut
+}
+
+TEST(DinicTest, LargeCapacitiesNoOverflow) {
+  FlowNetwork n;
+  int s = n.AddVertex(), t = n.AddVertex(), m = n.AddVertex();
+  n.SetSource(s);
+  n.SetTarget(t);
+  const Capacity big = Capacity{1} << 40;
+  n.AddEdge(s, m, big);
+  n.AddEdge(m, t, big / 2);
+  EXPECT_EQ(MaxFlowValue(n), big / 2);
+}
+
+// Property test: on random DAG-ish networks, the extracted cut always (a)
+// sums to the flow value and (b) disconnects source from target.
+class DinicPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DinicPropertyTest, CutMatchesFlowAndDisconnects) {
+  Rng rng(GetParam());
+  FlowNetwork n;
+  const int kVertices = 12;
+  for (int i = 0; i < kVertices; ++i) n.AddVertex();
+  n.SetSource(0);
+  n.SetTarget(kVertices - 1);
+  for (int i = 0; i < 30; ++i) {
+    int u = static_cast<int>(rng.NextBelow(kVertices));
+    int v = static_cast<int>(rng.NextBelow(kVertices));
+    if (u == v) continue;
+    n.AddEdge(u, v, rng.NextInRange(1, 20));
+  }
+  MinCutResult cut = ComputeMinCut(n);
+  ASSERT_FALSE(cut.infinite);
+  Capacity total = 0;
+  std::vector<bool> removed(n.edges().size(), false);
+  for (int e : cut.cut_edges) {
+    total += n.edges()[e].capacity;
+    removed[e] = true;
+  }
+  EXPECT_EQ(total, cut.value);
+  // BFS in the network minus the cut: target unreachable.
+  std::vector<bool> seen(n.num_vertices(), false);
+  std::vector<int> stack{n.source()};
+  seen[n.source()] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (size_t e = 0; e < n.edges().size(); ++e) {
+      if (removed[e] || n.edges()[e].from != v) continue;
+      if (!seen[n.edges()[e].to]) {
+        seen[n.edges()[e].to] = true;
+        stack.push_back(n.edges()[e].to);
+      }
+    }
+  }
+  EXPECT_FALSE(seen[n.target()]);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, DinicPropertyTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace rpqres

@@ -1,0 +1,73 @@
+// Tests for the graph database text format.
+
+#include <gtest/gtest.h>
+
+#include "graphdb/generators.h"
+#include "graphdb/serialization.h"
+#include "util/rng.h"
+
+namespace rpqres {
+namespace {
+
+TEST(SerializationTest, ParseBasic) {
+  Result<GraphDb> db = ParseGraphDb(R"(
+# a comment
+u a v
+v x w 3
+w b t 2 exo
+u b t exo
+)");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->num_nodes(), 4);
+  EXPECT_EQ(db->num_facts(), 4);
+  FactId vxw = db->FindFact(db->GetOrAddNode("v"), 'x',
+                            db->GetOrAddNode("w"));
+  ASSERT_NE(vxw, -1);
+  EXPECT_EQ(db->multiplicity(vxw), 3);
+  EXPECT_FALSE(db->IsExogenous(vxw));
+  FactId wbt = db->FindFact(db->GetOrAddNode("w"), 'b',
+                            db->GetOrAddNode("t"));
+  EXPECT_EQ(db->multiplicity(wbt), 2);
+  EXPECT_TRUE(db->IsExogenous(wbt));
+  FactId ubt = db->FindFact(db->GetOrAddNode("u"), 'b',
+                            db->GetOrAddNode("t"));
+  EXPECT_EQ(db->multiplicity(ubt), 1);
+  EXPECT_TRUE(db->IsExogenous(ubt));
+}
+
+TEST(SerializationTest, ParseErrors) {
+  for (const char* bad : {"u a", "u ab v", "u a v 0", "u a v -3",
+                          "u a v three", "u a v 2 what", "u a v 2 exo x"}) {
+    Result<GraphDb> db = ParseGraphDb(bad);
+    EXPECT_FALSE(db.ok()) << bad;
+    EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(SerializationTest, EmptyInputIsEmptyDb) {
+  Result<GraphDb> db = ParseGraphDb("  \n# nothing here\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_facts(), 0);
+}
+
+TEST(SerializationTest, RoundTrip) {
+  Rng rng(42);
+  GraphDb original = RandomGraphDb(&rng, 8, 25, {'a', 'b', 'x'}, 5);
+  original.SetExogenous(0);
+  original.SetExogenous(3);
+  Result<GraphDb> parsed = ParseGraphDb(SerializeGraphDb(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_facts(), original.num_facts());
+  for (FactId f = 0; f < original.num_facts(); ++f) {
+    const Fact& fact = original.fact(f);
+    FactId g = parsed->FindFact(
+        parsed->GetOrAddNode(original.node_name(fact.source)), fact.label,
+        parsed->GetOrAddNode(original.node_name(fact.target)));
+    ASSERT_NE(g, -1);
+    EXPECT_EQ(parsed->multiplicity(g), original.multiplicity(f));
+    EXPECT_EQ(parsed->IsExogenous(g), original.IsExogenous(f));
+  }
+}
+
+}  // namespace
+}  // namespace rpqres

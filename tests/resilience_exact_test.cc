@@ -1,0 +1,131 @@
+// Tests for the exact solvers: branch & bound vs all-subsets brute force,
+// trivial cases, witness contracts, and NP-hard-side sanity values.
+
+#include <gtest/gtest.h>
+
+#include "graphdb/generators.h"
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+#include "resilience/exact.h"
+#include "resilience/resilience.h"
+#include "util/rng.h"
+
+namespace rpqres {
+namespace {
+
+TEST(ExactResilienceTest, TrivialCases) {
+  GraphDb empty;
+  Result<ResilienceResult> r = SolveExactResilience(
+      Language::MustFromRegexString("aa"), empty, Semantics::kSet);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 0);
+
+  GraphDb db = PathDb("ab");
+  r = SolveExactResilience(Language::MustFromRegexString("a*"), db,
+                           Semantics::kSet);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->infinite);
+
+  r = SolveExactResilience(Language::FromWords({}), db, Semantics::kSet);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 0);
+}
+
+TEST(ExactResilienceTest, AaOnTrianglePath) {
+  // Path of 3 a-facts: matches (f0,f1), (f1,f2): cutting f1 suffices.
+  GraphDb db = PathDb("aaa");
+  Result<ResilienceResult> r = SolveExactResilience(
+      Language::MustFromRegexString("aa"), db, Semantics::kSet);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 1);
+  EXPECT_EQ(r->contingency, (std::vector<FactId>{1}));
+}
+
+TEST(ExactResilienceTest, WeightedChoosesCheapest) {
+  GraphDb db;
+  NodeId u = db.AddNode(), v = db.AddNode(), w = db.AddNode();
+  db.AddFact(u, 'a', v, 10);
+  db.AddFact(v, 'a', w, 1);
+  Result<ResilienceResult> r = SolveExactResilience(
+      Language::MustFromRegexString("aa"), db, Semantics::kBag);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 1);
+  EXPECT_EQ(r->contingency, (std::vector<FactId>{1}));
+}
+
+TEST(ExactResilienceTest, UsesInfixFreeSublanguage) {
+  // L = a|aa behaves as a.
+  GraphDb db = PathDb("aa");
+  Result<ResilienceResult> r = SolveExactResilience(
+      Language::MustFromRegexString("a|aa"), db, Semantics::kSet);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 2);
+}
+
+TEST(ExactResilienceTest, SearchNodeCapReported) {
+  Rng rng(5);
+  GraphDb db = RandomGraphDb(&rng, 12, 40, {'a'});
+  ExactOptions options;
+  options.max_search_nodes = 10;
+  Result<ResilienceResult> r = SolveExactResilience(
+      Language::MustFromRegexString("aa"), db, Semantics::kSet, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BruteForceTest, RefusesLargeInstances) {
+  Rng rng(6);
+  GraphDb db = RandomGraphDb(&rng, 10, 60, {'a', 'b'});
+  Result<ResilienceResult> r = SolveBruteForceResilience(
+      Language::MustFromRegexString("aa"), db, Semantics::kSet, 20);
+  if (db.num_facts() > 20) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+// The cornerstone property: branch & bound == brute force on random
+// instances across hard and easy languages, set and bag semantics.
+struct ExactCase {
+  const char* regex;
+  std::vector<char> labels;
+};
+
+class ExactVsBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<ExactCase, int>> {};
+
+TEST_P(ExactVsBruteForceTest, Agree) {
+  const auto& [c, seed] = GetParam();
+  Language lang = Language::MustFromRegexString(c.regex);
+  Rng rng(seed * 13 + 1);
+  GraphDb db = RandomGraphDb(&rng, 5, 10, c.labels, 3);
+  for (Semantics semantics : {Semantics::kSet, Semantics::kBag}) {
+    Result<ResilienceResult> exact =
+        SolveExactResilience(lang, db, semantics);
+    Result<ResilienceResult> brute =
+        SolveBruteForceResilience(lang, db, semantics);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    EXPECT_EQ(exact->value, brute->value)
+        << c.regex << " seed " << seed << "\n"
+        << db.ToString();
+    Status check = VerifyResilienceResult(lang, db, semantics, *exact);
+    EXPECT_TRUE(check.ok()) << check;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactVsBruteForceTest,
+    ::testing::Combine(
+        ::testing::Values(ExactCase{"aa", {'a'}},
+                          ExactCase{"aaa", {'a'}},
+                          ExactCase{"axb|cxd", {'a', 'b', 'c', 'd', 'x'}},
+                          ExactCase{"ab|bc|ca", {'a', 'b', 'c'}},
+                          ExactCase{"abcd|bef",
+                                    {'a', 'b', 'c', 'd', 'e', 'f'}},
+                          ExactCase{"b(aa)*d", {'a', 'b', 'd'}},
+                          ExactCase{"abc|bcd", {'a', 'b', 'c', 'd'}}),
+        ::testing::Range(1, 9)));
+
+}  // namespace
+}  // namespace rpqres

@@ -1,0 +1,176 @@
+// Tests for Theorem 3.13's local-language resilience solver: hand-checked
+// instances, trivial cases, multiplicities, and randomized cross-checks
+// against the brute-force solver.
+
+#include <gtest/gtest.h>
+
+#include "graphdb/generators.h"
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+#include "lang/ro_enfa.h"
+#include "resilience/exact.h"
+#include "resilience/local_resilience.h"
+#include "resilience/resilience.h"
+#include "util/rng.h"
+
+namespace rpqres {
+namespace {
+
+ResilienceResult MustSolve(const char* regex, const GraphDb& db,
+                           Semantics semantics) {
+  Result<ResilienceResult> r = SolveLocalResilience(
+      Language::MustFromRegexString(regex), db, semantics);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+TEST(LocalResilienceTest, SingleWalk) {
+  GraphDb db = PathDb("axb");
+  ResilienceResult r = MustSolve("ax*b", db, Semantics::kSet);
+  EXPECT_FALSE(r.infinite);
+  EXPECT_EQ(r.value, 1);
+  EXPECT_EQ(r.contingency.size(), 1u);
+}
+
+TEST(LocalResilienceTest, QueryAlreadyFalse) {
+  GraphDb db = PathDb("ax");  // no b
+  ResilienceResult r = MustSolve("ax*b", db, Semantics::kSet);
+  EXPECT_EQ(r.value, 0);
+  EXPECT_TRUE(r.contingency.empty());
+}
+
+TEST(LocalResilienceTest, EmptyDatabase) {
+  GraphDb db;
+  ResilienceResult r = MustSolve("ax*b", db, Semantics::kSet);
+  EXPECT_EQ(r.value, 0);
+}
+
+TEST(LocalResilienceTest, EpsilonInLanguageIsInfinite) {
+  GraphDb db = PathDb("a");
+  ResilienceResult r = MustSolve("a*", db, Semantics::kSet);
+  EXPECT_TRUE(r.infinite);
+}
+
+TEST(LocalResilienceTest, BagMultiplicitiesPickCheaperCut) {
+  // a --x(5)--> but a costs 1: cutting the a-fact is cheaper.
+  GraphDb db;
+  NodeId s = db.AddNode(), u = db.AddNode(), v = db.AddNode(),
+         t = db.AddNode();
+  db.AddFact(s, 'a', u, 1);
+  db.AddFact(u, 'x', v, 5);
+  db.AddFact(v, 'b', t, 7);
+  ResilienceResult r = MustSolve("ax*b", db, Semantics::kBag);
+  EXPECT_EQ(r.value, 1);
+  ASSERT_EQ(r.contingency.size(), 1u);
+  EXPECT_EQ(db.fact(r.contingency[0]).label, 'a');
+}
+
+TEST(LocalResilienceTest, BottleneckCut) {
+  // Two sources, two sinks, one shared x bottleneck.
+  GraphDb db;
+  NodeId s1 = db.AddNode(), s2 = db.AddNode(), u = db.AddNode(),
+         v = db.AddNode(), t1 = db.AddNode(), t2 = db.AddNode();
+  db.AddFact(s1, 'a', u, 2);
+  db.AddFact(s2, 'a', u, 2);
+  db.AddFact(u, 'x', v, 3);
+  db.AddFact(v, 'b', t1, 2);
+  db.AddFact(v, 'b', t2, 2);
+  ResilienceResult r = MustSolve("ax*b", db, Semantics::kBag);
+  EXPECT_EQ(r.value, 3);
+  ASSERT_EQ(r.contingency.size(), 1u);
+  EXPECT_EQ(db.fact(r.contingency[0]).label, 'x');
+}
+
+TEST(LocalResilienceTest, SingleLetterLanguage) {
+  // L = a|b: every a/b fact is a match; resilience = total a/b cost.
+  GraphDb db;
+  NodeId u = db.AddNode(), v = db.AddNode();
+  db.AddFact(u, 'a', v, 2);
+  db.AddFact(v, 'a', u, 3);
+  db.AddFact(u, 'b', v, 1);
+  db.AddFact(u, 'c', v, 9);  // inert
+  ResilienceResult r = MustSolve("a|b", db, Semantics::kBag);
+  EXPECT_EQ(r.value, 6);
+  EXPECT_EQ(r.contingency.size(), 3u);
+}
+
+TEST(LocalResilienceTest, IfMakesNonLocalSolvable) {
+  // L0 = a|aa is not local but IF(L0) = a is (paper, Section 3.2).
+  GraphDb db = PathDb("aa");
+  ResilienceResult r = MustSolve("a|aa", db, Semantics::kSet);
+  EXPECT_EQ(r.value, 2);  // both a-facts are matches of IF = a
+}
+
+TEST(LocalResilienceTest, RejectsNonLocal) {
+  GraphDb db = PathDb("aa");
+  Result<ResilienceResult> r = SolveLocalResilience(
+      Language::MustFromRegexString("aa"), db, Semantics::kSet);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LocalResilienceTest, SelfLoopWalks) {
+  GraphDb db;
+  NodeId s = db.AddNode(), u = db.AddNode(), t = db.AddNode();
+  db.AddFact(s, 'a', u);
+  db.AddFact(u, 'x', u);  // self loop
+  db.AddFact(u, 'b', t);
+  ResilienceResult r = MustSolve("ax*b", db, Semantics::kSet);
+  EXPECT_EQ(r.value, 1);
+  Status check =
+      VerifyResilienceResult(Language::MustFromRegexString("ax*b"), db,
+                             Semantics::kSet, r);
+  EXPECT_TRUE(check.ok()) << check;
+}
+
+TEST(LocalResilienceTest, CombinedComplexityNetworkSize) {
+  // Network has 2 + |V|·|S| vertices — the Thm 3.13 bound.
+  Language lang = Language::MustFromRegexString("ax*b");
+  Enfa ro = BuildRoEnfa(lang).ValueOrDie();
+  GraphDb db = PathDb("axxb");
+  ResilienceResult r =
+      SolveLocalResilienceWithRoEnfa(ro, db, Semantics::kSet);
+  EXPECT_EQ(r.network_vertices, 2 + db.num_nodes() * ro.num_states());
+}
+
+// Randomized cross-check against brute force, set and bag semantics.
+struct LocalCase {
+  const char* regex;
+  std::vector<char> labels;
+};
+
+class LocalVsBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<LocalCase, int>> {};
+
+TEST_P(LocalVsBruteForceTest, AgreesWithBruteForce) {
+  const auto& [c, seed] = GetParam();
+  Language lang = Language::MustFromRegexString(c.regex);
+  Rng rng(seed);
+  GraphDb db = RandomGraphDb(&rng, 5, 11, c.labels, 3);
+  for (Semantics semantics : {Semantics::kSet, Semantics::kBag}) {
+    Result<ResilienceResult> flow =
+        SolveLocalResilience(lang, db, semantics);
+    Result<ResilienceResult> brute =
+        SolveBruteForceResilience(lang, db, semantics);
+    ASSERT_TRUE(flow.ok()) << flow.status();
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    EXPECT_EQ(flow->value, brute->value)
+        << c.regex << " seed " << seed << "\n"
+        << db.ToString();
+    Status check = VerifyResilienceResult(lang, db, semantics, *flow);
+    EXPECT_TRUE(check.ok()) << check;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalVsBruteForceTest,
+    ::testing::Combine(
+        ::testing::Values(LocalCase{"ax*b", {'a', 'x', 'b'}},
+                          LocalCase{"ab|ad|cd", {'a', 'b', 'c', 'd'}},
+                          LocalCase{"abc|abd", {'a', 'b', 'c', 'd'}},
+                          LocalCase{"a|b", {'a', 'b', 'c'}},
+                          LocalCase{"a(x|y)*b", {'a', 'x', 'y', 'b'}}),
+        ::testing::Range(1, 9)));
+
+}  // namespace
+}  // namespace rpqres
