@@ -1,0 +1,233 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace rpqres {
+namespace bench {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes (ε etc.) pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// JSON numbers must be finite; clamp NaN/inf to 0 defensively.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Harness::Harness(EngineOptions options) : engine_(options) {}
+
+void Harness::AddScenario(Scenario scenario) {
+  scenarios_.push_back(std::move(scenario));
+}
+
+std::vector<ScenarioReport> Harness::RunAll() {
+  std::vector<ScenarioReport> reports;
+  reports.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) {
+    reports.push_back(RunScenario(scenario));
+  }
+  return reports;
+}
+
+ScenarioReport Harness::RunScenario(const Scenario& scenario) {
+  ScenarioReport report;
+  report.name = scenario.name;
+  report.description = scenario.description;
+  report.regex = scenario.regex;
+  report.semantics = scenario.semantics == Semantics::kSet ? "set" : "bag";
+
+  std::vector<QueryInstance> instances;
+  instances.reserve(scenario.databases.size() *
+                    static_cast<size_t>(std::max(scenario.repetitions, 1)));
+  for (int rep = 0; rep < std::max(scenario.repetitions, 1); ++rep) {
+    for (const GraphDb& db : scenario.databases) {
+      instances.push_back(
+          QueryInstance{scenario.regex, &db, scenario.semantics});
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<InstanceOutcome> outcomes = engine_.RunBatch(instances);
+  report.total_wall_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> solve_micros;
+  solve_micros.reserve(outcomes.size());
+  for (const InstanceOutcome& outcome : outcomes) {
+    ++report.instances;
+    if (!outcome.status.ok()) {
+      ++report.errors;
+      continue;
+    }
+    solve_micros.push_back(outcome.stats.solve_micros);
+    if (!outcome.stats.cache_hit) {
+      report.compile_cold_micros = outcome.stats.compile_micros;
+      report.complexity = outcome.stats.complexity;
+      report.rule = outcome.stats.rule;
+    }
+    if (report.algorithm.empty()) report.algorithm = outcome.stats.algorithm;
+    report.network_vertices_max = std::max(report.network_vertices_max,
+                                           outcome.stats.network_vertices);
+    report.network_edges_max =
+        std::max(report.network_edges_max, outcome.stats.network_edges);
+    report.search_nodes_max =
+        std::max(report.search_nodes_max, outcome.stats.search_nodes);
+    if (!outcome.result.infinite) {
+      report.resilience_checksum += outcome.result.value;
+    }
+  }
+  if (report.complexity.empty() && !outcomes.empty()) {
+    // Plan was already cached (e.g. a repeated scenario): take the
+    // classification from any successful outcome.
+    for (const InstanceOutcome& outcome : outcomes) {
+      if (outcome.status.ok()) {
+        report.complexity = outcome.stats.complexity;
+        report.rule = outcome.stats.rule;
+        break;
+      }
+    }
+  }
+
+  report.solve_p50_micros = Percentile(solve_micros, 50);
+  report.solve_p95_micros = Percentile(solve_micros, 95);
+  report.solve_max_micros = Percentile(solve_micros, 100);
+  if (!solve_micros.empty()) {
+    double sum = 0;
+    for (double v : solve_micros) sum += v;
+    report.solve_mean_micros = sum / static_cast<double>(solve_micros.size());
+  }
+  if (report.total_wall_micros > 0) {
+    report.throughput_qps = static_cast<double>(report.instances) /
+                            (report.total_wall_micros / 1e6);
+  }
+  return report;
+}
+
+std::string Harness::ToJson(
+    const std::vector<ScenarioReport>& reports) const {
+  EngineStats stats = engine_.stats();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"benchmark\": \"engine\",\n";
+  os << "  \"engine\": {\n";
+  os << "    \"plan_cache_capacity\": " << engine_.options().plan_cache_capacity
+     << ",\n";
+  os << "    \"num_threads\": "
+     << (engine_.options().num_threads > 0 ? engine_.options().num_threads
+                                           : ThreadPool::DefaultNumThreads())
+     << ",\n";
+  os << "    \"instances_run\": " << stats.instances_run << ",\n";
+  os << "    \"compilations\": " << stats.compilations << ",\n";
+  os << "    \"cache_hits\": " << stats.cache_hits << ",\n";
+  os << "    \"cache_misses\": " << stats.cache_misses << ",\n";
+  os << "    \"errors\": " << stats.errors << "\n";
+  os << "  },\n";
+  os << "  \"scenarios\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ScenarioReport& r = reports[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << JsonEscape(r.name) << "\",\n";
+    os << "      \"description\": \"" << JsonEscape(r.description) << "\",\n";
+    os << "      \"regex\": \"" << JsonEscape(r.regex) << "\",\n";
+    os << "      \"semantics\": \"" << r.semantics << "\",\n";
+    os << "      \"complexity\": \"" << JsonEscape(r.complexity) << "\",\n";
+    os << "      \"rule\": \"" << JsonEscape(r.rule) << "\",\n";
+    os << "      \"algorithm\": \"" << JsonEscape(r.algorithm) << "\",\n";
+    os << "      \"instances\": " << r.instances << ",\n";
+    os << "      \"errors\": " << r.errors << ",\n";
+    os << "      \"compile_cold_micros\": "
+       << JsonNumber(r.compile_cold_micros) << ",\n";
+    os << "      \"solve_p50_micros\": " << JsonNumber(r.solve_p50_micros)
+       << ",\n";
+    os << "      \"solve_p95_micros\": " << JsonNumber(r.solve_p95_micros)
+       << ",\n";
+    os << "      \"solve_max_micros\": " << JsonNumber(r.solve_max_micros)
+       << ",\n";
+    os << "      \"solve_mean_micros\": " << JsonNumber(r.solve_mean_micros)
+       << ",\n";
+    os << "      \"total_wall_micros\": " << JsonNumber(r.total_wall_micros)
+       << ",\n";
+    os << "      \"throughput_qps\": " << JsonNumber(r.throughput_qps)
+       << ",\n";
+    os << "      \"network_vertices_max\": " << r.network_vertices_max
+       << ",\n";
+    os << "      \"network_edges_max\": " << r.network_edges_max << ",\n";
+    os << "      \"search_nodes_max\": " << r.search_nodes_max << ",\n";
+    os << "      \"resilience_checksum\": " << r.resilience_checksum << "\n";
+    os << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+Status Harness::WriteJson(const std::string& path,
+                          const std::vector<ScenarioReport>& reports) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << ToJson(reports);
+  out.close();
+  if (!out) {
+    return Status::Internal("failed writing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace bench
+}  // namespace rpqres

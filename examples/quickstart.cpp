@@ -1,12 +1,17 @@
 // rpqres quickstart: compute the resilience of an RPQ on a small graph
-// database, in set and bag semantics, and inspect the witness cut.
+// database through the ResilienceEngine — the compiled-query serving path
+// used for real workloads (few queries, many databases).
 //
 // The query is the paper's flagship tractable RPQ ax*b (Section 1): "is
 // there a walk from an a-edge through x-edges to a b-edge?" — resilience
 // asks for the cheapest set of edges whose deletion breaks all such walks.
+// The engine compiles the regex once (parse, minimal DFA, Figure 1
+// classification, solver plan) and caches the plan; both semantics then
+// reuse solver-ready artifacts.
 
 #include <iostream>
 
+#include "engine/engine.h"
 #include "graphdb/graph_db.h"
 #include "lang/language.h"
 #include "resilience/resilience.h"
@@ -30,29 +35,41 @@ int main() {
   db.AddFact(w, 'b', t1);
   db.AddFact(w, 'b', t2);
 
-  Language query = Language::MustFromRegexString("ax*b");
   std::cout << "Database:\n" << db.ToString() << "\n";
-  std::cout << "Query: Q_L for L = " << query.description() << "\n\n";
+  std::cout << "Query: Q_L for L = ax*b\n\n";
 
+  ResilienceEngine engine;
   for (Semantics semantics : {Semantics::kSet, Semantics::kBag}) {
-    Result<ResilienceResult> result =
-        ComputeResilience(query, db, semantics);
-    if (!result.ok()) {
-      std::cerr << "error: " << result.status() << "\n";
+    InstanceOutcome outcome =
+        engine.Run(QueryInstance{"ax*b", &db, semantics});
+    if (!outcome.status.ok()) {
+      std::cerr << "error: " << outcome.status << "\n";
       return 1;
     }
     std::cout << (semantics == Semantics::kSet ? "Set" : "Bag")
-              << " semantics: resilience = " << result->value << " via "
-              << result->algorithm << "\n";
+              << " semantics: resilience = " << outcome.result.value
+              << " via " << outcome.result.algorithm << "\n";
+    std::cout << "  classified " << outcome.stats.complexity << " — "
+              << outcome.stats.rule << " ("
+              << (outcome.stats.cache_hit ? "plan cache hit"
+                                          : "compiled fresh")
+              << ", solve " << outcome.stats.solve_micros << "us)\n";
     std::cout << "  witness contingency set:\n";
-    for (FactId f : result->contingency) {
+    for (FactId f : outcome.result.contingency) {
       const Fact& fact = db.fact(f);
       std::cout << "    " << db.node_name(fact.source) << " -" << fact.label
                 << "-> " << db.node_name(fact.target)
                 << " (cost " << db.Cost(f, semantics) << ")\n";
     }
-    Status check = VerifyResilienceResult(query, db, semantics, *result);
+    Status check =
+        VerifyResilienceResult(Language::MustFromRegexString("ax*b"), db,
+                               semantics, outcome.result);
     std::cout << "  verification: " << check.ToString() << "\n\n";
   }
+
+  EngineStats stats = engine.stats();
+  std::cout << "Engine: " << stats.instances_run << " instances, "
+            << stats.compilations << " compilations, " << stats.cache_hits
+            << " plan-cache hits\n";
   return 0;
 }

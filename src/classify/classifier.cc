@@ -104,8 +104,14 @@ bool MatchesUpToRenaming(std::vector<std::string> words,
 
 Result<Classification> ClassifyResilience(const Language& lang,
                                           int max_word_length) {
+  return ClassifyResilienceWithIF(lang, InfixFreeSublanguage(lang),
+                                  max_word_length);
+}
+
+Result<Classification> ClassifyResilienceWithIF(const Language& lang,
+                                                const Language& ifl,
+                                                int max_word_length) {
   Classification out;
-  Language ifl = InfixFreeSublanguage(lang);
   out.finite = ifl.IsFinite();
   if (out.finite) {
     RPQRES_ASSIGN_OR_RETURN(std::vector<std::string> words, ifl.Words());

@@ -45,6 +45,14 @@ struct Classification {
 Result<Classification> ClassifyResilience(const Language& lang,
                                           int max_word_length = 12);
 
+/// Like ClassifyResilience, but takes the precomputed infix-free
+/// sublanguage IF(L) instead of rederiving it — the reusable entry point
+/// for compiled query plans (src/engine/). `lang` is still needed: the
+/// neutral-letter test (Prp 5.7) is a property of L itself.
+Result<Classification> ClassifyResilienceWithIF(const Language& lang,
+                                                const Language& ifl,
+                                                int max_word_length = 12);
+
 /// One-line report: "<regex>: <class> — <rule> (<detail>)".
 std::string ClassificationReport(const Language& lang,
                                  const Classification& classification);

@@ -1,0 +1,36 @@
+#include "engine/compiled_query.h"
+
+#include <chrono>
+#include <utility>
+
+#include "lang/infix_free.h"
+
+namespace rpqres {
+
+Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
+    const std::string& regex, Semantics semantics,
+    const CompileOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+
+  RPQRES_ASSIGN_OR_RETURN(Language language,
+                          Language::FromRegexString(regex));
+  Language ifl = InfixFreeSublanguage(language);
+  RPQRES_ASSIGN_OR_RETURN(
+      Classification classification,
+      ClassifyResilienceWithIF(language, ifl, options.max_word_length));
+  ResilienceOptions plan_options;
+  plan_options.allow_exponential = options.allow_exponential;
+  RPQRES_ASSIGN_OR_RETURN(ResiliencePlan plan,
+                          PlanResilienceWithIF(std::move(ifl), plan_options));
+
+  auto compiled = std::make_shared<CompiledQuery>(CompiledQuery{
+      regex, semantics, std::move(language), std::move(classification),
+      std::move(plan), /*compile_micros=*/0});
+  compiled->compile_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return std::shared_ptr<const CompiledQuery>(std::move(compiled));
+}
+
+}  // namespace rpqres

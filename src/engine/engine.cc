@@ -1,0 +1,170 @@
+#include "engine/engine.h"
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+namespace rpqres {
+
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ResilienceEngine::ResilienceEngine(EngineOptions options)
+    : options_(options),
+      cache_(options.plan_cache_capacity),
+      pool_(options.num_threads > 0 ? options.num_threads
+                                    : ThreadPool::DefaultNumThreads()) {}
+
+Result<std::shared_ptr<const CompiledQuery>> ResilienceEngine::Compile(
+    const std::string& regex, Semantics semantics) {
+  return CompileInternal(regex, semantics, nullptr);
+}
+
+Result<std::shared_ptr<const CompiledQuery>> ResilienceEngine::CompileInternal(
+    const std::string& regex, Semantics semantics, bool* was_cache_hit) {
+  if (std::shared_ptr<const CompiledQuery> cached =
+          cache_.Lookup(regex, semantics)) {
+    if (was_cache_hit) *was_cache_hit = true;
+    return cached;
+  }
+  if (was_cache_hit) *was_cache_hit = false;
+  CompileOptions compile_options;
+  compile_options.allow_exponential = options_.allow_exponential;
+  compile_options.max_word_length = options_.max_word_length;
+  RPQRES_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledQuery> compiled,
+                          CompileQuery(regex, semantics, compile_options));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.compilations;
+    stats_.total_compile_micros += compiled->compile_micros;
+  }
+  cache_.Insert(compiled);
+  return compiled;
+}
+
+InstanceOutcome ResilienceEngine::Run(const QueryInstance& instance) {
+  bool was_resident = false;
+  Result<std::shared_ptr<const CompiledQuery>> compiled =
+      CompileInternal(instance.regex, instance.semantics, &was_resident);
+  if (!compiled.ok()) {
+    InstanceOutcome outcome;
+    outcome.status = compiled.status();
+    RecordInstance(outcome);
+    return outcome;
+  }
+  return Execute(**compiled, *instance.db, was_resident,
+                 was_resident ? 0 : (*compiled)->compile_micros);
+}
+
+InstanceOutcome ResilienceEngine::Run(const CompiledQuery& query,
+                                      const GraphDb& db) {
+  return Execute(query, db, /*cache_hit=*/true, /*compile_micros=*/0);
+}
+
+std::vector<InstanceOutcome> ResilienceEngine::RunBatch(
+    std::span<const QueryInstance> instances) {
+  // Phase 1 (serial): compile each distinct (regex, semantics) once.
+  // first_compile marks the instance that pays the compile, so per-
+  // instance attribution matches what sequential Run calls would report.
+  struct PlanSlot {
+    Result<std::shared_ptr<const CompiledQuery>> compiled{nullptr};
+    bool was_resident = false;
+  };
+  std::map<std::pair<std::string, Semantics>, PlanSlot> plans;
+  std::vector<bool> first_compile(instances.size(), false);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const QueryInstance& instance = instances[i];
+    auto key = std::make_pair(instance.regex, instance.semantics);
+    if (plans.contains(key)) continue;
+    PlanSlot slot;
+    slot.compiled = CompileInternal(instance.regex, instance.semantics,
+                                    &slot.was_resident);
+    first_compile[i] = !slot.was_resident;
+    plans.emplace(std::move(key), std::move(slot));
+  }
+
+  // Phase 2 (parallel): every instance already has a plan; solve.
+  std::vector<InstanceOutcome> outcomes(instances.size());
+  pool_.ParallelFor(
+      static_cast<int64_t>(instances.size()), [&](int64_t i) {
+        const QueryInstance& instance = instances[i];
+        const PlanSlot& slot =
+            plans.at({instance.regex, instance.semantics});
+        if (!slot.compiled.ok()) {
+          outcomes[i].status = slot.compiled.status();
+          RecordInstance(outcomes[i]);
+          return;
+        }
+        const CompiledQuery& query = **slot.compiled;
+        outcomes[i] =
+            Execute(query, *instance.db,
+                    /*cache_hit=*/!first_compile[i],
+                    first_compile[i] ? query.compile_micros : 0);
+      });
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.batches_run;
+  return outcomes;
+}
+
+InstanceOutcome ResilienceEngine::Execute(const CompiledQuery& query,
+                                          const GraphDb& db, bool cache_hit,
+                                          double compile_micros) {
+  InstanceOutcome outcome;
+  outcome.stats.complexity =
+      ComplexityClassName(query.classification.complexity);
+  outcome.stats.rule = query.classification.rule;
+  outcome.stats.cache_hit = cache_hit;
+  outcome.stats.compile_micros = compile_micros;
+
+  auto start = std::chrono::steady_clock::now();
+  Result<ResilienceResult> result =
+      ComputeResilienceWithPlan(query.plan, db, query.semantics);
+  outcome.stats.solve_micros = MicrosSince(start);
+  if (!result.ok()) {
+    outcome.status = result.status();
+  } else {
+    outcome.result = *std::move(result);
+    outcome.stats.algorithm = outcome.result.algorithm;
+    outcome.stats.network_vertices = outcome.result.network_vertices;
+    outcome.stats.network_edges = outcome.result.network_edges;
+    outcome.stats.search_nodes = outcome.result.search_nodes;
+  }
+  RecordInstance(outcome);
+  return outcome;
+}
+
+void ResilienceEngine::RecordInstance(const InstanceOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.instances_run;
+  if (!outcome.status.ok()) ++stats_.errors;
+  stats_.total_solve_micros += outcome.stats.solve_micros;
+  if (!outcome.stats.algorithm.empty()) {
+    ++stats_.instances_by_algorithm[outcome.stats.algorithm];
+  }
+}
+
+EngineStats ResilienceEngine::stats() const {
+  PlanCache::Stats cache_stats = cache_.stats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  EngineStats snapshot = stats_;
+  snapshot.cache_hits = cache_stats.hits;
+  snapshot.cache_misses = cache_stats.misses;
+  snapshot.cache_evictions = cache_stats.evictions;
+  return snapshot;
+}
+
+void ResilienceEngine::ResetStats() {
+  cache_.ResetStats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = EngineStats{};
+}
+
+}  // namespace rpqres

@@ -1,0 +1,119 @@
+// rpqres — engine/engine: the compiled-query resilience engine.
+//
+// ResilienceEngine is the serving-path entry point of the library:
+//
+//   ResilienceEngine engine;
+//   auto outcome = engine.Run({.regex = "ax*b", .db = &db,
+//                              .semantics = Semantics::kBag});
+//
+// It compiles each (regex, semantics) pair once — parse, minimal DFA,
+// Figure 1 classification, solver selection, RO-εNFA — behind an LRU plan
+// cache, evaluates batches of independent (query, database) instances
+// across a fixed thread pool, and records per-instance and aggregate
+// statistics. Layering:
+//
+//   engine        (this file: cache + batch + stats)
+//     └── compiled_query  (one-shot compilation artifact)
+//           └── resilience (ResiliencePlan dispatch), classify (Fig 1)
+//                 └── lang / automata / flow / graphdb
+
+#ifndef RPQRES_ENGINE_ENGINE_H_
+#define RPQRES_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/compiled_query.h"
+#include "engine/engine_stats.h"
+#include "engine/plan_cache.h"
+#include "graphdb/graph_db.h"
+#include "resilience/resilience.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rpqres {
+
+struct EngineOptions {
+  /// Max compiled plans kept resident (LRU beyond that).
+  size_t plan_cache_capacity = 256;
+  /// Worker threads for RunBatch; 0 = ThreadPool::DefaultNumThreads().
+  int num_threads = 0;
+  /// Forwarded to CompileQuery / plan selection.
+  bool allow_exponential = true;
+  int max_word_length = 12;
+};
+
+/// One unit of batch work: evaluate RES(Q_regex, *db) under `semantics`.
+/// `db` is borrowed and must outlive the RunBatch/Run call.
+struct QueryInstance {
+  std::string regex;
+  const GraphDb* db = nullptr;
+  Semantics semantics = Semantics::kSet;
+};
+
+/// Result of one instance. `result` is meaningful iff `status.ok()`;
+/// `stats` is always filled as far as execution got.
+struct InstanceOutcome {
+  Status status;
+  ResilienceResult result;
+  InstanceStats stats;
+};
+
+/// The engine. Thread-safe: Compile/Run/RunBatch may be called
+/// concurrently from multiple threads; a RunBatch call additionally
+/// parallelizes internally over its own thread pool.
+class ResilienceEngine {
+ public:
+  explicit ResilienceEngine(EngineOptions options = {});
+
+  /// Returns the compiled plan for (regex, semantics), from the plan
+  /// cache when resident, compiling (and caching) otherwise.
+  Result<std::shared_ptr<const CompiledQuery>> Compile(
+      const std::string& regex, Semantics semantics);
+
+  /// Evaluates one instance end-to-end (compile-or-cache + solve).
+  InstanceOutcome Run(const QueryInstance& instance);
+
+  /// Executes an already-compiled plan against a database. No cache
+  /// interaction; useful when the caller manages CompiledQuery lifetimes.
+  InstanceOutcome Run(const CompiledQuery& query, const GraphDb& db);
+
+  /// Evaluates many instances: compiles the distinct queries once
+  /// (serially, so cache accounting is deterministic), then solves all
+  /// instances across the thread pool. outcomes[i] corresponds to
+  /// instances[i]; values are independent of thread interleaving because
+  /// instances never share mutable state.
+  std::vector<InstanceOutcome> RunBatch(
+      std::span<const QueryInstance> instances);
+
+  /// Aggregate counters snapshot (cache_* reflect the plan cache).
+  EngineStats stats() const;
+  void ResetStats();
+
+  const EngineOptions& options() const { return options_; }
+  PlanCache& plan_cache() { return cache_; }
+
+ private:
+  /// Compile-or-cache; sets *was_cache_hit (if non-null) to whether the
+  /// plan was already resident.
+  Result<std::shared_ptr<const CompiledQuery>> CompileInternal(
+      const std::string& regex, Semantics semantics, bool* was_cache_hit);
+
+  /// Solve step shared by all entry points; records into stats_.
+  InstanceOutcome Execute(const CompiledQuery& query, const GraphDb& db,
+                          bool cache_hit, double compile_micros);
+  void RecordInstance(const InstanceOutcome& outcome);
+
+  EngineOptions options_;
+  PlanCache cache_;
+  ThreadPool pool_;
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_ENGINE_ENGINE_H_

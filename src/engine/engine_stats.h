@@ -1,0 +1,60 @@
+// rpqres — engine/engine_stats: per-instance and aggregate engine metrics.
+//
+// Every engine run records what happened (classification outcome, solver,
+// wall time, flow-network size) so benchmark harnesses and operators can
+// see where time goes without instrumenting solvers themselves.
+
+#ifndef RPQRES_ENGINE_ENGINE_STATS_H_
+#define RPQRES_ENGINE_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rpqres {
+
+/// What happened to one (query, database) instance.
+struct InstanceStats {
+  /// Classification column for IF(L) ("PTIME", "NP-hard", ...).
+  std::string complexity;
+  /// The paper result that justified the classification.
+  std::string rule;
+  /// Solver that produced the answer (ResilienceResult::algorithm).
+  std::string algorithm;
+  /// False iff this instance paid a fresh compilation; true for plan-cache
+  /// hits and for Run(CompiledQuery&, ...) calls that bypass the cache
+  /// with a caller-managed plan.
+  bool cache_hit = false;
+  /// Compile wall time attributed to this instance (0 on a cache hit).
+  double compile_micros = 0;
+  /// Solve wall time (plan execution only).
+  double solve_micros = 0;
+  /// Flow-network size, when a flow solver ran.
+  int64_t network_vertices = 0;
+  int64_t network_edges = 0;
+  /// Branch-and-bound nodes, when the exact solver ran.
+  uint64_t search_nodes = 0;
+};
+
+/// Aggregate counters for one engine, cumulative since construction (or
+/// the last ResetStats).
+struct EngineStats {
+  int64_t instances_run = 0;
+  int64_t batches_run = 0;
+  /// Full compilations performed (== plan-cache misses routed through
+  /// the engine).
+  int64_t compilations = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  /// Instances that ended in a non-OK status.
+  int64_t errors = 0;
+  double total_compile_micros = 0;
+  double total_solve_micros = 0;
+  /// Instance counts by solver algorithm string.
+  std::map<std::string, int64_t> instances_by_algorithm;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_ENGINE_ENGINE_STATS_H_

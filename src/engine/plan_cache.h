@@ -1,0 +1,66 @@
+// rpqres — engine/plan_cache: LRU cache of compiled query plans.
+//
+// Keyed by (regex text, semantics). The cache stores
+// shared_ptr<const CompiledQuery>, so an evicted plan stays alive for any
+// instance still executing it; eviction only drops the cache's reference.
+
+#ifndef RPQRES_ENGINE_PLAN_CACHE_H_
+#define RPQRES_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "engine/compiled_query.h"
+#include "graphdb/graph_db.h"
+
+namespace rpqres {
+
+/// Thread-safe LRU map (regex, semantics) → CompiledQuery.
+class PlanCache {
+ public:
+  /// Counters since construction (or the last ResetStats).
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+  };
+
+  /// `capacity` = max resident plans; values < 1 are clamped to 1.
+  explicit PlanCache(size_t capacity);
+
+  /// Returns the cached plan and marks it most-recently-used, or nullptr
+  /// (counted as hit/miss respectively).
+  std::shared_ptr<const CompiledQuery> Lookup(const std::string& regex,
+                                              Semantics semantics);
+
+  /// Inserts (or replaces) the plan for its own (regex, semantics) key,
+  /// evicting the least-recently-used entry when over capacity.
+  void Insert(std::shared_ptr<const CompiledQuery> query);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+  void ResetStats();
+  /// Drops all entries (stats are kept).
+  void Clear();
+
+ private:
+  using Key = std::pair<std::string, Semantics>;
+  using Entry = std::pair<Key, std::shared_ptr<const CompiledQuery>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_ENGINE_PLAN_CACHE_H_

@@ -1,16 +1,98 @@
 #include "resilience/resilience.h"
 
+#include <utility>
+
 #include "graphdb/rpq_eval.h"
 #include "lang/chain.h"
 #include "lang/infix_free.h"
 #include "lang/local.h"
 #include "lang/one_dangling.h"
+#include "lang/ro_enfa.h"
 #include "resilience/bcl_resilience.h"
 #include "resilience/exact.h"
 #include "resilience/local_resilience.h"
 #include "resilience/one_dangling_resilience.h"
 
 namespace rpqres {
+
+Result<ResiliencePlan> PlanResilience(const Language& lang,
+                                      const ResilienceOptions& options) {
+  return PlanResilienceWithIF(InfixFreeSublanguage(lang), options);
+}
+
+Result<ResiliencePlan> PlanResilienceWithIF(Language ifl,
+                                            const ResilienceOptions& options) {
+  if (options.method != ResilienceMethod::kAuto) {
+    return Status::InvalidArgument(
+        "PlanResilience plans the kAuto dispatch; to force a solver, call "
+        "ComputeResilience with that method directly");
+  }
+  ResiliencePlan plan{std::move(ifl), ResilienceMethod::kExact,
+                      /*trivial_infinite=*/false, /*trivial_empty=*/false,
+                      /*ro_enfa=*/std::nullopt};
+  if (plan.if_language.ContainsEpsilon()) {
+    plan.trivial_infinite = true;
+    return plan;
+  }
+  if (plan.if_language.IsEmpty()) {
+    plan.trivial_empty = true;
+    return plan;
+  }
+  if (IsLocal(plan.if_language)) {
+    plan.method = ResilienceMethod::kLocalFlow;
+    RPQRES_ASSIGN_OR_RETURN(plan.ro_enfa, BuildRoEnfa(plan.if_language));
+    return plan;
+  }
+  if (IsBipartiteChainLanguage(plan.if_language)) {
+    plan.method = ResilienceMethod::kBclFlow;
+    return plan;
+  }
+  if (IsOneDanglingOrMirror(plan.if_language)) {
+    plan.method = ResilienceMethod::kOneDanglingFlow;
+    return plan;
+  }
+  if (!options.allow_exponential) {
+    return Status::Unimplemented(
+        "no polynomial-time algorithm known for " +
+        plan.if_language.description() + " and exponential fallback disabled");
+  }
+  plan.method = ResilienceMethod::kExact;
+  return plan;
+}
+
+Result<ResilienceResult> ComputeResilienceWithPlan(const ResiliencePlan& plan,
+                                                   const GraphDb& db,
+                                                   Semantics semantics) {
+  if (plan.trivial_infinite) {
+    ResilienceResult result;
+    result.infinite = true;
+    result.algorithm = "trivial (ε ∈ L)";
+    return result;
+  }
+  if (plan.trivial_empty) {
+    ResilienceResult result;
+    result.algorithm = "trivial (L = ∅)";
+    return result;
+  }
+  switch (plan.method) {
+    case ResilienceMethod::kLocalFlow:
+      if (plan.ro_enfa.has_value()) {
+        return SolveLocalResilienceWithRoEnfa(*plan.ro_enfa, db, semantics);
+      }
+      return SolveLocalResilience(plan.if_language, db, semantics);
+    case ResilienceMethod::kBclFlow:
+      return SolveBclResilience(plan.if_language, db, semantics);
+    case ResilienceMethod::kOneDanglingFlow:
+      return SolveOneDanglingResilience(plan.if_language, db, semantics);
+    case ResilienceMethod::kExact:
+      return SolveExactResilience(plan.if_language, db, semantics);
+    case ResilienceMethod::kBruteForce:
+      return SolveBruteForceResilience(plan.if_language, db, semantics);
+    case ResilienceMethod::kAuto:
+      break;
+  }
+  return Status::Internal("ResiliencePlan holds an unexecutable method");
+}
 
 Result<ResilienceResult> ComputeResilience(const Language& lang,
                                            const GraphDb& db,
@@ -31,34 +113,11 @@ Result<ResilienceResult> ComputeResilience(const Language& lang,
       break;
   }
 
-  // kAuto: classify IF(L) and dispatch.
-  Language ifl = InfixFreeSublanguage(lang);
-  if (ifl.ContainsEpsilon()) {
-    ResilienceResult result;
-    result.infinite = true;
-    result.algorithm = "trivial (ε ∈ L)";
-    return result;
-  }
-  if (ifl.IsEmpty()) {
-    ResilienceResult result;
-    result.algorithm = "trivial (L = ∅)";
-    return result;
-  }
-  if (IsLocal(ifl)) {
-    return SolveLocalResilience(ifl, db, semantics);
-  }
-  if (IsBipartiteChainLanguage(ifl)) {
-    return SolveBclResilience(ifl, db, semantics);
-  }
-  if (IsOneDanglingOrMirror(ifl)) {
-    return SolveOneDanglingResilience(ifl, db, semantics);
-  }
-  if (options.allow_exponential) {
-    return SolveExactResilience(ifl, db, semantics);
-  }
-  return Status::Unimplemented(
-      "no polynomial-time algorithm known for IF(" + lang.description() +
-      ") and exponential fallback disabled");
+  // kAuto: plan (classify IF(L), pick the solver) then execute. One-shot
+  // callers pay the plan derivation here; repeated callers should plan
+  // once and use ComputeResilienceWithPlan (or the engine, which caches).
+  RPQRES_ASSIGN_OR_RETURN(ResiliencePlan plan, PlanResilience(lang, options));
+  return ComputeResilienceWithPlan(plan, db, semantics);
 }
 
 Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,

@@ -8,6 +8,9 @@
 #ifndef RPQRES_RESILIENCE_RESILIENCE_H_
 #define RPQRES_RESILIENCE_RESILIENCE_H_
 
+#include <optional>
+
+#include "automata/enfa.h"
 #include "graphdb/graph_db.h"
 #include "lang/language.h"
 #include "resilience/result.h"
@@ -37,6 +40,42 @@ struct ResilienceOptions {
 Result<ResilienceResult> ComputeResilience(
     const Language& lang, const GraphDb& db, Semantics semantics,
     const ResilienceOptions& options = {});
+
+/// A precompiled kAuto dispatch decision: the infix-free sublanguage plus
+/// the solver selected for it, derived once from the query and reusable
+/// across any number of databases (the engine's plan-cache payload).
+struct ResiliencePlan {
+  /// The language handed to the solver — IF(L) (Q_L = Q_IF(L), Section 2).
+  Language if_language;
+  /// The solver kAuto selected for IF(L); never kAuto itself.
+  ResilienceMethod method = ResilienceMethod::kExact;
+  /// ε ∈ L: resilience is +∞ on every database; no solver runs.
+  bool trivial_infinite = false;
+  /// IF(L) = ∅: resilience is 0 on every database; no solver runs.
+  bool trivial_empty = false;
+  /// Precompiled RO-εNFA (Lemma 3.17) when method == kLocalFlow, so each
+  /// ComputeResilienceWithPlan call skips straight to the Thm 3.13 product.
+  std::optional<Enfa> ro_enfa;
+};
+
+/// Derives the kAuto dispatch plan for `lang`. Plans are a kAuto notion:
+/// `options.method` must be kAuto (InvalidArgument otherwise). With
+/// `options.allow_exponential` false, Unimplemented when no polynomial
+/// solver applies.
+Result<ResiliencePlan> PlanResilience(const Language& lang,
+                                      const ResilienceOptions& options = {});
+
+/// Like PlanResilience but takes the precomputed IF(L) — the engine's
+/// entry point, which already derived IF(L) for classification.
+Result<ResiliencePlan> PlanResilienceWithIF(
+    Language ifl, const ResilienceOptions& options = {});
+
+/// Computes RES(Q_L, D) by executing a precompiled plan. Equivalent to
+/// ComputeResilience(lang, db, semantics) with kAuto, minus all per-query
+/// work (parse, determinize, IF, classification, RO-εNFA construction).
+Result<ResilienceResult> ComputeResilienceWithPlan(const ResiliencePlan& plan,
+                                                   const GraphDb& db,
+                                                   Semantics semantics);
 
 /// Decision variant (Section 2 problem statement): RES(Q_L, D) <= k?
 Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,

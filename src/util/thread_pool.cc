@@ -1,0 +1,96 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rpqres {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  // Dynamic index hand-out: one shared counter, one task per worker.
+  // Completion is tracked per call (not via the pool-global counter), so
+  // concurrent ParallelFor calls don't block on each other's work.
+  struct CallState {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t remaining = 0;  // indices not yet completed; guarded by mu
+  };
+  auto state = std::make_shared<CallState>();
+  state->remaining = n;
+  int tasks = static_cast<int>(
+      std::min<int64_t>(n, static_cast<int64_t>(num_threads())));
+  for (int t = 0; t < tasks; ++t) {
+    Submit([state, n, &fn] {
+      int64_t completed = 0;
+      for (int64_t i = state->next.fetch_add(1); i < n;
+           i = state->next.fetch_add(1)) {
+        fn(i);
+        ++completed;
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->remaining -= completed;
+      if (state->remaining == 0) state->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->remaining == 0; });
+}
+
+int ThreadPool::DefaultNumThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace rpqres

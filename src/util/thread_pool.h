@@ -1,0 +1,72 @@
+// rpqres — util/thread_pool: a small fixed-size worker pool.
+//
+// Built for the engine's batch API: many independent (query, database)
+// resilience instances dispatched across a handful of threads. Tasks are
+// plain std::function<void()>; result hand-off is the caller's business
+// (the engine writes into pre-sized slots, so no futures are needed).
+// Exceptions must not escape tasks — library code reports errors through
+// Status, never throws across boundaries (see util/status.h).
+
+#ifndef RPQRES_UTIL_THREAD_POOL_H_
+#define RPQRES_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rpqres {
+
+/// A fixed pool of worker threads consuming a FIFO task queue.
+///
+/// Thread-safe: Submit/ParallelFor/Wait may be called from any thread
+/// (including from inside a task, except Wait/ParallelFor which would
+/// deadlock there). The destructor drains the queue, then joins.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(0) ... fn(n - 1) across the pool and blocks until all are
+  /// done. Indices are handed out dynamically, so uneven per-index costs
+  /// balance. Waits only for its own indices (unlike Wait), so concurrent
+  /// ParallelFor calls don't block on each other's work. With
+  /// num_threads() == 1 this degenerates to a serial loop on the single
+  /// worker — results must therefore never depend on execution order.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Default worker count: hardware concurrency clamped to [1, 8] — the
+  /// engine's instances are memory-bound flow solves, more threads than
+  /// cores just thrash.
+  static int DefaultNumThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // queued + currently executing tasks
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_UTIL_THREAD_POOL_H_

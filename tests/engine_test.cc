@@ -1,0 +1,310 @@
+// Tests for the compiled-query resilience engine: plan-cache hit/miss
+// semantics and eviction, cached-compile speedup, batch results matching
+// per-call ComputeResilience, thread-pool determinism of values, and the
+// plan API underneath (PlanResilience / ComputeResilienceWithPlan).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graphdb/generators.h"
+#include "graphdb/graph_db.h"
+#include "lang/language.h"
+#include "resilience/resilience.h"
+#include "util/rng.h"
+
+namespace rpqres {
+namespace {
+
+double MicrosOf(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+TEST(PlanCacheTest, MissThenHitReturnsSamePlan) {
+  ResilienceEngine engine;
+  auto first = engine.Compile("ax*b", Semantics::kBag);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = engine.Compile("ax*b", Semantics::kBag);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->get(), second->get()) << "hit must return the same plan";
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.compilations, 1);
+  EXPECT_EQ(stats.cache_misses, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+}
+
+TEST(PlanCacheTest, SemanticsIsPartOfTheKey) {
+  ResilienceEngine engine;
+  auto bag = engine.Compile("ax*b", Semantics::kBag);
+  auto set = engine.Compile("ax*b", Semantics::kSet);
+  ASSERT_TRUE(bag.ok() && set.ok());
+  EXPECT_NE(bag->get(), set->get());
+  EXPECT_EQ(engine.stats().compilations, 2);
+}
+
+TEST(PlanCacheTest, LruEviction) {
+  EngineOptions options;
+  options.plan_cache_capacity = 2;
+  ResilienceEngine engine(options);
+  ASSERT_TRUE(engine.Compile("ab", Semantics::kSet).ok());
+  ASSERT_TRUE(engine.Compile("bc", Semantics::kSet).ok());
+  // Touch "ab" so "bc" is the LRU entry, then insert a third plan.
+  ASSERT_TRUE(engine.Compile("ab", Semantics::kSet).ok());
+  ASSERT_TRUE(engine.Compile("cd", Semantics::kSet).ok());
+
+  EXPECT_EQ(engine.stats().cache_evictions, 1);
+  // "ab" survived, "bc" was evicted.
+  ASSERT_TRUE(engine.Compile("ab", Semantics::kSet).ok());
+  EXPECT_EQ(engine.stats().compilations, 3);
+  ASSERT_TRUE(engine.Compile("bc", Semantics::kSet).ok());
+  EXPECT_EQ(engine.stats().compilations, 4);
+}
+
+TEST(PlanCacheTest, CachedCompileIsMeasurablyFasterThanFirst) {
+  // The acceptance check of the engine's raison d'être: the second
+  // compilation of the same regex is a cache lookup, orders of magnitude
+  // below a full parse + determinize + classify + plan. "ab|bc|ca" walks
+  // the whole classification pipeline before landing NP-hard.
+  ResilienceEngine engine;
+  double cold_micros = MicrosOf([&engine] {
+    ASSERT_TRUE(engine.Compile("ab|bc|ca", Semantics::kSet).ok());
+  });
+  double cached_min_micros = cold_micros;
+  for (int i = 0; i < 64; ++i) {
+    cached_min_micros = std::min(cached_min_micros, MicrosOf([&engine] {
+      ASSERT_TRUE(engine.Compile("ab|bc|ca", Semantics::kSet).ok());
+    }));
+  }
+  EXPECT_LT(2 * cached_min_micros, cold_micros)
+      << "cached compile (" << cached_min_micros
+      << "us) not measurably faster than cold compile (" << cold_micros
+      << "us)";
+  EXPECT_EQ(engine.stats().compilations, 1);
+  EXPECT_EQ(engine.stats().cache_hits, 64);
+}
+
+// The core workload matrix reused by the batch tests: one query per
+// dispatch path (local, BCL, one-dangling, exact fallback).
+struct Workload {
+  std::vector<std::string> regexes;
+  std::vector<GraphDb> dbs;
+  std::vector<QueryInstance> instances;  // all (regex, db) pairs, bag
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  w.regexes = {"ax*b", "ab|bc", "abc|be", "ab|bc|ca"};
+  Rng rng(7);
+  w.dbs.push_back(LayeredFlowDb(&rng, 3, 3, 4, 3, 0.5, 5));
+  w.dbs.push_back(WordSoupDb(&rng, {"ab", "bc", "abc", "be"}, 6,
+                             {'a', 'b', 'c', 'e', 'x'}, 10, 4));
+  w.dbs.push_back(RandomGraphDb(&rng, 7, 16, {'a', 'b', 'c', 'e', 'x'}, 3));
+  for (const std::string& regex : w.regexes) {
+    for (const GraphDb& db : w.dbs) {
+      w.instances.push_back(QueryInstance{regex, &db, Semantics::kBag});
+    }
+  }
+  return w;
+}
+
+TEST(EngineBatchTest, BatchResultsMatchPerCallComputeResilience) {
+  Workload w = MakeWorkload();
+  ResilienceEngine engine;
+  std::vector<InstanceOutcome> outcomes = engine.RunBatch(w.instances);
+  ASSERT_EQ(outcomes.size(), w.instances.size());
+
+  for (size_t i = 0; i < w.instances.size(); ++i) {
+    const QueryInstance& instance = w.instances[i];
+    SCOPED_TRACE(instance.regex + " on db " + std::to_string(i));
+    ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status;
+
+    Language lang = Language::MustFromRegexString(instance.regex);
+    Result<ResilienceResult> direct =
+        ComputeResilience(lang, *instance.db, instance.semantics);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    EXPECT_EQ(outcomes[i].result.infinite, direct->infinite);
+    EXPECT_EQ(outcomes[i].result.value, direct->value);
+    // The batch witness must independently verify against the database.
+    EXPECT_EQ(VerifyResilienceResult(lang, *instance.db, instance.semantics,
+                                     outcomes[i].result),
+              Status::OK());
+  }
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.instances_run,
+            static_cast<int64_t>(w.instances.size()));
+  EXPECT_EQ(stats.compilations,
+            static_cast<int64_t>(w.regexes.size()));
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_EQ(stats.batches_run, 1);
+}
+
+TEST(EngineBatchTest, ValuesAreDeterministicAcrossRunsAndThreadCounts) {
+  Workload w = MakeWorkload();
+
+  EngineOptions parallel_options;
+  parallel_options.num_threads = 4;
+  ResilienceEngine parallel_engine(parallel_options);
+  std::vector<InstanceOutcome> run1 = parallel_engine.RunBatch(w.instances);
+  std::vector<InstanceOutcome> run2 = parallel_engine.RunBatch(w.instances);
+
+  EngineOptions serial_options;
+  serial_options.num_threads = 1;
+  ResilienceEngine serial_engine(serial_options);
+  std::vector<InstanceOutcome> serial = serial_engine.RunBatch(w.instances);
+
+  ASSERT_EQ(run1.size(), w.instances.size());
+  for (size_t i = 0; i < run1.size(); ++i) {
+    SCOPED_TRACE("instance " + std::to_string(i));
+    ASSERT_TRUE(run1[i].status.ok());
+    EXPECT_EQ(run1[i].result.value, run2[i].result.value);
+    EXPECT_EQ(run1[i].result.infinite, run2[i].result.infinite);
+    EXPECT_EQ(run1[i].result.contingency, run2[i].result.contingency);
+    EXPECT_EQ(run1[i].result.value, serial[i].result.value);
+    EXPECT_EQ(run1[i].result.contingency, serial[i].result.contingency);
+  }
+}
+
+TEST(EngineBatchTest, SecondBatchIsAllCacheHits) {
+  Workload w = MakeWorkload();
+  ResilienceEngine engine;
+  engine.RunBatch(w.instances);
+  int64_t compilations_after_first = engine.stats().compilations;
+  engine.RunBatch(w.instances);
+  EXPECT_EQ(engine.stats().compilations, compilations_after_first);
+  EXPECT_GT(engine.stats().cache_hits, 0);
+}
+
+TEST(EngineBatchTest, InvalidRegexFailsItsInstanceOnly) {
+  Rng rng(3);
+  GraphDb db = RandomGraphDb(&rng, 4, 6, {'a', 'b'}, 1);
+  std::vector<QueryInstance> instances = {
+      {"ab", &db, Semantics::kSet},
+      {"(((", &db, Semantics::kSet},
+      {"ab", &db, Semantics::kSet},
+  };
+  ResilienceEngine engine;
+  std::vector<InstanceOutcome> outcomes = engine.RunBatch(instances);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_FALSE(outcomes[1].status.ok());
+  EXPECT_TRUE(outcomes[2].status.ok());
+  EXPECT_EQ(engine.stats().errors, 1);
+}
+
+TEST(EngineRunTest, SingleRunMatchesDirectCompute) {
+  Rng rng(11);
+  GraphDb db = LayeredFlowDb(&rng, 2, 3, 3, 2, 0.6, 4);
+  ResilienceEngine engine;
+  InstanceOutcome outcome =
+      engine.Run(QueryInstance{"ax*b", &db, Semantics::kBag});
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+
+  Result<ResilienceResult> direct = ComputeResilience(
+      Language::MustFromRegexString("ax*b"), db, Semantics::kBag);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(outcome.result.value, direct->value);
+  EXPECT_FALSE(outcome.stats.cache_hit);
+  EXPECT_GT(outcome.stats.compile_micros, 0);
+  EXPECT_EQ(outcome.stats.complexity, "PTIME");
+  EXPECT_EQ(outcome.stats.algorithm, "local flow (Thm 3.13)");
+  EXPECT_GT(outcome.stats.network_vertices, 0);
+
+  // Second run of the same query: cache hit, no compile cost attributed.
+  InstanceOutcome again =
+      engine.Run(QueryInstance{"ax*b", &db, Semantics::kBag});
+  EXPECT_TRUE(again.stats.cache_hit);
+  EXPECT_EQ(again.stats.compile_micros, 0);
+  EXPECT_EQ(again.result.value, outcome.result.value);
+}
+
+TEST(EngineRunTest, TrivialAndErrorPlans) {
+  GraphDb db = PathDb("ab");
+  ResilienceEngine engine;
+
+  // ε ∈ L: infinite resilience, no solver needed.
+  InstanceOutcome inf = engine.Run(QueryInstance{"a*", &db, Semantics::kSet});
+  ASSERT_TRUE(inf.status.ok()) << inf.status;
+  EXPECT_TRUE(inf.result.infinite);
+
+  // NP-hard query with the exponential fallback disabled: the instance
+  // fails at compile time with Unimplemented.
+  EngineOptions no_exp;
+  no_exp.allow_exponential = false;
+  ResilienceEngine strict_engine(no_exp);
+  InstanceOutcome hard =
+      strict_engine.Run(QueryInstance{"ab|bc|ca", &db, Semantics::kSet});
+  EXPECT_FALSE(hard.status.ok());
+  EXPECT_EQ(hard.status.code(), StatusCode::kUnimplemented);
+}
+
+TEST(EngineCompiledQueryTest, ExposesClassificationAndPlan) {
+  ResilienceEngine engine;
+  auto compiled = engine.Compile("ax*b", Semantics::kBag);
+  ASSERT_TRUE(compiled.ok());
+  const CompiledQuery& q = **compiled;
+  EXPECT_EQ(q.regex, "ax*b");
+  EXPECT_EQ(q.semantics, Semantics::kBag);
+  EXPECT_EQ(q.classification.complexity, ComplexityClass::kPtime);
+  EXPECT_EQ(q.plan.method, ResilienceMethod::kLocalFlow);
+  EXPECT_TRUE(q.plan.ro_enfa.has_value());
+  EXPECT_GT(q.compile_micros, 0);
+
+  // The compiled plan is directly executable against any database.
+  Rng rng(5);
+  GraphDb db = LayeredFlowDb(&rng, 2, 2, 3, 2, 0.5, 3);
+  InstanceOutcome outcome = engine.Run(q, db);
+  ASSERT_TRUE(outcome.status.ok());
+  Result<ResilienceResult> direct = ComputeResilience(
+      Language::MustFromRegexString("ax*b"), db, Semantics::kBag);
+  EXPECT_EQ(outcome.result.value, direct->value);
+}
+
+TEST(ResiliencePlanTest, PlanApiMatchesAutoDispatch) {
+  struct Case {
+    const char* regex;
+    ResilienceMethod method;
+  };
+  for (const Case& c : std::vector<Case>{
+           {"ax*b", ResilienceMethod::kLocalFlow},
+           {"ab|bc", ResilienceMethod::kBclFlow},
+           {"abc|be", ResilienceMethod::kOneDanglingFlow},
+           {"ab|bc|ca", ResilienceMethod::kExact},
+       }) {
+    SCOPED_TRACE(c.regex);
+    Language lang = Language::MustFromRegexString(c.regex);
+    Result<ResiliencePlan> plan = PlanResilience(lang);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_EQ(plan->method, c.method);
+
+    Rng rng(23);
+    GraphDb db =
+        RandomGraphDb(&rng, 6, 14, {'a', 'b', 'c', 'e', 'x'}, 2);
+    Result<ResilienceResult> via_plan =
+        ComputeResilienceWithPlan(*plan, db, Semantics::kBag);
+    Result<ResilienceResult> via_auto =
+        ComputeResilience(lang, db, Semantics::kBag);
+    ASSERT_TRUE(via_plan.ok() && via_auto.ok());
+    EXPECT_EQ(via_plan->value, via_auto->value);
+    EXPECT_EQ(via_plan->infinite, via_auto->infinite);
+  }
+}
+
+TEST(ResiliencePlanTest, ForcedMethodIsRejected) {
+  ResilienceOptions options;
+  options.method = ResilienceMethod::kExact;
+  Result<ResiliencePlan> plan =
+      PlanResilience(Language::MustFromRegexString("ab"), options);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rpqres

@@ -1,0 +1,116 @@
+// Tests for util/thread_pool: task execution, Wait, ParallelFor coverage,
+// and cross-thread submission.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace rpqres {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait: the destructor must run the backlog before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSmallRanges) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](int64_t) { FAIL() << "no indices expected"; });
+
+  std::atomic<int> count{0};
+  pool.ParallelFor(2, [&count](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForIsReusable) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(10, [&sum](int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 5 * 45);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsCompleteIndependently) {
+  ThreadPool pool(4);
+  std::atomic<int> a{0}, b{0};
+  std::thread t1(
+      [&] { pool.ParallelFor(200, [&a](int64_t) { a.fetch_add(1); }); });
+  std::thread t2(
+      [&] { pool.ParallelFor(200, [&b](int64_t) { b.fetch_add(1); }); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 200);
+  EXPECT_EQ(b.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitFromMultipleThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < 25; ++i) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsIsBounded) {
+  int n = ThreadPool::DefaultNumThreads();
+  EXPECT_GE(n, 1);
+  EXPECT_LE(n, 8);
+}
+
+}  // namespace
+}  // namespace rpqres
