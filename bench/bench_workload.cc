@@ -1,0 +1,217 @@
+// rpqres — bench/bench_workload: the differential-oracle fuzz CLI.
+//
+// Default mode runs the class-stratified workload sweep (plan vs exact
+// solver on every instance, brute-force cross-check on tiny ones), prints
+// a per-class summary, writes BENCH_workload.json, and exits nonzero if
+// any mismatch survived — each mismatch prints a one-line replay command.
+//
+//   bench_workload [--seed N] [--per-class N] [--threads N]
+//                  [--size-class 0|1|2] [--no-minimize] [--out PATH]
+//   bench_workload --replay SEED   # rebuild + re-judge one instance
+//
+// The JSON report follows the BENCH_engine.json conventions (flat schema,
+// no external dependencies).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "workload/differential_oracle.h"
+
+namespace rpqres {
+namespace {
+
+using workload::DifferentialOracle;
+using workload::OracleClassReport;
+using workload::OracleMismatch;
+using workload::OracleOptions;
+using workload::OracleReport;
+using workload::QueryClassName;
+using workload::WorkloadInstance;
+
+std::string SemanticsName(Semantics semantics) {
+  return semantics == Semantics::kSet ? "set" : "bag";
+}
+
+std::string ReportToJson(const DifferentialOracle& oracle,
+                         const OracleReport& report) {
+  using bench::JsonEscape;
+  std::string json = "{\n";
+  json += "  \"schema\": \"rpqres_workload_fuzz_v1\",\n";
+  json += "  \"base_seed\": " + std::to_string(oracle.options().base_seed) +
+          ",\n";
+  json += "  \"instances_per_class\": " +
+          std::to_string(oracle.options().instances_per_class) + ",\n";
+  json += "  \"instances\": " + std::to_string(report.instances) + ",\n";
+  json += "  \"generation_failures\": " +
+          std::to_string(report.generation_failures) + ",\n";
+  json += "  \"inconclusive\": " + std::to_string(report.inconclusive) +
+          ",\n";
+  json += "  \"mismatches\": " + std::to_string(report.mismatches.size()) +
+          ",\n";
+  json += "  \"wall_ms\": " + std::to_string(report.wall_micros / 1000.0) +
+          ",\n";
+  json += "  \"classes\": [\n";
+  for (size_t i = 0; i < report.per_class.size(); ++i) {
+    const OracleClassReport& c = report.per_class[i];
+    json += "    {\"class\": \"" + std::string(QueryClassName(c.query_class)) +
+            "\", \"instances\": " + std::to_string(c.instances) +
+            ", \"mismatches\": " + std::to_string(c.mismatches) +
+            ", \"generation_failures\": " +
+            std::to_string(c.generation_failures) +
+            ", \"brute_force_checked\": " +
+            std::to_string(c.brute_force_checked) +
+            ", \"inconclusive\": " + std::to_string(c.inconclusive) +
+            ", \"wall_ms\": " + std::to_string(c.wall_micros / 1000.0) +
+            ", \"by_algorithm\": {";
+    bool first = true;
+    for (const auto& [algorithm, count] : c.by_algorithm) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + JsonEscape(algorithm) + "\": " + std::to_string(count);
+    }
+    json += "}}";
+    json += i + 1 < report.per_class.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"mismatch_details\": [\n";
+  for (size_t i = 0; i < report.mismatches.size(); ++i) {
+    const OracleMismatch& m = report.mismatches[i];
+    json += "    {\"seed\": " + std::to_string(m.seed) + ", \"class\": \"" +
+            QueryClassName(m.query_class) + "\", \"regex\": \"" +
+            JsonEscape(m.regex) + "\", \"semantics\": \"" +
+            SemanticsName(m.semantics) + "\", \"detail\": \"" +
+            JsonEscape(m.detail) + "\", \"replay\": \"" +
+            JsonEscape(m.replay) + "\", \"minimized_facts\": " +
+            std::to_string(m.minimized_facts) + ", \"minimized_db\": \"" +
+            JsonEscape(m.minimized_db) + "\"}";
+    json += i + 1 < report.mismatches.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n";
+  json += "}\n";
+  return json;
+}
+
+void PrintReport(const OracleReport& report) {
+  std::printf("%-14s %10s %10s %10s %10s %10s %10s\n", "class", "instances",
+              "mismatch", "gen-fail", "brute-ck", "inconcl", "wall-ms");
+  for (const OracleClassReport& c : report.per_class) {
+    std::printf("%-14s %10d %10d %10d %10d %10d %10.1f\n",
+                QueryClassName(c.query_class), c.instances, c.mismatches,
+                c.generation_failures, c.brute_force_checked, c.inconclusive,
+                c.wall_micros / 1000.0);
+  }
+  std::printf("total: %lld instances, %zu mismatches, %lld inconclusive, "
+              "%.1f ms\n",
+              static_cast<long long>(report.instances),
+              report.mismatches.size(),
+              static_cast<long long>(report.inconclusive),
+              report.wall_micros / 1000.0);
+  for (const OracleMismatch& m : report.mismatches) {
+    std::printf("MISMATCH seed=%llu class=%s regex=%s semantics=%s: %s\n",
+                static_cast<unsigned long long>(m.seed),
+                QueryClassName(m.query_class), m.regex.c_str(),
+                SemanticsName(m.semantics).c_str(), m.detail.c_str());
+    std::printf("  replay: %s\n", m.replay.c_str());
+    std::printf("  minimized counterexample (%d facts):\n%s\n",
+                m.minimized_facts, m.minimized_db.c_str());
+  }
+}
+
+int Replay(DifferentialOracle& oracle, uint64_t seed) {
+  Result<WorkloadInstance> instance = oracle.BuildInstance(seed);
+  if (!instance.ok()) {
+    std::printf("seed %llu does not derive an instance: %s\n",
+                static_cast<unsigned long long>(seed),
+                instance.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", DescribeInstance(*instance).c_str());
+  std::printf("classification: %s\n",
+              instance->query.classification.rule.c_str());
+  std::printf("database:\n%s\n", instance->db.ToString().c_str());
+  OracleReport report = oracle.RunSeeds({seed});
+  PrintReport(report);
+  return report.clean() ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  OracleOptions options;
+  std::string out_path = "BENCH_workload.json";
+  bool replay = false;
+  uint64_t replay_seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      options.base_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--per-class") {
+      options.instances_per_class = std::atoi(next());
+    } else if (arg == "--threads") {
+      options.engine.num_threads = std::atoi(next());
+    } else if (arg == "--size-class") {
+      options.workload.db.size_class = std::atoi(next());
+    } else if (arg == "--no-minimize") {
+      options.minimize_counterexamples = false;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--replay") {
+      replay = true;
+      replay_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_workload [--seed N] [--per-class N] [--threads N]\n"
+          "                      [--size-class 0|1|2] [--no-minimize]\n"
+          "                      [--out PATH] | --replay SEED\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (options.instances_per_class < 1) {
+    std::fprintf(stderr, "--per-class must be >= 1\n");
+    return 2;
+  }
+  if (options.engine.num_threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  if (options.workload.db.size_class < 0 ||
+      options.workload.db.size_class > 2) {
+    std::fprintf(stderr, "--size-class must be 0, 1, or 2\n");
+    return 2;
+  }
+
+  DifferentialOracle oracle(options);
+  if (replay) return Replay(oracle, replay_seed);
+
+  OracleReport report = oracle.RunAll();
+  PrintReport(report);
+  std::string json = ReportToJson(oracle, report);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rpqres
+
+int main(int argc, char** argv) { return rpqres::Main(argc, argv); }

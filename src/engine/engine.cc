@@ -68,17 +68,11 @@ InstanceOutcome ResilienceEngine::Run(const CompiledQuery& query,
   return Execute(query, db, /*cache_hit=*/true, /*compile_micros=*/0);
 }
 
-std::vector<InstanceOutcome> ResilienceEngine::RunBatch(
-    std::span<const QueryInstance> instances) {
-  // Phase 1 (serial): compile each distinct (regex, semantics) once.
-  // first_compile marks the instance that pays the compile, so per-
-  // instance attribution matches what sequential Run calls would report.
-  struct PlanSlot {
-    Result<std::shared_ptr<const CompiledQuery>> compiled{nullptr};
-    bool was_resident = false;
-  };
+std::map<std::pair<std::string, Semantics>, ResilienceEngine::PlanSlot>
+ResilienceEngine::CompileDistinct(std::span<const QueryInstance> instances,
+                                  std::vector<bool>* first_compile) {
   std::map<std::pair<std::string, Semantics>, PlanSlot> plans;
-  std::vector<bool> first_compile(instances.size(), false);
+  first_compile->assign(instances.size(), false);
   for (size_t i = 0; i < instances.size(); ++i) {
     const QueryInstance& instance = instances[i];
     auto key = std::make_pair(instance.regex, instance.semantics);
@@ -86,9 +80,18 @@ std::vector<InstanceOutcome> ResilienceEngine::RunBatch(
     PlanSlot slot;
     slot.compiled = CompileInternal(instance.regex, instance.semantics,
                                     &slot.was_resident);
-    first_compile[i] = !slot.was_resident;
+    (*first_compile)[i] = !slot.was_resident;
     plans.emplace(std::move(key), std::move(slot));
   }
+  return plans;
+}
+
+std::vector<InstanceOutcome> ResilienceEngine::RunBatch(
+    std::span<const QueryInstance> instances) {
+  // Phase 1 (serial): compile each distinct (regex, semantics) once.
+  std::vector<bool> first_compile;
+  std::map<std::pair<std::string, Semantics>, PlanSlot> plans =
+      CompileDistinct(instances, &first_compile);
 
   // Phase 2 (parallel): every instance already has a plan; solve.
   std::vector<InstanceOutcome> outcomes(instances.size());
@@ -114,6 +117,126 @@ std::vector<InstanceOutcome> ResilienceEngine::RunBatch(
   return outcomes;
 }
 
+void JudgeDifferential(const Language& lang, const GraphDb& db,
+                       Semantics semantics, DifferentialOutcome* outcome) {
+  outcome->agree = false;
+  outcome->inconclusive = false;
+  outcome->mismatch.clear();
+  const Status& ps = outcome->primary.status;
+  const Status& rs = outcome->reference.status;
+  // Budget exhaustion on either side means no answer to compare.
+  if (ps.code() == StatusCode::kOutOfRange ||
+      rs.code() == StatusCode::kOutOfRange) {
+    outcome->inconclusive = true;
+    return;
+  }
+  if (!ps.ok() && !rs.ok()) {
+    // Both paths refused (e.g. exponential fallback disabled): agreement,
+    // unless they refused for different reasons.
+    if (ps.code() == rs.code()) {
+      outcome->agree = true;
+    } else {
+      outcome->mismatch = "error divergence: primary " + ps.ToString() +
+                          " vs reference " + rs.ToString();
+    }
+    return;
+  }
+  if (!ps.ok() || !rs.ok()) {
+    outcome->mismatch = "status divergence: primary " + ps.ToString() +
+                        " vs reference " + rs.ToString();
+    return;
+  }
+  const ResilienceResult& p = outcome->primary.result;
+  const ResilienceResult& r = outcome->reference.result;
+  if (p.infinite != r.infinite) {
+    outcome->mismatch =
+        "infinite divergence: primary=" + std::to_string(p.infinite) + " (" +
+        p.algorithm + ") vs reference=" + std::to_string(r.infinite) + " (" +
+        r.algorithm + ")";
+    return;
+  }
+  if (!p.infinite && p.value != r.value) {
+    outcome->mismatch = "value divergence: primary=" + std::to_string(p.value) +
+                        " (" + p.algorithm +
+                        ") vs reference=" + std::to_string(r.value) + " (" +
+                        r.algorithm + ")";
+    return;
+  }
+  Status primary_witness = VerifyResilienceResult(lang, db, semantics, p);
+  if (!primary_witness.ok()) {
+    outcome->mismatch =
+        "primary witness invalid (" + p.algorithm + "): " +
+        primary_witness.message();
+    return;
+  }
+  Status reference_witness = VerifyResilienceResult(lang, db, semantics, r);
+  if (!reference_witness.ok()) {
+    outcome->mismatch =
+        "reference witness invalid (" + r.algorithm + "): " +
+        reference_witness.message();
+    return;
+  }
+  outcome->agree = true;
+}
+
+std::vector<DifferentialOutcome> ResilienceEngine::RunDifferential(
+    std::span<const QueryInstance> instances) {
+  std::vector<bool> first_compile;
+  std::map<std::pair<std::string, Semantics>, PlanSlot> plans =
+      CompileDistinct(instances, &first_compile);
+
+  std::vector<DifferentialOutcome> outcomes(instances.size());
+  pool_.ParallelFor(
+      static_cast<int64_t>(instances.size()), [&](int64_t i) {
+        const QueryInstance& instance = instances[i];
+        DifferentialOutcome& outcome = outcomes[i];
+        const PlanSlot& slot = plans.at({instance.regex, instance.semantics});
+        if (!slot.compiled.ok()) {
+          outcome.primary.status = slot.compiled.status();
+          outcome.reference.status = slot.compiled.status();
+          outcome.mismatch =
+              "compile failed: " + slot.compiled.status().ToString();
+          RecordInstance(outcome.primary);
+          return;
+        }
+        const CompiledQuery& query = **slot.compiled;
+        outcome.primary =
+            Execute(query, *instance.db,
+                    /*cache_hit=*/!first_compile[i],
+                    first_compile[i] ? query.compile_micros : 0);
+
+        // Reference: the exponential exact solver on the original
+        // language, bypassing plan dispatch entirely.
+        ExactOptions reference_options;
+        reference_options.max_search_nodes = options_.max_exact_search_nodes;
+        auto start = std::chrono::steady_clock::now();
+        Result<ResilienceResult> reference = SolveExactResilience(
+            query.language, *instance.db, query.semantics, reference_options);
+        outcome.reference.stats.solve_micros = MicrosSince(start);
+        if (!reference.ok()) {
+          outcome.reference.status = reference.status();
+        } else {
+          outcome.reference.result = *std::move(reference);
+          outcome.reference.stats.algorithm =
+              outcome.reference.result.algorithm;
+          outcome.reference.stats.search_nodes =
+              outcome.reference.result.search_nodes;
+        }
+        JudgeDifferential(query.language, *instance.db, query.semantics,
+                          &outcome);
+      });
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.batches_run;
+  for (const DifferentialOutcome& outcome : outcomes) {
+    ++stats_.differentials_run;
+    if (!outcome.agree && !outcome.inconclusive) {
+      ++stats_.differential_mismatches;
+    }
+  }
+  return outcomes;
+}
+
 InstanceOutcome ResilienceEngine::Execute(const CompiledQuery& query,
                                           const GraphDb& db, bool cache_hit,
                                           double compile_micros) {
@@ -124,9 +247,11 @@ InstanceOutcome ResilienceEngine::Execute(const CompiledQuery& query,
   outcome.stats.cache_hit = cache_hit;
   outcome.stats.compile_micros = compile_micros;
 
+  ExactOptions exact_options;
+  exact_options.max_search_nodes = options_.max_exact_search_nodes;
   auto start = std::chrono::steady_clock::now();
   Result<ResilienceResult> result =
-      ComputeResilienceWithPlan(query.plan, db, query.semantics);
+      ComputeResilienceWithPlan(query.plan, db, query.semantics, exact_options);
   outcome.stats.solve_micros = MicrosSince(start);
   if (!result.ok()) {
     outcome.status = result.status();

@@ -20,10 +20,12 @@
 #ifndef RPQRES_ENGINE_ENGINE_H_
 #define RPQRES_ENGINE_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/compiled_query.h"
@@ -44,6 +46,11 @@ struct EngineOptions {
   /// Forwarded to CompileQuery / plan selection.
   bool allow_exponential = true;
   int max_word_length = 12;
+  /// Branch-and-bound node budget when an instance routes to the exact
+  /// solver (both the plan side and RunDifferential's reference side).
+  /// Exceeding it yields OutOfRange — RunDifferential reports such pairs
+  /// as inconclusive, not as mismatches.
+  uint64_t max_exact_search_nodes = 50'000'000;
 };
 
 /// One unit of batch work: evaluate RES(Q_regex, *db) under `semantics`.
@@ -61,6 +68,31 @@ struct InstanceOutcome {
   ResilienceResult result;
   InstanceStats stats;
 };
+
+/// One instance run both ways: the compiled kAuto plan (primary) against
+/// the independent exponential exact solver (reference), with the
+/// comparison verdict. `agree` requires matching values/infiniteness AND
+/// both witness contingency sets verifying against the database (their
+/// removal really falsifies the query); `mismatch` is a one-line
+/// explanation, empty iff `agree`.
+struct DifferentialOutcome {
+  InstanceOutcome primary;
+  InstanceOutcome reference;
+  bool agree = false;
+  /// True when a side exhausted its exact-solver budget (OutOfRange):
+  /// nobody produced a refutable answer, so the pair is neither agreement
+  /// nor mismatch. `agree` is false and `mismatch` empty in that case.
+  bool inconclusive = false;
+  std::string mismatch;
+};
+
+/// Fills `outcome->agree` / `outcome->mismatch` from the two results plus
+/// witness verification against (lang, db, semantics). Both-errored pairs
+/// agree iff the status codes match. Exposed so the workload oracle's
+/// counterexample minimizer can re-judge shrunken databases outside the
+/// engine.
+void JudgeDifferential(const Language& lang, const GraphDb& db,
+                       Semantics semantics, DifferentialOutcome* outcome);
 
 /// The engine. Thread-safe: Compile/Run/RunBatch may be called
 /// concurrently from multiple threads; a RunBatch call additionally
@@ -89,6 +121,15 @@ class ResilienceEngine {
   std::vector<InstanceOutcome> RunBatch(
       std::span<const QueryInstance> instances);
 
+  /// Differential batch mode: every instance is solved twice — once
+  /// through the compiled plan (sharing the plan cache with Run/RunBatch)
+  /// and once through the exact reference solver — across the thread
+  /// pool, and the two answers are judged (JudgeDifferential). Reference
+  /// solves are NOT recorded in per-instance aggregate stats; the
+  /// differentials_run / differential_mismatches counters track them.
+  std::vector<DifferentialOutcome> RunDifferential(
+      std::span<const QueryInstance> instances);
+
   /// Aggregate counters snapshot (cache_* reflect the plan cache).
   EngineStats stats() const;
   void ResetStats();
@@ -101,6 +142,18 @@ class ResilienceEngine {
   /// plan was already resident.
   Result<std::shared_ptr<const CompiledQuery>> CompileInternal(
       const std::string& regex, Semantics semantics, bool* was_cache_hit);
+
+  /// Serial phase 1 shared by RunBatch/RunDifferential: compiles each
+  /// distinct (regex, semantics) once. first_compile[i] marks the
+  /// instance that pays the compile, so per-instance attribution matches
+  /// what sequential Run calls would report.
+  struct PlanSlot {
+    Result<std::shared_ptr<const CompiledQuery>> compiled{nullptr};
+    bool was_resident = false;
+  };
+  std::map<std::pair<std::string, Semantics>, PlanSlot> CompileDistinct(
+      std::span<const QueryInstance> instances,
+      std::vector<bool>* first_compile);
 
   /// Solve step shared by all entry points; records into stats_.
   InstanceOutcome Execute(const CompiledQuery& query, const GraphDb& db,

@@ -49,6 +49,10 @@ struct EngineStats {
   int64_t cache_evictions = 0;
   /// Instances that ended in a non-OK status.
   int64_t errors = 0;
+  /// RunDifferential pairs judged, and how many disagreed (either value
+  /// divergence or an invalid witness on either side).
+  int64_t differentials_run = 0;
+  int64_t differential_mismatches = 0;
   double total_compile_micros = 0;
   double total_solve_micros = 0;
   /// Instance counts by solver algorithm string.

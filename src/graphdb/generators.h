@@ -48,6 +48,45 @@ GraphDb DanglingPairsDb(Rng* rng, int num_nodes, int base_facts,
                         const std::vector<char>& base_labels, char x, char y,
                         int pair_count, Capacity max_multiplicity = 1);
 
+/// A single directed chain of `length` facts with labels drawn uniformly
+/// from `labels` (the random-label generalization of PathDb).
+GraphDb RandomChainDb(Rng* rng, int length, const std::vector<char>& labels,
+                      Capacity max_multiplicity = 1);
+
+/// A directed cycle of `length` facts with labels drawn uniformly from
+/// `labels`. Cycles are where set and bag semantics, and walk- vs
+/// match-based solvers, diverge most readily (walks may wind).
+GraphDb CycleDb(Rng* rng, int length, const std::vector<char>& labels,
+                Capacity max_multiplicity = 1);
+
+/// A `rows` x `cols` grid with right- and down-edges, labels drawn
+/// uniformly from `labels`.
+GraphDb GridDb(Rng* rng, int rows, int cols, const std::vector<char>& labels,
+               Capacity max_multiplicity = 1);
+
+/// A layered DAG: `layers` columns of `width` nodes, edges only between
+/// consecutive columns with probability `density` (at least one out-edge
+/// per non-final node), labels drawn uniformly from `labels`. Unlike
+/// LayeredFlowDb there are no a/b source/sink stubs — all labels random.
+GraphDb DagLayersDb(Rng* rng, int layers, int width, double density,
+                    const std::vector<char>& labels,
+                    Capacity max_multiplicity = 1);
+
+/// A scale-free graph by preferential attachment: nodes join one at a
+/// time, each adding `edges_per_node` out-edges whose targets are drawn
+/// proportional to in-degree + 1. Labels drawn uniformly from `labels`.
+GraphDb ScaleFreeDb(Rng* rng, int num_nodes, int edges_per_node,
+                    const std::vector<char>& labels,
+                    Capacity max_multiplicity = 1);
+
+/// A stochastic-Kronecker (R-MAT) graph over 2^`iterations` nodes:
+/// `num_facts` edges sampled by recursive quadrant descent with the
+/// classic (0.57, 0.19, 0.19, 0.05) initiator, labels drawn uniformly
+/// from `labels`. Skewed degrees, a natural heavy-hub stress family.
+GraphDb KroneckerDb(Rng* rng, int iterations, int num_facts,
+                    const std::vector<char>& labels,
+                    Capacity max_multiplicity = 1);
+
 }  // namespace rpqres
 
 #endif  // RPQRES_GRAPHDB_GENERATORS_H_

@@ -10,6 +10,13 @@ std::string SerializeGraphDb(const GraphDb& db) {
   std::ostringstream os;
   os << "# rpqres graph database: " << db.num_nodes() << " nodes, "
      << db.num_facts() << " facts\n";
+  // Isolated nodes carry no fact line; declare them explicitly so the
+  // node set (and the header count) round-trips.
+  for (NodeId v = 0; v < db.num_nodes(); ++v) {
+    if (db.OutFacts(v).empty() && db.InFacts(v).empty()) {
+      os << "node " << db.node_name(v) << "\n";
+    }
+  }
   for (FactId f = 0; f < db.num_facts(); ++f) {
     const Fact& fact = db.fact(f);
     os << db.node_name(fact.source) << " " << fact.label << " "
@@ -41,6 +48,17 @@ Result<GraphDb> ParseGraphDb(const std::string& text) {
     std::istringstream fields(line);
     std::string source, label, target;
     if (!(fields >> source)) continue;  // blank line
+    // Isolated-node declaration: exactly "node <name>" (a fact line has
+    // >= 3 tokens, so a node *named* "node" stays unambiguous).
+    if (source == "node") {
+      std::string name, extra;
+      if ((fields >> name) && !(fields >> extra)) {
+        db.GetOrAddNode(name);
+        continue;
+      }
+      fields = std::istringstream(line);
+      fields >> source;
+    }
     if (!(fields >> label >> target)) {
       return error("expected '<source> <label> <target>'");
     }

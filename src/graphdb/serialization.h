@@ -4,8 +4,12 @@
 //
 // Format (one fact per line, '#' comments, blank lines ignored):
 //   <source> <label> <target> [multiplicity] [exo]
+//   node <name>
 // Node names are arbitrary whitespace-free tokens; labels are single
-// characters; the optional trailing "exo" marks the fact exogenous.
+// characters; the optional trailing "exo" marks the fact exogenous. A
+// "node <name>" line declares a node with no incident facts, so the full
+// node set round-trips byte-identically (generator outputs can contain
+// isolated nodes).
 
 #ifndef RPQRES_GRAPHDB_SERIALIZATION_H_
 #define RPQRES_GRAPHDB_SERIALIZATION_H_

@@ -185,8 +185,13 @@ Result<ResilienceResult> SolveBruteForceResilience(const Language& lang,
     for (int f = 0; f < n; ++f) {
       removed[f] = (mask >> f) & 1u;
       if (removed[f]) {
-        if (db.IsExogenous(f)) touches_exogenous = true;
-        cost += db.Cost(f, semantics);
+        // Exogenous facts cost kInfiniteCapacity — accumulating that
+        // would overflow; the subset is discarded below anyway.
+        if (db.IsExogenous(f)) {
+          touches_exogenous = true;
+        } else {
+          cost += db.Cost(f, semantics);
+        }
       }
     }
     if (touches_exogenous || cost >= best) continue;
@@ -233,8 +238,11 @@ Result<ResilienceResult> SolveBruteForceResilienceBetween(
     for (int f = 0; f < n; ++f) {
       removed[f] = (mask >> f) & 1u;
       if (removed[f]) {
-        if (db.IsExogenous(f)) touches_exogenous = true;
-        cost += db.Cost(f, semantics);
+        if (db.IsExogenous(f)) {
+          touches_exogenous = true;
+        } else {
+          cost += db.Cost(f, semantics);
+        }
       }
     }
     if (touches_exogenous || cost >= best) continue;

@@ -60,9 +60,9 @@ Result<ResiliencePlan> PlanResilienceWithIF(Language ifl,
   return plan;
 }
 
-Result<ResilienceResult> ComputeResilienceWithPlan(const ResiliencePlan& plan,
-                                                   const GraphDb& db,
-                                                   Semantics semantics) {
+Result<ResilienceResult> ComputeResilienceWithPlan(
+    const ResiliencePlan& plan, const GraphDb& db, Semantics semantics,
+    const ExactOptions& exact_options) {
   if (plan.trivial_infinite) {
     ResilienceResult result;
     result.infinite = true;
@@ -85,7 +85,8 @@ Result<ResilienceResult> ComputeResilienceWithPlan(const ResiliencePlan& plan,
     case ResilienceMethod::kOneDanglingFlow:
       return SolveOneDanglingResilience(plan.if_language, db, semantics);
     case ResilienceMethod::kExact:
-      return SolveExactResilience(plan.if_language, db, semantics);
+      return SolveExactResilience(plan.if_language, db, semantics,
+                                  exact_options);
     case ResilienceMethod::kBruteForce:
       return SolveBruteForceResilience(plan.if_language, db, semantics);
     case ResilienceMethod::kAuto:

@@ -13,6 +13,7 @@
 #include "automata/enfa.h"
 #include "graphdb/graph_db.h"
 #include "lang/language.h"
+#include "resilience/exact.h"
 #include "resilience/result.h"
 #include "util/status.h"
 
@@ -73,9 +74,13 @@ Result<ResiliencePlan> PlanResilienceWithIF(
 /// Computes RES(Q_L, D) by executing a precompiled plan. Equivalent to
 /// ComputeResilience(lang, db, semantics) with kAuto, minus all per-query
 /// work (parse, determinize, IF, classification, RO-εNFA construction).
-Result<ResilienceResult> ComputeResilienceWithPlan(const ResiliencePlan& plan,
-                                                   const GraphDb& db,
-                                                   Semantics semantics);
+/// `exact_options` only applies when the plan routes to the exact solver
+/// (adversarial instances can make the branch & bound explode; callers
+/// like the differential oracle bound it and treat OutOfRange as an
+/// inconclusive budget exhaustion, not an answer).
+Result<ResilienceResult> ComputeResilienceWithPlan(
+    const ResiliencePlan& plan, const GraphDb& db, Semantics semantics,
+    const ExactOptions& exact_options = {});
 
 /// Decision variant (Section 2 problem statement): RES(Q_L, D) <= k?
 Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,

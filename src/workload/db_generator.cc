@@ -1,0 +1,103 @@
+#include "workload/db_generator.h"
+
+#include "graphdb/generators.h"
+#include "util/check.h"
+
+namespace rpqres {
+namespace workload {
+namespace {
+
+/// Per-size-class scale factor applied to the base (size_class 0) shape
+/// dimensions below.
+int Scale(const DbGenOptions& options) {
+  switch (options.size_class) {
+    case 0:
+      return 1;
+    case 1:
+      return 3;
+    default:
+      return 8;
+  }
+}
+
+int Jitter(Rng* rng, int base, int spread) {
+  return base + static_cast<int>(rng->NextBelow(spread + 1));
+}
+
+}  // namespace
+
+const char* DbShapeName(DbShape shape) {
+  switch (shape) {
+    case DbShape::kRandom:
+      return "random";
+    case DbShape::kChain:
+      return "chain";
+    case DbShape::kCycle:
+      return "cycle";
+    case DbShape::kGrid:
+      return "grid";
+    case DbShape::kDagLayers:
+      return "dag-layers";
+    case DbShape::kScaleFree:
+      return "scale-free";
+    case DbShape::kKronecker:
+      return "kronecker";
+    case DbShape::kWordSoup:
+      return "word-soup";
+    case DbShape::kLayeredFlow:
+      return "layered-flow";
+    case DbShape::kDanglingPairs:
+      return "dangling-pairs";
+  }
+  return "?";
+}
+
+GraphDb GenerateDb(Rng* rng, DbShape shape, const std::vector<char>& labels,
+                   const std::vector<std::string>& words,
+                   const DbGenOptions& options) {
+  RPQRES_CHECK(!labels.empty());
+  const int s = Scale(options);
+  const Capacity m = options.max_multiplicity;
+  switch (shape) {
+    case DbShape::kChain:
+      return RandomChainDb(rng, Jitter(rng, 6 * s, 4 * s), labels, m);
+    case DbShape::kCycle:
+      return CycleDb(rng, Jitter(rng, 5 * s, 4 * s), labels, m);
+    case DbShape::kGrid:
+      return GridDb(rng, Jitter(rng, 2, s), Jitter(rng, 2, 2 * s), labels, m);
+    case DbShape::kDagLayers:
+      return DagLayersDb(rng, Jitter(rng, 3, s), Jitter(rng, 2, s),
+                         0.25 + rng->NextDouble() * 0.35, labels, m);
+    case DbShape::kScaleFree:
+      return ScaleFreeDb(rng, Jitter(rng, 6 * s, 4 * s),
+                         1 + static_cast<int>(rng->NextBelow(2)), labels, m);
+    case DbShape::kKronecker:
+      return KroneckerDb(rng, /*iterations=*/s == 1 ? 3 : 5,
+                         Jitter(rng, 10 * s, 8 * s), labels, m);
+    case DbShape::kWordSoup:
+      if (!words.empty()) {
+        return WordSoupDb(rng, words, Jitter(rng, 2, s), labels,
+                          Jitter(rng, 3 * s, 3 * s), m);
+      }
+      [[fallthrough]];
+    case DbShape::kRandom: {
+      int nodes = Jitter(rng, 4 * s, 3 * s);
+      return RandomGraphDb(rng, nodes, Jitter(rng, 10 * s, 8 * s), labels, m);
+    }
+    case DbShape::kLayeredFlow:
+      return LayeredFlowDb(rng, Jitter(rng, 2, s), Jitter(rng, 2, s),
+                           Jitter(rng, 2, s), Jitter(rng, 2, s),
+                           0.3 + rng->NextDouble() * 0.4, m);
+    case DbShape::kDanglingPairs:
+      return DanglingPairsDb(rng, Jitter(rng, 4 * s, 2 * s),
+                             Jitter(rng, 5 * s, 4 * s), labels,
+                             labels[rng->NextBelow(labels.size())],
+                             labels[rng->NextBelow(labels.size())],
+                             Jitter(rng, 2 * s, 2 * s), m);
+  }
+  RPQRES_CHECK(false);
+  return GraphDb();
+}
+
+}  // namespace workload
+}  // namespace rpqres

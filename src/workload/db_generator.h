@@ -1,0 +1,65 @@
+// rpqres — workload/db_generator: seeded random database drawing.
+//
+// One entry point over the whole graphdb/generators family: a DbShape is
+// drawn (or fixed), sized for the differential oracle (small enough that
+// the exponential exact reference stays fast), and labeled with the
+// query's own alphabet plus a distractor letter — databases over the
+// wrong alphabet would make every instance trivially false.
+
+#ifndef RPQRES_WORKLOAD_DB_GENERATOR_H_
+#define RPQRES_WORKLOAD_DB_GENERATOR_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graphdb/graph_db.h"
+#include "util/rng.h"
+
+namespace rpqres {
+namespace workload {
+
+/// The database families the workload draws from (all backed by
+/// graphdb/generators).
+enum class DbShape {
+  kRandom,         ///< uniform random facts
+  kChain,          ///< one random-labeled path
+  kCycle,          ///< one random-labeled directed cycle
+  kGrid,           ///< right/down grid
+  kDagLayers,      ///< layered DAG
+  kScaleFree,      ///< preferential attachment
+  kKronecker,      ///< R-MAT quadrant descent
+  kWordSoup,       ///< query words laid out as paths + random cross links
+  kLayeredFlow,    ///< a/x/b source-sink network (ax*b ≡ MinCut family)
+  kDanglingPairs,  ///< base part + x/y dangling pairs (Prp 7.9 family)
+};
+
+inline constexpr std::array<DbShape, 10> kAllDbShapes = {
+    DbShape::kRandom,       DbShape::kChain,     DbShape::kCycle,
+    DbShape::kGrid,         DbShape::kDagLayers, DbShape::kScaleFree,
+    DbShape::kKronecker,    DbShape::kWordSoup,  DbShape::kLayeredFlow,
+    DbShape::kDanglingPairs};
+
+/// Stable lowercase name for reports and JSON ("random", "chain", ...).
+const char* DbShapeName(DbShape shape);
+
+struct DbGenOptions {
+  /// 0 = oracle-sized (≲ 20 facts, brute-force often applicable),
+  /// 1 = small (≲ 60 facts), 2 = medium (hundreds of facts; for benches
+  /// and stress tests, not for the brute-force cross-check).
+  int size_class = 0;
+  /// Multiplicities drawn uniformly in [1, max_multiplicity].
+  Capacity max_multiplicity = 3;
+};
+
+/// Draws a database of the given shape. `labels` must be non-empty (use
+/// the query's used_letters plus a distractor); `words` seeds kWordSoup
+/// paths and may be empty (falls back to kRandom's shape then).
+GraphDb GenerateDb(Rng* rng, DbShape shape, const std::vector<char>& labels,
+                   const std::vector<std::string>& words,
+                   const DbGenOptions& options = {});
+
+}  // namespace workload
+}  // namespace rpqres
+
+#endif  // RPQRES_WORKLOAD_DB_GENERATOR_H_

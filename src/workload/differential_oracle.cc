@@ -1,0 +1,239 @@
+#include "workload/differential_oracle.h"
+
+#include <chrono>
+#include <utility>
+
+#include "graphdb/serialization.h"
+#include "lang/language.h"
+#include "resilience/exact.h"
+#include "resilience/resilience.h"
+
+namespace rpqres {
+namespace workload {
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Re-judges one candidate database outside the engine — the minimizer's
+/// inner loop. Runs the full oracle predicate (plan vs exact, witness
+/// checks, brute-force third opinion on small instances) so every kind of
+/// detected mismatch keeps reproducing while the database shrinks. The
+/// plan depends only on the language and is derived once by the caller.
+/// Returns the mismatch line, empty on agreement or budget exhaustion.
+std::string JudgeOnce(const Language& lang, const ResiliencePlan& plan,
+                      const GraphDb& db, Semantics semantics,
+                      const ExactOptions& exact_options,
+                      int brute_force_max_facts) {
+  DifferentialOutcome outcome;
+  Result<ResilienceResult> primary =
+      ComputeResilienceWithPlan(plan, db, semantics, exact_options);
+  if (primary.ok()) {
+    outcome.primary.result = *std::move(primary);
+  } else {
+    outcome.primary.status = primary.status();
+  }
+  Result<ResilienceResult> reference =
+      SolveExactResilience(lang, db, semantics, exact_options);
+  if (reference.ok()) {
+    outcome.reference.result = *std::move(reference);
+  } else {
+    outcome.reference.status = reference.status();
+  }
+  JudgeDifferential(lang, db, semantics, &outcome);
+  if (!outcome.mismatch.empty() || outcome.inconclusive) {
+    return outcome.mismatch;
+  }
+  if (outcome.primary.status.ok() &&
+      db.num_facts() <= brute_force_max_facts) {
+    Result<ResilienceResult> brute =
+        SolveBruteForceResilience(lang, db, semantics, brute_force_max_facts);
+    if (brute.ok() &&
+        (brute->infinite != outcome.primary.result.infinite ||
+         (!brute->infinite &&
+          brute->value != outcome.primary.result.value))) {
+      return "brute-force divergence";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+DifferentialOracle::DifferentialOracle(OracleOptions options)
+    : options_([&options] {
+        options.engine.max_exact_search_nodes = options.max_exact_search_nodes;
+        // Compile-side classification must match generation-side cost
+        // control (adversarial star languages make the length-12 witness
+        // search explode).
+        options.engine.max_word_length =
+            options.workload.classify_max_word_length;
+        return std::move(options);
+      }()),
+      engine_(options_.engine) {}
+
+Result<WorkloadInstance> DifferentialOracle::BuildInstance(
+    uint64_t seed) const {
+  return MakeWorkloadInstance(seed, options_.workload);
+}
+
+std::string DifferentialOracle::BruteForceCheck(
+    const WorkloadInstance& instance, const InstanceOutcome& primary,
+    OracleClassReport* per_class) {
+  if (!primary.status.ok()) return "";
+  if (instance.db.num_facts() > options_.brute_force_max_facts) return "";
+  Language lang = Language::MustFromRegexString(instance.query.regex);
+  Result<ResilienceResult> brute = SolveBruteForceResilience(
+      lang, instance.db, instance.semantics, options_.brute_force_max_facts);
+  if (!brute.ok()) return "";  // out of range etc. — no third opinion
+  ++per_class->brute_force_checked;
+  if (brute->infinite != primary.result.infinite) {
+    return "brute-force infinite divergence: primary=" +
+           std::to_string(primary.result.infinite) + " (" +
+           primary.result.algorithm +
+           ") vs brute=" + std::to_string(brute->infinite);
+  }
+  if (!brute->infinite && brute->value != primary.result.value) {
+    return "brute-force value divergence: primary=" +
+           std::to_string(primary.result.value) + " (" +
+           primary.result.algorithm +
+           ") vs brute=" + std::to_string(brute->value);
+  }
+  return "";
+}
+
+OracleMismatch DifferentialOracle::BuildMismatch(
+    const WorkloadInstance& instance, std::string detail) {
+  OracleMismatch mismatch;
+  mismatch.seed = instance.seed;
+  mismatch.query_class = instance.query_class;
+  mismatch.regex = instance.query.regex;
+  mismatch.semantics = instance.semantics;
+  mismatch.detail = std::move(detail);
+  mismatch.replay = options_.replay_binary + " --replay " +
+                    std::to_string(instance.seed);
+
+  GraphDb minimized = instance.db;
+  Language lang = Language::MustFromRegexString(instance.query.regex);
+  Result<ResiliencePlan> plan = PlanResilience(lang);
+  if (options_.minimize_counterexamples && plan.ok()) {
+    ExactOptions exact_options;
+    exact_options.max_search_nodes = options_.max_exact_search_nodes;
+    int budget = options_.minimize_solve_budget;
+    bool progress = true;
+    while (progress && budget > 0) {
+      progress = false;
+      for (FactId f = minimized.num_facts() - 1; f >= 0 && budget > 0; --f) {
+        GraphDb smaller = minimized.RemoveFacts({f});
+        --budget;
+        if (!JudgeOnce(lang, *plan, smaller, instance.semantics,
+                       exact_options, options_.brute_force_max_facts)
+                 .empty()) {
+          minimized = std::move(smaller);
+          progress = true;
+          break;  // fact ids shifted; rescan from the new tail
+        }
+      }
+    }
+  }
+  mismatch.minimized_db = SerializeGraphDb(minimized);
+  mismatch.minimized_facts = minimized.num_facts();
+  return mismatch;
+}
+
+void DifferentialOracle::CheckBatch(
+    const std::vector<WorkloadInstance>& instances,
+    OracleClassReport* per_class, OracleReport* report) {
+  std::vector<QueryInstance> queries;
+  queries.reserve(instances.size());
+  for (const WorkloadInstance& instance : instances) {
+    queries.push_back(
+        {instance.query.regex, &instance.db, instance.semantics});
+  }
+  std::vector<DifferentialOutcome> outcomes = engine_.RunDifferential(queries);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const WorkloadInstance& instance = instances[i];
+    DifferentialOutcome& outcome = outcomes[i];
+    ++per_class->instances;
+    ++report->instances;
+    if (!outcome.primary.stats.algorithm.empty()) {
+      ++per_class->by_algorithm[outcome.primary.stats.algorithm];
+    }
+    if (outcome.inconclusive) {
+      ++per_class->inconclusive;
+      ++report->inconclusive;
+    }
+    std::string detail = outcome.mismatch;
+    if (detail.empty()) {
+      detail = BruteForceCheck(instance, outcome.primary, per_class);
+    }
+    if (!detail.empty()) {
+      ++per_class->mismatches;
+      report->mismatches.push_back(
+          BuildMismatch(instance, std::move(detail)));
+    }
+  }
+}
+
+OracleReport DifferentialOracle::RunAll() {
+  OracleReport report;
+  auto run_start = std::chrono::steady_clock::now();
+  for (QueryClass query_class : kAllQueryClasses) {
+    OracleClassReport per_class;
+    per_class.query_class = query_class;
+    auto class_start = std::chrono::steady_clock::now();
+
+    std::vector<WorkloadInstance> instances;
+    instances.reserve(options_.instances_per_class);
+    for (int i = 0; i < options_.instances_per_class; ++i) {
+      uint64_t seed = SeedFor(options_.base_seed, query_class, i);
+      Result<WorkloadInstance> instance = BuildInstance(seed);
+      if (!instance.ok()) {
+        ++per_class.generation_failures;
+        ++report.generation_failures;
+        continue;
+      }
+      instances.push_back(*std::move(instance));
+    }
+    CheckBatch(instances, &per_class, &report);
+
+    per_class.wall_micros = MicrosSince(class_start);
+    report.per_class.push_back(std::move(per_class));
+  }
+  report.wall_micros = MicrosSince(run_start);
+  return report;
+}
+
+OracleReport DifferentialOracle::RunSeeds(const std::vector<uint64_t>& seeds) {
+  OracleReport report;
+  auto run_start = std::chrono::steady_clock::now();
+  // Group by the class each seed encodes, preserving order within a class.
+  for (QueryClass query_class : kAllQueryClasses) {
+    std::vector<WorkloadInstance> instances;
+    OracleClassReport per_class;
+    per_class.query_class = query_class;
+    auto class_start = std::chrono::steady_clock::now();
+    for (uint64_t seed : seeds) {
+      if (QueryClassForSeed(seed) != query_class) continue;
+      Result<WorkloadInstance> instance = BuildInstance(seed);
+      if (!instance.ok()) {
+        ++per_class.generation_failures;
+        ++report.generation_failures;
+        continue;
+      }
+      instances.push_back(*std::move(instance));
+    }
+    if (instances.empty() && per_class.generation_failures == 0) continue;
+    CheckBatch(instances, &per_class, &report);
+    per_class.wall_micros = MicrosSince(class_start);
+    report.per_class.push_back(std::move(per_class));
+  }
+  report.wall_micros = MicrosSince(run_start);
+  return report;
+}
+
+}  // namespace workload
+}  // namespace rpqres

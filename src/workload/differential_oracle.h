@@ -1,0 +1,143 @@
+// rpqres — workload/differential_oracle: the standing correctness harness.
+//
+// The paper's dichotomy only holds if the polynomial solvers (Thm 3.13,
+// Prp 7.6, Prp 7.9) agree with the exponential exact solver on every
+// language in their class. The oracle makes that an executable statement:
+// it derives seeded workload instances stratified by Figure 1 cell, runs
+// each through the engine's differential batch mode (compiled kAuto plan
+// vs exact reference), cross-checks tiny instances against the all-subsets
+// brute force, verifies every witness contingency set actually falsifies
+// the query, and — on any disagreement — greedily deletes facts until the
+// counterexample is minimal, then reports it as a one-line replayable
+// seed (`bench_workload --replay <seed>`).
+
+#ifndef RPQRES_WORKLOAD_DIFFERENTIAL_ORACLE_H_
+#define RPQRES_WORKLOAD_DIFFERENTIAL_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace rpqres {
+namespace workload {
+
+struct OracleOptions {
+  /// Seeds are drawn class-stratified starting here (SeedFor).
+  uint64_t base_seed = 20250729;
+  /// Instances derived per query class.
+  int instances_per_class = 200;
+  /// Forwarded to MakeWorkloadInstance.
+  WorkloadOptions workload;
+  /// Engine configuration (thread pool, plan cache) for the batch runs.
+  EngineOptions engine;
+  /// Instances with at most this many facts additionally get the
+  /// all-subsets brute-force third opinion.
+  int brute_force_max_facts = 12;
+  /// Exact-solver node budget per solve (overrides engine.max_exact_
+  /// search_nodes). Adversarial star languages over cyclic databases can
+  /// make the branch & bound explode; pairs that exhaust the budget are
+  /// counted inconclusive, not as mismatches. 200k nodes keeps the worst
+  /// oracle-sized instance under ~1 s while leaving >99% of instances
+  /// fully decided.
+  uint64_t max_exact_search_nodes = 200'000;
+  /// Greedily shrink mismatching databases (delete facts while the
+  /// mismatch persists), paying at most this many extra differential
+  /// solves per counterexample.
+  bool minimize_counterexamples = true;
+  int minimize_solve_budget = 400;
+  /// Binary name used in the printed replay command.
+  std::string replay_binary = "bench_workload";
+};
+
+/// One confirmed disagreement, minimized and replayable.
+struct OracleMismatch {
+  uint64_t seed = 0;
+  QueryClass query_class = QueryClass::kLocal;
+  std::string regex;
+  Semantics semantics = Semantics::kSet;
+  /// One-line description of the divergence (from JudgeDifferential or
+  /// the brute-force cross-check).
+  std::string detail;
+  /// "<replay_binary> --replay <seed>" — paste-ready.
+  std::string replay;
+  /// The shrunken counterexample database (graphdb/serialization format)
+  /// and its size; equals the original instance when minimization is off
+  /// or nothing could be deleted.
+  std::string minimized_db;
+  int minimized_facts = 0;
+};
+
+/// Aggregates for one query class.
+struct OracleClassReport {
+  QueryClass query_class = QueryClass::kLocal;
+  int instances = 0;
+  int mismatches = 0;
+  /// Instances whose seed failed query generation (classifier never
+  /// confirmed the target cell within the attempt budget).
+  int generation_failures = 0;
+  /// Primary-side solver observed, by ResilienceResult::algorithm.
+  std::map<std::string, int64_t> by_algorithm;
+  /// Instances that additionally passed the brute-force cross-check.
+  int brute_force_checked = 0;
+  /// Pairs that exhausted the exact-solver budget (no verdict).
+  int inconclusive = 0;
+  double wall_micros = 0;
+};
+
+/// The full oracle run.
+struct OracleReport {
+  std::vector<OracleClassReport> per_class;
+  std::vector<OracleMismatch> mismatches;
+  int64_t instances = 0;
+  int64_t generation_failures = 0;
+  int64_t inconclusive = 0;
+  double wall_micros = 0;
+
+  bool clean() const { return mismatches.empty(); }
+};
+
+class DifferentialOracle {
+ public:
+  explicit DifferentialOracle(OracleOptions options = {});
+
+  /// Runs instances_per_class seeded instances for every query class.
+  OracleReport RunAll();
+
+  /// Runs exactly the given seeds (replay / targeted re-check). Seeds
+  /// carry their own class (QueryClassForSeed).
+  OracleReport RunSeeds(const std::vector<uint64_t>& seeds);
+
+  /// Derives the instance a seed denotes, without running any solver.
+  Result<WorkloadInstance> BuildInstance(uint64_t seed) const;
+
+  ResilienceEngine& engine() { return engine_; }
+  const OracleOptions& options() const { return options_; }
+
+ private:
+  /// Runs one class-homogeneous batch through the engine differential
+  /// plus the extra oracle checks, folding results into the reports.
+  void CheckBatch(const std::vector<WorkloadInstance>& instances,
+                  OracleClassReport* per_class, OracleReport* report);
+
+  /// Brute-force third opinion; returns a mismatch line or empty.
+  std::string BruteForceCheck(const WorkloadInstance& instance,
+                              const InstanceOutcome& primary,
+                              OracleClassReport* per_class);
+
+  /// Builds the mismatch record, minimizing the database if configured.
+  OracleMismatch BuildMismatch(const WorkloadInstance& instance,
+                               std::string detail);
+
+  OracleOptions options_;
+  ResilienceEngine engine_;
+};
+
+}  // namespace workload
+}  // namespace rpqres
+
+#endif  // RPQRES_WORKLOAD_DIFFERENTIAL_ORACLE_H_

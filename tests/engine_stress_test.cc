@@ -1,0 +1,130 @@
+// Engine stress test: thread-count invariance. RunBatch and
+// RunDifferential over the same seeded workload must produce identical
+// results and aggregate stats under a 1-thread and an 8-thread pool —
+// instances share compiled plans (shared_ptr-to-const) and stats are
+// mutex-guarded, so any divergence is a data race or an
+// order-dependent accumulation bug that the existing single-pool parity
+// test cannot see.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+namespace rpqres {
+namespace {
+
+using workload::MakeWorkloadInstance;
+using workload::WorkloadInstance;
+
+struct SeededBatch {
+  std::vector<WorkloadInstance> instances;
+  std::vector<QueryInstance> queries;
+};
+
+SeededBatch BuildBatch(uint64_t base, int count) {
+  SeededBatch batch;
+  for (uint64_t seed = base; seed < base + static_cast<uint64_t>(count);
+       ++seed) {
+    Result<WorkloadInstance> instance = MakeWorkloadInstance(seed);
+    if (instance.ok()) batch.instances.push_back(*std::move(instance));
+  }
+  for (const WorkloadInstance& instance : batch.instances) {
+    batch.queries.push_back(
+        {instance.query.regex, &instance.db, instance.semantics});
+  }
+  return batch;
+}
+
+EngineOptions WithThreads(int threads) {
+  EngineOptions options;
+  options.num_threads = threads;
+  options.max_word_length = 8;  // match the workload generation bound
+  return options;
+}
+
+TEST(EngineStressTest, RunBatchIsThreadCountInvariant) {
+  SeededBatch batch = BuildBatch(31000, 60);
+  ASSERT_GT(batch.queries.size(), 40u);
+
+  ResilienceEngine serial(WithThreads(1));
+  ResilienceEngine parallel(WithThreads(8));
+  std::vector<InstanceOutcome> a = serial.RunBatch(batch.queries);
+  std::vector<InstanceOutcome> b = parallel.RunBatch(batch.queries);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status) << i;
+    if (!a[i].status.ok() || !b[i].status.ok()) continue;
+    EXPECT_EQ(a[i].result.infinite, b[i].result.infinite) << i;
+    EXPECT_EQ(a[i].result.value, b[i].result.value) << i;
+    EXPECT_EQ(a[i].result.contingency, b[i].result.contingency) << i;
+    EXPECT_EQ(a[i].result.algorithm, b[i].result.algorithm) << i;
+    EXPECT_EQ(a[i].stats.complexity, b[i].stats.complexity) << i;
+    EXPECT_EQ(a[i].stats.rule, b[i].stats.rule) << i;
+  }
+
+  // Aggregate counters (everything except wall times) must agree too.
+  EngineStats sa = serial.stats();
+  EngineStats sb = parallel.stats();
+  EXPECT_EQ(sa.instances_run, sb.instances_run);
+  EXPECT_EQ(sa.batches_run, sb.batches_run);
+  EXPECT_EQ(sa.compilations, sb.compilations);
+  EXPECT_EQ(sa.cache_hits, sb.cache_hits);
+  EXPECT_EQ(sa.cache_misses, sb.cache_misses);
+  EXPECT_EQ(sa.errors, sb.errors);
+  EXPECT_EQ(sa.instances_by_algorithm, sb.instances_by_algorithm);
+}
+
+TEST(EngineStressTest, RunDifferentialIsThreadCountInvariant) {
+  SeededBatch batch = BuildBatch(32000, 40);
+  ASSERT_GT(batch.queries.size(), 25u);
+
+  ResilienceEngine serial(WithThreads(1));
+  ResilienceEngine parallel(WithThreads(8));
+  std::vector<DifferentialOutcome> a = serial.RunDifferential(batch.queries);
+  std::vector<DifferentialOutcome> b =
+      parallel.RunDifferential(batch.queries);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].agree, b[i].agree) << i;
+    EXPECT_EQ(a[i].inconclusive, b[i].inconclusive) << i;
+    EXPECT_EQ(a[i].mismatch, b[i].mismatch) << i;
+    EXPECT_EQ(a[i].primary.result.value, b[i].primary.result.value) << i;
+    EXPECT_EQ(a[i].reference.result.value, b[i].reference.result.value) << i;
+  }
+  EngineStats sa = serial.stats();
+  EngineStats sb = parallel.stats();
+  EXPECT_EQ(sa.differentials_run, sb.differentials_run);
+  EXPECT_EQ(sa.differential_mismatches, sb.differential_mismatches);
+  EXPECT_EQ(sa.instances_run, sb.instances_run);
+  EXPECT_EQ(sa.instances_by_algorithm, sb.instances_by_algorithm);
+
+  // And on a correct build, the seeded workload has no mismatches at all.
+  EXPECT_EQ(sa.differential_mismatches, 0);
+}
+
+// Repeated batches over one engine: plan-cache hits must not change
+// answers (a stale or corrupted cached plan would).
+TEST(EngineStressTest, RepeatedBatchesAreStable) {
+  SeededBatch batch = BuildBatch(33000, 25);
+  ResilienceEngine engine(WithThreads(8));
+  std::vector<InstanceOutcome> first = engine.RunBatch(batch.queries);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<InstanceOutcome> again = engine.RunBatch(batch.queries);
+    ASSERT_EQ(again.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(again[i].status, first[i].status) << i;
+      EXPECT_EQ(again[i].result.value, first[i].result.value) << i;
+      EXPECT_EQ(again[i].result.infinite, first[i].result.infinite) << i;
+    }
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batches_run, 4);
+  EXPECT_GT(stats.cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace rpqres

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "graphdb/generators.h"
 #include "graphdb/serialization.h"
 #include "util/rng.h"
@@ -66,6 +70,58 @@ TEST(SerializationTest, RoundTrip) {
     ASSERT_NE(g, -1);
     EXPECT_EQ(parsed->multiplicity(g), original.multiplicity(f));
     EXPECT_EQ(parsed->IsExogenous(g), original.IsExogenous(f));
+  }
+}
+
+// Golden round-trip across the whole generator family: serialize → parse
+// → serialize must be byte-identical. Exercises name quoting, multiplicity
+// rendering, and parse/serialize ordering agreement on every shape the
+// workload subsystem can draw.
+TEST(SerializationTest, GeneratorOutputsRoundTripByteIdentical) {
+  std::vector<char> labels = {'a', 'b', 'x'};
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::pair<const char*, GraphDb>> cases;
+    cases.emplace_back("random", RandomGraphDb(&rng, 7, 20, labels, 4));
+    cases.emplace_back("layered-flow",
+                       LayeredFlowDb(&rng, 2, 3, 3, 2, 0.5, 3));
+    cases.emplace_back("path", PathDb("axxb"));
+    cases.emplace_back("word-soup",
+                       WordSoupDb(&rng, {"ab", "axb"}, 3, labels, 5, 2));
+    cases.emplace_back("dangling",
+                       DanglingPairsDb(&rng, 6, 8, labels, 'x', 'y', 3, 2));
+    cases.emplace_back("chain", RandomChainDb(&rng, 9, labels, 3));
+    cases.emplace_back("cycle", CycleDb(&rng, 6, labels, 3));
+    cases.emplace_back("grid", GridDb(&rng, 3, 4, labels, 2));
+    cases.emplace_back("dag-layers",
+                       DagLayersDb(&rng, 4, 3, 0.4, labels, 2));
+    cases.emplace_back("scale-free", ScaleFreeDb(&rng, 10, 2, labels, 2));
+    cases.emplace_back("kronecker", KroneckerDb(&rng, 3, 15, labels, 3));
+    for (auto& [name, db] : cases) {
+      if (db.num_facts() > 1) db.SetExogenous(db.num_facts() / 2);
+      std::string first = SerializeGraphDb(db);
+      Result<GraphDb> parsed = ParseGraphDb(first);
+      ASSERT_TRUE(parsed.ok())
+          << name << " seed " << seed << ": " << parsed.status();
+      std::string second = SerializeGraphDb(*parsed);
+      EXPECT_EQ(first, second) << name << " seed " << seed;
+    }
+  }
+}
+
+// The new generator families are deterministic in the seed: same seed,
+// same bytes.
+TEST(SerializationTest, GeneratorsAreSeedDeterministic) {
+  std::vector<char> labels = {'a', 'b', 'c'};
+  for (int round = 0; round < 2; ++round) {
+    Rng rng1(99);
+    Rng rng2(99);
+    EXPECT_EQ(SerializeGraphDb(ScaleFreeDb(&rng1, 12, 2, labels, 3)),
+              SerializeGraphDb(ScaleFreeDb(&rng2, 12, 2, labels, 3)));
+    EXPECT_EQ(SerializeGraphDb(KroneckerDb(&rng1, 4, 20, labels, 3)),
+              SerializeGraphDb(KroneckerDb(&rng2, 4, 20, labels, 3)));
+    EXPECT_EQ(SerializeGraphDb(DagLayersDb(&rng1, 3, 3, 0.5, labels, 2)),
+              SerializeGraphDb(DagLayersDb(&rng2, 3, 3, 0.5, labels, 2)));
   }
 }
 

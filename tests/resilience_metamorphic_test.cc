@@ -1,0 +1,123 @@
+// Metamorphic properties of resilience, checked over seeded workload
+// instances rather than hand-written examples: relations that must hold
+// between the answers to *related* inputs, regardless of which solver ran.
+//
+//   1. Deleting a fact never increases resilience (D' ⊆ D ⇒ RES(D') ≤
+//      RES(D)), and deleting a witness contingency fact strictly helps
+//      when RES > 0.
+//   2. RES = 0 iff the query has no match.
+//   3. Bag-semantics RES ≥ set-semantics RES (multiplicities ≥ 1 make
+//      every deletion at least as expensive).
+//   4. A witness contingency set's removal really falsifies the query,
+//      and its cost equals the reported value (VerifyResilienceResult).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graphdb/rpq_eval.h"
+#include "lang/language.h"
+#include "resilience/resilience.h"
+#include "workload/workload.h"
+
+namespace rpqres {
+namespace {
+
+using workload::MakeWorkloadInstance;
+using workload::QueryClassForSeed;
+using workload::WorkloadInstance;
+using workload::WorkloadOptions;
+
+// A spread of seeds covering every query class (seeds carry their class
+// mod 5; 40 consecutive seeds → 8 instances per class).
+std::vector<WorkloadInstance> SampleInstances(uint64_t base, int count) {
+  std::vector<WorkloadInstance> instances;
+  WorkloadOptions options;
+  for (uint64_t seed = base; seed < base + static_cast<uint64_t>(count);
+       ++seed) {
+    Result<WorkloadInstance> instance = MakeWorkloadInstance(seed, options);
+    if (instance.ok()) instances.push_back(*std::move(instance));
+  }
+  return instances;
+}
+
+TEST(MetamorphicTest, FactDeletionIsMonotoneNonIncreasing) {
+  for (const WorkloadInstance& instance : SampleInstances(5000, 30)) {
+    Language lang = Language::MustFromRegexString(instance.query.regex);
+    Result<ResilienceResult> before =
+        ComputeResilience(lang, instance.db, instance.semantics);
+    ASSERT_TRUE(before.ok()) << DescribeInstance(instance) << ": "
+                             << before.status();
+    if (before->infinite || instance.db.num_facts() == 0) continue;
+    // Delete each fact of the witness set plus a couple of others.
+    std::vector<FactId> probes = before->contingency;
+    probes.push_back(0);
+    probes.push_back(instance.db.num_facts() - 1);
+    for (FactId f : probes) {
+      GraphDb smaller = instance.db.RemoveFacts({f});
+      Result<ResilienceResult> after =
+          ComputeResilience(lang, smaller, instance.semantics);
+      ASSERT_TRUE(after.ok()) << DescribeInstance(instance);
+      ASSERT_FALSE(after->infinite) << DescribeInstance(instance);
+      EXPECT_LE(after->value, before->value)
+          << DescribeInstance(instance) << " after deleting fact " << f;
+    }
+  }
+}
+
+TEST(MetamorphicTest, ResilienceZeroIffNoMatch) {
+  for (const WorkloadInstance& instance : SampleInstances(6000, 40)) {
+    Language lang = Language::MustFromRegexString(instance.query.regex);
+    Result<ResilienceResult> result =
+        ComputeResilience(lang, instance.db, instance.semantics);
+    ASSERT_TRUE(result.ok()) << DescribeInstance(instance) << ": "
+                             << result.status();
+    if (result->infinite) continue;  // ε ∈ L: matches vacuously
+    bool holds = EvaluatesToTrue(instance.db, lang);
+    EXPECT_EQ(result->value == 0, !holds) << DescribeInstance(instance);
+  }
+}
+
+TEST(MetamorphicTest, BagResilienceAtLeastSetResilience) {
+  for (const WorkloadInstance& instance : SampleInstances(7000, 40)) {
+    Language lang = Language::MustFromRegexString(instance.query.regex);
+    Result<ResilienceResult> set_result =
+        ComputeResilience(lang, instance.db, Semantics::kSet);
+    Result<ResilienceResult> bag_result =
+        ComputeResilience(lang, instance.db, Semantics::kBag);
+    ASSERT_TRUE(set_result.ok() && bag_result.ok())
+        << DescribeInstance(instance);
+    ASSERT_EQ(set_result->infinite, bag_result->infinite)
+        << DescribeInstance(instance);
+    if (set_result->infinite) continue;
+    EXPECT_GE(bag_result->value, set_result->value)
+        << DescribeInstance(instance);
+    // And the set value bounds the bag value by the witness set size:
+    // bag ≤ sum of witness multiplicities, set = |witness| when unit.
+    EXPECT_LE(set_result->value,
+              static_cast<Capacity>(instance.db.num_facts()))
+        << DescribeInstance(instance);
+  }
+}
+
+TEST(MetamorphicTest, WitnessRemovalFalsifiesQuery) {
+  for (const WorkloadInstance& instance : SampleInstances(8000, 40)) {
+    Language lang = Language::MustFromRegexString(instance.query.regex);
+    Result<ResilienceResult> result =
+        ComputeResilience(lang, instance.db, instance.semantics);
+    ASSERT_TRUE(result.ok()) << DescribeInstance(instance);
+    // The full contract: cost matches, ids valid, removal falsifies.
+    EXPECT_TRUE(VerifyResilienceResult(lang, instance.db, instance.semantics,
+                                       *result)
+                    .ok())
+        << DescribeInstance(instance);
+    if (!result->infinite && result->value > 0) {
+      GraphDb after = instance.db.RemoveFacts(result->contingency);
+      EXPECT_FALSE(EvaluatesToTrue(after, lang)) << DescribeInstance(instance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpqres

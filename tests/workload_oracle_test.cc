@@ -1,0 +1,186 @@
+// Tests for the differential oracle and the engine's RunDifferential:
+// clean sweeps on seeded workloads, replay determinism, the judge's
+// mismatch detection, and counterexample machinery.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graphdb/generators.h"
+#include "graphdb/serialization.h"
+#include "lang/language.h"
+#include "workload/differential_oracle.h"
+
+namespace rpqres {
+namespace {
+
+using workload::DifferentialOracle;
+using workload::OracleOptions;
+using workload::OracleReport;
+using workload::QueryClassForSeed;
+using workload::SeedFor;
+using workload::WorkloadInstance;
+
+TEST(SeedEncodingTest, SeedsCarryTheirClass) {
+  for (uint64_t base : {0ull, 17ull, 20250729ull}) {
+    for (workload::QueryClass query_class : workload::kAllQueryClasses) {
+      for (int i = 0; i < 5; ++i) {
+        uint64_t seed = SeedFor(base, query_class, i);
+        EXPECT_EQ(QueryClassForSeed(seed), query_class)
+            << "base=" << base << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(OracleTest, SmallSweepIsClean) {
+  OracleOptions options;
+  options.instances_per_class = 12;
+  options.base_seed = 424242;
+  DifferentialOracle oracle(options);
+  OracleReport report = oracle.RunAll();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.mismatches.size(), 0u);
+  EXPECT_EQ(report.per_class.size(), workload::kAllQueryClasses.size());
+  for (const workload::OracleClassReport& c : report.per_class) {
+    EXPECT_EQ(c.instances + c.generation_failures, 12)
+        << workload::QueryClassName(c.query_class);
+    EXPECT_EQ(c.mismatches, 0);
+  }
+  EngineStats stats = oracle.engine().stats();
+  EXPECT_EQ(stats.differential_mismatches, 0);
+  EXPECT_EQ(stats.differentials_run, report.instances);
+}
+
+TEST(OracleTest, ReplayRebuildsTheSameInstance) {
+  OracleOptions options;
+  DifferentialOracle oracle(options);
+  uint64_t seed = SeedFor(99991, workload::QueryClass::kOneDangling, 3);
+  Result<WorkloadInstance> a = oracle.BuildInstance(seed);
+  Result<WorkloadInstance> b = oracle.BuildInstance(seed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->query.regex, b->query.regex);
+  EXPECT_EQ(a->semantics, b->semantics);
+  EXPECT_EQ(a->shape, b->shape);
+  EXPECT_EQ(SerializeGraphDb(a->db), SerializeGraphDb(b->db));
+
+  OracleReport replay = oracle.RunSeeds({seed});
+  EXPECT_EQ(replay.instances, 1);
+  EXPECT_TRUE(replay.clean());
+}
+
+TEST(OracleTest, RunSeedsGroupsMixedClasses) {
+  OracleOptions options;
+  DifferentialOracle oracle(options);
+  std::vector<uint64_t> seeds;
+  for (workload::QueryClass query_class : workload::kAllQueryClasses) {
+    seeds.push_back(SeedFor(1000, query_class, 0));
+    seeds.push_back(SeedFor(1000, query_class, 1));
+  }
+  OracleReport report = oracle.RunSeeds(seeds);
+  EXPECT_EQ(report.instances + report.generation_failures,
+            static_cast<int64_t>(seeds.size()));
+}
+
+// JudgeDifferential is the oracle's verdict core — feed it doctored
+// results and check each divergence is caught and described.
+TEST(JudgeDifferentialTest, CatchesDoctoredResults) {
+  Language lang = Language::MustFromRegexString("ab");
+  GraphDb db = PathDb("ab");  // RES = 1, witness {0} or {1}
+  Semantics semantics = Semantics::kSet;
+
+  auto solve = [&](ResilienceMethod method) {
+    ResilienceOptions options;
+    options.method = method;
+    return ComputeResilience(lang, db, semantics, options);
+  };
+  Result<ResilienceResult> honest = solve(ResilienceMethod::kExact);
+  ASSERT_TRUE(honest.ok());
+
+  // Agreement on honest results.
+  DifferentialOutcome outcome;
+  outcome.primary.result = *honest;
+  outcome.reference.result = *honest;
+  JudgeDifferential(lang, db, semantics, &outcome);
+  EXPECT_TRUE(outcome.agree) << outcome.mismatch;
+
+  // Value divergence.
+  outcome.primary.result.value = 7;
+  JudgeDifferential(lang, db, semantics, &outcome);
+  EXPECT_FALSE(outcome.agree);
+  EXPECT_NE(outcome.mismatch.find("value divergence"), std::string::npos);
+
+  // Infinite divergence.
+  outcome.primary.result = *honest;
+  outcome.primary.result.infinite = true;
+  JudgeDifferential(lang, db, semantics, &outcome);
+  EXPECT_FALSE(outcome.agree);
+  EXPECT_NE(outcome.mismatch.find("infinite divergence"), std::string::npos);
+
+  // Invalid witness: right value, wrong facts (empty set doesn't break
+  // the query).
+  outcome.primary.result = *honest;
+  outcome.primary.result.contingency.clear();
+  JudgeDifferential(lang, db, semantics, &outcome);
+  EXPECT_FALSE(outcome.agree);
+  EXPECT_NE(outcome.mismatch.find("primary witness invalid"),
+            std::string::npos);
+
+  // Status divergence.
+  outcome = DifferentialOutcome{};
+  outcome.primary.status = Status::Internal("boom");
+  outcome.reference.result = *honest;
+  JudgeDifferential(lang, db, semantics, &outcome);
+  EXPECT_FALSE(outcome.agree);
+  EXPECT_NE(outcome.mismatch.find("status divergence"), std::string::npos);
+
+  // Budget exhaustion is inconclusive, not a mismatch.
+  outcome = DifferentialOutcome{};
+  outcome.primary.status = Status::OutOfRange("node budget");
+  outcome.reference.result = *honest;
+  JudgeDifferential(lang, db, semantics, &outcome);
+  EXPECT_FALSE(outcome.agree);
+  EXPECT_TRUE(outcome.inconclusive);
+  EXPECT_TRUE(outcome.mismatch.empty());
+}
+
+TEST(RunDifferentialTest, AgreesOnMixedBatchAndCountsStats) {
+  Rng rng(8);
+  GraphDb db1 = RandomGraphDb(&rng, 6, 14, {'a', 'b', 'c', 'x'}, 3);
+  GraphDb db2 = PathDb("axxb");
+  std::vector<QueryInstance> instances = {
+      {"ax*b", &db1, Semantics::kBag},  {"ax*b", &db2, Semantics::kSet},
+      {"ab|bc", &db1, Semantics::kSet}, {"aa|bb", &db1, Semantics::kBag},
+      {"abc|bx", &db1, Semantics::kSet},
+  };
+  ResilienceEngine engine;
+  std::vector<DifferentialOutcome> outcomes = engine.RunDifferential(instances);
+  ASSERT_EQ(outcomes.size(), instances.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].agree)
+        << instances[i].regex << ": " << outcomes[i].mismatch;
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.differentials_run, 5);
+  EXPECT_EQ(stats.differential_mismatches, 0);
+  // The primary side went through the normal instance path.
+  EXPECT_EQ(stats.instances_run, 5);
+}
+
+TEST(RunDifferentialTest, CompileErrorIsReportedPerInstance) {
+  GraphDb db = PathDb("ab");
+  std::vector<QueryInstance> instances = {
+      {"a(b", &db, Semantics::kSet},  // unbalanced: compile error
+      {"ab", &db, Semantics::kSet},
+  };
+  ResilienceEngine engine;
+  std::vector<DifferentialOutcome> outcomes = engine.RunDifferential(instances);
+  EXPECT_FALSE(outcomes[0].agree);
+  EXPECT_NE(outcomes[0].mismatch.find("compile failed"), std::string::npos);
+  EXPECT_TRUE(outcomes[1].agree) << outcomes[1].mismatch;
+}
+
+}  // namespace
+}  // namespace rpqres

@@ -1,0 +1,98 @@
+// Tests for the class-stratified query generator: every draw lands in its
+// target Figure 1 cell (classifier-confirmed), generation is seed-
+// deterministic, and the boundary mutator produces parseable regexes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "lang/language.h"
+#include "workload/query_generator.h"
+
+namespace rpqres {
+namespace {
+
+using workload::GeneratedQuery;
+using workload::GenerateQuery;
+using workload::kAllQueryClasses;
+using workload::MatchesQueryClass;
+using workload::QueryClass;
+using workload::QueryClassName;
+
+TEST(QueryGeneratorTest, EveryDrawLandsInTargetClass) {
+  for (QueryClass target : kAllQueryClasses) {
+    Rng rng(7);
+    for (int i = 0; i < 40; ++i) {
+      Result<GeneratedQuery> query = GenerateQuery(&rng, target);
+      ASSERT_TRUE(query.ok())
+          << QueryClassName(target) << ": " << query.status();
+      EXPECT_TRUE(MatchesQueryClass(target, query->classification))
+          << QueryClassName(target) << " got " << query->regex << " ("
+          << query->classification.rule << ")";
+      // The regex must round-trip through the parser.
+      EXPECT_TRUE(Language::FromRegexString(query->regex).ok())
+          << query->regex;
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, ExpectedRuleFamilies) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    Result<GeneratedQuery> local =
+        GenerateQuery(&rng, QueryClass::kLocal);
+    ASSERT_TRUE(local.ok());
+    EXPECT_EQ(local->classification.complexity, ComplexityClass::kPtime);
+    EXPECT_NE(local->classification.rule.find("local"), std::string::npos);
+
+    Result<GeneratedQuery> hard = GenerateQuery(&rng, QueryClass::kHard);
+    ASSERT_TRUE(hard.ok());
+    EXPECT_EQ(hard->classification.complexity, ComplexityClass::kNpHard);
+  }
+}
+
+TEST(QueryGeneratorTest, DeterministicInSeed) {
+  for (QueryClass target : kAllQueryClasses) {
+    Rng rng1(12345);
+    Rng rng2(12345);
+    for (int i = 0; i < 10; ++i) {
+      Result<GeneratedQuery> a = GenerateQuery(&rng1, target);
+      Result<GeneratedQuery> b = GenerateQuery(&rng2, target);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(a->regex, b->regex) << QueryClassName(target);
+      EXPECT_EQ(a->attempts, b->attempts);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, ProducesVariety) {
+  // One class, many seeds: the generator must not collapse to a handful
+  // of fixed regexes (that would gut the fuzzing value).
+  std::set<std::string> distinct;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    Result<GeneratedQuery> query = GenerateQuery(&rng, QueryClass::kBcl);
+    ASSERT_TRUE(query.ok());
+    distinct.insert(query->regex);
+  }
+  EXPECT_GT(distinct.size(), 10u);
+}
+
+TEST(QueryGeneratorTest, BoundaryAcceptsAnyCell) {
+  // Boundary mutants may land anywhere — including PTIME and trivial —
+  // but must always classify successfully.
+  Rng rng(21);
+  std::set<ComplexityClass> seen;
+  for (int i = 0; i < 60; ++i) {
+    Result<GeneratedQuery> query =
+        GenerateQuery(&rng, QueryClass::kBoundary);
+    ASSERT_TRUE(query.ok());
+    seen.insert(query->classification.complexity);
+  }
+  // Mutation pressure should reach at least two different columns.
+  EXPECT_GE(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rpqres
