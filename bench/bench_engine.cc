@@ -10,6 +10,11 @@
 //   exact_ab_bc_ca     — NP-hard side, exact branch & bound (small dbs)
 //   mixed_cache_churn  — all four queries interleaved over one batch,
 //                        exercising the plan cache under a mixed workload
+//   handle_vs_raw_*    — the serving API v2 comparison: the same noisy
+//                        databases once through registered DbHandles (the
+//                        precomputed per-label index) and once through
+//                        the deprecated v1 raw-pointer shim (full fact
+//                        scan per solve); the delta is the index win
 
 #include <cstdio>
 #include <string>
@@ -70,6 +75,31 @@ std::vector<GraphDb> ExactDbs() {
   return dbs;
 }
 
+// Layered ax*b flow networks drowned in inert noise facts (labels the
+// query never reads). The indexed handle path skips the noise without
+// touching it; the raw-pointer path scans and filters every fact on
+// every solve — the gap between the two scenarios is the label-index
+// win that DbRegistry registration buys.
+std::vector<GraphDb> NoisyLocalDbs() {
+  Rng rng(2718);
+  std::vector<GraphDb> dbs;
+  for (int layers : {4, 8, 16}) {
+    GraphDb db = LayeredFlowDb(&rng, /*sources=*/4, layers, /*width=*/6,
+                               /*sinks=*/4, /*density=*/0.4,
+                               /*max_multiplicity=*/50);
+    int nodes = db.num_nodes();
+    int noise_facts = 20 * db.num_facts();  // noise dominates the fact array
+    for (int i = 0; i < noise_facts; ++i) {
+      char label = static_cast<char>('m' + rng.NextBelow(4));
+      db.AddFact(static_cast<NodeId>(rng.NextBelow(nodes)), label,
+                 static_cast<NodeId>(rng.NextBelow(nodes)),
+                 /*multiplicity=*/1 + rng.NextBelow(5));
+    }
+    dbs.push_back(std::move(db));
+  }
+  return dbs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +151,29 @@ int main(int argc, char** argv) {
     harness.AddScenario(mixed);
   }
 
+  // v1 vs v2: identical noisy databases, identical query — only the
+  // database plumbing differs. Compare solve_p50/throughput of the two
+  // rows (the resilience_checksum must match).
+  {
+    std::vector<GraphDb> noisy = NoisyLocalDbs();
+    harness.AddScenario({.name = "handle_vs_raw_v2_handle",
+                         .description = "ax*b over noisy flow dbs via "
+                                        "registered DbHandle + label index",
+                         .regex = "ax*b",
+                         .semantics = Semantics::kBag,
+                         .databases = noisy,
+                         .repetitions = 20,
+                         .use_raw_pointer_api = false});
+    harness.AddScenario({.name = "handle_vs_raw_v1_raw",
+                         .description = "ax*b over the same dbs via the "
+                                        "deprecated raw-pointer shim",
+                         .regex = "ax*b",
+                         .semantics = Semantics::kBag,
+                         .databases = noisy,
+                         .repetitions = 20,
+                         .use_raw_pointer_api = true});
+  }
+
   std::vector<ScenarioReport> reports = harness.RunAll();
 
   Status write_status = harness.WriteJson(output, reports);
@@ -131,8 +184,9 @@ int main(int argc, char** argv) {
 
   for (const ScenarioReport& r : reports) {
     std::printf(
-        "%-22s %-10s %4d inst  p50 %9.1fus  p95 %9.1fus  %8.0f qps  via %s\n",
-        r.name.c_str(), r.complexity.c_str(), r.instances,
+        "%-24s %-9s %-10s %4d inst  p50 %9.1fus  p95 %9.1fus  %8.0f qps  "
+        "via %s\n",
+        r.name.c_str(), r.api.c_str(), r.complexity.c_str(), r.instances,
         r.solve_p50_micros, r.solve_p95_micros, r.throughput_qps,
         r.algorithm.c_str());
   }

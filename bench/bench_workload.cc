@@ -6,8 +6,13 @@
 // any mismatch survived — each mismatch prints a one-line replay command.
 //
 //   bench_workload [--seed N] [--per-class N] [--threads N]
-//                  [--size-class 0|1|2] [--no-minimize] [--out PATH]
+//                  [--size-class 0|1|2] [--exact-budget NODES]
+//                  [--no-minimize] [--out PATH]
 //   bench_workload --replay SEED   # rebuild + re-judge one instance
+//
+// --exact-budget caps the exact reference solver's branch & bound (search
+// nodes per solve); pairs exceeding it count inconclusive, which is how
+// the nightly size_class 1/2 large-instance sweep stays bounded.
 //
 // The JSON report follows the BENCH_engine.json conventions (flat schema,
 // no external dependencies).
@@ -47,6 +52,10 @@ std::string ReportToJson(const DifferentialOracle& oracle,
           ",\n";
   json += "  \"instances_per_class\": " +
           std::to_string(oracle.options().instances_per_class) + ",\n";
+  json += "  \"size_class\": " +
+          std::to_string(oracle.options().workload.db.size_class) + ",\n";
+  json += "  \"exact_budget\": " +
+          std::to_string(oracle.options().max_exact_search_nodes) + ",\n";
   json += "  \"instances\": " + std::to_string(report.instances) + ",\n";
   json += "  \"generation_failures\": " +
           std::to_string(report.generation_failures) + ",\n";
@@ -162,6 +171,8 @@ int Main(int argc, char** argv) {
       options.engine.num_threads = std::atoi(next());
     } else if (arg == "--size-class") {
       options.workload.db.size_class = std::atoi(next());
+    } else if (arg == "--exact-budget") {
+      options.max_exact_search_nodes = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-minimize") {
       options.minimize_counterexamples = false;
     } else if (arg == "--out") {
@@ -172,8 +183,9 @@ int Main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_workload [--seed N] [--per-class N] [--threads N]\n"
-          "                      [--size-class 0|1|2] [--no-minimize]\n"
-          "                      [--out PATH] | --replay SEED\n");
+          "                      [--size-class 0|1|2] [--exact-budget N]\n"
+          "                      [--no-minimize] [--out PATH]\n"
+          "                      | --replay SEED\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -192,6 +204,10 @@ int Main(int argc, char** argv) {
   if (options.workload.db.size_class < 0 ||
       options.workload.db.size_class > 2) {
     std::fprintf(stderr, "--size-class must be 0, 1, or 2\n");
+    return 2;
+  }
+  if (options.max_exact_search_nodes < 1) {
+    std::fprintf(stderr, "--exact-budget must be >= 1\n");
     return 2;
   }
 

@@ -87,27 +87,67 @@ ScenarioReport Harness::RunScenario(const Scenario& scenario) {
   report.description = scenario.description;
   report.regex = scenario.regex;
   report.semantics = scenario.semantics == Semantics::kSet ? "set" : "bag";
+  report.api = scenario.use_raw_pointer_api ? "v1_raw" : "v2_handle";
 
-  std::vector<QueryInstance> instances;
-  instances.reserve(scenario.databases.size() *
-                    static_cast<size_t>(std::max(scenario.repetitions, 1)));
-  for (int rep = 0; rep < std::max(scenario.repetitions, 1); ++rep) {
-    for (const GraphDb& db : scenario.databases) {
-      instances.push_back(
-          QueryInstance{scenario.regex, &db, scenario.semantics});
+  const int repetitions = std::max(scenario.repetitions, 1);
+  std::vector<ResilienceResponse> outcomes;
+  double wall_micros = 0;
+  if (scenario.use_raw_pointer_api) {
+    // Deprecated v1 path: per-call raw pointers through the shim — each
+    // solve re-scans the whole fact array (no label index).
+    std::vector<QueryInstance> instances;
+    instances.reserve(scenario.databases.size() *
+                      static_cast<size_t>(repetitions));
+    for (int rep = 0; rep < repetitions; ++rep) {
+      for (const GraphDb& db : scenario.databases) {
+        instances.push_back(
+            QueryInstance{scenario.regex, &db, scenario.semantics});
+      }
     }
+    auto start = std::chrono::steady_clock::now();
+    std::vector<InstanceOutcome> v1 = engine_.RunBatch(instances);
+    wall_micros = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    outcomes.reserve(v1.size());
+    for (InstanceOutcome& outcome : v1) {
+      ResilienceResponse response;
+      response.status = std::move(outcome.status);
+      response.result = std::move(outcome.result);
+      response.stats = std::move(outcome.stats);
+      outcomes.push_back(std::move(response));
+    }
+  } else {
+    // v2: register each database once; every repetition reuses the
+    // handle and its precomputed per-label index.
+    std::vector<DbHandle> handles;
+    handles.reserve(scenario.databases.size());
+    for (const GraphDb& db : scenario.databases) {
+      handles.push_back(registry_.Register(db, scenario.name));
+    }
+    std::vector<ResilienceRequest> requests;
+    requests.reserve(handles.size() * static_cast<size_t>(repetitions));
+    for (int rep = 0; rep < repetitions; ++rep) {
+      for (const DbHandle& handle : handles) {
+        ResilienceRequest request;
+        request.regex = scenario.regex;
+        request.db = handle;
+        request.semantics = scenario.semantics;
+        requests.push_back(std::move(request));
+      }
+    }
+    auto start = std::chrono::steady_clock::now();
+    outcomes = engine_.EvaluateBatch(requests);
+    wall_micros = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    for (const DbHandle& handle : handles) registry_.Unregister(handle.id());
   }
-
-  auto start = std::chrono::steady_clock::now();
-  std::vector<InstanceOutcome> outcomes = engine_.RunBatch(instances);
-  report.total_wall_micros =
-      std::chrono::duration<double, std::micro>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  report.total_wall_micros = wall_micros;
 
   std::vector<double> solve_micros;
   solve_micros.reserve(outcomes.size());
-  for (const InstanceOutcome& outcome : outcomes) {
+  for (const ResilienceResponse& outcome : outcomes) {
     ++report.instances;
     if (!outcome.status.ok()) {
       ++report.errors;
@@ -133,7 +173,7 @@ ScenarioReport Harness::RunScenario(const Scenario& scenario) {
   if (report.complexity.empty() && !outcomes.empty()) {
     // Plan was already cached (e.g. a repeated scenario): take the
     // classification from any successful outcome.
-    for (const InstanceOutcome& outcome : outcomes) {
+    for (const ResilienceResponse& outcome : outcomes) {
       if (outcome.status.ok()) {
         report.complexity = outcome.stats.complexity;
         report.rule = outcome.stats.rule;
@@ -160,12 +200,14 @@ ScenarioReport Harness::RunScenario(const Scenario& scenario) {
 std::string Harness::ToJson(
     const std::vector<ScenarioReport>& reports) const {
   EngineStats stats = engine_.stats();
+  PlanCacheView cache = engine_.plan_cache_view();
   std::ostringstream os;
   os << "{\n";
   os << "  \"benchmark\": \"engine\",\n";
   os << "  \"engine\": {\n";
   os << "    \"plan_cache_capacity\": " << engine_.options().plan_cache_capacity
      << ",\n";
+  os << "    \"plan_cache_size\": " << cache.size << ",\n";
   os << "    \"num_threads\": "
      << (engine_.options().num_threads > 0 ? engine_.options().num_threads
                                            : ThreadPool::DefaultNumThreads())
@@ -184,6 +226,7 @@ std::string Harness::ToJson(
     os << "      \"description\": \"" << JsonEscape(r.description) << "\",\n";
     os << "      \"regex\": \"" << JsonEscape(r.regex) << "\",\n";
     os << "      \"semantics\": \"" << r.semantics << "\",\n";
+    os << "      \"api\": \"" << r.api << "\",\n";
     os << "      \"complexity\": \"" << JsonEscape(r.complexity) << "\",\n";
     os << "      \"rule\": \"" << JsonEscape(r.rule) << "\",\n";
     os << "      \"algorithm\": \"" << JsonEscape(r.algorithm) << "\",\n";

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/db_registry.h"
 #include "engine/engine.h"
+#include "engine/request.h"
 #include "graphdb/graph_db.h"
 
 namespace rpqres {
@@ -30,6 +32,12 @@ struct Scenario {
   Semantics semantics = Semantics::kBag;
   std::vector<GraphDb> databases;
   int repetitions = 3;
+  /// false (default): databases are registered once in the harness's
+  /// DbRegistry and every instance reuses the handle + per-label index
+  /// (serving API v2). true: instances go through the deprecated
+  /// Run(QueryInstance) raw-pointer shim — no registration, no index —
+  /// for measuring the handle/index win against the v1 path.
+  bool use_raw_pointer_api = false;
 };
 
 /// Aggregated measurements for one scenario.
@@ -38,6 +46,7 @@ struct ScenarioReport {
   std::string description;
   std::string regex;
   std::string semantics;   ///< "set" | "bag"
+  std::string api;         ///< "v2_handle" | "v1_raw"
   std::string complexity;  ///< classification column for IF(L)
   std::string rule;        ///< classification rule
   std::string algorithm;   ///< solver observed on the instances
@@ -85,11 +94,13 @@ class Harness {
                    const std::vector<ScenarioReport>& reports) const;
 
   ResilienceEngine& engine() { return engine_; }
+  DbRegistry& registry() { return registry_; }
 
  private:
   ScenarioReport RunScenario(const Scenario& scenario);
 
   ResilienceEngine engine_;
+  DbRegistry registry_;
   std::vector<Scenario> scenarios_;
 };
 

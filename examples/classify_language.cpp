@@ -1,11 +1,17 @@
 // rpqres example: classify the resilience complexity of RPQ languages
-// (the Figure 1 pipeline). Pass regexes as arguments, or run without
-// arguments to classify the paper's Figure 1 examples.
+// (the Figure 1 pipeline), going through the engine's Compile entry
+// point — the same artifact the serving path caches (parse, minimal DFA,
+// classification, solver plan), so what prints here is exactly what a
+// ResilienceRequest for the regex would execute. Pass regexes as
+// arguments, or run without arguments to classify the paper's Figure 1
+// examples.
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "classify/classifier.h"
+#include "engine/engine.h"
 #include "lang/language.h"
 
 using namespace rpqres;
@@ -20,18 +26,20 @@ int main(int argc, char** argv) {
                "abcd|be|ef", "abcd|bef", "abc|bcd", "abc|bef", "ab*c|ba",
                "ab*d|ac*d|bc"};
   }
+  ResilienceEngine engine;
   for (const std::string& regex : regexes) {
-    Result<Language> lang = Language::FromRegexString(regex);
-    if (!lang.ok()) {
-      std::cerr << regex << ": " << lang.status() << "\n";
+    Result<std::shared_ptr<const CompiledQuery>> compiled =
+        engine.Compile(regex, Semantics::kSet);
+    if (!compiled.ok()) {
+      std::cerr << regex << ": " << compiled.status() << "\n";
       continue;
     }
-    Result<Classification> classification = ClassifyResilience(*lang);
-    if (!classification.ok()) {
-      std::cerr << regex << ": " << classification.status() << "\n";
-      continue;
-    }
-    std::cout << ClassificationReport(*lang, *classification) << "\n";
+    const CompiledQuery& query = **compiled;
+    std::cout << ClassificationReport(query.language, query.classification)
+              << "\n";
   }
+  PlanCacheView cache = engine.plan_cache_view();
+  std::cout << "(" << cache.stats.misses << " compiled, " << cache.stats.hits
+            << " plan-cache hits)\n";
   return 0;
 }

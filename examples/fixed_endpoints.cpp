@@ -7,12 +7,18 @@
 // L-labeled walks?" — a labeled generalization of classic s-t MinCut.
 //
 // Scenario: a data-center fabric where packets must traverse an ingress
-// (a), any number of switch hops (x), and an egress (b). We compare the
-// Boolean query ("no ax*b route anywhere") with the targeted one ("no
-// ax*b route from rack R1 to rack R9").
+// (a), any number of switch hops (x), and an egress (b). The Boolean
+// query ("no ax*b route anywhere") goes through the serving engine
+// against a registered handle; the targeted one ("no ax*b route from
+// rack R1 to rack R9") uses the direct fixed-endpoint solver — the one
+// entry point the request API does not cover yet (no Boolean plan
+// subsumes it).
 
 #include <iostream>
 
+#include "engine/db_registry.h"
+#include "engine/engine.h"
+#include "engine/request.h"
 #include "graphdb/generators.h"
 #include "graphdb/graph_db.h"
 #include "graphdb/rpq_eval.h"
@@ -25,44 +31,48 @@ using namespace rpqres;
 
 int main() {
   Rng rng(4242);
-  GraphDb db = LayeredFlowDb(&rng, /*sources=*/3, /*layers=*/4,
-                             /*width=*/4, /*sinks=*/3, /*density=*/0.5,
-                             /*max_multiplicity=*/8);
+  GraphDb graph = LayeredFlowDb(&rng, /*sources=*/3, /*layers=*/4,
+                                /*width=*/4, /*sinks=*/3, /*density=*/0.5,
+                                /*max_multiplicity=*/8);
   Language query = Language::MustFromRegexString("ax*b");
 
   // Pick the endpoints of one concrete existing route (the endpoints of a
   // shortest witness walk).
-  std::optional<WitnessWalk> walk = ShortestWitnessWalk(db, query);
+  std::optional<WitnessWalk> walk = ShortestWitnessWalk(graph, query);
   if (!walk || walk->empty()) {
     std::cerr << "generator produced a routeless fabric\n";
     return 1;
   }
-  NodeId s = db.fact(walk->front()).source;
-  NodeId t = db.fact(walk->back()).target;
-  std::cout << "Fabric (" << db.num_facts() << " links):\n"
-            << SerializeGraphDb(db) << "\n";
+  NodeId s = graph.fact(walk->front()).source;
+  NodeId t = graph.fact(walk->back()).target;
+  std::cout << "Fabric (" << graph.num_facts() << " links):\n"
+            << SerializeGraphDb(graph) << "\n";
 
-  Result<ResilienceResult> boolean =
-      SolveLocalResilience(query, db, Semantics::kBag);
+  DbRegistry registry;
+  DbHandle db = registry.Register(graph, "fabric");  // copy: the targeted
+                                                     // solver reads `graph`
+  ResilienceEngine engine;
+  ResilienceResponse boolean = engine.Evaluate(
+      {.regex = "ax*b", .db = db, .semantics = Semantics::kBag});
   Result<ResilienceResult> targeted = SolveLocalResilienceFixedEndpoints(
-      query, db, s, t, Semantics::kBag);
-  if (!boolean.ok() || !targeted.ok()) {
-    std::cerr << (boolean.ok() ? targeted.status() : boolean.status())
+      query, graph, s, t, Semantics::kBag);
+  if (!boolean.status.ok() || !targeted.ok()) {
+    std::cerr << (boolean.status.ok() ? targeted.status() : boolean.status)
               << "\n";
     return 1;
   }
   std::cout << "Boolean RES (kill every a·x*·b route):    "
-            << boolean->value << "\n";
-  std::cout << "Fixed-endpoint RES (" << db.node_name(s) << " → "
-            << db.node_name(t) << " only): " << targeted->value << "\n";
-  if (targeted->value > boolean->value) {
+            << boolean.result.value << "\n";
+  std::cout << "Fixed-endpoint RES (" << graph.node_name(s) << " → "
+            << graph.node_name(t) << " only): " << targeted->value << "\n";
+  if (targeted->value > boolean.result.value) {
     std::cerr << "bug: targeted interdiction cannot cost more\n";
     return 1;
   }
-  std::vector<bool> removed(db.num_facts(), false);
+  std::vector<bool> removed(graph.num_facts(), false);
   for (FactId f : targeted->contingency) removed[f] = true;
   bool still_routed =
-      EvaluatesToTrueBetween(db, query.enfa(), s, t, &removed);
+      EvaluatesToTrueBetween(graph, query.enfa(), s, t, &removed);
   std::cout << "Route survives the targeted cut? "
             << (still_routed ? "YES (bug!)" : "no") << "\n";
   return still_routed ? 1 : 0;

@@ -1,15 +1,21 @@
 // rpqres example: explore a hardness gadget (Section 4) — print the
 // completed gadget, its hypergraph of matches, the condensation trace, and
-// the odd-path verdict; then run the end-to-end vertex-cover reduction on a
-// triangle and compare against the Prp 4.2 prediction.
+// the odd-path verdict; then run the end-to-end vertex-cover reduction on
+// a triangle and compare against the Prp 4.2 prediction. The final solve
+// goes through the serving engine with the solver pinned to the exact
+// branch & bound (RequestOptions::method) — the NP-hard side of the
+// dichotomy, exercised through the same API the tractable side serves on.
 
 #include <iostream>
 
+#include "engine/db_registry.h"
+#include "engine/engine.h"
+#include "engine/request.h"
 #include "gadgets/encoding.h"
 #include "gadgets/gadget.h"
 #include "gadgets/paper_gadgets.h"
 #include "lang/language.h"
-#include "resilience/exact.h"
+#include "resilience/resilience.h"
 
 using namespace rpqres;
 
@@ -48,16 +54,21 @@ int main() {
   GraphDb encoding = EncodeGraph(OrientArbitrarily(triangle), gadget);
   std::cout << "=== Encoding Ξ of a triangle (Def 4.5): "
             << encoding.num_facts() << " facts ===\n";
-  Result<ResilienceResult> resilience =
-      SolveExactResilience(aa, encoding, Semantics::kSet);
-  if (!resilience.ok()) {
-    std::cerr << "exact solver error: " << resilience.status() << "\n";
+
+  DbRegistry registry;
+  DbHandle db = registry.Register(std::move(encoding), "triangle-encoding");
+  ResilienceEngine engine;
+  ResilienceResponse resilience = engine.Evaluate(
+      {.regex = "aa", .db = db,
+       .options = {.method = ResilienceMethod::kExact}});
+  if (!resilience.status.ok()) {
+    std::cerr << "exact solver error: " << resilience.status << "\n";
     return 1;
   }
   Capacity predicted = PredictedEncodingResilience(
       triangle, verification->odd_path.path_edges);
-  std::cout << "RES_set(aa, Ξ) = " << resilience->value
+  std::cout << "RES_set(aa, Ξ) = " << resilience.result.value
             << "  (Prp 4.2 predicts vc(G) + m(ℓ-1)/2 = " << predicted
-            << ")\n";
-  return resilience->value == predicted ? 0 : 1;
+            << ", " << resilience.result.search_nodes << " search nodes)\n";
+  return resilience.result.value == predicted ? 0 : 1;
 }

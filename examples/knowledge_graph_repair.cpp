@@ -1,13 +1,19 @@
-// rpqres example: minimal repair of a knowledge graph policy violation.
+// rpqres example: minimal repair of a knowledge graph policy violation,
+// through the serving API v2 with per-request solver overrides.
 //
 // A compliance policy forbids walks matching abc|be — e.g. a(uthored) then
 // b(enefits) then c(ontrols), or b(enefits) then e(ndorses). The language
-// abc|be is *one-dangling* (Def 7.8: abc is local, be dangles on b), so the
-// Prp 7.9 flow algorithm finds a minimum set of edges (claims) to retract,
-// which we compare against the exponential exact solver.
+// abc|be is *one-dangling* (Def 7.8: abc is local, be dangles on b), so
+// kAuto would route to the Prp 7.9 flow algorithm; here we pin each side
+// explicitly (RequestOptions::method — the same instance routed to
+// algorithms of different complexity) and compare the polynomial flow
+// answer against the exponential exact solver on the same DbHandle.
 
 #include <iostream>
 
+#include "engine/db_registry.h"
+#include "engine/engine.h"
+#include "engine/request.h"
 #include "graphdb/generators.h"
 #include "graphdb/graph_db.h"
 #include "lang/language.h"
@@ -20,36 +26,43 @@ int main() {
   Language policy = Language::MustFromRegexString("abc|be");
 
   Rng rng(7);
-  GraphDb db = DanglingPairsDb(&rng, /*num_nodes=*/14, /*base_facts=*/22,
-                               /*base_labels=*/{'a', 'b', 'c'}, /*x=*/'b',
-                               /*y=*/'e', /*pair_count=*/6);
-  std::cout << "Knowledge graph: " << db.num_nodes() << " entities, "
-            << db.num_facts() << " claims\n";
+  GraphDb graph = DanglingPairsDb(&rng, /*num_nodes=*/14, /*base_facts=*/22,
+                                  /*base_labels=*/{'a', 'b', 'c'}, /*x=*/'b',
+                                  /*y=*/'e', /*pair_count=*/6);
+  std::cout << "Knowledge graph: " << graph.num_nodes() << " entities, "
+            << graph.num_facts() << " claims\n";
   std::cout << "Policy: no walk may match " << policy.description()
             << "\n\n";
 
-  Result<ResilienceResult> flow = ComputeResilience(
-      policy, db, Semantics::kSet,
-      {.method = ResilienceMethod::kOneDanglingFlow});
-  Result<ResilienceResult> exact = ComputeResilience(
-      policy, db, Semantics::kSet, {.method = ResilienceMethod::kExact});
-  if (!flow.ok() || !exact.ok()) {
+  DbRegistry registry;
+  DbHandle db = registry.Register(std::move(graph), "knowledge-graph");
+  ResilienceEngine engine;
+
+  ResilienceResponse flow = engine.Evaluate(
+      {.regex = "abc|be", .db = db,
+       .options = {.method = ResilienceMethod::kOneDanglingFlow}});
+  ResilienceResponse exact = engine.Evaluate(
+      {.regex = "abc|be", .db = db,
+       .options = {.method = ResilienceMethod::kExact}});
+  if (!flow.status.ok() || !exact.status.ok()) {
     std::cerr << "error: "
-              << (flow.ok() ? exact.status() : flow.status()) << "\n";
+              << (flow.status.ok() ? exact.status : flow.status) << "\n";
     return 1;
   }
-  std::cout << "Prp 7.9 flow algorithm: retract " << flow->value
-            << " claims (" << flow->algorithm << ")\n";
-  for (FactId f : flow->contingency) {
-    const Fact& fact = db.fact(f);
-    std::cout << "  retract " << db.node_name(fact.source) << " -"
-              << fact.label << "-> " << db.node_name(fact.target) << "\n";
+  std::cout << "Prp 7.9 flow algorithm: retract " << flow.result.value
+            << " claims (" << flow.result.algorithm << ")\n";
+  for (FactId f : flow.result.contingency) {
+    const Fact& fact = db.db().fact(f);
+    std::cout << "  retract " << db.db().node_name(fact.source) << " -"
+              << fact.label << "-> " << db.db().node_name(fact.target)
+              << "\n";
   }
   std::cout << "Exact solver agrees? "
-            << (exact->value == flow->value ? "yes" : "NO (bug!)") << " ("
-            << exact->value << ", " << exact->search_nodes
-            << " search nodes)\n";
-  Status check = VerifyResilienceResult(policy, db, Semantics::kSet, *flow);
+            << (exact.result.value == flow.result.value ? "yes" : "NO (bug!)")
+            << " (" << exact.result.value << ", "
+            << exact.result.search_nodes << " search nodes)\n";
+  Status check = VerifyResilienceResult(policy, db.db(), Semantics::kSet,
+                                        flow.result);
   std::cout << "Witness verification: " << check.ToString() << "\n";
-  return exact->value == flow->value && check.ok() ? 0 : 1;
+  return exact.result.value == flow.result.value && check.ok() ? 0 : 1;
 }

@@ -1,65 +1,75 @@
-// rpqres example: network interdiction as RPQ resilience.
+// rpqres example: network interdiction as RPQ resilience, served through
+// the v2 request API.
 //
 // Section 1 of the paper observes that MinCut is exactly RES_bag(ax*b): a
 // labeled flow network where a-facts are sources, x-facts are internal
-// links (with interdiction costs as multiplicities), and b-facts are sinks.
-// This example models a contraband-routing network and asks for the
-// cheapest interdiction plan; it then tightens the query to the local
-// language a(x|r)*b to show multi-modal routes (road x / rail r) are
-// handled by the same machinery.
+// links (with interdiction costs as multiplicities), and b-facts are
+// sinks. This example models a contraband-routing network, registers it
+// once (the DbHandle carries the per-label index every query reuses), and
+// asks for the cheapest interdiction plan; it then tightens the query to
+// the local language a(x|r)*b to show multi-modal routes (road x /
+// rail r) are handled by the same machinery.
 
 #include <iostream>
 
+#include "engine/db_registry.h"
+#include "engine/engine.h"
+#include "engine/request.h"
 #include "graphdb/generators.h"
 #include "graphdb/graph_db.h"
 #include "graphdb/rpq_eval.h"
 #include "lang/language.h"
-#include "resilience/resilience.h"
 #include "util/rng.h"
 
 using namespace rpqres;
 
 int main() {
   Rng rng(2026);
-  GraphDb db = LayeredFlowDb(&rng, /*sources=*/3, /*layers=*/4,
-                             /*width=*/4, /*sinks=*/3, /*density=*/0.45,
-                             /*max_multiplicity=*/9);
+  GraphDb graph = LayeredFlowDb(&rng, /*sources=*/3, /*layers=*/4,
+                                /*width=*/4, /*sinks=*/3, /*density=*/0.45,
+                                /*max_multiplicity=*/9);
   // Add rail links (label r) in parallel to some road links.
   int added = 0;
-  int original_facts = db.num_facts();
+  int original_facts = graph.num_facts();
   for (FactId f = 0; f < original_facts && added < 5; ++f) {
-    if (db.fact(f).label == 'x' && rng.NextChance(1, 2)) {
-      db.AddFact(db.fact(f).source, 'r', db.fact(f).target,
-                 1 + static_cast<Capacity>(rng.NextBelow(5)));
+    if (graph.fact(f).label == 'x' && rng.NextChance(1, 2)) {
+      graph.AddFact(graph.fact(f).source, 'r', graph.fact(f).target,
+                    1 + static_cast<Capacity>(rng.NextBelow(5)));
       ++added;
     }
   }
 
-  std::cout << "Interdiction network: " << db.num_nodes() << " nodes, "
-            << db.num_facts() << " links\n\n";
+  std::cout << "Interdiction network: " << graph.num_nodes() << " nodes, "
+            << graph.num_facts() << " links\n\n";
+
+  // Register after the mutations: the snapshot is immutable from here on.
+  DbRegistry registry;
+  DbHandle db = registry.Register(std::move(graph), "contraband-routes");
+  ResilienceEngine engine;
 
   for (const char* regex : {"ax*b", "a(x|r)*b"}) {
-    Language query = Language::MustFromRegexString(regex);
-    Result<ResilienceResult> plan =
-        ComputeResilience(query, db, Semantics::kBag);
-    if (!plan.ok()) {
-      std::cerr << "error: " << plan.status() << "\n";
+    ResilienceResponse plan = engine.Evaluate(
+        {.regex = regex, .db = db, .semantics = Semantics::kBag});
+    if (!plan.status.ok()) {
+      std::cerr << "error: " << plan.status << "\n";
       return 1;
     }
     std::cout << "Routes " << regex << ": cheapest interdiction costs "
-              << plan->value << " (" << plan->algorithm << ", network "
-              << plan->network_vertices << " vertices / "
-              << plan->network_edges << " edges)\n";
-    std::cout << "  cut " << plan->contingency.size() << " links:";
-    for (FactId f : plan->contingency) {
-      const Fact& fact = db.fact(f);
-      std::cout << " " << db.node_name(fact.source) << "-" << fact.label
-                << "->" << db.node_name(fact.target);
+              << plan.result.value << " (" << plan.result.algorithm
+              << ", network " << plan.result.network_vertices
+              << " vertices / " << plan.result.network_edges << " edges)\n";
+    std::cout << "  cut " << plan.result.contingency.size() << " links:";
+    for (FactId f : plan.result.contingency) {
+      const Fact& fact = db.db().fact(f);
+      std::cout << " " << db.db().node_name(fact.source) << "-" << fact.label
+                << "->" << db.db().node_name(fact.target);
     }
     std::cout << "\n";
-    GraphDb after = db.RemoveFacts(plan->contingency);
+    GraphDb after = db.db().RemoveFacts(plan.result.contingency);
     std::cout << "  routes remain after interdiction? "
-              << (EvaluatesToTrue(after, query) ? "YES (bug!)" : "no")
+              << (EvaluatesToTrue(after, Language::MustFromRegexString(regex))
+                      ? "YES (bug!)"
+                      : "no")
               << "\n\n";
   }
   return 0;

@@ -1,17 +1,22 @@
 // rpqres quickstart: compute the resilience of an RPQ on a small graph
-// database through the ResilienceEngine — the compiled-query serving path
-// used for real workloads (few queries, many databases).
+// database through the serving API v2 — register the database once
+// (DbRegistry hands back an immutable snapshot handle with a precomputed
+// per-label index), then evaluate requests against the handle.
 //
 // The query is the paper's flagship tractable RPQ ax*b (Section 1): "is
 // there a walk from an a-edge through x-edges to a b-edge?" — resilience
-// asks for the cheapest set of edges whose deletion breaks all such walks.
-// The engine compiles the regex once (parse, minimal DFA, Figure 1
-// classification, solver plan) and caches the plan; both semantics then
-// reuse solver-ready artifacts.
+// asks for the cheapest set of edges whose deletion breaks all such
+// walks. The engine compiles the regex once per semantics (parse, minimal
+// DFA, Figure 1 classification, solver plan) behind its plan cache; the
+// example finishes with an async Submit carrying a wall-clock deadline.
 
+#include <chrono>
+#include <future>
 #include <iostream>
 
+#include "engine/db_registry.h"
 #include "engine/engine.h"
+#include "engine/request.h"
 #include "graphdb/graph_db.h"
 #include "lang/language.h"
 #include "resilience/resilience.h"
@@ -22,54 +27,76 @@ int main() {
   // A small supply network: two sources (a-edges), internal links
   // (x-edges, with bag multiplicities as deletion costs), two sinks
   // (b-edges).
-  GraphDb db;
-  NodeId s1 = db.AddNode("s1"), s2 = db.AddNode("s2");
-  NodeId u = db.AddNode("u"), v = db.AddNode("v"), w = db.AddNode("w");
-  NodeId t1 = db.AddNode("t1"), t2 = db.AddNode("t2");
+  GraphDb graph;
+  NodeId s1 = graph.AddNode("s1"), s2 = graph.AddNode("s2");
+  NodeId u = graph.AddNode("u"), v = graph.AddNode("v"),
+         w = graph.AddNode("w");
+  NodeId t1 = graph.AddNode("t1"), t2 = graph.AddNode("t2");
 
-  db.AddFact(s1, 'a', u);
-  db.AddFact(s2, 'a', v);
-  db.AddFact(u, 'x', w, /*multiplicity=*/3);
-  db.AddFact(v, 'x', w, /*multiplicity=*/1);
-  db.AddFact(v, 'x', u, /*multiplicity=*/2);
-  db.AddFact(w, 'b', t1);
-  db.AddFact(w, 'b', t2);
+  graph.AddFact(s1, 'a', u);
+  graph.AddFact(s2, 'a', v);
+  graph.AddFact(u, 'x', w, /*multiplicity=*/3);
+  graph.AddFact(v, 'x', w, /*multiplicity=*/1);
+  graph.AddFact(v, 'x', u, /*multiplicity=*/2);
+  graph.AddFact(w, 'b', t1);
+  graph.AddFact(w, 'b', t2);
 
-  std::cout << "Database:\n" << db.ToString() << "\n";
+  std::cout << "Database:\n" << graph.ToString() << "\n";
   std::cout << "Query: Q_L for L = ax*b\n\n";
+
+  // Register once; every request against the handle shares the snapshot
+  // and its per-label adjacency index.
+  DbRegistry registry;
+  DbHandle db = registry.Register(std::move(graph), "supply-network");
 
   ResilienceEngine engine;
   for (Semantics semantics : {Semantics::kSet, Semantics::kBag}) {
-    InstanceOutcome outcome =
-        engine.Run(QueryInstance{"ax*b", &db, semantics});
-    if (!outcome.status.ok()) {
-      std::cerr << "error: " << outcome.status << "\n";
+    ResilienceResponse response = engine.Evaluate(
+        {.regex = "ax*b", .db = db, .semantics = semantics});
+    if (!response.status.ok()) {
+      std::cerr << "error: " << response.status << "\n";
       return 1;
     }
     std::cout << (semantics == Semantics::kSet ? "Set" : "Bag")
-              << " semantics: resilience = " << outcome.result.value
-              << " via " << outcome.result.algorithm << "\n";
-    std::cout << "  classified " << outcome.stats.complexity << " — "
-              << outcome.stats.rule << " ("
-              << (outcome.stats.cache_hit ? "plan cache hit"
-                                          : "compiled fresh")
-              << ", solve " << outcome.stats.solve_micros << "us)\n";
+              << " semantics: resilience = " << response.result.value
+              << " via " << response.result.algorithm << "\n";
+    std::cout << "  classified " << response.stats.complexity << " — "
+              << response.stats.rule << " ("
+              << (response.stats.cache_hit ? "plan cache hit"
+                                           : "compiled fresh")
+              << ", solve " << response.stats.solve_micros << "us)\n";
     std::cout << "  witness contingency set:\n";
-    for (FactId f : outcome.result.contingency) {
-      const Fact& fact = db.fact(f);
-      std::cout << "    " << db.node_name(fact.source) << " -" << fact.label
-                << "-> " << db.node_name(fact.target)
-                << " (cost " << db.Cost(f, semantics) << ")\n";
+    for (FactId f : response.result.contingency) {
+      const Fact& fact = db.db().fact(f);
+      std::cout << "    " << db.db().node_name(fact.source) << " -"
+                << fact.label << "-> " << db.db().node_name(fact.target)
+                << " (cost " << db.db().Cost(f, semantics) << ")\n";
     }
     Status check =
-        VerifyResilienceResult(Language::MustFromRegexString("ax*b"), db,
-                               semantics, outcome.result);
+        VerifyResilienceResult(Language::MustFromRegexString("ax*b"),
+                               db.db(), semantics, response.result);
     std::cout << "  verification: " << check.ToString() << "\n\n";
   }
 
+  // Async submission with a deadline: the future resolves on the
+  // engine's thread pool; this instance is tiny, so it finishes well
+  // inside the 100ms budget.
+  std::future<ResilienceResponse> future = engine.Submit(
+      {.regex = "ax*b", .db = db, .semantics = Semantics::kBag,
+       .options = {.deadline = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(100)}});
+  ResilienceResponse async = future.get();
+  std::cout << "Async Submit (100ms deadline): "
+            << (async.status.ok()
+                    ? "resilience = " + std::to_string(async.result.value)
+                    : async.status.ToString())
+            << "\n";
+
   EngineStats stats = engine.stats();
+  PlanCacheView cache = engine.plan_cache_view();
   std::cout << "Engine: " << stats.instances_run << " instances, "
             << stats.compilations << " compilations, " << stats.cache_hits
-            << " plan-cache hits\n";
-  return 0;
+            << " plan-cache hits, " << cache.size << "/" << cache.capacity
+            << " plans resident, " << stats.submits << " async submits\n";
+  return async.status.ok() ? 0 : 1;
 }

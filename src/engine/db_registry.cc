@@ -1,0 +1,60 @@
+#include "engine/db_registry.h"
+
+namespace rpqres {
+
+const std::string& DbHandle::name() const {
+  static const std::string kEmpty;
+  return snapshot_ != nullptr ? snapshot_->name : kEmpty;
+}
+
+DbHandle DbHandle::Borrow(const GraphDb& db) {
+  auto snapshot = std::make_shared<DbSnapshot>();
+  snapshot->borrowed = &db;
+  return DbHandle(std::move(snapshot));
+}
+
+DbHandle DbRegistry::Register(GraphDb db, std::string name) {
+  auto snapshot = std::make_shared<DbSnapshot>();
+  snapshot->name = std::move(name);
+  snapshot->db = std::move(db);
+  snapshot->label_index = LabelIndex(snapshot->db);
+  snapshot->has_label_index = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot->id = next_id_++;
+  snapshots_.emplace(snapshot->id, snapshot);
+  ++stats_.registered;
+  return DbHandle(std::move(snapshot));
+}
+
+bool DbRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshots_.erase(id) == 0) return false;
+  ++stats_.unregistered;
+  return true;
+}
+
+DbHandle DbRegistry::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = snapshots_.find(id);
+  return it != snapshots_.end() ? DbHandle(it->second) : DbHandle();
+}
+
+size_t DbRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_.size();
+}
+
+DbRegistry::Stats DbRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<uint64_t> DbRegistry::ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(snapshots_.size());
+  for (const auto& [id, snapshot] : snapshots_) out.push_back(id);
+  return out;
+}
+
+}  // namespace rpqres

@@ -1,0 +1,132 @@
+// rpqres — engine/db_registry: owned, immutable database snapshots.
+//
+// Serving API v1 borrowed raw `const GraphDb*` pointers per request, which
+// pushed a lifetime contract onto every caller ("db must outlive the
+// call") and left nowhere to hang per-database precomputation. The
+// registry inverts that: Register(GraphDb) moves the database into an
+// immutable, refcounted DbSnapshot — together with a per-label adjacency
+// index built exactly once — and hands back a DbHandle. Handles are cheap
+// value types (one shared_ptr); every query against the same handle
+// shares the snapshot and its index, and a handle stays valid even after
+// the registry entry is unregistered or the registry itself is destroyed.
+//
+//   DbRegistry registry;
+//   DbHandle db = registry.Register(std::move(graph), "orders-2026-07");
+//   engine.Evaluate({.regex = "ax*b", .db = db});
+//
+// DbHandle::Borrow(db) exists only for the deprecated v1 shims: it wraps
+// a caller-owned database without copying and without an index, keeping
+// the old lifetime contract for old callers.
+
+#ifndef RPQRES_ENGINE_DB_REGISTRY_H_
+#define RPQRES_ENGINE_DB_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graphdb/graph_db.h"
+#include "graphdb/label_index.h"
+
+namespace rpqres {
+
+/// One immutable registered database: the owned GraphDb plus everything
+/// precomputed for it. Shared (shared_ptr-to-const) between the registry
+/// and any number of outstanding handles / in-flight requests.
+struct DbSnapshot {
+  /// Registry-unique id (0 for borrowed snapshots).
+  uint64_t id = 0;
+  /// Optional display name given at Register time.
+  std::string name;
+  /// The database, owned... unless `borrowed` is set (v1 shim path), in
+  /// which case `db` is empty and the caller keeps ownership.
+  GraphDb db;
+  /// Per-label fact adjacency, built once at Register time; not built for
+  /// borrowed snapshots (has_label_index == false).
+  LabelIndex label_index;
+  bool has_label_index = false;
+  const GraphDb* borrowed = nullptr;
+
+  const GraphDb& graph() const { return borrowed != nullptr ? *borrowed : db; }
+};
+
+/// A value-type reference to a registered (or borrowed) database. Default
+/// constructed handles are invalid; requests carrying one fail with
+/// InvalidArgument instead of crashing.
+class DbHandle {
+ public:
+  DbHandle() = default;
+
+  /// True iff the handle points at a snapshot.
+  bool valid() const { return snapshot_ != nullptr; }
+  /// The database. Must not be called on an invalid handle.
+  const GraphDb& db() const { return snapshot_->graph(); }
+  /// The precomputed per-label index, or nullptr for borrowed handles.
+  const LabelIndex* label_index() const {
+    return snapshot_ != nullptr && snapshot_->has_label_index
+               ? &snapshot_->label_index
+               : nullptr;
+  }
+  uint64_t id() const { return snapshot_ != nullptr ? snapshot_->id : 0; }
+  const std::string& name() const;
+
+  /// v1 compatibility only: wraps a caller-owned database without copying
+  /// it and without building an index. The caller keeps the v1 lifetime
+  /// contract — `db` must outlive every request holding the handle.
+  static DbHandle Borrow(const GraphDb& db);
+
+ private:
+  friend class DbRegistry;
+  explicit DbHandle(std::shared_ptr<const DbSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  std::shared_ptr<const DbSnapshot> snapshot_;
+};
+
+/// Thread-safe id → snapshot map. Unregistering (or destroying the
+/// registry) drops only the registry's reference — outstanding DbHandles
+/// keep their snapshot alive, so in-flight requests never race a
+/// deregistration.
+class DbRegistry {
+ public:
+  struct Stats {
+    int64_t registered = 0;    ///< Register calls since construction
+    int64_t unregistered = 0;  ///< successful Unregister calls
+  };
+
+  DbRegistry() = default;
+
+  /// Moves `db` into a fresh immutable snapshot, builds its label index,
+  /// and returns a handle. Ids are unique per registry, starting at 1.
+  DbHandle Register(GraphDb db, std::string name = "");
+
+  /// Drops the registry's reference to `id`; returns false when absent.
+  /// Handles already handed out stay valid.
+  bool Unregister(uint64_t id);
+
+  /// The handle for `id`, or an invalid handle when absent.
+  DbHandle Find(uint64_t id) const;
+
+  /// Currently registered snapshot count (not counting unregistered
+  /// snapshots kept alive by outstanding handles).
+  size_t size() const;
+
+  Stats stats() const;
+
+  /// Ids currently registered, ascending (introspection / tooling).
+  std::vector<uint64_t> ids() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<const DbSnapshot>> snapshots_;
+  Stats stats_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_ENGINE_DB_REGISTRY_H_

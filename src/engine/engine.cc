@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <optional>
 #include <utility>
 
 namespace rpqres {
@@ -14,6 +15,34 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// The effective cancellation chain for a request: the caller-held token
+/// (if any), wrapped in a deadline token (if any). The wrapper, when
+/// needed, is materialized into *storage, which must outlive the solve.
+const CancelToken* EffectiveCancel(const RequestOptions& options,
+                                   std::optional<CancelToken>* storage) {
+  const CancelToken* cancel = options.cancel.get();
+  if (options.deadline.has_value()) {
+    storage->emplace(*options.deadline, cancel);
+    cancel = &**storage;
+  }
+  return cancel;
+}
+
+InstanceOutcome ToOutcome(ResilienceResponse response) {
+  InstanceOutcome outcome;
+  outcome.status = std::move(response.status);
+  outcome.result = std::move(response.result);
+  outcome.stats = std::move(response.stats);
+  return outcome;
+}
+
+/// No refutable answer: budget exhaustion, deadline, or cancellation.
+bool IsInconclusiveCode(StatusCode code) {
+  return code == StatusCode::kOutOfRange ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled;
+}
+
 }  // namespace
 
 ResilienceEngine::ResilienceEngine(EngineOptions options)
@@ -21,6 +50,18 @@ ResilienceEngine::ResilienceEngine(EngineOptions options)
       cache_(options.plan_cache_capacity),
       pool_(options.num_threads > 0 ? options.num_threads
                                     : ThreadPool::DefaultNumThreads()) {}
+
+namespace {
+
+ResilienceRequest ToRequest(const QueryInstance& instance) {
+  ResilienceRequest request;
+  request.regex = instance.regex;
+  if (instance.db != nullptr) request.db = DbHandle::Borrow(*instance.db);
+  request.semantics = instance.semantics;
+  return request;
+}
+
+}  // namespace
 
 Result<std::shared_ptr<const CompiledQuery>> ResilienceEngine::Compile(
     const std::string& regex, Semantics semantics) {
@@ -49,36 +90,42 @@ Result<std::shared_ptr<const CompiledQuery>> ResilienceEngine::CompileInternal(
   return compiled;
 }
 
-InstanceOutcome ResilienceEngine::Run(const QueryInstance& instance) {
+// ---------------------------------------------------------------------------
+// v2 entry points
+// ---------------------------------------------------------------------------
+
+ResilienceResponse ResilienceEngine::Evaluate(
+    const ResilienceRequest& request) {
+  if (request.query != nullptr) {
+    // Caller-managed plan: no cache interaction, no compile attribution.
+    return Execute(*request.query, request.db, request.options,
+                   /*cache_hit=*/true, /*compile_micros=*/0);
+  }
   bool was_resident = false;
   Result<std::shared_ptr<const CompiledQuery>> compiled =
-      CompileInternal(instance.regex, instance.semantics, &was_resident);
+      CompileInternal(request.regex, request.semantics, &was_resident);
   if (!compiled.ok()) {
-    InstanceOutcome outcome;
-    outcome.status = compiled.status();
-    RecordInstance(outcome);
-    return outcome;
+    ResilienceResponse response;
+    response.status = compiled.status();
+    RecordInstance(response);
+    return response;
   }
-  return Execute(**compiled, *instance.db, was_resident,
+  return Execute(**compiled, request.db, request.options, was_resident,
                  was_resident ? 0 : (*compiled)->compile_micros);
 }
 
-InstanceOutcome ResilienceEngine::Run(const CompiledQuery& query,
-                                      const GraphDb& db) {
-  return Execute(query, db, /*cache_hit=*/true, /*compile_micros=*/0);
-}
-
 std::map<std::pair<std::string, Semantics>, ResilienceEngine::PlanSlot>
-ResilienceEngine::CompileDistinct(std::span<const QueryInstance> instances,
+ResilienceEngine::CompileDistinct(std::span<const ResilienceRequest> requests,
                                   std::vector<bool>* first_compile) {
   std::map<std::pair<std::string, Semantics>, PlanSlot> plans;
-  first_compile->assign(instances.size(), false);
-  for (size_t i = 0; i < instances.size(); ++i) {
-    const QueryInstance& instance = instances[i];
-    auto key = std::make_pair(instance.regex, instance.semantics);
+  first_compile->assign(requests.size(), false);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ResilienceRequest& request = requests[i];
+    if (request.query != nullptr) continue;  // caller-managed plan
+    auto key = std::make_pair(request.regex, request.semantics);
     if (plans.contains(key)) continue;
     PlanSlot slot;
-    slot.compiled = CompileInternal(instance.regex, instance.semantics,
+    slot.compiled = CompileInternal(request.regex, request.semantics,
                                     &slot.was_resident);
     (*first_compile)[i] = !slot.was_resident;
     plans.emplace(std::move(key), std::move(slot));
@@ -86,193 +133,359 @@ ResilienceEngine::CompileDistinct(std::span<const QueryInstance> instances,
   return plans;
 }
 
-std::vector<InstanceOutcome> ResilienceEngine::RunBatch(
-    std::span<const QueryInstance> instances) {
+std::vector<ResilienceResponse> ResilienceEngine::EvaluateBatch(
+    std::span<const ResilienceRequest> requests) {
   // Phase 1 (serial): compile each distinct (regex, semantics) once.
   std::vector<bool> first_compile;
   std::map<std::pair<std::string, Semantics>, PlanSlot> plans =
-      CompileDistinct(instances, &first_compile);
+      CompileDistinct(requests, &first_compile);
 
-  // Phase 2 (parallel): every instance already has a plan; solve.
-  std::vector<InstanceOutcome> outcomes(instances.size());
+  // Phase 2 (parallel): every request already has a plan; solve.
+  std::vector<ResilienceResponse> responses(requests.size());
   pool_.ParallelFor(
-      static_cast<int64_t>(instances.size()), [&](int64_t i) {
-        const QueryInstance& instance = instances[i];
-        const PlanSlot& slot =
-            plans.at({instance.regex, instance.semantics});
-        if (!slot.compiled.ok()) {
-          outcomes[i].status = slot.compiled.status();
-          RecordInstance(outcomes[i]);
-          return;
+      static_cast<int64_t>(requests.size()), [&](int64_t i) {
+        const ResilienceRequest& request = requests[i];
+        const CompiledQuery* query = request.query.get();
+        if (query == nullptr) {
+          const PlanSlot& slot =
+              plans.at({request.regex, request.semantics});
+          if (!slot.compiled.ok()) {
+            responses[i].status = slot.compiled.status();
+            RecordInstance(responses[i]);
+            return;
+          }
+          query = slot.compiled->get();
         }
-        const CompiledQuery& query = **slot.compiled;
-        outcomes[i] =
-            Execute(query, *instance.db,
+        responses[i] =
+            Execute(*query, request.db, request.options,
                     /*cache_hit=*/!first_compile[i],
-                    first_compile[i] ? query.compile_micros : 0);
+                    first_compile[i] ? query->compile_micros : 0);
       });
 
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.batches_run;
-  return outcomes;
+  return responses;
 }
 
 void JudgeDifferential(const Language& lang, const GraphDb& db,
-                       Semantics semantics, DifferentialOutcome* outcome) {
-  outcome->agree = false;
-  outcome->inconclusive = false;
-  outcome->mismatch.clear();
-  const Status& ps = outcome->primary.status;
-  const Status& rs = outcome->reference.status;
-  // Budget exhaustion on either side means no answer to compare.
-  if (ps.code() == StatusCode::kOutOfRange ||
-      rs.code() == StatusCode::kOutOfRange) {
-    outcome->inconclusive = true;
+                       Semantics semantics, ResilienceResponse* response) {
+  if (!response->differential.has_value()) response->differential.emplace();
+  ResilienceResponse::Differential& d = *response->differential;
+  d.agree = false;
+  d.inconclusive = false;
+  d.mismatch.clear();
+  const Status& ps = response->status;
+  const Status& rs = d.reference_status;
+  // Budget/deadline exhaustion on either side means no answer to compare.
+  if (IsInconclusiveCode(ps.code()) || IsInconclusiveCode(rs.code())) {
+    d.inconclusive = true;
     return;
   }
   if (!ps.ok() && !rs.ok()) {
     // Both paths refused (e.g. exponential fallback disabled): agreement,
     // unless they refused for different reasons.
     if (ps.code() == rs.code()) {
-      outcome->agree = true;
+      d.agree = true;
     } else {
-      outcome->mismatch = "error divergence: primary " + ps.ToString() +
-                          " vs reference " + rs.ToString();
+      d.mismatch = "error divergence: primary " + ps.ToString() +
+                   " vs reference " + rs.ToString();
     }
     return;
   }
   if (!ps.ok() || !rs.ok()) {
-    outcome->mismatch = "status divergence: primary " + ps.ToString() +
-                        " vs reference " + rs.ToString();
+    d.mismatch = "status divergence: primary " + ps.ToString() +
+                 " vs reference " + rs.ToString();
     return;
   }
-  const ResilienceResult& p = outcome->primary.result;
-  const ResilienceResult& r = outcome->reference.result;
+  const ResilienceResult& p = response->result;
+  const ResilienceResult& r = d.reference_result;
   if (p.infinite != r.infinite) {
-    outcome->mismatch =
+    d.mismatch =
         "infinite divergence: primary=" + std::to_string(p.infinite) + " (" +
         p.algorithm + ") vs reference=" + std::to_string(r.infinite) + " (" +
         r.algorithm + ")";
     return;
   }
   if (!p.infinite && p.value != r.value) {
-    outcome->mismatch = "value divergence: primary=" + std::to_string(p.value) +
-                        " (" + p.algorithm +
-                        ") vs reference=" + std::to_string(r.value) + " (" +
-                        r.algorithm + ")";
+    d.mismatch = "value divergence: primary=" + std::to_string(p.value) +
+                 " (" + p.algorithm +
+                 ") vs reference=" + std::to_string(r.value) + " (" +
+                 r.algorithm + ")";
     return;
   }
   Status primary_witness = VerifyResilienceResult(lang, db, semantics, p);
   if (!primary_witness.ok()) {
-    outcome->mismatch =
-        "primary witness invalid (" + p.algorithm + "): " +
-        primary_witness.message();
+    d.mismatch = "primary witness invalid (" + p.algorithm + "): " +
+                 primary_witness.message();
     return;
   }
   Status reference_witness = VerifyResilienceResult(lang, db, semantics, r);
   if (!reference_witness.ok()) {
-    outcome->mismatch =
-        "reference witness invalid (" + r.algorithm + "): " +
-        reference_witness.message();
+    d.mismatch = "reference witness invalid (" + r.algorithm + "): " +
+                 reference_witness.message();
     return;
   }
-  outcome->agree = true;
+  d.agree = true;
 }
 
-std::vector<DifferentialOutcome> ResilienceEngine::RunDifferential(
-    std::span<const QueryInstance> instances) {
+void ResilienceEngine::RunReference(const CompiledQuery& query,
+                                    const ResilienceRequest& request,
+                                    ResilienceResponse* response) {
+  response->differential.emplace();
+  ResilienceResponse::Differential& d = *response->differential;
+  if (!request.db.valid()) {
+    // No database to solve or judge against: both sides refused with the
+    // same InvalidArgument, which per the JudgeDifferential contract is
+    // agreement (a caller-side argument error, not a solver divergence).
+    d.reference_status = response->status;
+    d.agree = true;
+    return;
+  }
+  const GraphDb& db = request.db.db();
+
+  // Reference: the exponential exact solver on the original language,
+  // bypassing plan dispatch entirely, under the same per-request budget
+  // and deadline as the primary side.
+  ExactOptions reference_options;
+  reference_options.max_search_nodes =
+      request.options.max_exact_search_nodes.value_or(
+          options_.max_exact_search_nodes);
+  std::optional<CancelToken> deadline_token;
+  reference_options.cancel = EffectiveCancel(request.options, &deadline_token);
+
+  auto start = std::chrono::steady_clock::now();
+  Result<ResilienceResult> reference =
+      reference_options.cancel != nullptr &&
+              reference_options.cancel->ShouldStop()
+          ? Result<ResilienceResult>(reference_options.cancel->ToStatus())
+          : SolveExactResilience(query.language, db, query.semantics,
+                                 reference_options);
+  d.reference_stats.solve_micros = MicrosSince(start);
+  if (!reference.ok()) {
+    d.reference_status = reference.status();
+  } else {
+    d.reference_result = *std::move(reference);
+    d.reference_stats.algorithm = d.reference_result.algorithm;
+    d.reference_stats.search_nodes = d.reference_result.search_nodes;
+  }
+  JudgeDifferential(query.language, db, query.semantics, response);
+}
+
+std::vector<ResilienceResponse> ResilienceEngine::EvaluateDifferential(
+    std::span<const ResilienceRequest> requests) {
   std::vector<bool> first_compile;
   std::map<std::pair<std::string, Semantics>, PlanSlot> plans =
-      CompileDistinct(instances, &first_compile);
+      CompileDistinct(requests, &first_compile);
 
-  std::vector<DifferentialOutcome> outcomes(instances.size());
+  std::vector<ResilienceResponse> responses(requests.size());
   pool_.ParallelFor(
-      static_cast<int64_t>(instances.size()), [&](int64_t i) {
-        const QueryInstance& instance = instances[i];
-        DifferentialOutcome& outcome = outcomes[i];
-        const PlanSlot& slot = plans.at({instance.regex, instance.semantics});
-        if (!slot.compiled.ok()) {
-          outcome.primary.status = slot.compiled.status();
-          outcome.reference.status = slot.compiled.status();
-          outcome.mismatch =
-              "compile failed: " + slot.compiled.status().ToString();
-          RecordInstance(outcome.primary);
-          return;
+      static_cast<int64_t>(requests.size()), [&](int64_t i) {
+        const ResilienceRequest& request = requests[i];
+        ResilienceResponse& response = responses[i];
+        const CompiledQuery* query = request.query.get();
+        if (query == nullptr) {
+          const PlanSlot& slot =
+              plans.at({request.regex, request.semantics});
+          if (!slot.compiled.ok()) {
+            response.status = slot.compiled.status();
+            response.differential.emplace();
+            response.differential->reference_status = slot.compiled.status();
+            response.differential->mismatch =
+                "compile failed: " + slot.compiled.status().ToString();
+            RecordInstance(response);
+            return;
+          }
+          query = slot.compiled->get();
         }
-        const CompiledQuery& query = **slot.compiled;
-        outcome.primary =
-            Execute(query, *instance.db,
-                    /*cache_hit=*/!first_compile[i],
-                    first_compile[i] ? query.compile_micros : 0);
-
-        // Reference: the exponential exact solver on the original
-        // language, bypassing plan dispatch entirely.
-        ExactOptions reference_options;
-        reference_options.max_search_nodes = options_.max_exact_search_nodes;
-        auto start = std::chrono::steady_clock::now();
-        Result<ResilienceResult> reference = SolveExactResilience(
-            query.language, *instance.db, query.semantics, reference_options);
-        outcome.reference.stats.solve_micros = MicrosSince(start);
-        if (!reference.ok()) {
-          outcome.reference.status = reference.status();
-        } else {
-          outcome.reference.result = *std::move(reference);
-          outcome.reference.stats.algorithm =
-              outcome.reference.result.algorithm;
-          outcome.reference.stats.search_nodes =
-              outcome.reference.result.search_nodes;
-        }
-        JudgeDifferential(query.language, *instance.db, query.semantics,
-                          &outcome);
+        response = Execute(*query, request.db, request.options,
+                           /*cache_hit=*/!first_compile[i],
+                           first_compile[i] ? query->compile_micros : 0);
+        RunReference(*query, request, &response);
       });
 
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.batches_run;
-  for (const DifferentialOutcome& outcome : outcomes) {
+  for (const ResilienceResponse& response : responses) {
     ++stats_.differentials_run;
-    if (!outcome.agree && !outcome.inconclusive) {
+    if (response.differential.has_value() && !response.differential->agree &&
+        !response.differential->inconclusive) {
       ++stats_.differential_mismatches;
     }
+  }
+  return responses;
+}
+
+std::future<ResilienceResponse> ResilienceEngine::Submit(
+    ResilienceRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submits;
+  }
+  auto promise = std::make_shared<std::promise<ResilienceResponse>>();
+  std::future<ResilienceResponse> future = promise->get_future();
+  pool_.Submit([this, request = std::move(request), promise]() {
+    promise->set_value(Evaluate(request));
+  });
+  return future;
+}
+
+std::vector<std::future<ResilienceResponse>> ResilienceEngine::SubmitBatch(
+    std::vector<ResilienceRequest> requests) {
+  std::vector<std::future<ResilienceResponse>> futures;
+  futures.reserve(requests.size());
+  for (ResilienceRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated v1 shims
+// ---------------------------------------------------------------------------
+
+InstanceOutcome ResilienceEngine::Run(const QueryInstance& instance) {
+  return ToOutcome(Evaluate(ToRequest(instance)));
+}
+
+InstanceOutcome ResilienceEngine::Run(const CompiledQuery& query,
+                                      const GraphDb& db) {
+  return ToOutcome(Execute(query, DbHandle::Borrow(db), RequestOptions{},
+                           /*cache_hit=*/true, /*compile_micros=*/0));
+}
+
+std::vector<InstanceOutcome> ResilienceEngine::RunBatch(
+    std::span<const QueryInstance> instances) {
+  std::vector<ResilienceRequest> requests;
+  requests.reserve(instances.size());
+  for (const QueryInstance& instance : instances) {
+    requests.push_back(ToRequest(instance));
+  }
+  std::vector<ResilienceResponse> responses = EvaluateBatch(requests);
+  std::vector<InstanceOutcome> outcomes;
+  outcomes.reserve(responses.size());
+  for (ResilienceResponse& response : responses) {
+    outcomes.push_back(ToOutcome(std::move(response)));
   }
   return outcomes;
 }
 
-InstanceOutcome ResilienceEngine::Execute(const CompiledQuery& query,
-                                          const GraphDb& db, bool cache_hit,
-                                          double compile_micros) {
-  InstanceOutcome outcome;
-  outcome.stats.complexity =
-      ComplexityClassName(query.classification.complexity);
-  outcome.stats.rule = query.classification.rule;
-  outcome.stats.cache_hit = cache_hit;
-  outcome.stats.compile_micros = compile_micros;
-
-  ExactOptions exact_options;
-  exact_options.max_search_nodes = options_.max_exact_search_nodes;
-  auto start = std::chrono::steady_clock::now();
-  Result<ResilienceResult> result =
-      ComputeResilienceWithPlan(query.plan, db, query.semantics, exact_options);
-  outcome.stats.solve_micros = MicrosSince(start);
-  if (!result.ok()) {
-    outcome.status = result.status();
-  } else {
-    outcome.result = *std::move(result);
-    outcome.stats.algorithm = outcome.result.algorithm;
-    outcome.stats.network_vertices = outcome.result.network_vertices;
-    outcome.stats.network_edges = outcome.result.network_edges;
-    outcome.stats.search_nodes = outcome.result.search_nodes;
+std::vector<DifferentialOutcome> ResilienceEngine::RunDifferential(
+    std::span<const QueryInstance> instances) {
+  std::vector<ResilienceRequest> requests;
+  requests.reserve(instances.size());
+  for (const QueryInstance& instance : instances) {
+    requests.push_back(ToRequest(instance));
   }
-  RecordInstance(outcome);
-  return outcome;
+  std::vector<ResilienceResponse> responses = EvaluateDifferential(requests);
+  std::vector<DifferentialOutcome> outcomes;
+  outcomes.reserve(responses.size());
+  for (ResilienceResponse& response : responses) {
+    DifferentialOutcome outcome;
+    if (response.differential.has_value()) {
+      ResilienceResponse::Differential& d = *response.differential;
+      outcome.reference.status = std::move(d.reference_status);
+      outcome.reference.result = std::move(d.reference_result);
+      outcome.reference.stats = std::move(d.reference_stats);
+      outcome.agree = d.agree;
+      outcome.inconclusive = d.inconclusive;
+      outcome.mismatch = std::move(d.mismatch);
+    }
+    outcome.primary = ToOutcome(std::move(response));
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
 }
 
-void ResilienceEngine::RecordInstance(const InstanceOutcome& outcome) {
+// ---------------------------------------------------------------------------
+// Execution core
+// ---------------------------------------------------------------------------
+
+ResilienceResponse ResilienceEngine::Execute(
+    const CompiledQuery& query, const DbHandle& db,
+    const RequestOptions& request_options, bool cache_hit,
+    double compile_micros) {
+  ResilienceResponse response;
+  response.stats.complexity =
+      ComplexityClassName(query.classification.complexity);
+  response.stats.rule = query.classification.rule;
+  response.stats.cache_hit = cache_hit;
+  response.stats.compile_micros = compile_micros;
+
+  if (!db.valid()) {
+    response.status = Status::InvalidArgument(
+        "request carries no database (default DbHandle / null GraphDb*)");
+    RecordInstance(response);
+    return response;
+  }
+
+  // Per-request deadline / cancellation scope; lives through the solve.
+  std::optional<CancelToken> deadline_token;
+  const CancelToken* cancel = EffectiveCancel(request_options, &deadline_token);
+  if (cancel != nullptr && cancel->ShouldStop()) {
+    response.status = cancel->ToStatus();
+    RecordInstance(response);
+    return response;
+  }
+
+  ExactOptions exact_options;
+  exact_options.max_search_nodes =
+      request_options.max_exact_search_nodes.value_or(
+          options_.max_exact_search_nodes);
+  exact_options.cancel = cancel;
+  const bool allow_exponential =
+      request_options.allow_exponential.value_or(options_.allow_exponential);
+
+  auto start = std::chrono::steady_clock::now();
+  Result<ResilienceResult> result = [&]() -> Result<ResilienceResult> {
+    if (request_options.method.has_value() &&
+        *request_options.method != ResilienceMethod::kAuto) {
+      // Forced solver: bypass the compiled plan (the VCSP-style routing
+      // override); classification stats still describe the kAuto verdict.
+      ResilienceOptions forced;
+      forced.method = *request_options.method;
+      forced.allow_exponential = allow_exponential;
+      forced.exact = exact_options;
+      return ComputeResilience(query.language, db.db(), query.semantics,
+                               forced);
+    }
+    if (!allow_exponential &&
+        query.plan.method == ResilienceMethod::kExact &&
+        !query.plan.trivial_infinite && !query.plan.trivial_empty) {
+      // The plan was compiled under the engine-wide allow_exponential;
+      // this request opted out, so refuse exactly like compilation would.
+      return Status::Unimplemented(
+          "no polynomial-time algorithm known for " +
+          query.plan.if_language.description() +
+          " and exponential fallback disabled for this request");
+    }
+    return ComputeResilienceWithPlan(query.plan, db.db(), query.semantics,
+                                     exact_options, db.label_index());
+  }();
+  response.stats.solve_micros = MicrosSince(start);
+  if (!result.ok()) {
+    response.status = result.status();
+  } else {
+    response.result = *std::move(result);
+    response.stats.algorithm = response.result.algorithm;
+    response.stats.network_vertices = response.result.network_vertices;
+    response.stats.network_edges = response.result.network_edges;
+    response.stats.search_nodes = response.result.search_nodes;
+  }
+  RecordInstance(response);
+  return response;
+}
+
+void ResilienceEngine::RecordInstance(const ResilienceResponse& response) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.instances_run;
-  if (!outcome.status.ok()) ++stats_.errors;
-  stats_.total_solve_micros += outcome.stats.solve_micros;
-  if (!outcome.stats.algorithm.empty()) {
-    ++stats_.instances_by_algorithm[outcome.stats.algorithm];
+  if (!response.status.ok()) ++stats_.errors;
+  if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_exceeded;
+  }
+  if (response.status.code() == StatusCode::kCancelled) ++stats_.cancelled;
+  stats_.total_solve_micros += response.stats.solve_micros;
+  if (!response.stats.algorithm.empty()) {
+    ++stats_.instances_by_algorithm[response.stats.algorithm];
   }
 }
 
@@ -290,6 +503,10 @@ void ResilienceEngine::ResetStats() {
   cache_.ResetStats();
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_ = EngineStats{};
+}
+
+PlanCacheView ResilienceEngine::plan_cache_view() const {
+  return PlanCacheView{cache_.size(), cache_.capacity(), cache_.stats()};
 }
 
 }  // namespace rpqres

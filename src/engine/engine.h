@@ -1,25 +1,38 @@
 // rpqres — engine/engine: the compiled-query resilience engine.
 //
-// ResilienceEngine is the serving-path entry point of the library:
+// ResilienceEngine is the serving-path entry point of the library. The
+// v2 surface is request/response:
 //
+//   DbRegistry registry;
+//   DbHandle db = registry.Register(std::move(graph));
 //   ResilienceEngine engine;
-//   auto outcome = engine.Run({.regex = "ax*b", .db = &db,
-//                              .semantics = Semantics::kBag});
+//   ResilienceResponse r = engine.Evaluate(
+//       {.regex = "ax*b", .db = db, .semantics = Semantics::kBag});
+//   std::future<ResilienceResponse> f = engine.Submit(
+//       {.regex = "ax*b", .db = db,
+//        .options = {.deadline = std::chrono::steady_clock::now() + 50ms}});
 //
 // It compiles each (regex, semantics) pair once — parse, minimal DFA,
 // Figure 1 classification, solver selection, RO-εNFA — behind an LRU plan
-// cache, evaluates batches of independent (query, database) instances
-// across a fixed thread pool, and records per-instance and aggregate
-// statistics. Layering:
+// cache, evaluates batches of independent requests across a fixed thread
+// pool (synchronously via EvaluateBatch, asynchronously via
+// Submit/SubmitBatch futures), honours per-request solver/budget/deadline
+// overrides, and records per-instance and aggregate statistics. Layering:
 //
-//   engine        (this file: cache + batch + stats)
+//   engine        (this file: cache + batch + async + stats)
+//     ├── request / db_registry  (v2 request types, owned db snapshots)
 //     └── compiled_query  (one-shot compilation artifact)
 //           └── resilience (ResiliencePlan dispatch), classify (Fig 1)
 //                 └── lang / automata / flow / graphdb
+//
+// The v1 entry points (QueryInstance / Run / RunBatch / RunDifferential)
+// remain as thin shims over v2 for one release; see "Deprecated v1
+// surface" below and the README migration note.
 
 #ifndef RPQRES_ENGINE_ENGINE_H_
 #define RPQRES_ENGINE_ENGINE_H_
 
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,8 +42,10 @@
 #include <vector>
 
 #include "engine/compiled_query.h"
+#include "engine/db_registry.h"
 #include "engine/engine_stats.h"
 #include "engine/plan_cache.h"
+#include "engine/request.h"
 #include "graphdb/graph_db.h"
 #include "resilience/resilience.h"
 #include "util/status.h"
@@ -38,104 +53,143 @@
 
 namespace rpqres {
 
+/// Engine-wide defaults. Everything a RequestOptions can override falls
+/// back to the value here.
 struct EngineOptions {
   /// Max compiled plans kept resident (LRU beyond that).
   size_t plan_cache_capacity = 256;
-  /// Worker threads for RunBatch; 0 = ThreadPool::DefaultNumThreads().
+  /// Worker threads for batch/async execution; 0 = DefaultNumThreads().
   int num_threads = 0;
   /// Forwarded to CompileQuery / plan selection.
   bool allow_exponential = true;
   int max_word_length = 12;
   /// Branch-and-bound node budget when an instance routes to the exact
-  /// solver (both the plan side and RunDifferential's reference side).
-  /// Exceeding it yields OutOfRange — RunDifferential reports such pairs
+  /// solver (both the plan side and the differential reference side).
+  /// Exceeding it yields OutOfRange — differential runs report such pairs
   /// as inconclusive, not as mismatches.
   uint64_t max_exact_search_nodes = 50'000'000;
 };
 
-/// One unit of batch work: evaluate RES(Q_regex, *db) under `semantics`.
-/// `db` is borrowed and must outlive the RunBatch/Run call.
+// ---------------------------------------------------------------------------
+// Deprecated v1 surface — thin shims over the v2 request API, kept for one
+// release. New code should build ResilienceRequests (engine/request.h)
+// against DbRegistry handles.
+// ---------------------------------------------------------------------------
+
+/// DEPRECATED v1 work unit: borrows `db` raw; it must outlive the call.
+/// v2: ResilienceRequest with a DbHandle.
 struct QueryInstance {
   std::string regex;
   const GraphDb* db = nullptr;
   Semantics semantics = Semantics::kSet;
 };
 
-/// Result of one instance. `result` is meaningful iff `status.ok()`;
+/// DEPRECATED v1 result. `result` is meaningful iff `status.ok()`;
 /// `stats` is always filled as far as execution got.
+/// v2: ResilienceResponse.
 struct InstanceOutcome {
   Status status;
   ResilienceResult result;
   InstanceStats stats;
 };
 
-/// One instance run both ways: the compiled kAuto plan (primary) against
-/// the independent exponential exact solver (reference), with the
-/// comparison verdict. `agree` requires matching values/infiniteness AND
-/// both witness contingency sets verifying against the database (their
-/// removal really falsifies the query); `mismatch` is a one-line
-/// explanation, empty iff `agree`.
+/// DEPRECATED v1 differential result; v2: ResilienceResponse with its
+/// `differential` section filled.
 struct DifferentialOutcome {
   InstanceOutcome primary;
   InstanceOutcome reference;
   bool agree = false;
-  /// True when a side exhausted its exact-solver budget (OutOfRange):
-  /// nobody produced a refutable answer, so the pair is neither agreement
-  /// nor mismatch. `agree` is false and `mismatch` empty in that case.
   bool inconclusive = false;
   std::string mismatch;
 };
 
-/// Fills `outcome->agree` / `outcome->mismatch` from the two results plus
-/// witness verification against (lang, db, semantics). Both-errored pairs
-/// agree iff the status codes match. Exposed so the workload oracle's
-/// counterexample minimizer can re-judge shrunken databases outside the
-/// engine.
-void JudgeDifferential(const Language& lang, const GraphDb& db,
-                       Semantics semantics, DifferentialOutcome* outcome);
+/// Read-only plan-cache introspection snapshot (size, capacity, hit/miss
+/// counters) — the engine owns the cache; callers observe, never mutate.
+struct PlanCacheView {
+  size_t size = 0;
+  size_t capacity = 0;
+  PlanCache::Stats stats;
+};
 
-/// The engine. Thread-safe: Compile/Run/RunBatch may be called
-/// concurrently from multiple threads; a RunBatch call additionally
-/// parallelizes internally over its own thread pool.
+/// The engine. Thread-safe: Compile/Evaluate/EvaluateBatch/Submit may be
+/// called concurrently from multiple threads; a batch call additionally
+/// parallelizes internally over the engine's thread pool.
 class ResilienceEngine {
  public:
   explicit ResilienceEngine(EngineOptions options = {});
 
   /// Returns the compiled plan for (regex, semantics), from the plan
-  /// cache when resident, compiling (and caching) otherwise.
+  /// cache when resident, compiling (and caching) otherwise. The returned
+  /// handle can be placed in ResilienceRequest::query to skip cache
+  /// interaction on the hot path.
   Result<std::shared_ptr<const CompiledQuery>> Compile(
       const std::string& regex, Semantics semantics);
 
-  /// Evaluates one instance end-to-end (compile-or-cache + solve).
+  // --- v2: request/response ----------------------------------------------
+
+  /// Evaluates one request end-to-end (compile-or-cache + solve),
+  /// honouring its per-request overrides and deadline.
+  ResilienceResponse Evaluate(const ResilienceRequest& request);
+
+  /// Evaluates many requests: compiles the distinct queries once
+  /// (serially, so cache accounting is deterministic), then solves all
+  /// requests across the thread pool. responses[i] corresponds to
+  /// requests[i]; values are independent of thread interleaving because
+  /// requests never share mutable state.
+  std::vector<ResilienceResponse> EvaluateBatch(
+      std::span<const ResilienceRequest> requests);
+
+  /// Differential batch mode: every request is solved twice — once
+  /// through the compiled plan (sharing the plan cache with Evaluate)
+  /// and once through the exact reference solver — and the two answers
+  /// are judged (JudgeDifferential) into response.differential.
+  /// Reference solves are NOT recorded in per-instance aggregate stats;
+  /// the differentials_run / differential_mismatches counters track them.
+  std::vector<ResilienceResponse> EvaluateDifferential(
+      std::span<const ResilienceRequest> requests);
+
+  /// Asynchronous submission: enqueues the request on the engine's thread
+  /// pool and returns immediately. The future resolves to exactly what
+  /// Evaluate(request) would return (deadlines keep counting while the
+  /// request waits in the queue — a deadline is wall-clock, not
+  /// time-on-CPU). Never throws through the future.
+  std::future<ResilienceResponse> Submit(ResilienceRequest request);
+
+  /// Submits every request; futures[i] corresponds to requests[i].
+  /// Unlike EvaluateBatch, distinct queries are deduplicated only through
+  /// the plan cache (two in-flight tasks may both compile a cold regex).
+  std::vector<std::future<ResilienceResponse>> SubmitBatch(
+      std::vector<ResilienceRequest> requests);
+
+  // --- Deprecated v1 shims ------------------------------------------------
+
+  /// DEPRECATED: v1 shim forwarding to Evaluate via DbHandle::Borrow.
+  /// A null `instance.db` fails with InvalidArgument.
   InstanceOutcome Run(const QueryInstance& instance);
 
-  /// Executes an already-compiled plan against a database. No cache
-  /// interaction; useful when the caller manages CompiledQuery lifetimes.
+  /// DEPRECATED: executes an already-compiled plan against a borrowed
+  /// database. v2: put the handle in ResilienceRequest::query.
   InstanceOutcome Run(const CompiledQuery& query, const GraphDb& db);
 
-  /// Evaluates many instances: compiles the distinct queries once
-  /// (serially, so cache accounting is deterministic), then solves all
-  /// instances across the thread pool. outcomes[i] corresponds to
-  /// instances[i]; values are independent of thread interleaving because
-  /// instances never share mutable state.
+  /// DEPRECATED: v1 shim forwarding to EvaluateBatch.
   std::vector<InstanceOutcome> RunBatch(
       std::span<const QueryInstance> instances);
 
-  /// Differential batch mode: every instance is solved twice — once
-  /// through the compiled plan (sharing the plan cache with Run/RunBatch)
-  /// and once through the exact reference solver — across the thread
-  /// pool, and the two answers are judged (JudgeDifferential). Reference
-  /// solves are NOT recorded in per-instance aggregate stats; the
-  /// differentials_run / differential_mismatches counters track them.
+  /// DEPRECATED: v1 shim forwarding to EvaluateDifferential.
   std::vector<DifferentialOutcome> RunDifferential(
       std::span<const QueryInstance> instances);
+
+  // --- Introspection ------------------------------------------------------
 
   /// Aggregate counters snapshot (cache_* reflect the plan cache).
   EngineStats stats() const;
   void ResetStats();
 
   const EngineOptions& options() const { return options_; }
-  PlanCache& plan_cache() { return cache_; }
+
+  /// Read-only plan-cache snapshot (replaces the old mutable
+  /// `plan_cache()` accessor).
+  PlanCacheView plan_cache_view() const;
 
  private:
   /// Compile-or-cache; sets *was_cache_hit (if non-null) to whether the
@@ -143,28 +197,41 @@ class ResilienceEngine {
   Result<std::shared_ptr<const CompiledQuery>> CompileInternal(
       const std::string& regex, Semantics semantics, bool* was_cache_hit);
 
-  /// Serial phase 1 shared by RunBatch/RunDifferential: compiles each
-  /// distinct (regex, semantics) once. first_compile[i] marks the
-  /// instance that pays the compile, so per-instance attribution matches
-  /// what sequential Run calls would report.
+  /// Serial phase 1 shared by EvaluateBatch/EvaluateDifferential:
+  /// compiles each distinct (regex, semantics) once, skipping requests
+  /// that carry a precompiled query. first_compile[i] marks the request
+  /// that pays the compile, so per-instance attribution matches what
+  /// sequential Evaluate calls would report.
   struct PlanSlot {
     Result<std::shared_ptr<const CompiledQuery>> compiled{nullptr};
     bool was_resident = false;
   };
   std::map<std::pair<std::string, Semantics>, PlanSlot> CompileDistinct(
-      std::span<const QueryInstance> instances,
+      std::span<const ResilienceRequest> requests,
       std::vector<bool>* first_compile);
 
-  /// Solve step shared by all entry points; records into stats_.
-  InstanceOutcome Execute(const CompiledQuery& query, const GraphDb& db,
-                          bool cache_hit, double compile_micros);
-  void RecordInstance(const InstanceOutcome& outcome);
+  /// Solve step shared by all entry points; applies per-request
+  /// overrides, deadline, and cancellation; records into stats_.
+  ResilienceResponse Execute(const CompiledQuery& query, const DbHandle& db,
+                             const RequestOptions& request_options,
+                             bool cache_hit, double compile_micros);
+
+  /// The exact reference solve + judging for one differential request;
+  /// fills response->differential.
+  void RunReference(const CompiledQuery& query,
+                    const ResilienceRequest& request,
+                    ResilienceResponse* response);
+
+  void RecordInstance(const ResilienceResponse& response);
 
   EngineOptions options_;
   PlanCache cache_;
-  ThreadPool pool_;
   mutable std::mutex stats_mu_;
   EngineStats stats_;
+  /// Declared last on purpose: ~ThreadPool drains still-queued Submit
+  /// tasks, which touch cache_/stats_mu_/stats_ — everything they use
+  /// must be destroyed after the pool.
+  ThreadPool pool_;
 };
 
 }  // namespace rpqres

@@ -49,6 +49,14 @@ struct EngineStats {
   int64_t cache_evictions = 0;
   /// Instances that ended in a non-OK status.
   int64_t errors = 0;
+  /// Requests accepted through the async Submit/SubmitBatch surface.
+  int64_t submits = 0;
+  /// Instances that stopped at their wall-clock deadline (counted in
+  /// `errors` too; the status was DeadlineExceeded).
+  int64_t deadline_exceeded = 0;
+  /// Instances stopped by cooperative cancellation (counted in `errors`
+  /// too; the status was Cancelled).
+  int64_t cancelled = 0;
   /// RunDifferential pairs judged, and how many disagreed (either value
   /// divergence or an invalid witness on either side).
   int64_t differentials_run = 0;

@@ -1,0 +1,124 @@
+// rpqres — engine/request: the serving API v2 request/response surface.
+//
+// The paper's headline tractability results hold *per database*: a query
+// compiled once (parse → minimal DFA → Figure 1 classification → solver
+// plan) is polynomial-time executable against any number of databases.
+// The v2 API is shaped around exactly that: a ResilienceRequest names a
+// query (by regex text, resolved through the engine's plan cache, or by a
+// precompiled CompiledQuery handle) and a database (a DbHandle from the
+// DbRegistry — owned immutable snapshot plus per-label index, replacing
+// v1's borrowed raw pointer), plus per-request overrides:
+//
+//   * method            — force one solver (the VCSP view: the same
+//                         instance can route to algorithms of wildly
+//                         different complexity; callers may pin one)
+//   * allow_exponential — refuse the exact fallback for this request
+//   * max_exact_search_nodes — per-request branch & bound budget
+//   * deadline / cancel — wall-clock deadline and cooperative
+//                         cancellation, polled inside the exact solver
+//
+// One ResilienceResponse type covers every entry point: plain runs fill
+// status/result/stats (v1 InstanceOutcome), differential runs additionally
+// fill the `differential` section (v1 DifferentialOutcome).
+
+#ifndef RPQRES_ENGINE_REQUEST_H_
+#define RPQRES_ENGINE_REQUEST_H_
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/compiled_query.h"
+#include "engine/db_registry.h"
+#include "engine/engine_stats.h"
+#include "graphdb/graph_db.h"
+#include "resilience/resilience.h"
+#include "resilience/result.h"
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace rpqres {
+
+/// Per-request overrides. Every unset optional falls back to the engine's
+/// EngineOptions default, so a default-constructed RequestOptions is
+/// exactly the v1 behavior.
+struct RequestOptions {
+  /// Force a specific solver instead of the compiled kAuto plan.
+  /// kAuto (or unset) = execute the plan. Forcing a polynomial method on
+  /// a language outside its class fails with FailedPrecondition, same as
+  /// the direct solver entry points.
+  std::optional<ResilienceMethod> method;
+  /// Whether this request may fall back to the exponential exact solver.
+  std::optional<bool> allow_exponential;
+  /// Branch & bound node budget when the exact solver runs (OutOfRange
+  /// when exhausted).
+  std::optional<uint64_t> max_exact_search_nodes;
+  /// Wall-clock deadline. Checked before solving and polled periodically
+  /// inside the exact branch & bound; a request past its deadline fails
+  /// with DeadlineExceeded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Optional caller-held cancellation token (shared with the caller,
+  /// who may RequestCancel() at any time → the request fails with
+  /// Cancelled). Composes with `deadline`.
+  std::shared_ptr<CancelToken> cancel;
+};
+
+/// One unit of serving work: evaluate RES(Q, db) under `semantics`.
+struct ResilienceRequest {
+  /// The query as regex text, compiled through (or fetched from) the
+  /// engine's plan cache. Ignored when `query` is set.
+  std::string regex;
+  /// Precompiled query handle (from ResilienceEngine::Compile or
+  /// CompileQuery); takes precedence over `regex`, and its compiled-in
+  /// semantics takes precedence over `semantics` below.
+  std::shared_ptr<const CompiledQuery> query;
+  /// The database, as a registry handle (or DbHandle::Borrow for the v1
+  /// compatibility path). Invalid handles fail with InvalidArgument.
+  DbHandle db;
+  Semantics semantics = Semantics::kSet;
+  RequestOptions options;
+};
+
+/// The unified response: every entry point fills status/result/stats; the
+/// differential entry points additionally fill `differential`.
+struct ResilienceResponse {
+  /// OK iff `result` holds an answer. Notable codes: InvalidArgument
+  /// (no database / bad regex), DeadlineExceeded, Cancelled, OutOfRange
+  /// (exact budget exhausted), Unimplemented (exponential fallback
+  /// disallowed).
+  Status status;
+  ResilienceResult result;
+  /// Always filled as far as execution got (classification, timings...).
+  InstanceStats stats;
+
+  /// Second opinion + verdict, present iff the request ran differentially
+  /// (EvaluateDifferential / RunDifferential shim).
+  struct Differential {
+    /// The independent exact reference solve.
+    Status reference_status;
+    ResilienceResult reference_result;
+    InstanceStats reference_stats;
+    /// Matching values/infiniteness AND both witnesses verified.
+    bool agree = false;
+    /// A side ran out of budget/deadline: no refutable answer, neither
+    /// agreement nor mismatch (`agree` false, `mismatch` empty).
+    bool inconclusive = false;
+    /// One-line divergence description, empty iff agree or inconclusive.
+    std::string mismatch;
+  };
+  std::optional<Differential> differential;
+};
+
+/// Fills `response->differential` (creating it if absent) from the
+/// primary and reference results plus witness verification against
+/// (lang, db, semantics). Both-errored pairs agree iff the status codes
+/// match; budget/deadline exhaustion on either side is inconclusive.
+/// Exposed so the workload oracle's counterexample minimizer can re-judge
+/// shrunken databases outside the engine.
+void JudgeDifferential(const Language& lang, const GraphDb& db,
+                       Semantics semantics, ResilienceResponse* response);
+
+}  // namespace rpqres
+
+#endif  // RPQRES_ENGINE_REQUEST_H_

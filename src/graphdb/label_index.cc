@@ -1,0 +1,18 @@
+#include "graphdb/label_index.h"
+
+#include <algorithm>
+
+namespace rpqres {
+
+LabelIndex::LabelIndex(const GraphDb& db) : num_facts_(db.num_facts()) {
+  for (FactId f = 0; f < db.num_facts(); ++f) {
+    unsigned char label = static_cast<unsigned char>(db.fact(f).label);
+    if (by_label_[label].empty()) {
+      labels_.push_back(static_cast<char>(label));
+    }
+    by_label_[label].push_back(f);
+  }
+  std::sort(labels_.begin(), labels_.end());
+}
+
+}  // namespace rpqres

@@ -1,0 +1,49 @@
+// rpqres — graphdb/label_index: precomputed per-label fact adjacency.
+//
+// Flow-network construction (Thm 3.13 and friends) visits exactly the
+// facts whose label occurs in the query language; a GraphDb only offers
+// the full fact array, so every solve re-scans all facts and filters by
+// label. A LabelIndex is built once per immutable database snapshot (the
+// DbRegistry does this at Register time) and shared by every query
+// against that snapshot: solvers iterate the per-label fact lists
+// directly, skipping inert facts without touching them.
+
+#ifndef RPQRES_GRAPHDB_LABEL_INDEX_H_
+#define RPQRES_GRAPHDB_LABEL_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graphdb/graph_db.h"
+
+namespace rpqres {
+
+/// Immutable per-label fact lists for one database. Fact ids within a
+/// label are ascending. The index holds fact *ids*, not copies; it is
+/// only meaningful alongside the GraphDb it was built from (the
+/// DbRegistry snapshot keeps the two paired).
+class LabelIndex {
+ public:
+  LabelIndex() = default;
+  explicit LabelIndex(const GraphDb& db);
+
+  /// Fact ids carrying `label`, ascending; empty when absent.
+  const std::vector<FactId>& Facts(char label) const {
+    return by_label_[static_cast<unsigned char>(label)];
+  }
+
+  /// Labels present, sorted.
+  const std::vector<char>& labels() const { return labels_; }
+
+  int64_t num_facts() const { return num_facts_; }
+
+ private:
+  std::array<std::vector<FactId>, 256> by_label_;
+  std::vector<char> labels_;
+  int64_t num_facts_ = 0;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_GRAPHDB_LABEL_INDEX_H_

@@ -70,6 +70,13 @@ class BranchAndBound {
           "exact resilience: exceeded max_search_nodes = " +
           std::to_string(options_.max_search_nodes));
     }
+    // Cooperative cancellation / deadline poll, amortized over the
+    // node-budget counter (a steady_clock read per node would dominate
+    // cheap nodes).
+    if (options_.cancel != nullptr && (nodes_ & 255) == 0 &&
+        options_.cancel->ShouldStop()) {
+      return options_.cancel->ToStatus();
+    }
     if (cost + lower_bound_hint >= best_value_) return Status::OK();
     std::optional<WitnessWalk> walk =
         ShortestWitnessWalk(db_, lang_.enfa(), &removed_);

@@ -16,6 +16,7 @@
 #include "graphdb/graph_db.h"
 #include "lang/language.h"
 #include "resilience/result.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace rpqres {
@@ -26,6 +27,11 @@ struct ExactOptions {
   uint64_t max_search_nodes = 50'000'000;
   /// Compute a root lower bound from greedy fact-disjoint matches.
   bool use_disjoint_match_bound = true;
+  /// Borrowed cooperative stop signal, polled every few hundred search
+  /// nodes next to the node-budget check; the solver returns the token's
+  /// status (DeadlineExceeded / Cancelled) when it fires. nullptr = never
+  /// stops early. Must outlive the solve.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Exact resilience for an arbitrary regular language (exponential time).

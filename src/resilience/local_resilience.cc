@@ -19,7 +19,8 @@ namespace {
 // unaffected by which product vertices hook to the terminals).
 ResilienceResult SolveLocalProduct(const Enfa& ro, const GraphDb& db,
                                    Semantics semantics, NodeId fixed_source,
-                                   NodeId fixed_target) {
+                                   NodeId fixed_target,
+                                   const LabelIndex* label_index = nullptr) {
   RPQRES_CHECK_MSG(IsRoEnfa(ro), "automaton is not read-once");
   ResilienceResult result;
   result.algorithm = fixed_source < 0
@@ -53,17 +54,35 @@ ResilienceResult SolveLocalProduct(const Enfa& ro, const GraphDb& db,
   }
 
   // One finite-capacity edge per fact of D (the 1-to-1 correspondence that
-  // makes cuts = contingency sets).
-  std::map<int, FactId> fact_of_edge;  // network edge id -> fact id
-  for (FactId f = 0; f < db.num_facts(); ++f) {
-    const Fact& fact = db.fact(f);
-    auto it = letter_edge.find(fact.label);
-    if (it == letter_edge.end()) continue;  // letter not in L: inert fact
-    auto [s_from, s_to] = it->second;
-    int edge = network.AddEdge(vertex(fact.source, s_from),
-                               vertex(fact.target, s_to),
-                               db.Cost(f, semantics));
-    fact_of_edge[edge] = f;
+  // makes cuts = contingency sets). Fact edges are added before any
+  // structural edge, so edge id == index into fact_of_edge.
+  std::vector<FactId> fact_of_edge;  // network edge id -> fact id
+  if (label_index != nullptr) {
+    // Registered-snapshot hot path: visit only facts whose label the
+    // automaton reads; inert facts are never touched.
+    for (const auto& [label, states] : letter_edge) {
+      auto [s_from, s_to] = states;
+      for (FactId f : label_index->Facts(label)) {
+        const Fact& fact = db.fact(f);
+        int edge = network.AddEdge(vertex(fact.source, s_from),
+                                   vertex(fact.target, s_to),
+                                   db.Cost(f, semantics));
+        RPQRES_CHECK(edge == static_cast<int>(fact_of_edge.size()));
+        fact_of_edge.push_back(f);
+      }
+    }
+  } else {
+    for (FactId f = 0; f < db.num_facts(); ++f) {
+      const Fact& fact = db.fact(f);
+      auto it = letter_edge.find(fact.label);
+      if (it == letter_edge.end()) continue;  // letter not in L: inert fact
+      auto [s_from, s_to] = it->second;
+      int edge = network.AddEdge(vertex(fact.source, s_from),
+                                 vertex(fact.target, s_to),
+                                 db.Cost(f, semantics));
+      RPQRES_CHECK(edge == static_cast<int>(fact_of_edge.size()));
+      fact_of_edge.push_back(f);
+    }
   }
   // ε-transitions: infinite edges within each database node.
   for (const EnfaTransition& t : ro.transitions()) {
@@ -97,10 +116,9 @@ ResilienceResult SolveLocalProduct(const Enfa& ro, const GraphDb& db,
   }
   result.value = cut.value;
   for (int edge : cut.cut_edges) {
-    auto it = fact_of_edge.find(edge);
-    RPQRES_CHECK_MSG(it != fact_of_edge.end(),
+    RPQRES_CHECK_MSG(edge >= 0 && edge < static_cast<int>(fact_of_edge.size()),
                      "cut contains a non-fact edge");
-    result.contingency.push_back(it->second);
+    result.contingency.push_back(fact_of_edge[edge]);
   }
   std::sort(result.contingency.begin(), result.contingency.end());
   result.contingency.erase(
@@ -135,11 +153,11 @@ Result<Enfa> RoEnfaForSolver(const Language& lang, bool require_exact) {
 
 }  // namespace
 
-ResilienceResult SolveLocalResilienceWithRoEnfa(const Enfa& ro,
-                                                const GraphDb& db,
-                                                Semantics semantics) {
+ResilienceResult SolveLocalResilienceWithRoEnfa(
+    const Enfa& ro, const GraphDb& db, Semantics semantics,
+    const LabelIndex* label_index) {
   return SolveLocalProduct(ro, db, semantics, /*fixed_source=*/-1,
-                           /*fixed_target=*/-1);
+                           /*fixed_target=*/-1, label_index);
 }
 
 Result<ResilienceResult> SolveLocalResilience(const Language& lang,

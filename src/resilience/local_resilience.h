@@ -10,6 +10,7 @@
 
 #include "automata/enfa.h"
 #include "graphdb/graph_db.h"
+#include "graphdb/label_index.h"
 #include "lang/language.h"
 #include "resilience/result.h"
 #include "util/status.h"
@@ -24,9 +25,15 @@ Result<ResilienceResult> SolveLocalResilience(const Language& lang,
 
 /// Core of Theorem 3.13: resilience given an RO-εNFA for the language.
 /// `ro` must be read-once (checked); the language may be any local language.
-ResilienceResult SolveLocalResilienceWithRoEnfa(const Enfa& ro,
-                                                const GraphDb& db,
-                                                Semantics semantics);
+/// `label_index` (optional, must be built from `db`) lets the network
+/// construction visit only facts whose label the automaton reads, instead
+/// of scanning and filtering all facts — the registered-database hot path.
+/// Note the two paths may return *different* (equally optimal, both
+/// witness-verified) minimum contingency sets, because network edge order
+/// differs.
+ResilienceResult SolveLocalResilienceWithRoEnfa(
+    const Enfa& ro, const GraphDb& db, Semantics semantics,
+    const LabelIndex* label_index = nullptr);
 
 /// **Extension beyond the paper** (its Section 8 lists the non-Boolean
 /// setting as future work): resilience with *fixed endpoints* — the

@@ -62,7 +62,7 @@ Result<ResiliencePlan> PlanResilienceWithIF(Language ifl,
 
 Result<ResilienceResult> ComputeResilienceWithPlan(
     const ResiliencePlan& plan, const GraphDb& db, Semantics semantics,
-    const ExactOptions& exact_options) {
+    const ExactOptions& exact_options, const LabelIndex* label_index) {
   if (plan.trivial_infinite) {
     ResilienceResult result;
     result.infinite = true;
@@ -77,7 +77,8 @@ Result<ResilienceResult> ComputeResilienceWithPlan(
   switch (plan.method) {
     case ResilienceMethod::kLocalFlow:
       if (plan.ro_enfa.has_value()) {
-        return SolveLocalResilienceWithRoEnfa(*plan.ro_enfa, db, semantics);
+        return SolveLocalResilienceWithRoEnfa(*plan.ro_enfa, db, semantics,
+                                              label_index);
       }
       return SolveLocalResilience(plan.if_language, db, semantics);
     case ResilienceMethod::kBclFlow:
@@ -107,7 +108,7 @@ Result<ResilienceResult> ComputeResilience(const Language& lang,
     case ResilienceMethod::kOneDanglingFlow:
       return SolveOneDanglingResilience(lang, db, semantics);
     case ResilienceMethod::kExact:
-      return SolveExactResilience(lang, db, semantics);
+      return SolveExactResilience(lang, db, semantics, options.exact);
     case ResilienceMethod::kBruteForce:
       return SolveBruteForceResilience(lang, db, semantics);
     case ResilienceMethod::kAuto:
@@ -118,7 +119,7 @@ Result<ResilienceResult> ComputeResilience(const Language& lang,
   // callers pay the plan derivation here; repeated callers should plan
   // once and use ComputeResilienceWithPlan (or the engine, which caches).
   RPQRES_ASSIGN_OR_RETURN(ResiliencePlan plan, PlanResilience(lang, options));
-  return ComputeResilienceWithPlan(plan, db, semantics);
+  return ComputeResilienceWithPlan(plan, db, semantics, options.exact);
 }
 
 Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,

@@ -12,6 +12,7 @@
 
 #include "automata/enfa.h"
 #include "graphdb/graph_db.h"
+#include "graphdb/label_index.h"
 #include "lang/language.h"
 #include "resilience/exact.h"
 #include "resilience/result.h"
@@ -34,6 +35,9 @@ struct ResilienceOptions {
   /// With kAuto: whether falling back to the exponential exact solver is
   /// allowed when no polynomial algorithm applies.
   bool allow_exponential = true;
+  /// Forwarded whenever the exact branch & bound runs (kExact or the
+  /// kAuto fallback): node budget plus cooperative cancellation.
+  ExactOptions exact;
 };
 
 /// Computes RES(Q_L, D) under the given semantics. See ResilienceResult for
@@ -77,10 +81,14 @@ Result<ResiliencePlan> PlanResilienceWithIF(
 /// `exact_options` only applies when the plan routes to the exact solver
 /// (adversarial instances can make the branch & bound explode; callers
 /// like the differential oracle bound it and treat OutOfRange as an
-/// inconclusive budget exhaustion, not an answer).
+/// inconclusive budget exhaustion, not an answer). `label_index`, when
+/// given, must be built from `db`; flow-network construction then iterates
+/// per-label fact lists instead of scanning every fact (the DbRegistry
+/// snapshot hot path).
 Result<ResilienceResult> ComputeResilienceWithPlan(
     const ResiliencePlan& plan, const GraphDb& db, Semantics semantics,
-    const ExactOptions& exact_options = {});
+    const ExactOptions& exact_options = {},
+    const LabelIndex* label_index = nullptr);
 
 /// Decision variant (Section 2 problem statement): RES(Q_L, D) <= k?
 Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,

@@ -1,0 +1,80 @@
+// rpqres — util/cancel: cooperative cancellation with wall-clock deadlines.
+//
+// A CancelToken is shared between a request submitter and the worker
+// executing it: the submitter flips the flag (RequestCancel) or the token
+// carries a deadline, and long-running solver loops poll ShouldStop() at
+// natural checkpoints (the exact branch & bound polls next to its
+// node-budget check). Tokens can chain to a parent so a per-request
+// deadline composes with a caller-held cancellation handle without
+// merging state.
+//
+// Polling is cheap — an atomic load, plus one steady_clock read when a
+// deadline is set — but not free; callers amortize it (e.g. every 256
+// search nodes).
+
+#ifndef RPQRES_UTIL_CANCEL_H_
+#define RPQRES_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "util/status.h"
+
+namespace rpqres {
+
+/// Cooperative stop signal: an explicit cancel flag, an optional
+/// wall-clock deadline, and an optional parent token checked recursively.
+/// Thread-safe; non-copyable (share via pointer / shared_ptr).
+class CancelToken {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// A token that never stops on its own (only via RequestCancel).
+  CancelToken() = default;
+  /// A token that stops once `deadline` passes; `parent` (borrowed, may
+  /// be nullptr) is consulted too, so request-level deadlines compose
+  /// with caller-held tokens.
+  explicit CancelToken(TimePoint deadline,
+                       const CancelToken* parent = nullptr)
+      : deadline_(deadline), parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Signals cancellation; every subsequent ShouldStop() returns true.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled, past the deadline, or the parent says stop.
+  bool ShouldStop() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_ && std::chrono::steady_clock::now() >= *deadline_) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->ShouldStop();
+  }
+
+  /// OK while running; Cancelled after RequestCancel; DeadlineExceeded
+  /// once the deadline passed (explicit cancellation wins when both).
+  Status ToStatus() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled");
+    }
+    if (deadline_ && std::chrono::steady_clock::now() >= *deadline_) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    if (parent_ != nullptr) return parent_->ToStatus();
+    return Status::OK();
+  }
+
+  bool has_deadline() const { return deadline_.has_value(); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::optional<TimePoint> deadline_;
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_UTIL_CANCEL_H_

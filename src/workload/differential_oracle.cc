@@ -28,33 +28,33 @@ std::string JudgeOnce(const Language& lang, const ResiliencePlan& plan,
                       const GraphDb& db, Semantics semantics,
                       const ExactOptions& exact_options,
                       int brute_force_max_facts) {
-  DifferentialOutcome outcome;
+  ResilienceResponse response;
+  response.differential.emplace();
   Result<ResilienceResult> primary =
       ComputeResilienceWithPlan(plan, db, semantics, exact_options);
   if (primary.ok()) {
-    outcome.primary.result = *std::move(primary);
+    response.result = *std::move(primary);
   } else {
-    outcome.primary.status = primary.status();
+    response.status = primary.status();
   }
   Result<ResilienceResult> reference =
       SolveExactResilience(lang, db, semantics, exact_options);
   if (reference.ok()) {
-    outcome.reference.result = *std::move(reference);
+    response.differential->reference_result = *std::move(reference);
   } else {
-    outcome.reference.status = reference.status();
+    response.differential->reference_status = reference.status();
   }
-  JudgeDifferential(lang, db, semantics, &outcome);
-  if (!outcome.mismatch.empty() || outcome.inconclusive) {
-    return outcome.mismatch;
+  JudgeDifferential(lang, db, semantics, &response);
+  if (!response.differential->mismatch.empty() ||
+      response.differential->inconclusive) {
+    return response.differential->mismatch;
   }
-  if (outcome.primary.status.ok() &&
-      db.num_facts() <= brute_force_max_facts) {
+  if (response.status.ok() && db.num_facts() <= brute_force_max_facts) {
     Result<ResilienceResult> brute =
         SolveBruteForceResilience(lang, db, semantics, brute_force_max_facts);
-    if (brute.ok() &&
-        (brute->infinite != outcome.primary.result.infinite ||
-         (!brute->infinite &&
-          brute->value != outcome.primary.result.value))) {
+    if (brute.ok() && (brute->infinite != response.result.infinite ||
+                       (!brute->infinite &&
+                        brute->value != response.result.value))) {
       return "brute-force divergence";
     }
   }
@@ -81,25 +81,25 @@ Result<WorkloadInstance> DifferentialOracle::BuildInstance(
 }
 
 std::string DifferentialOracle::BruteForceCheck(
-    const WorkloadInstance& instance, const InstanceOutcome& primary,
+    const WorkloadInstance& instance, const ResilienceResponse& response,
     OracleClassReport* per_class) {
-  if (!primary.status.ok()) return "";
+  if (!response.status.ok()) return "";
   if (instance.db.num_facts() > options_.brute_force_max_facts) return "";
   Language lang = Language::MustFromRegexString(instance.query.regex);
   Result<ResilienceResult> brute = SolveBruteForceResilience(
       lang, instance.db, instance.semantics, options_.brute_force_max_facts);
   if (!brute.ok()) return "";  // out of range etc. — no third opinion
   ++per_class->brute_force_checked;
-  if (brute->infinite != primary.result.infinite) {
+  if (brute->infinite != response.result.infinite) {
     return "brute-force infinite divergence: primary=" +
-           std::to_string(primary.result.infinite) + " (" +
-           primary.result.algorithm +
+           std::to_string(response.result.infinite) + " (" +
+           response.result.algorithm +
            ") vs brute=" + std::to_string(brute->infinite);
   }
-  if (!brute->infinite && brute->value != primary.result.value) {
+  if (!brute->infinite && brute->value != response.result.value) {
     return "brute-force value divergence: primary=" +
-           std::to_string(primary.result.value) + " (" +
-           primary.result.algorithm +
+           std::to_string(response.result.value) + " (" +
+           response.result.algorithm +
            ") vs brute=" + std::to_string(brute->value);
   }
   return "";
@@ -147,34 +147,51 @@ OracleMismatch DifferentialOracle::BuildMismatch(
 void DifferentialOracle::CheckBatch(
     const std::vector<WorkloadInstance>& instances,
     OracleClassReport* per_class, OracleReport* report) {
-  std::vector<QueryInstance> queries;
-  queries.reserve(instances.size());
+  // Register every batch database: requests then share immutable
+  // snapshots (with per-label indexes) instead of borrowing raw
+  // pointers. The per-instance copy + index build is deliberate, not an
+  // oversight: the oracle is the correctness harness, and going through
+  // Register means the production hot path (indexed flow construction)
+  // is what gets differentially validated on every random instance; the
+  // copies are noise next to the exact reference solves.
+  std::vector<ResilienceRequest> requests;
+  requests.reserve(instances.size());
   for (const WorkloadInstance& instance : instances) {
-    queries.push_back(
-        {instance.query.regex, &instance.db, instance.semantics});
+    ResilienceRequest request;
+    request.regex = instance.query.regex;
+    request.db = registry_.Register(instance.db,
+                                    "seed:" + std::to_string(instance.seed));
+    request.semantics = instance.semantics;
+    requests.push_back(std::move(request));
   }
-  std::vector<DifferentialOutcome> outcomes = engine_.RunDifferential(queries);
+  std::vector<ResilienceResponse> responses =
+      engine_.EvaluateDifferential(requests);
   for (size_t i = 0; i < instances.size(); ++i) {
     const WorkloadInstance& instance = instances[i];
-    DifferentialOutcome& outcome = outcomes[i];
+    ResilienceResponse& response = responses[i];
     ++per_class->instances;
     ++report->instances;
-    if (!outcome.primary.stats.algorithm.empty()) {
-      ++per_class->by_algorithm[outcome.primary.stats.algorithm];
+    if (!response.stats.algorithm.empty()) {
+      ++per_class->by_algorithm[response.stats.algorithm];
     }
-    if (outcome.inconclusive) {
+    bool inconclusive = response.differential.has_value() &&
+                        response.differential->inconclusive;
+    if (inconclusive) {
       ++per_class->inconclusive;
       ++report->inconclusive;
     }
-    std::string detail = outcome.mismatch;
+    std::string detail = response.differential.has_value()
+                             ? response.differential->mismatch
+                             : std::string();
     if (detail.empty()) {
-      detail = BruteForceCheck(instance, outcome.primary, per_class);
+      detail = BruteForceCheck(instance, response, per_class);
     }
     if (!detail.empty()) {
       ++per_class->mismatches;
       report->mismatches.push_back(
           BuildMismatch(instance, std::move(detail)));
     }
+    registry_.Unregister(requests[i].db.id());
   }
 }
 

@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/db_registry.h"
 #include "engine/engine.h"
+#include "engine/request.h"
 #include "util/status.h"
 #include "workload/workload.h"
 
@@ -121,12 +123,14 @@ class DifferentialOracle {
  private:
   /// Runs one class-homogeneous batch through the engine differential
   /// plus the extra oracle checks, folding results into the reports.
+  /// Instances are registered into the oracle's DbRegistry for the
+  /// duration of the batch (handles carry the per-label index).
   void CheckBatch(const std::vector<WorkloadInstance>& instances,
                   OracleClassReport* per_class, OracleReport* report);
 
   /// Brute-force third opinion; returns a mismatch line or empty.
   std::string BruteForceCheck(const WorkloadInstance& instance,
-                              const InstanceOutcome& primary,
+                              const ResilienceResponse& response,
                               OracleClassReport* per_class);
 
   /// Builds the mismatch record, minimizing the database if configured.
@@ -135,6 +139,9 @@ class DifferentialOracle {
 
   OracleOptions options_;
   ResilienceEngine engine_;
+  /// Scratch registry for batch databases; entries are unregistered after
+  /// each batch (in-flight handles keep their snapshots alive).
+  DbRegistry registry_;
 };
 
 }  // namespace workload

@@ -1,17 +1,20 @@
-// Engine stress test: thread-count invariance. RunBatch and
-// RunDifferential over the same seeded workload must produce identical
-// results and aggregate stats under a 1-thread and an 8-thread pool —
-// instances share compiled plans (shared_ptr-to-const) and stats are
-// mutex-guarded, so any divergence is a data race or an
-// order-dependent accumulation bug that the existing single-pool parity
-// test cannot see.
+// Engine stress test: thread-count invariance. EvaluateBatch and
+// EvaluateDifferential over the same seeded workload must produce
+// identical results and aggregate stats under a 1-thread and an 8-thread
+// pool — requests share compiled plans (shared_ptr-to-const) and
+// database snapshots (DbRegistry handles), stats are mutex-guarded, so
+// any divergence is a data race or an order-dependent accumulation bug
+// that the existing single-pool parity test cannot see.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "engine/db_registry.h"
 #include "engine/engine.h"
+#include "engine/request.h"
 #include "workload/workload.h"
 
 namespace rpqres {
@@ -21,8 +24,11 @@ using workload::MakeWorkloadInstance;
 using workload::WorkloadInstance;
 
 struct SeededBatch {
-  std::vector<WorkloadInstance> instances;
-  std::vector<QueryInstance> queries;
+  // The registry outlives the requests; handles keep snapshots alive
+  // either way. (unique_ptr: DbRegistry owns a mutex, so it isn't
+  // movable itself.)
+  std::unique_ptr<DbRegistry> registry = std::make_unique<DbRegistry>();
+  std::vector<ResilienceRequest> queries;
 };
 
 SeededBatch BuildBatch(uint64_t base, int count) {
@@ -30,11 +36,12 @@ SeededBatch BuildBatch(uint64_t base, int count) {
   for (uint64_t seed = base; seed < base + static_cast<uint64_t>(count);
        ++seed) {
     Result<WorkloadInstance> instance = MakeWorkloadInstance(seed);
-    if (instance.ok()) batch.instances.push_back(*std::move(instance));
-  }
-  for (const WorkloadInstance& instance : batch.instances) {
-    batch.queries.push_back(
-        {instance.query.regex, &instance.db, instance.semantics});
+    if (!instance.ok()) continue;
+    ResilienceRequest request;
+    request.regex = instance->query.regex;
+    request.db = batch.registry->Register(std::move(instance->db));
+    request.semantics = instance->semantics;
+    batch.queries.push_back(std::move(request));
   }
   return batch;
 }
@@ -46,14 +53,14 @@ EngineOptions WithThreads(int threads) {
   return options;
 }
 
-TEST(EngineStressTest, RunBatchIsThreadCountInvariant) {
+TEST(EngineStressTest, EvaluateBatchIsThreadCountInvariant) {
   SeededBatch batch = BuildBatch(31000, 60);
   ASSERT_GT(batch.queries.size(), 40u);
 
   ResilienceEngine serial(WithThreads(1));
   ResilienceEngine parallel(WithThreads(8));
-  std::vector<InstanceOutcome> a = serial.RunBatch(batch.queries);
-  std::vector<InstanceOutcome> b = parallel.RunBatch(batch.queries);
+  std::vector<ResilienceResponse> a = serial.EvaluateBatch(batch.queries);
+  std::vector<ResilienceResponse> b = parallel.EvaluateBatch(batch.queries);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].status, b[i].status) << i;
@@ -78,22 +85,29 @@ TEST(EngineStressTest, RunBatchIsThreadCountInvariant) {
   EXPECT_EQ(sa.instances_by_algorithm, sb.instances_by_algorithm);
 }
 
-TEST(EngineStressTest, RunDifferentialIsThreadCountInvariant) {
+TEST(EngineStressTest, EvaluateDifferentialIsThreadCountInvariant) {
   SeededBatch batch = BuildBatch(32000, 40);
   ASSERT_GT(batch.queries.size(), 25u);
 
   ResilienceEngine serial(WithThreads(1));
   ResilienceEngine parallel(WithThreads(8));
-  std::vector<DifferentialOutcome> a = serial.RunDifferential(batch.queries);
-  std::vector<DifferentialOutcome> b =
-      parallel.RunDifferential(batch.queries);
+  std::vector<ResilienceResponse> a =
+      serial.EvaluateDifferential(batch.queries);
+  std::vector<ResilienceResponse> b =
+      parallel.EvaluateDifferential(batch.queries);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].agree, b[i].agree) << i;
-    EXPECT_EQ(a[i].inconclusive, b[i].inconclusive) << i;
-    EXPECT_EQ(a[i].mismatch, b[i].mismatch) << i;
-    EXPECT_EQ(a[i].primary.result.value, b[i].primary.result.value) << i;
-    EXPECT_EQ(a[i].reference.result.value, b[i].reference.result.value) << i;
+    ASSERT_TRUE(a[i].differential.has_value()) << i;
+    ASSERT_TRUE(b[i].differential.has_value()) << i;
+    EXPECT_EQ(a[i].differential->agree, b[i].differential->agree) << i;
+    EXPECT_EQ(a[i].differential->inconclusive,
+              b[i].differential->inconclusive)
+        << i;
+    EXPECT_EQ(a[i].differential->mismatch, b[i].differential->mismatch) << i;
+    EXPECT_EQ(a[i].result.value, b[i].result.value) << i;
+    EXPECT_EQ(a[i].differential->reference_result.value,
+              b[i].differential->reference_result.value)
+        << i;
   }
   EngineStats sa = serial.stats();
   EngineStats sb = parallel.stats();
@@ -111,9 +125,10 @@ TEST(EngineStressTest, RunDifferentialIsThreadCountInvariant) {
 TEST(EngineStressTest, RepeatedBatchesAreStable) {
   SeededBatch batch = BuildBatch(33000, 25);
   ResilienceEngine engine(WithThreads(8));
-  std::vector<InstanceOutcome> first = engine.RunBatch(batch.queries);
+  std::vector<ResilienceResponse> first = engine.EvaluateBatch(batch.queries);
   for (int round = 0; round < 3; ++round) {
-    std::vector<InstanceOutcome> again = engine.RunBatch(batch.queries);
+    std::vector<ResilienceResponse> again =
+        engine.EvaluateBatch(batch.queries);
     ASSERT_EQ(again.size(), first.size());
     for (size_t i = 0; i < first.size(); ++i) {
       EXPECT_EQ(again[i].status, first[i].status) << i;

@@ -1,15 +1,20 @@
 // Tests for the compiled-query resilience engine: plan-cache hit/miss
-// semantics and eviction, cached-compile speedup, batch results matching
-// per-call ComputeResilience, thread-pool determinism of values, and the
-// plan API underneath (PlanResilience / ComputeResilienceWithPlan).
+// semantics and eviction, cached-compile speedup, v2 batch results
+// matching per-call ComputeResilience, thread-pool determinism of values,
+// per-request option overrides, the plan API underneath (PlanResilience /
+// ComputeResilienceWithPlan), and the deprecated v1 shims (including the
+// null-database regression).
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "engine/db_registry.h"
 #include "engine/engine.h"
+#include "engine/request.h"
 #include "graphdb/generators.h"
 #include "graphdb/graph_db.h"
 #include "lang/language.h"
@@ -50,7 +55,7 @@ TEST(PlanCacheTest, SemanticsIsPartOfTheKey) {
   EXPECT_EQ(engine.stats().compilations, 2);
 }
 
-TEST(PlanCacheTest, LruEviction) {
+TEST(PlanCacheTest, LruEvictionVisibleThroughTheView) {
   EngineOptions options;
   options.plan_cache_capacity = 2;
   ResilienceEngine engine(options);
@@ -60,6 +65,10 @@ TEST(PlanCacheTest, LruEviction) {
   ASSERT_TRUE(engine.Compile("ab", Semantics::kSet).ok());
   ASSERT_TRUE(engine.Compile("cd", Semantics::kSet).ok());
 
+  PlanCacheView view = engine.plan_cache_view();
+  EXPECT_EQ(view.capacity, 2u);
+  EXPECT_EQ(view.size, 2u);
+  EXPECT_EQ(view.stats.evictions, 1);
   EXPECT_EQ(engine.stats().cache_evictions, 1);
   // "ab" survived, "bc" was evicted.
   ASSERT_TRUE(engine.Compile("ab", Semantics::kSet).ok());
@@ -92,24 +101,31 @@ TEST(PlanCacheTest, CachedCompileIsMeasurablyFasterThanFirst) {
 }
 
 // The core workload matrix reused by the batch tests: one query per
-// dispatch path (local, BCL, one-dangling, exact fallback).
+// dispatch path (local, BCL, one-dangling, exact fallback), every query
+// against every registered database.
 struct Workload {
+  std::unique_ptr<DbRegistry> registry = std::make_unique<DbRegistry>();
   std::vector<std::string> regexes;
-  std::vector<GraphDb> dbs;
-  std::vector<QueryInstance> instances;  // all (regex, db) pairs, bag
+  std::vector<DbHandle> dbs;
+  std::vector<ResilienceRequest> requests;  // all (regex, db) pairs, bag
 };
 
 Workload MakeWorkload() {
   Workload w;
   w.regexes = {"ax*b", "ab|bc", "abc|be", "ab|bc|ca"};
   Rng rng(7);
-  w.dbs.push_back(LayeredFlowDb(&rng, 3, 3, 4, 3, 0.5, 5));
-  w.dbs.push_back(WordSoupDb(&rng, {"ab", "bc", "abc", "be"}, 6,
-                             {'a', 'b', 'c', 'e', 'x'}, 10, 4));
-  w.dbs.push_back(RandomGraphDb(&rng, 7, 16, {'a', 'b', 'c', 'e', 'x'}, 3));
+  w.dbs.push_back(w.registry->Register(LayeredFlowDb(&rng, 3, 3, 4, 3, 0.5, 5)));
+  w.dbs.push_back(w.registry->Register(WordSoupDb(
+      &rng, {"ab", "bc", "abc", "be"}, 6, {'a', 'b', 'c', 'e', 'x'}, 10, 4)));
+  w.dbs.push_back(w.registry->Register(
+      RandomGraphDb(&rng, 7, 16, {'a', 'b', 'c', 'e', 'x'}, 3)));
   for (const std::string& regex : w.regexes) {
-    for (const GraphDb& db : w.dbs) {
-      w.instances.push_back(QueryInstance{regex, &db, Semantics::kBag});
+    for (const DbHandle& db : w.dbs) {
+      ResilienceRequest request;
+      request.regex = regex;
+      request.db = db;
+      request.semantics = Semantics::kBag;
+      w.requests.push_back(std::move(request));
     }
   }
   return w;
@@ -118,29 +134,29 @@ Workload MakeWorkload() {
 TEST(EngineBatchTest, BatchResultsMatchPerCallComputeResilience) {
   Workload w = MakeWorkload();
   ResilienceEngine engine;
-  std::vector<InstanceOutcome> outcomes = engine.RunBatch(w.instances);
-  ASSERT_EQ(outcomes.size(), w.instances.size());
+  std::vector<ResilienceResponse> responses = engine.EvaluateBatch(w.requests);
+  ASSERT_EQ(responses.size(), w.requests.size());
 
-  for (size_t i = 0; i < w.instances.size(); ++i) {
-    const QueryInstance& instance = w.instances[i];
-    SCOPED_TRACE(instance.regex + " on db " + std::to_string(i));
-    ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status;
+  for (size_t i = 0; i < w.requests.size(); ++i) {
+    const ResilienceRequest& request = w.requests[i];
+    SCOPED_TRACE(request.regex + " on db " + std::to_string(i));
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status;
 
-    Language lang = Language::MustFromRegexString(instance.regex);
+    Language lang = Language::MustFromRegexString(request.regex);
     Result<ResilienceResult> direct =
-        ComputeResilience(lang, *instance.db, instance.semantics);
+        ComputeResilience(lang, request.db.db(), request.semantics);
     ASSERT_TRUE(direct.ok()) << direct.status();
-    EXPECT_EQ(outcomes[i].result.infinite, direct->infinite);
-    EXPECT_EQ(outcomes[i].result.value, direct->value);
+    EXPECT_EQ(responses[i].result.infinite, direct->infinite);
+    EXPECT_EQ(responses[i].result.value, direct->value);
     // The batch witness must independently verify against the database.
-    EXPECT_EQ(VerifyResilienceResult(lang, *instance.db, instance.semantics,
-                                     outcomes[i].result),
+    EXPECT_EQ(VerifyResilienceResult(lang, request.db.db(), request.semantics,
+                                     responses[i].result),
               Status::OK());
   }
 
   EngineStats stats = engine.stats();
   EXPECT_EQ(stats.instances_run,
-            static_cast<int64_t>(w.instances.size()));
+            static_cast<int64_t>(w.requests.size()));
   EXPECT_EQ(stats.compilations,
             static_cast<int64_t>(w.regexes.size()));
   EXPECT_EQ(stats.errors, 0);
@@ -153,15 +169,18 @@ TEST(EngineBatchTest, ValuesAreDeterministicAcrossRunsAndThreadCounts) {
   EngineOptions parallel_options;
   parallel_options.num_threads = 4;
   ResilienceEngine parallel_engine(parallel_options);
-  std::vector<InstanceOutcome> run1 = parallel_engine.RunBatch(w.instances);
-  std::vector<InstanceOutcome> run2 = parallel_engine.RunBatch(w.instances);
+  std::vector<ResilienceResponse> run1 =
+      parallel_engine.EvaluateBatch(w.requests);
+  std::vector<ResilienceResponse> run2 =
+      parallel_engine.EvaluateBatch(w.requests);
 
   EngineOptions serial_options;
   serial_options.num_threads = 1;
   ResilienceEngine serial_engine(serial_options);
-  std::vector<InstanceOutcome> serial = serial_engine.RunBatch(w.instances);
+  std::vector<ResilienceResponse> serial =
+      serial_engine.EvaluateBatch(w.requests);
 
-  ASSERT_EQ(run1.size(), w.instances.size());
+  ASSERT_EQ(run1.size(), w.requests.size());
   for (size_t i = 0; i < run1.size(); ++i) {
     SCOPED_TRACE("instance " + std::to_string(i));
     ASSERT_TRUE(run1[i].status.ok());
@@ -176,73 +195,119 @@ TEST(EngineBatchTest, ValuesAreDeterministicAcrossRunsAndThreadCounts) {
 TEST(EngineBatchTest, SecondBatchIsAllCacheHits) {
   Workload w = MakeWorkload();
   ResilienceEngine engine;
-  engine.RunBatch(w.instances);
+  engine.EvaluateBatch(w.requests);
   int64_t compilations_after_first = engine.stats().compilations;
-  engine.RunBatch(w.instances);
+  engine.EvaluateBatch(w.requests);
   EXPECT_EQ(engine.stats().compilations, compilations_after_first);
   EXPECT_GT(engine.stats().cache_hits, 0);
 }
 
 TEST(EngineBatchTest, InvalidRegexFailsItsInstanceOnly) {
   Rng rng(3);
-  GraphDb db = RandomGraphDb(&rng, 4, 6, {'a', 'b'}, 1);
-  std::vector<QueryInstance> instances = {
-      {"ab", &db, Semantics::kSet},
-      {"(((", &db, Semantics::kSet},
-      {"ab", &db, Semantics::kSet},
+  DbRegistry registry;
+  DbHandle db = registry.Register(RandomGraphDb(&rng, 4, 6, {'a', 'b'}, 1));
+  std::vector<ResilienceRequest> requests = {
+      {.regex = "ab", .db = db},
+      {.regex = "(((", .db = db},
+      {.regex = "ab", .db = db},
   };
   ResilienceEngine engine;
-  std::vector<InstanceOutcome> outcomes = engine.RunBatch(instances);
-  EXPECT_TRUE(outcomes[0].status.ok());
-  EXPECT_FALSE(outcomes[1].status.ok());
-  EXPECT_TRUE(outcomes[2].status.ok());
+  std::vector<ResilienceResponse> responses = engine.EvaluateBatch(requests);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_FALSE(responses[1].status.ok());
+  EXPECT_TRUE(responses[2].status.ok());
   EXPECT_EQ(engine.stats().errors, 1);
 }
 
-TEST(EngineRunTest, SingleRunMatchesDirectCompute) {
+TEST(EngineEvaluateTest, SingleEvaluateMatchesDirectCompute) {
   Rng rng(11);
-  GraphDb db = LayeredFlowDb(&rng, 2, 3, 3, 2, 0.6, 4);
+  DbRegistry registry;
+  DbHandle db = registry.Register(LayeredFlowDb(&rng, 2, 3, 3, 2, 0.6, 4));
   ResilienceEngine engine;
-  InstanceOutcome outcome =
-      engine.Run(QueryInstance{"ax*b", &db, Semantics::kBag});
-  ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+  ResilienceResponse response = engine.Evaluate(
+      {.regex = "ax*b", .db = db, .semantics = Semantics::kBag});
+  ASSERT_TRUE(response.status.ok()) << response.status;
 
   Result<ResilienceResult> direct = ComputeResilience(
-      Language::MustFromRegexString("ax*b"), db, Semantics::kBag);
+      Language::MustFromRegexString("ax*b"), db.db(), Semantics::kBag);
   ASSERT_TRUE(direct.ok());
-  EXPECT_EQ(outcome.result.value, direct->value);
-  EXPECT_FALSE(outcome.stats.cache_hit);
-  EXPECT_GT(outcome.stats.compile_micros, 0);
-  EXPECT_EQ(outcome.stats.complexity, "PTIME");
-  EXPECT_EQ(outcome.stats.algorithm, "local flow (Thm 3.13)");
-  EXPECT_GT(outcome.stats.network_vertices, 0);
+  EXPECT_EQ(response.result.value, direct->value);
+  EXPECT_FALSE(response.stats.cache_hit);
+  EXPECT_GT(response.stats.compile_micros, 0);
+  EXPECT_EQ(response.stats.complexity, "PTIME");
+  EXPECT_EQ(response.stats.algorithm, "local flow (Thm 3.13)");
+  EXPECT_GT(response.stats.network_vertices, 0);
 
   // Second run of the same query: cache hit, no compile cost attributed.
-  InstanceOutcome again =
-      engine.Run(QueryInstance{"ax*b", &db, Semantics::kBag});
+  ResilienceResponse again = engine.Evaluate(
+      {.regex = "ax*b", .db = db, .semantics = Semantics::kBag});
   EXPECT_TRUE(again.stats.cache_hit);
   EXPECT_EQ(again.stats.compile_micros, 0);
-  EXPECT_EQ(again.result.value, outcome.result.value);
+  EXPECT_EQ(again.result.value, response.result.value);
 }
 
-TEST(EngineRunTest, TrivialAndErrorPlans) {
-  GraphDb db = PathDb("ab");
+TEST(EngineEvaluateTest, TrivialAndErrorPlans) {
+  DbRegistry registry;
+  DbHandle db = registry.Register(PathDb("ab"));
   ResilienceEngine engine;
 
   // ε ∈ L: infinite resilience, no solver needed.
-  InstanceOutcome inf = engine.Run(QueryInstance{"a*", &db, Semantics::kSet});
+  ResilienceResponse inf = engine.Evaluate({.regex = "a*", .db = db});
   ASSERT_TRUE(inf.status.ok()) << inf.status;
   EXPECT_TRUE(inf.result.infinite);
 
-  // NP-hard query with the exponential fallback disabled: the instance
-  // fails at compile time with Unimplemented.
+  // NP-hard query with the exponential fallback disabled engine-wide:
+  // the request fails at compile time with Unimplemented.
   EngineOptions no_exp;
   no_exp.allow_exponential = false;
   ResilienceEngine strict_engine(no_exp);
-  InstanceOutcome hard =
-      strict_engine.Run(QueryInstance{"ab|bc|ca", &db, Semantics::kSet});
+  ResilienceResponse hard =
+      strict_engine.Evaluate({.regex = "ab|bc|ca", .db = db});
   EXPECT_FALSE(hard.status.ok());
   EXPECT_EQ(hard.status.code(), StatusCode::kUnimplemented);
+}
+
+TEST(EngineEvaluateTest, PerRequestOverrides) {
+  // PathDb("abc") contains an "ab" and a "bc" walk; RES(ab|bc|ca) = 1
+  // (delete the middle b-fact) and the branch & bound needs > 1 node.
+  DbRegistry registry;
+  DbHandle db = registry.Register(PathDb("abc"));
+  ResilienceEngine engine;
+
+  // Baseline: NP-hard regex runs through the exact fallback.
+  ResilienceResponse base = engine.Evaluate({.regex = "ab|bc|ca", .db = db});
+  ASSERT_TRUE(base.status.ok()) << base.status;
+
+  // allow_exponential = false for this request only: refused, while the
+  // engine default still allows it.
+  ResilienceResponse refused = engine.Evaluate(
+      {.regex = "ab|bc|ca", .db = db,
+       .options = {.allow_exponential = false}});
+  EXPECT_EQ(refused.status.code(), StatusCode::kUnimplemented);
+  ResilienceResponse allowed_again =
+      engine.Evaluate({.regex = "ab|bc|ca", .db = db});
+  EXPECT_TRUE(allowed_again.status.ok());
+
+  // A one-node exact budget: OutOfRange (the instance needs real search).
+  ResilienceResponse starved = engine.Evaluate(
+      {.regex = "ab|bc|ca", .db = db,
+       .options = {.max_exact_search_nodes = 1}});
+  EXPECT_EQ(starved.status.code(), StatusCode::kOutOfRange);
+
+  // Forced method: brute force must agree with the exact fallback on a
+  // small database.
+  ResilienceResponse brute = engine.Evaluate(
+      {.regex = "ab|bc|ca", .db = db,
+       .options = {.method = ResilienceMethod::kBruteForce}});
+  ASSERT_TRUE(brute.status.ok()) << brute.status;
+  EXPECT_EQ(brute.result.value, base.result.value);
+  EXPECT_NE(brute.result.algorithm, base.result.algorithm);
+
+  // Forcing a polynomial solver outside its class is refused.
+  ResilienceResponse wrong_class = engine.Evaluate(
+      {.regex = "ab|bc|ca", .db = db,
+       .options = {.method = ResilienceMethod::kLocalFlow}});
+  EXPECT_FALSE(wrong_class.status.ok());
 }
 
 TEST(EngineCompiledQueryTest, ExposesClassificationAndPlan) {
@@ -257,14 +322,81 @@ TEST(EngineCompiledQueryTest, ExposesClassificationAndPlan) {
   EXPECT_TRUE(q.plan.ro_enfa.has_value());
   EXPECT_GT(q.compile_micros, 0);
 
-  // The compiled plan is directly executable against any database.
+  // A precompiled handle in the request skips the cache entirely.
   Rng rng(5);
-  GraphDb db = LayeredFlowDb(&rng, 2, 2, 3, 2, 0.5, 3);
-  InstanceOutcome outcome = engine.Run(q, db);
-  ASSERT_TRUE(outcome.status.ok());
+  DbRegistry registry;
+  DbHandle db = registry.Register(LayeredFlowDb(&rng, 2, 2, 3, 2, 0.5, 3));
+  ResilienceRequest request;
+  request.query = *compiled;
+  request.db = db;
+  ResilienceResponse response = engine.Evaluate(request);
+  ASSERT_TRUE(response.status.ok());
   Result<ResilienceResult> direct = ComputeResilience(
-      Language::MustFromRegexString("ax*b"), db, Semantics::kBag);
-  EXPECT_EQ(outcome.result.value, direct->value);
+      Language::MustFromRegexString("ax*b"), db.db(), Semantics::kBag);
+  EXPECT_EQ(response.result.value, direct->value);
+  EXPECT_TRUE(response.stats.cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated v1 shims
+// ---------------------------------------------------------------------------
+
+TEST(V1ShimTest, RunMatchesEvaluate) {
+  Rng rng(11);
+  GraphDb db = LayeredFlowDb(&rng, 2, 3, 3, 2, 0.6, 4);
+  ResilienceEngine engine;
+  InstanceOutcome outcome =
+      engine.Run(QueryInstance{"ax*b", &db, Semantics::kBag});
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+
+  DbRegistry registry;
+  DbHandle handle = registry.Register(db);
+  ResilienceResponse response = engine.Evaluate(
+      {.regex = "ax*b", .db = handle, .semantics = Semantics::kBag});
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(outcome.result.value, response.result.value);
+  EXPECT_EQ(outcome.result.infinite, response.result.infinite);
+
+  // Run(CompiledQuery&, GraphDb&) still executes caller-managed plans.
+  auto compiled = engine.Compile("ax*b", Semantics::kBag);
+  ASSERT_TRUE(compiled.ok());
+  InstanceOutcome via_plan = engine.Run(**compiled, db);
+  ASSERT_TRUE(via_plan.status.ok());
+  EXPECT_EQ(via_plan.result.value, outcome.result.value);
+}
+
+// Regression: v1 entry points used to dereference instance.db blindly and
+// crash on null; they must fail with InvalidArgument instead.
+TEST(V1ShimTest, NullDatabaseIsInvalidArgumentNotACrash) {
+  ResilienceEngine engine;
+  InstanceOutcome outcome =
+      engine.Run(QueryInstance{"ax*b", nullptr, Semantics::kSet});
+  EXPECT_EQ(outcome.status.code(), StatusCode::kInvalidArgument);
+
+  GraphDb db = PathDb("ab");
+  std::vector<QueryInstance> instances = {
+      {"ab", &db, Semantics::kSet},
+      {"ab", nullptr, Semantics::kSet},
+  };
+  std::vector<InstanceOutcome> outcomes = engine.RunBatch(instances);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[1].status.code(), StatusCode::kInvalidArgument);
+
+  std::vector<DifferentialOutcome> differential =
+      engine.RunDifferential(instances);
+  EXPECT_TRUE(differential[0].agree) << differential[0].mismatch;
+  EXPECT_EQ(differential[1].primary.status.code(),
+            StatusCode::kInvalidArgument);
+  // Both sides refused with the same code: agreement per the judge
+  // contract (caller error, not a solver divergence) — and crucially
+  // never a differential mismatch.
+  EXPECT_TRUE(differential[1].agree);
+  EXPECT_TRUE(differential[1].mismatch.empty());
+  EXPECT_EQ(engine.stats().differential_mismatches, 0);
+
+  // And the v2 equivalent: a default (invalid) DbHandle.
+  ResilienceResponse response = engine.Evaluate({.regex = "ab"});
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ResiliencePlanTest, PlanApiMatchesAutoDispatch) {

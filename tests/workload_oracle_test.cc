@@ -85,7 +85,8 @@ TEST(OracleTest, RunSeedsGroupsMixedClasses) {
 }
 
 // JudgeDifferential is the oracle's verdict core — feed it doctored
-// results and check each divergence is caught and described.
+// results and check each divergence is caught and described. Operates on
+// the v2 ResilienceResponse with its differential section.
 TEST(JudgeDifferentialTest, CatchesDoctoredResults) {
   Language lang = Language::MustFromRegexString("ab");
   GraphDb db = PathDb("ab");  // RES = 1, witness {0} or {1}
@@ -100,67 +101,94 @@ TEST(JudgeDifferentialTest, CatchesDoctoredResults) {
   ASSERT_TRUE(honest.ok());
 
   // Agreement on honest results.
-  DifferentialOutcome outcome;
-  outcome.primary.result = *honest;
-  outcome.reference.result = *honest;
-  JudgeDifferential(lang, db, semantics, &outcome);
-  EXPECT_TRUE(outcome.agree) << outcome.mismatch;
+  ResilienceResponse response;
+  response.differential.emplace();
+  response.result = *honest;
+  response.differential->reference_result = *honest;
+  JudgeDifferential(lang, db, semantics, &response);
+  EXPECT_TRUE(response.differential->agree)
+      << response.differential->mismatch;
 
   // Value divergence.
-  outcome.primary.result.value = 7;
-  JudgeDifferential(lang, db, semantics, &outcome);
-  EXPECT_FALSE(outcome.agree);
-  EXPECT_NE(outcome.mismatch.find("value divergence"), std::string::npos);
+  response.result.value = 7;
+  JudgeDifferential(lang, db, semantics, &response);
+  EXPECT_FALSE(response.differential->agree);
+  EXPECT_NE(response.differential->mismatch.find("value divergence"),
+            std::string::npos);
 
   // Infinite divergence.
-  outcome.primary.result = *honest;
-  outcome.primary.result.infinite = true;
-  JudgeDifferential(lang, db, semantics, &outcome);
-  EXPECT_FALSE(outcome.agree);
-  EXPECT_NE(outcome.mismatch.find("infinite divergence"), std::string::npos);
+  response.result = *honest;
+  response.result.infinite = true;
+  JudgeDifferential(lang, db, semantics, &response);
+  EXPECT_FALSE(response.differential->agree);
+  EXPECT_NE(response.differential->mismatch.find("infinite divergence"),
+            std::string::npos);
 
   // Invalid witness: right value, wrong facts (empty set doesn't break
   // the query).
-  outcome.primary.result = *honest;
-  outcome.primary.result.contingency.clear();
-  JudgeDifferential(lang, db, semantics, &outcome);
-  EXPECT_FALSE(outcome.agree);
-  EXPECT_NE(outcome.mismatch.find("primary witness invalid"),
+  response.result = *honest;
+  response.result.contingency.clear();
+  JudgeDifferential(lang, db, semantics, &response);
+  EXPECT_FALSE(response.differential->agree);
+  EXPECT_NE(response.differential->mismatch.find("primary witness invalid"),
             std::string::npos);
 
-  // Status divergence.
-  outcome = DifferentialOutcome{};
-  outcome.primary.status = Status::Internal("boom");
-  outcome.reference.result = *honest;
-  JudgeDifferential(lang, db, semantics, &outcome);
-  EXPECT_FALSE(outcome.agree);
-  EXPECT_NE(outcome.mismatch.find("status divergence"), std::string::npos);
+  // Status divergence. (JudgeDifferential creates the differential
+  // section itself when absent.)
+  response = ResilienceResponse{};
+  response.status = Status::Internal("boom");
+  ASSERT_FALSE(response.differential.has_value());
+  JudgeDifferential(lang, db, semantics, &response);
+  ASSERT_TRUE(response.differential.has_value());
+  response.differential->reference_result = *honest;
+  JudgeDifferential(lang, db, semantics, &response);
+  EXPECT_FALSE(response.differential->agree);
+  EXPECT_NE(response.differential->mismatch.find("status divergence"),
+            std::string::npos);
 
   // Budget exhaustion is inconclusive, not a mismatch.
-  outcome = DifferentialOutcome{};
-  outcome.primary.status = Status::OutOfRange("node budget");
-  outcome.reference.result = *honest;
-  JudgeDifferential(lang, db, semantics, &outcome);
-  EXPECT_FALSE(outcome.agree);
-  EXPECT_TRUE(outcome.inconclusive);
-  EXPECT_TRUE(outcome.mismatch.empty());
+  response = ResilienceResponse{};
+  response.status = Status::OutOfRange("node budget");
+  response.differential.emplace();
+  response.differential->reference_result = *honest;
+  JudgeDifferential(lang, db, semantics, &response);
+  EXPECT_FALSE(response.differential->agree);
+  EXPECT_TRUE(response.differential->inconclusive);
+  EXPECT_TRUE(response.differential->mismatch.empty());
+
+  // Deadline exhaustion on the reference side is inconclusive too.
+  response = ResilienceResponse{};
+  response.result = *honest;
+  response.differential.emplace();
+  response.differential->reference_status =
+      Status::DeadlineExceeded("too slow");
+  JudgeDifferential(lang, db, semantics, &response);
+  EXPECT_FALSE(response.differential->agree);
+  EXPECT_TRUE(response.differential->inconclusive);
+  EXPECT_TRUE(response.differential->mismatch.empty());
 }
 
-TEST(RunDifferentialTest, AgreesOnMixedBatchAndCountsStats) {
+TEST(EvaluateDifferentialTest, AgreesOnMixedBatchAndCountsStats) {
   Rng rng(8);
-  GraphDb db1 = RandomGraphDb(&rng, 6, 14, {'a', 'b', 'c', 'x'}, 3);
-  GraphDb db2 = PathDb("axxb");
-  std::vector<QueryInstance> instances = {
-      {"ax*b", &db1, Semantics::kBag},  {"ax*b", &db2, Semantics::kSet},
-      {"ab|bc", &db1, Semantics::kSet}, {"aa|bb", &db1, Semantics::kBag},
-      {"abc|bx", &db1, Semantics::kSet},
+  DbRegistry registry;
+  DbHandle db1 = registry.Register(
+      RandomGraphDb(&rng, 6, 14, {'a', 'b', 'c', 'x'}, 3), "random");
+  DbHandle db2 = registry.Register(PathDb("axxb"), "path");
+  std::vector<ResilienceRequest> requests = {
+      {.regex = "ax*b", .db = db1, .semantics = Semantics::kBag},
+      {.regex = "ax*b", .db = db2, .semantics = Semantics::kSet},
+      {.regex = "ab|bc", .db = db1, .semantics = Semantics::kSet},
+      {.regex = "aa|bb", .db = db1, .semantics = Semantics::kBag},
+      {.regex = "abc|bx", .db = db1, .semantics = Semantics::kSet},
   };
   ResilienceEngine engine;
-  std::vector<DifferentialOutcome> outcomes = engine.RunDifferential(instances);
-  ASSERT_EQ(outcomes.size(), instances.size());
-  for (size_t i = 0; i < outcomes.size(); ++i) {
-    EXPECT_TRUE(outcomes[i].agree)
-        << instances[i].regex << ": " << outcomes[i].mismatch;
+  std::vector<ResilienceResponse> responses =
+      engine.EvaluateDifferential(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].differential.has_value()) << i;
+    EXPECT_TRUE(responses[i].differential->agree)
+        << requests[i].regex << ": " << responses[i].differential->mismatch;
   }
   EngineStats stats = engine.stats();
   EXPECT_EQ(stats.differentials_run, 5);
@@ -169,17 +197,37 @@ TEST(RunDifferentialTest, AgreesOnMixedBatchAndCountsStats) {
   EXPECT_EQ(stats.instances_run, 5);
 }
 
-TEST(RunDifferentialTest, CompileErrorIsReportedPerInstance) {
-  GraphDb db = PathDb("ab");
-  std::vector<QueryInstance> instances = {
-      {"a(b", &db, Semantics::kSet},  // unbalanced: compile error
-      {"ab", &db, Semantics::kSet},
+TEST(EvaluateDifferentialTest, CompileErrorIsReportedPerInstance) {
+  DbRegistry registry;
+  DbHandle db = registry.Register(PathDb("ab"));
+  std::vector<ResilienceRequest> requests = {
+      {.regex = "a(b", .db = db},  // unbalanced: compile error
+      {.regex = "ab", .db = db},
   };
   ResilienceEngine engine;
-  std::vector<DifferentialOutcome> outcomes = engine.RunDifferential(instances);
-  EXPECT_FALSE(outcomes[0].agree);
-  EXPECT_NE(outcomes[0].mismatch.find("compile failed"), std::string::npos);
-  EXPECT_TRUE(outcomes[1].agree) << outcomes[1].mismatch;
+  std::vector<ResilienceResponse> responses =
+      engine.EvaluateDifferential(requests);
+  ASSERT_TRUE(responses[0].differential.has_value());
+  EXPECT_FALSE(responses[0].differential->agree);
+  EXPECT_NE(responses[0].differential->mismatch.find("compile failed"),
+            std::string::npos);
+  ASSERT_TRUE(responses[1].differential.has_value());
+  EXPECT_TRUE(responses[1].differential->agree)
+      << responses[1].differential->mismatch;
+}
+
+// The v1 RunDifferential shim must keep reporting through the old
+// DifferentialOutcome shape (one release of compatibility).
+TEST(EvaluateDifferentialTest, V1ShimStillJudges) {
+  GraphDb db = PathDb("axxb");
+  std::vector<QueryInstance> instances = {{"ax*b", &db, Semantics::kSet}};
+  ResilienceEngine engine;
+  std::vector<DifferentialOutcome> outcomes =
+      engine.RunDifferential(instances);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].agree) << outcomes[0].mismatch;
+  EXPECT_EQ(outcomes[0].primary.result.value,
+            outcomes[0].reference.result.value);
 }
 
 }  // namespace
