@@ -1,7 +1,8 @@
 // bench/bench_engine — the unified engine benchmark: replays generated
 // workloads for each side of the paper's classification through
-// ResilienceEngine and writes BENCH_engine.json (p50/p95 latency and
-// throughput per scenario). Usage: bench_engine [output.json]
+// ResilienceEngine and writes BENCH_engine.json (steady-state p50/p95
+// latency and throughput per scenario; the harness runs one untimed
+// warm-up batch first). Usage: bench_engine [output.json]
 //
 // Scenarios cover every dispatch path:
 //   local_ax_star_b    — Thm 3.13 local flow (layered MinCut networks)
@@ -10,11 +11,14 @@
 //   exact_ab_bc_ca     — NP-hard side, exact branch & bound (small dbs)
 //   mixed_cache_churn  — all four queries interleaved over one batch,
 //                        exercising the plan cache under a mixed workload
-//   handle_vs_raw_*    — the serving API v2 comparison: the same noisy
-//                        databases once through registered DbHandles (the
-//                        precomputed per-label index) and once through
-//                        the deprecated v1 raw-pointer shim (full fact
-//                        scan per solve); the delta is the index win
+//   handle_vs_raw_v2_handle — ax*b over noisy databases via registered
+//                        DbHandles; the name predates the removal of the
+//                        v1 raw-pointer twin scenario and is kept so the
+//                        BENCH trajectory stays comparable across PRs
+//   flow_core_csr_*    — the zero-copy flow core showcases: a deep
+//                        product (CSR + scratch reuse dominate) and a
+//                        sparse one (the reach/co-reach sweep prunes
+//                        most relevant-labeled facts)
 
 #include <cstdio>
 #include <string>
@@ -76,10 +80,9 @@ std::vector<GraphDb> ExactDbs() {
 }
 
 // Layered ax*b flow networks drowned in inert noise facts (labels the
-// query never reads). The indexed handle path skips the noise without
-// touching it; the raw-pointer path scans and filters every fact on
-// every solve — the gap between the two scenarios is the label-index
-// win that DbRegistry registration buys.
+// query never reads). The label index skips the noise without touching
+// it; same databases and seed as the PR-3 handle_vs_raw pair, so the
+// BENCH trajectory for this scenario stays comparable.
 std::vector<GraphDb> NoisyLocalDbs() {
   Rng rng(2718);
   std::vector<GraphDb> dbs;
@@ -94,6 +97,47 @@ std::vector<GraphDb> NoisyLocalDbs() {
       db.AddFact(static_cast<NodeId>(rng.NextBelow(nodes)), label,
                  static_cast<NodeId>(rng.NextBelow(nodes)),
                  /*multiplicity=*/1 + rng.NextBelow(5));
+    }
+    dbs.push_back(std::move(db));
+  }
+  return dbs;
+}
+
+// Deep layered products: the CSR build + scratch reuse dominate (nearly
+// every product vertex is live, so this isolates the zero-copy pipeline
+// rather than the pruning).
+std::vector<GraphDb> DeepProductDbs() {
+  Rng rng(31337);
+  std::vector<GraphDb> dbs;
+  for (int layers : {24, 32}) {
+    dbs.push_back(LayeredFlowDb(&rng, /*sources=*/4, layers, /*width=*/8,
+                                /*sinks=*/4, /*density=*/0.35,
+                                /*max_multiplicity=*/40));
+  }
+  return dbs;
+}
+
+// Sparse products: a small layered ax*b region embedded in a sea of
+// *relevant-labeled* x-facts among nodes no a-path ever reaches. Every
+// x-fact used to become a network edge; the reach/co-reach sweep now
+// skips all of them, so this isolates the product-pruning win.
+std::vector<GraphDb> SparseProductDbs() {
+  Rng rng(5150);
+  std::vector<GraphDb> dbs;
+  for (int layers : {4, 8}) {
+    GraphDb db = LayeredFlowDb(&rng, /*sources=*/3, layers, /*width=*/5,
+                               /*sinks=*/3, /*density=*/0.5,
+                               /*max_multiplicity=*/20);
+    int base_nodes = db.num_nodes();
+    int extra_nodes = 6 * base_nodes;
+    for (int i = 0; i < extra_nodes; ++i) db.AddNode();
+    int stray_x = 10 * db.num_facts();
+    for (int i = 0; i < stray_x; ++i) {
+      // x-facts strictly among the extra nodes: relevant label, dead
+      // product region.
+      NodeId u = base_nodes + static_cast<NodeId>(rng.NextBelow(extra_nodes));
+      NodeId v = base_nodes + static_cast<NodeId>(rng.NextBelow(extra_nodes));
+      db.AddFact(u, 'x', v, /*multiplicity=*/1 + rng.NextBelow(8));
     }
     dbs.push_back(std::move(db));
   }
@@ -151,28 +195,27 @@ int main(int argc, char** argv) {
     harness.AddScenario(mixed);
   }
 
-  // v1 vs v2: identical noisy databases, identical query — only the
-  // database plumbing differs. Compare solve_p50/throughput of the two
-  // rows (the resilience_checksum must match).
-  {
-    std::vector<GraphDb> noisy = NoisyLocalDbs();
-    harness.AddScenario({.name = "handle_vs_raw_v2_handle",
-                         .description = "ax*b over noisy flow dbs via "
-                                        "registered DbHandle + label index",
-                         .regex = "ax*b",
-                         .semantics = Semantics::kBag,
-                         .databases = noisy,
-                         .repetitions = 20,
-                         .use_raw_pointer_api = false});
-    harness.AddScenario({.name = "handle_vs_raw_v1_raw",
-                         .description = "ax*b over the same dbs via the "
-                                        "deprecated raw-pointer shim",
-                         .regex = "ax*b",
-                         .semantics = Semantics::kBag,
-                         .databases = noisy,
-                         .repetitions = 20,
-                         .use_raw_pointer_api = true});
-  }
+  harness.AddScenario({.name = "handle_vs_raw_v2_handle",
+                       .description = "ax*b over noisy flow dbs via "
+                                      "registered DbHandle + label index",
+                       .regex = "ax*b",
+                       .semantics = Semantics::kBag,
+                       .databases = NoisyLocalDbs(),
+                       .repetitions = 20});
+  harness.AddScenario({.name = "flow_core_csr_deep_product",
+                       .description = "ax*b over deep layered products "
+                                      "(zero-copy CSR + scratch reuse)",
+                       .regex = "ax*b",
+                       .semantics = Semantics::kBag,
+                       .databases = DeepProductDbs(),
+                       .repetitions = 10});
+  harness.AddScenario({.name = "flow_core_csr_sparse_product",
+                       .description = "ax*b with stray x-facts in dead "
+                                      "product regions (pruning win)",
+                       .regex = "ax*b",
+                       .semantics = Semantics::kBag,
+                       .databases = SparseProductDbs(),
+                       .repetitions = 15});
 
   std::vector<ScenarioReport> reports = harness.RunAll();
 
@@ -184,11 +227,12 @@ int main(int argc, char** argv) {
 
   for (const ScenarioReport& r : reports) {
     std::printf(
-        "%-24s %-9s %-10s %4d inst  p50 %9.1fus  p95 %9.1fus  %8.0f qps  "
-        "via %s\n",
-        r.name.c_str(), r.api.c_str(), r.complexity.c_str(), r.instances,
+        "%-28s %-10s %4d inst  p50 %9.1fus  p95 %9.1fus  %8.0f qps  "
+        "pruned %lld/%lld  via %s\n",
+        r.name.c_str(), r.complexity.c_str(), r.instances,
         r.solve_p50_micros, r.solve_p95_micros, r.throughput_qps,
-        r.algorithm.c_str());
+        static_cast<long long>(r.pruned_vertices_max),
+        static_cast<long long>(r.pruned_edges_max), r.algorithm.c_str());
   }
   std::printf("wrote %s\n", output.c_str());
   return 0;

@@ -24,7 +24,10 @@ namespace rpqres {
 namespace bench {
 
 /// One benchmark scenario: `regex` under `semantics` against every
-/// database in `databases`, `repetitions` times over.
+/// database in `databases`, `repetitions` times over. Databases are
+/// registered once in the harness's DbRegistry and every instance reuses
+/// the handle + per-label index; one untimed warm-up batch precedes the
+/// timed batch, so the numbers describe steady-state serving.
 struct Scenario {
   std::string name;         ///< stable id, e.g. "local_ax_star_b"
   std::string description;  ///< one line for the report
@@ -32,12 +35,6 @@ struct Scenario {
   Semantics semantics = Semantics::kBag;
   std::vector<GraphDb> databases;
   int repetitions = 3;
-  /// false (default): databases are registered once in the harness's
-  /// DbRegistry and every instance reuses the handle + per-label index
-  /// (serving API v2). true: instances go through the deprecated
-  /// Run(QueryInstance) raw-pointer shim — no registration, no index —
-  /// for measuring the handle/index win against the v1 path.
-  bool use_raw_pointer_api = false;
 };
 
 /// Aggregated measurements for one scenario.
@@ -46,7 +43,6 @@ struct ScenarioReport {
   std::string description;
   std::string regex;
   std::string semantics;   ///< "set" | "bag"
-  std::string api;         ///< "v2_handle" | "v1_raw"
   std::string complexity;  ///< classification column for IF(L)
   std::string rule;        ///< classification rule
   std::string algorithm;   ///< solver observed on the instances
@@ -61,6 +57,10 @@ struct ScenarioReport {
   double throughput_qps = 0;     ///< instances / total wall
   int64_t network_vertices_max = 0;
   int64_t network_edges_max = 0;
+  /// Product-pruning effect (local flow): max dead vertices/edges one
+  /// instance skipped versus the full |V|·|S| construction.
+  int64_t pruned_vertices_max = 0;
+  int64_t pruned_edges_max = 0;
   uint64_t search_nodes_max = 0;
   /// Sum of finite resilience values — a determinism checksum comparable
   /// across runs and machines.
@@ -82,7 +82,7 @@ class Harness {
   void AddScenario(Scenario scenario);
 
   /// Runs all scenarios in order; each scenario's instances go through
-  /// ResilienceEngine::RunBatch.
+  /// ResilienceEngine::EvaluateBatch.
   std::vector<ScenarioReport> RunAll();
 
   /// The full JSON document for a set of reports (includes engine
@@ -99,9 +99,22 @@ class Harness {
  private:
   ScenarioReport RunScenario(const Scenario& scenario);
 
+  /// Engine counters accumulated over the *timed* batches only — the
+  /// untimed warm-up batches would otherwise double every per-instance
+  /// total in the report and break BENCH trajectory comparability.
+  struct SteadyStateStats {
+    int64_t instances_run = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t errors = 0;
+    int64_t flow_vertices_pruned = 0;
+    int64_t flow_edges_pruned = 0;
+  };
+
   ResilienceEngine engine_;
   DbRegistry registry_;
   std::vector<Scenario> scenarios_;
+  SteadyStateStats steady_;
 };
 
 }  // namespace bench

@@ -5,8 +5,7 @@
 
 #include <iostream>
 
-#include "flow/dinic.h"
-#include "flow/flow_network.h"
+#include "flow/residual_graph.h"
 #include "graphdb/generators.h"
 #include "lang/language.h"
 #include "resilience/local_resilience.h"
@@ -22,7 +21,7 @@ namespace {
 // capacity edges (by multiplicity). This is the inverse of the paper's
 // correspondence.
 Capacity DirectMinCut(const GraphDb& db) {
-  FlowNetwork network;
+  ResidualGraph network;
   int source = network.AddVertex();
   int target = network.AddVertex();
   network.SetSource(source);
@@ -50,7 +49,7 @@ Capacity DirectMinCut(const GraphDb& db) {
                         db.multiplicity(f));
     }
   }
-  MinCutResult cut = ComputeMinCut(network);
+  const MinCutView& cut = network.Solve();
   return cut.infinite ? kInfiniteCapacity : cut.value;
 }
 

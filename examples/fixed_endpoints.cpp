@@ -7,12 +7,11 @@
 // L-labeled walks?" — a labeled generalization of classic s-t MinCut.
 //
 // Scenario: a data-center fabric where packets must traverse an ingress
-// (a), any number of switch hops (x), and an egress (b). The Boolean
-// query ("no ax*b route anywhere") goes through the serving engine
-// against a registered handle; the targeted one ("no ax*b route from
-// rack R1 to rack R9") uses the direct fixed-endpoint solver — the one
-// entry point the request API does not cover yet (no Boolean plan
-// subsumes it).
+// (a), any number of switch hops (x), and an egress (b). Both queries go
+// through the serving engine against one registered handle: the Boolean
+// one ("no ax*b route anywhere") as a plain request, the targeted one
+// ("no ax*b route from rack R1 to rack R9") by setting the request's
+// fixed (source, target) endpoints — API v2 covers both.
 
 #include <iostream>
 
@@ -24,7 +23,6 @@
 #include "graphdb/rpq_eval.h"
 #include "graphdb/serialization.h"
 #include "lang/language.h"
-#include "resilience/local_resilience.h"
 #include "util/rng.h"
 
 using namespace rpqres;
@@ -49,28 +47,34 @@ int main() {
             << SerializeGraphDb(graph) << "\n";
 
   DbRegistry registry;
-  DbHandle db = registry.Register(graph, "fabric");  // copy: the targeted
-                                                     // solver reads `graph`
+  DbHandle db = registry.Register(graph, "fabric");  // copy: the final
+                                                     // verification below
+                                                     // reads `graph`
   ResilienceEngine engine;
   ResilienceResponse boolean = engine.Evaluate(
       {.regex = "ax*b", .db = db, .semantics = Semantics::kBag});
-  Result<ResilienceResult> targeted = SolveLocalResilienceFixedEndpoints(
-      query, graph, s, t, Semantics::kBag);
-  if (!boolean.status.ok() || !targeted.ok()) {
-    std::cerr << (boolean.status.ok() ? targeted.status() : boolean.status)
+  ResilienceResponse targeted = engine.Evaluate({.regex = "ax*b",
+                                                 .db = db,
+                                                 .semantics = Semantics::kBag,
+                                                 .source = s,
+                                                 .target = t});
+  if (!boolean.status.ok() || !targeted.status.ok()) {
+    std::cerr << (boolean.status.ok() ? targeted.status : boolean.status)
               << "\n";
     return 1;
   }
   std::cout << "Boolean RES (kill every a·x*·b route):    "
-            << boolean.result.value << "\n";
+            << boolean.result.value << " via " << boolean.result.algorithm
+            << "\n";
   std::cout << "Fixed-endpoint RES (" << graph.node_name(s) << " → "
-            << graph.node_name(t) << " only): " << targeted->value << "\n";
-  if (targeted->value > boolean.result.value) {
+            << graph.node_name(t) << " only): " << targeted.result.value
+            << " via " << targeted.result.algorithm << "\n";
+  if (targeted.result.value > boolean.result.value) {
     std::cerr << "bug: targeted interdiction cannot cost more\n";
     return 1;
   }
   std::vector<bool> removed(graph.num_facts(), false);
-  for (FactId f : targeted->contingency) removed[f] = true;
+  for (FactId f : targeted.result.contingency) removed[f] = true;
   bool still_routed =
       EvaluatesToTrueBetween(graph, query.enfa(), s, t, &removed);
   std::cout << "Route survives the targeted cut? "

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Guard bench_engine's determinism checksums against drift.
+
+The per-scenario `resilience_checksum` (sum of finite resilience values)
+is a pure function of the committed generators and solvers — identical on
+every machine. A drift therefore means a solver started returning
+different answers, which is a correctness bug, not a perf regression.
+
+Usage:
+  check_bench_checksums.py BENCH_engine.json [baseline.json]
+  check_bench_checksums.py --update BENCH_engine.json [baseline.json]
+
+Default baseline: bench/BENCH_engine_baseline.json next to this repo.
+Exit status: 0 clean, 1 drift (or scenario set mismatch), 2 usage error.
+"""
+
+import json
+import os
+import sys
+
+
+def load_scenarios(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {s["name"]: s for s in doc["scenarios"]}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--update"]
+    update = "--update" in argv[1:]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    run_path = args[0]
+    baseline_path = (
+        args[1]
+        if len(args) > 1
+        else os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "bench",
+            "BENCH_engine_baseline.json",
+        )
+    )
+
+    run = load_scenarios(run_path)
+    if update:
+        baseline = {
+            "comment": (
+                "Per-scenario determinism checksums for bench_engine (sum of "
+                "finite resilience values). CI's bench-smoke job fails on any "
+                "drift; regenerate with scripts/check_bench_checksums.py "
+                "--update after an intentional scenario change."
+            ),
+            "scenarios": {
+                name: {
+                    "resilience_checksum": s["resilience_checksum"],
+                    "instances": s["instances"],
+                }
+                for name, s in run.items()
+            },
+        }
+        with open(baseline_path, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline rewritten: {baseline_path}")
+        return 0
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)["scenarios"]
+
+    failures = []
+    for name in sorted(set(baseline) | set(run)):
+        if name not in run:
+            failures.append(f"scenario '{name}' missing from the run")
+            continue
+        if name not in baseline:
+            failures.append(
+                f"scenario '{name}' not in the baseline — add it via --update"
+            )
+            continue
+        for key in ("resilience_checksum", "instances"):
+            got, want = run[name][key], baseline[name][key]
+            if got != want:
+                failures.append(
+                    f"scenario '{name}': {key} drifted ({got} != baseline {want})"
+                )
+    if failures:
+        print("bench checksum drift detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  * {failure}", file=sys.stderr)
+        return 1
+    print(f"{len(run)} scenarios match the committed checksums")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "lang/infix_free.h"
+#include "lang/ro_enfa.h"
 
 namespace rpqres {
 
@@ -25,7 +26,17 @@ Result<std::shared_ptr<const CompiledQuery>> CompileQuery(
 
   auto compiled = std::make_shared<CompiledQuery>(CompiledQuery{
       regex, semantics, std::move(language), std::move(classification),
-      std::move(plan), /*compile_micros=*/0});
+      std::move(plan), /*ro_tables_exact=*/std::nullopt,
+      /*compile_micros=*/0});
+  // Fixed-endpoint support: tables for L's own RO-εNFA, when L is local
+  // (no IF fallback — the rewrite is unsound with fixed endpoints).
+  if (Result<Enfa> exact_ro = BuildRoEnfa(compiled->language);
+      exact_ro.ok()) {
+    if (Result<RoProductTables> tables = BuildRoProductTables(*exact_ro);
+        tables.ok()) {
+      compiled->ro_tables_exact = *std::move(tables);
+    }
+  }
   compiled->compile_micros =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - start)

@@ -11,12 +11,14 @@
 #define RPQRES_ENGINE_COMPILED_QUERY_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "classify/classifier.h"
 #include "graphdb/graph_db.h"
 #include "lang/language.h"
 #include "resilience/resilience.h"
+#include "resilience/ro_tables.h"
 #include "util/status.h"
 
 namespace rpqres {
@@ -43,8 +45,13 @@ struct CompiledQuery {
   Language language;
   /// The Figure 1 complexity verdict for IF(L), with its justifying rule.
   Classification classification;
-  /// The executable dispatch plan: IF(L), chosen solver, RO-εNFA.
+  /// The executable dispatch plan: IF(L), chosen solver, RO-εNFA tables.
   ResiliencePlan plan;
+  /// Solver tables for the RO-εNFA of the *original* language L (not
+  /// IF(L) — the IF rewrite is unsound with fixed endpoints), present iff
+  /// L itself is local. Powers fixed-endpoint requests
+  /// (ResilienceRequest::source/target).
+  std::optional<RoProductTables> ro_tables_exact;
   /// Wall time CompileQuery spent producing this artifact, microseconds.
   double compile_micros = 0;
 };

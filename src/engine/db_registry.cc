@@ -7,18 +7,11 @@ const std::string& DbHandle::name() const {
   return snapshot_ != nullptr ? snapshot_->name : kEmpty;
 }
 
-DbHandle DbHandle::Borrow(const GraphDb& db) {
-  auto snapshot = std::make_shared<DbSnapshot>();
-  snapshot->borrowed = &db;
-  return DbHandle(std::move(snapshot));
-}
-
 DbHandle DbRegistry::Register(GraphDb db, std::string name) {
   auto snapshot = std::make_shared<DbSnapshot>();
   snapshot->name = std::move(name);
   snapshot->db = std::move(db);
   snapshot->label_index = LabelIndex(snapshot->db);
-  snapshot->has_label_index = true;
   std::lock_guard<std::mutex> lock(mu_);
   snapshot->id = next_id_++;
   snapshots_.emplace(snapshot->id, snapshot);

@@ -14,9 +14,9 @@
 //   DbHandle db = registry.Register(std::move(graph), "orders-2026-07");
 //   engine.Evaluate({.regex = "ax*b", .db = db});
 //
-// DbHandle::Borrow(db) exists only for the deprecated v1 shims: it wraps
-// a caller-owned database without copying and without an index, keeping
-// the old lifetime contract for old callers.
+// Every snapshot owns its database and label index — the v1 borrowed-
+// pointer escape hatch (DbHandle::Borrow) was removed with the rest of
+// the v1 surface.
 
 #ifndef RPQRES_ENGINE_DB_REGISTRY_H_
 #define RPQRES_ENGINE_DB_REGISTRY_H_
@@ -38,25 +38,19 @@ namespace rpqres {
 /// precomputed for it. Shared (shared_ptr-to-const) between the registry
 /// and any number of outstanding handles / in-flight requests.
 struct DbSnapshot {
-  /// Registry-unique id (0 for borrowed snapshots).
+  /// Registry-unique id.
   uint64_t id = 0;
   /// Optional display name given at Register time.
   std::string name;
-  /// The database, owned... unless `borrowed` is set (v1 shim path), in
-  /// which case `db` is empty and the caller keeps ownership.
+  /// The database, owned.
   GraphDb db;
-  /// Per-label fact adjacency, built once at Register time; not built for
-  /// borrowed snapshots (has_label_index == false).
+  /// Per-label fact adjacency, built once at Register time.
   LabelIndex label_index;
-  bool has_label_index = false;
-  const GraphDb* borrowed = nullptr;
-
-  const GraphDb& graph() const { return borrowed != nullptr ? *borrowed : db; }
 };
 
-/// A value-type reference to a registered (or borrowed) database. Default
-/// constructed handles are invalid; requests carrying one fail with
-/// InvalidArgument instead of crashing.
+/// A value-type reference to a registered database. Default constructed
+/// handles are invalid; requests carrying one fail with InvalidArgument
+/// instead of crashing.
 class DbHandle {
  public:
   DbHandle() = default;
@@ -64,20 +58,13 @@ class DbHandle {
   /// True iff the handle points at a snapshot.
   bool valid() const { return snapshot_ != nullptr; }
   /// The database. Must not be called on an invalid handle.
-  const GraphDb& db() const { return snapshot_->graph(); }
-  /// The precomputed per-label index, or nullptr for borrowed handles.
+  const GraphDb& db() const { return snapshot_->db; }
+  /// The precomputed per-label index, or nullptr for an invalid handle.
   const LabelIndex* label_index() const {
-    return snapshot_ != nullptr && snapshot_->has_label_index
-               ? &snapshot_->label_index
-               : nullptr;
+    return snapshot_ != nullptr ? &snapshot_->label_index : nullptr;
   }
   uint64_t id() const { return snapshot_ != nullptr ? snapshot_->id : 0; }
   const std::string& name() const;
-
-  /// v1 compatibility only: wraps a caller-owned database without copying
-  /// it and without building an index. The caller keeps the v1 lifetime
-  /// contract — `db` must outlive every request holding the handle.
-  static DbHandle Borrow(const GraphDb& db);
 
  private:
   friend class DbRegistry;

@@ -1,7 +1,7 @@
 // rpqres — engine/engine: the compiled-query resilience engine.
 //
 // ResilienceEngine is the serving-path entry point of the library. The
-// v2 surface is request/response:
+// surface is request/response:
 //
 //   DbRegistry registry;
 //   DbHandle db = registry.Register(std::move(graph));
@@ -13,21 +13,24 @@
 //        .options = {.deadline = std::chrono::steady_clock::now() + 50ms}});
 //
 // It compiles each (regex, semantics) pair once — parse, minimal DFA,
-// Figure 1 classification, solver selection, RO-εNFA — behind an LRU plan
-// cache, evaluates batches of independent requests across a fixed thread
-// pool (synchronously via EvaluateBatch, asynchronously via
-// Submit/SubmitBatch futures), honours per-request solver/budget/deadline
-// overrides, and records per-instance and aggregate statistics. Layering:
+// Figure 1 classification, solver selection, RO-εNFA product tables —
+// behind an LRU plan cache, evaluates batches of independent requests
+// across a fixed thread pool (synchronously via EvaluateBatch,
+// asynchronously via Submit/SubmitBatch futures), honours per-request
+// solver/budget/deadline overrides and fixed endpoints, and records
+// per-instance and aggregate statistics. Each worker thread owns a
+// SolverScratch arena (flow/solver_scratch.h), so steady-state flow
+// solves allocate nothing. Layering:
 //
 //   engine        (this file: cache + batch + async + stats)
-//     ├── request / db_registry  (v2 request types, owned db snapshots)
+//     ├── request / db_registry  (request types, owned db snapshots)
 //     └── compiled_query  (one-shot compilation artifact)
 //           └── resilience (ResiliencePlan dispatch), classify (Fig 1)
 //                 └── lang / automata / flow / graphdb
 //
-// The v1 entry points (QueryInstance / Run / RunBatch / RunDifferential)
-// remain as thin shims over v2 for one release; see "Deprecated v1
-// surface" below and the README migration note.
+// The v1 entry points (QueryInstance / Run / RunBatch / RunDifferential
+// and DbHandle::Borrow) were deleted after their one-release deprecation
+// window; see README "Migrating from v1".
 
 #ifndef RPQRES_ENGINE_ENGINE_H_
 #define RPQRES_ENGINE_ENGINE_H_
@@ -70,39 +73,6 @@ struct EngineOptions {
   uint64_t max_exact_search_nodes = 50'000'000;
 };
 
-// ---------------------------------------------------------------------------
-// Deprecated v1 surface — thin shims over the v2 request API, kept for one
-// release. New code should build ResilienceRequests (engine/request.h)
-// against DbRegistry handles.
-// ---------------------------------------------------------------------------
-
-/// DEPRECATED v1 work unit: borrows `db` raw; it must outlive the call.
-/// v2: ResilienceRequest with a DbHandle.
-struct QueryInstance {
-  std::string regex;
-  const GraphDb* db = nullptr;
-  Semantics semantics = Semantics::kSet;
-};
-
-/// DEPRECATED v1 result. `result` is meaningful iff `status.ok()`;
-/// `stats` is always filled as far as execution got.
-/// v2: ResilienceResponse.
-struct InstanceOutcome {
-  Status status;
-  ResilienceResult result;
-  InstanceStats stats;
-};
-
-/// DEPRECATED v1 differential result; v2: ResilienceResponse with its
-/// `differential` section filled.
-struct DifferentialOutcome {
-  InstanceOutcome primary;
-  InstanceOutcome reference;
-  bool agree = false;
-  bool inconclusive = false;
-  std::string mismatch;
-};
-
 /// Read-only plan-cache introspection snapshot (size, capacity, hit/miss
 /// counters) — the engine owns the cache; callers observe, never mutate.
 struct PlanCacheView {
@@ -125,10 +95,8 @@ class ResilienceEngine {
   Result<std::shared_ptr<const CompiledQuery>> Compile(
       const std::string& regex, Semantics semantics);
 
-  // --- v2: request/response ----------------------------------------------
-
   /// Evaluates one request end-to-end (compile-or-cache + solve),
-  /// honouring its per-request overrides and deadline.
+  /// honouring its per-request overrides, deadline, and fixed endpoints.
   ResilienceResponse Evaluate(const ResilienceRequest& request);
 
   /// Evaluates many requests: compiles the distinct queries once
@@ -161,24 +129,6 @@ class ResilienceEngine {
   std::vector<std::future<ResilienceResponse>> SubmitBatch(
       std::vector<ResilienceRequest> requests);
 
-  // --- Deprecated v1 shims ------------------------------------------------
-
-  /// DEPRECATED: v1 shim forwarding to Evaluate via DbHandle::Borrow.
-  /// A null `instance.db` fails with InvalidArgument.
-  InstanceOutcome Run(const QueryInstance& instance);
-
-  /// DEPRECATED: executes an already-compiled plan against a borrowed
-  /// database. v2: put the handle in ResilienceRequest::query.
-  InstanceOutcome Run(const CompiledQuery& query, const GraphDb& db);
-
-  /// DEPRECATED: v1 shim forwarding to EvaluateBatch.
-  std::vector<InstanceOutcome> RunBatch(
-      std::span<const QueryInstance> instances);
-
-  /// DEPRECATED: v1 shim forwarding to EvaluateDifferential.
-  std::vector<DifferentialOutcome> RunDifferential(
-      std::span<const QueryInstance> instances);
-
   // --- Introspection ------------------------------------------------------
 
   /// Aggregate counters snapshot (cache_* reflect the plan cache).
@@ -187,8 +137,7 @@ class ResilienceEngine {
 
   const EngineOptions& options() const { return options_; }
 
-  /// Read-only plan-cache snapshot (replaces the old mutable
-  /// `plan_cache()` accessor).
+  /// Read-only plan-cache snapshot.
   PlanCacheView plan_cache_view() const;
 
  private:
@@ -211,10 +160,11 @@ class ResilienceEngine {
       std::vector<bool>* first_compile);
 
   /// Solve step shared by all entry points; applies per-request
-  /// overrides, deadline, and cancellation; records into stats_.
-  ResilienceResponse Execute(const CompiledQuery& query, const DbHandle& db,
-                             const RequestOptions& request_options,
-                             bool cache_hit, double compile_micros);
+  /// overrides, deadline, cancellation, and fixed endpoints; solves with
+  /// the calling thread's SolverScratch; records into stats_.
+  ResilienceResponse Execute(const CompiledQuery& query,
+                             const ResilienceRequest& request, bool cache_hit,
+                             double compile_micros);
 
   /// The exact reference solve + judging for one differential request;
   /// fills response->differential.

@@ -22,8 +22,8 @@ struct InstanceStats {
   /// Solver that produced the answer (ResilienceResult::algorithm).
   std::string algorithm;
   /// False iff this instance paid a fresh compilation; true for plan-cache
-  /// hits and for Run(CompiledQuery&, ...) calls that bypass the cache
-  /// with a caller-managed plan.
+  /// hits and for requests that carry a caller-managed precompiled query
+  /// (ResilienceRequest::query), which bypass the cache.
   bool cache_hit = false;
   /// Compile wall time attributed to this instance (0 on a cache hit).
   double compile_micros = 0;
@@ -32,6 +32,10 @@ struct InstanceStats {
   /// Flow-network size, when a flow solver ran.
   int64_t network_vertices = 0;
   int64_t network_edges = 0;
+  /// Product pruning (local flow): dead (node, state) vertices and edges
+  /// skipped relative to the full |V|·|S| Thm 3.13 construction.
+  int64_t product_vertices_pruned = 0;
+  int64_t product_edges_pruned = 0;
   /// Branch-and-bound nodes, when the exact solver ran.
   uint64_t search_nodes = 0;
 };
@@ -57,10 +61,14 @@ struct EngineStats {
   /// Instances stopped by cooperative cancellation (counted in `errors`
   /// too; the status was Cancelled).
   int64_t cancelled = 0;
-  /// RunDifferential pairs judged, and how many disagreed (either value
-  /// divergence or an invalid witness on either side).
+  /// EvaluateDifferential pairs judged, and how many disagreed (either
+  /// value divergence or an invalid witness on either side).
   int64_t differentials_run = 0;
   int64_t differential_mismatches = 0;
+  /// Aggregate product-pruning effect across flow solves (see
+  /// InstanceStats::product_vertices_pruned).
+  int64_t flow_vertices_pruned = 0;
+  int64_t flow_edges_pruned = 0;
   double total_compile_micros = 0;
   double total_solve_micros = 0;
   /// Instance counts by solver algorithm string.

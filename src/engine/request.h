@@ -18,8 +18,8 @@
 //                         cancellation, polled inside the exact solver
 //
 // One ResilienceResponse type covers every entry point: plain runs fill
-// status/result/stats (v1 InstanceOutcome), differential runs additionally
-// fill the `differential` section (v1 DifferentialOutcome).
+// status/result/stats, differential runs additionally fill the
+// `differential` section.
 
 #ifndef RPQRES_ENGINE_REQUEST_H_
 #define RPQRES_ENGINE_REQUEST_H_
@@ -73,10 +73,20 @@ struct ResilienceRequest {
   /// CompileQuery); takes precedence over `regex`, and its compiled-in
   /// semantics takes precedence over `semantics` below.
   std::shared_ptr<const CompiledQuery> query;
-  /// The database, as a registry handle (or DbHandle::Borrow for the v1
-  /// compatibility path). Invalid handles fail with InvalidArgument.
+  /// The database, as a DbRegistry handle. Invalid handles fail with
+  /// InvalidArgument.
   DbHandle db;
   Semantics semantics = Semantics::kSet;
+  /// Fixed-endpoint resilience (non-Boolean extension, Thm 3.13 ext):
+  /// when set, RES is the minimum cost to remove every L-walk from
+  /// `source` to `target` (node ids of `db`) instead of every L-walk
+  /// anywhere. Both must be set together (InvalidArgument otherwise).
+  /// Requires the query language *itself* to be local — IF-rewriting is
+  /// unsound with fixed endpoints, so non-local languages fail with
+  /// FailedPrecondition. Differential runs judge such requests
+  /// inconclusive (the exact reference solver is Boolean-only).
+  std::optional<NodeId> source;
+  std::optional<NodeId> target;
   RequestOptions options;
 };
 
@@ -93,7 +103,7 @@ struct ResilienceResponse {
   InstanceStats stats;
 
   /// Second opinion + verdict, present iff the request ran differentially
-  /// (EvaluateDifferential / RunDifferential shim).
+  /// (EvaluateDifferential).
   struct Differential {
     /// The independent exact reference solve.
     Status reference_status;

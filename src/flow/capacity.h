@@ -1,0 +1,24 @@
+// rpqres — flow/capacity: the capacity domain shared by the flow core and
+// the graph database (Section 2, "Networks and cuts").
+//
+// Capacities are int64 with a dedicated +∞ sentinel; edges with infinite
+// capacity can never belong to a (finite) minimum cut, which is how the
+// resilience reductions mark non-fact edges and exogenous facts.
+
+#ifndef RPQRES_FLOW_CAPACITY_H_
+#define RPQRES_FLOW_CAPACITY_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace rpqres {
+
+using Capacity = int64_t;
+
+/// Sentinel for infinite capacity.
+inline constexpr Capacity kInfiniteCapacity =
+    std::numeric_limits<Capacity>::max();
+
+}  // namespace rpqres
+
+#endif  // RPQRES_FLOW_CAPACITY_H_

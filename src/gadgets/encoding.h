@@ -8,7 +8,7 @@
 #ifndef RPQRES_GADGETS_ENCODING_H_
 #define RPQRES_GADGETS_ENCODING_H_
 
-#include "flow/flow_network.h"
+#include "flow/capacity.h"
 #include "gadgets/gadget.h"
 #include "gadgets/vertex_cover.h"
 #include "graphdb/graph_db.h"

@@ -15,7 +15,7 @@
 #include <tuple>
 #include <vector>
 
-#include "flow/flow_network.h"
+#include "flow/capacity.h"
 #include "util/status.h"
 
 namespace rpqres {

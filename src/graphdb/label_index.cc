@@ -4,15 +4,45 @@
 
 namespace rpqres {
 
+const std::vector<FactId> LabelIndex::kNoFacts;
+
 LabelIndex::LabelIndex(const GraphDb& db) : num_facts_(db.num_facts()) {
+  slot_.fill(-1);
+  const int num_nodes = db.num_nodes();
   for (FactId f = 0; f < db.num_facts(); ++f) {
     unsigned char label = static_cast<unsigned char>(db.fact(f).label);
-    if (by_label_[label].empty()) {
+    if (slot_[label] < 0) {
+      slot_[label] = static_cast<int16_t>(per_label_.size());
+      per_label_.emplace_back();
       labels_.push_back(static_cast<char>(label));
     }
-    by_label_[label].push_back(f);
+    per_label_[slot_[label]].facts.push_back(f);
   }
   std::sort(labels_.begin(), labels_.end());
+  // Per-label CSR over source / target nodes, by counting sort (facts are
+  // visited in ascending id order, so each per-node slice is ascending).
+  for (PerLabel& entry : per_label_) {
+    entry.source_offset.assign(num_nodes + 1, 0);
+    entry.target_offset.assign(num_nodes + 1, 0);
+    for (FactId f : entry.facts) {
+      ++entry.source_offset[db.fact(f).source + 1];
+      ++entry.target_offset[db.fact(f).target + 1];
+    }
+    for (int v = 0; v < num_nodes; ++v) {
+      entry.source_offset[v + 1] += entry.source_offset[v];
+      entry.target_offset[v + 1] += entry.target_offset[v];
+    }
+    entry.by_source.resize(entry.facts.size());
+    entry.by_target.resize(entry.facts.size());
+    std::vector<int32_t> src_cursor(entry.source_offset.begin(),
+                                    entry.source_offset.end() - 1);
+    std::vector<int32_t> tgt_cursor(entry.target_offset.begin(),
+                                    entry.target_offset.end() - 1);
+    for (FactId f : entry.facts) {
+      entry.by_source[src_cursor[db.fact(f).source]++] = f;
+      entry.by_target[tgt_cursor[db.fact(f).target]++] = f;
+    }
+  }
 }
 
 }  // namespace rpqres

@@ -2,17 +2,24 @@
 //
 // Flow-network construction (Thm 3.13 and friends) visits exactly the
 // facts whose label occurs in the query language; a GraphDb only offers
-// the full fact array, so every solve re-scans all facts and filters by
-// label. A LabelIndex is built once per immutable database snapshot (the
-// DbRegistry does this at Register time) and shared by every query
+// the full fact array, so every solve would re-scan all facts and filter
+// by label. A LabelIndex is built once per immutable database snapshot
+// (the DbRegistry does this at Register time) and shared by every query
 // against that snapshot: solvers iterate the per-label fact lists
 // directly, skipping inert facts without touching them.
+//
+// Beyond the flat per-label lists, the index stores a per-label CSR over
+// source and target nodes (FactsFrom / FactsInto): the product-pruning
+// reachability sweep expands a (node, state) frontier by exactly the
+// facts with a given label at a given node, again without touching any
+// inert fact.
 
 #ifndef RPQRES_GRAPHDB_LABEL_INDEX_H_
 #define RPQRES_GRAPHDB_LABEL_INDEX_H_
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graphdb/graph_db.h"
@@ -25,12 +32,36 @@ namespace rpqres {
 /// DbRegistry snapshot keeps the two paired).
 class LabelIndex {
  public:
-  LabelIndex() = default;
+  /// An empty index: every lookup returns no facts.
+  LabelIndex() { slot_.fill(-1); }
   explicit LabelIndex(const GraphDb& db);
 
   /// Fact ids carrying `label`, ascending; empty when absent.
   const std::vector<FactId>& Facts(char label) const {
-    return by_label_[static_cast<unsigned char>(label)];
+    int16_t slot = slot_[static_cast<unsigned char>(label)];
+    return slot < 0 ? kNoFacts : per_label_[slot].facts;
+  }
+
+  /// Fact ids carrying `label` whose source is `node`, ascending; empty
+  /// when absent.
+  std::span<const FactId> FactsFrom(char label, NodeId node) const {
+    int16_t slot = slot_[static_cast<unsigned char>(label)];
+    if (slot < 0) return {};
+    const PerLabel& entry = per_label_[slot];
+    return std::span<const FactId>(entry.by_source)
+        .subspan(entry.source_offset[node],
+                 entry.source_offset[node + 1] - entry.source_offset[node]);
+  }
+
+  /// Fact ids carrying `label` whose target is `node`, ascending; empty
+  /// when absent.
+  std::span<const FactId> FactsInto(char label, NodeId node) const {
+    int16_t slot = slot_[static_cast<unsigned char>(label)];
+    if (slot < 0) return {};
+    const PerLabel& entry = per_label_[slot];
+    return std::span<const FactId>(entry.by_target)
+        .subspan(entry.target_offset[node],
+                 entry.target_offset[node + 1] - entry.target_offset[node]);
   }
 
   /// Labels present, sorted.
@@ -39,7 +70,21 @@ class LabelIndex {
   int64_t num_facts() const { return num_facts_; }
 
  private:
-  std::array<std::vector<FactId>, 256> by_label_;
+  struct PerLabel {
+    std::vector<FactId> facts;  ///< ascending fact ids with this label
+    /// CSR over source nodes: facts of node v are
+    /// by_source[source_offset[v] .. source_offset[v+1]).
+    std::vector<FactId> by_source;
+    std::vector<int32_t> source_offset;  ///< size num_nodes + 1
+    /// CSR over target nodes, same layout.
+    std::vector<FactId> by_target;
+    std::vector<int32_t> target_offset;  ///< size num_nodes + 1
+  };
+
+  static const std::vector<FactId> kNoFacts;
+
+  std::array<int16_t, 256> slot_;  ///< label -> per_label_ index, -1 absent
+  std::vector<PerLabel> per_label_;
   std::vector<char> labels_;
   int64_t num_facts_ = 0;
 };

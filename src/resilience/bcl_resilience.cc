@@ -1,10 +1,13 @@
 #include "resilience/bcl_resilience.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <optional>
+#include <span>
 
-#include "flow/dinic.h"
-#include "flow/flow_network.h"
+#include "flow/residual_graph.h"
+#include "flow/solver_scratch.h"
 #include "lang/chain.h"
 #include "lang/infix_free.h"
 #include "util/check.h"
@@ -13,7 +16,10 @@ namespace rpqres {
 
 Result<ResilienceResult> SolveBclResilience(const Language& lang,
                                             const GraphDb& db,
-                                            Semantics semantics) {
+                                            Semantics semantics,
+                                            const LabelIndex* label_index,
+                                            SolverScratch* scratch) {
+  if (scratch == nullptr) scratch = &SolverScratch::ThreadLocal();
   ResilienceResult result;
   result.algorithm = "bipartite chain flow (Prp 7.6)";
 
@@ -33,7 +39,7 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
   // Preprocessing (proof of Prp 7.6): single-letter words force the removal
   // of every fact with that label. In the infix-free language, such a
   // letter occurs in no other word, so those facts are inert afterwards.
-  std::vector<bool> forced_label(256, false);
+  std::array<bool, 256> forced_label{};
   std::vector<std::string> long_words;
   for (const std::string& w : chain.words) {
     RPQRES_CHECK(!w.empty());  // ε was handled above
@@ -44,17 +50,33 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
     }
   }
   Capacity forced_cost = 0;
-  for (FactId f = 0; f < db.num_facts(); ++f) {
-    if (forced_label[static_cast<unsigned char>(db.fact(f).label)]) {
-      if (db.IsExogenous(f)) {
-        // A single-letter-word match on an undeletable fact: the query
-        // cannot be falsified.
+  auto force_fact = [&](FactId f) -> bool {  // false: unfalsifiable
+    if (db.IsExogenous(f)) return false;
+    forced_cost += db.Cost(f, semantics);
+    result.contingency.push_back(f);
+    return true;
+  };
+  if (label_index != nullptr) {
+    for (int l = 0; l < 256; ++l) {
+      if (!forced_label[l]) continue;
+      for (FactId f : label_index->Facts(static_cast<char>(l))) {
+        if (!force_fact(f)) {
+          // A single-letter-word match on an undeletable fact: the query
+          // cannot be falsified.
+          result.infinite = true;
+          result.contingency.clear();
+          return result;
+        }
+      }
+    }
+  } else {
+    for (FactId f = 0; f < db.num_facts(); ++f) {
+      if (forced_label[static_cast<unsigned char>(db.fact(f).label)] &&
+          !force_fact(f)) {
         result.infinite = true;
         result.contingency.clear();
         return result;
       }
-      forced_cost += db.Cost(f, semantics);
-      result.contingency.push_back(f);
     }
   }
 
@@ -75,45 +97,77 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
     return result;
   }
 
-  // Letters relevant to matches of the long words.
-  std::vector<bool> relevant_label(256, false);
+  // Letters relevant to matches of the long words, and endpoint letters
+  // with their partition side — all flat 256-entry tables.
+  std::array<bool, 256> relevant_label{};
   for (const std::string& w : long_words) {
     for (char c : w) relevant_label[static_cast<unsigned char>(c)] = true;
   }
-  // Endpoint letters and their partition side.
-  std::vector<int> endpoint_side(256, -1);  // -1: not an endpoint letter
+  std::array<int16_t, 256> endpoint_side;  // -1: not an endpoint letter
+  endpoint_side.fill(-1);
   for (const std::string& w : long_words) {
     endpoint_side[static_cast<unsigned char>(w.front())] =
-        coloring->at(w.front());
+        static_cast<int16_t>(coloring->at(w.front()));
     endpoint_side[static_cast<unsigned char>(w.back())] =
-        coloring->at(w.back());
+        static_cast<int16_t>(coloring->at(w.back()));
   }
 
   // Network: one start/end vertex pair and one finite fact edge per
-  // relevant fact.
-  FlowNetwork network;
-  int source = network.AddVertex();
-  int target = network.AddVertex();
-  network.SetSource(source);
-  network.SetTarget(target);
-  std::vector<int> start_of(db.num_facts(), -1), end_of(db.num_facts(), -1);
-  std::map<int, FactId> fact_of_edge;
-  for (FactId f = 0; f < db.num_facts(); ++f) {
-    char label = db.fact(f).label;
-    if (!relevant_label[static_cast<unsigned char>(label)]) continue;
-    if (forced_label[static_cast<unsigned char>(label)]) continue;
+  // relevant fact, staged directly into the scratch's residual graph.
+  // Fact edges come first, so edge id == index into fact_of_edge.
+  ResidualGraph& network = scratch->graph;
+  network.Reset(2);
+  network.SetSource(0);
+  network.SetTarget(1);
+  auto& start_of = scratch->start_of;
+  auto& end_of = scratch->end_of;
+  start_of.assign(db.num_facts(), -1);
+  end_of.assign(db.num_facts(), -1);
+  auto& fact_of_edge = scratch->fact_of_edge;
+  fact_of_edge.clear();
+  auto stage_fact = [&](FactId f) {
     start_of[f] = network.AddVertex();
     end_of[f] = network.AddVertex();
-    int edge =
+    int32_t edge =
         network.AddEdge(start_of[f], end_of[f], db.Cost(f, semantics));
-    fact_of_edge[edge] = f;
+    RPQRES_CHECK(edge == static_cast<int32_t>(fact_of_edge.size()));
+    fact_of_edge.push_back(f);
+  };
+  // Relevant facts bucketed by label for the pair wiring (counting sort
+  // into scratch; the per-label buckets replace the old map<char, vector>).
+  auto& bucket_offset = scratch->label_bucket_offset;
+  auto& bucket = scratch->label_bucket;
+  bucket_offset.assign(257, 0);
+  if (label_index != nullptr) {
+    for (int l = 0; l < 256; ++l) {
+      if (!relevant_label[l] || forced_label[l]) continue;
+      for (FactId f : label_index->Facts(static_cast<char>(l))) {
+        stage_fact(f);
+        ++bucket_offset[l + 1];
+      }
+    }
+  } else {
+    for (FactId f = 0; f < db.num_facts(); ++f) {
+      unsigned char label = static_cast<unsigned char>(db.fact(f).label);
+      if (!relevant_label[label] || forced_label[label]) continue;
+      stage_fact(f);
+      ++bucket_offset[label + 1];
+    }
   }
-
-  // Facts grouped by label for the pair wiring.
-  std::map<char, std::vector<FactId>> facts_by_label;
-  for (FactId f = 0; f < db.num_facts(); ++f) {
-    if (start_of[f] >= 0) facts_by_label[db.fact(f).label].push_back(f);
+  for (int l = 0; l < 256; ++l) bucket_offset[l + 1] += bucket_offset[l];
+  bucket.resize(fact_of_edge.size());
+  {
+    std::array<int32_t, 256> cursor;
+    for (int l = 0; l < 256; ++l) cursor[l] = bucket_offset[l];
+    for (FactId f : fact_of_edge) {
+      bucket[cursor[static_cast<unsigned char>(db.fact(f).label)]++] = f;
+    }
   }
+  auto facts_with = [&](char label) {
+    unsigned char l = static_cast<unsigned char>(label);
+    return std::span<const int32_t>(bucket).subspan(
+        bucket_offset[l], bucket_offset[l + 1] - bucket_offset[l]);
+  };
 
   // Word wiring. A word is *forward* if its first letter lies in the source
   // partition (then its last letter is in the target partition since the
@@ -121,9 +175,8 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
   for (const std::string& w : long_words) {
     bool forward = coloring->at(w.front()) == 0;
     for (size_t i = 0; i + 1 < w.size(); ++i) {
-      char a = w[i], b = w[i + 1];
-      for (FactId f1 : facts_by_label[a]) {
-        for (FactId f2 : facts_by_label[b]) {
+      for (FactId f1 : facts_with(w[i])) {
+        for (FactId f2 : facts_with(w[i + 1])) {
           if (db.fact(f1).target != db.fact(f2).source) continue;
           if (forward) {
             network.AddEdge(end_of[f1], start_of[f2], kInfiniteCapacity);
@@ -135,17 +188,16 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
     }
   }
   // Source/target hookup by endpoint letter partition.
-  for (FactId f = 0; f < db.num_facts(); ++f) {
-    if (start_of[f] < 0) continue;
+  for (FactId f : fact_of_edge) {
     int side = endpoint_side[static_cast<unsigned char>(db.fact(f).label)];
     if (side == 0) {
-      network.AddEdge(source, start_of[f], kInfiniteCapacity);
+      network.AddEdge(0, start_of[f], kInfiniteCapacity);
     } else if (side == 1) {
-      network.AddEdge(end_of[f], target, kInfiniteCapacity);
+      network.AddEdge(end_of[f], 1, kInfiniteCapacity);
     }
   }
 
-  MinCutResult cut = ComputeMinCut(network);
+  const MinCutView& cut = network.Solve();
   if (cut.infinite) {
     // Some match consists of exogenous facts only.
     result.infinite = true;
@@ -153,18 +205,18 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
     return result;
   }
   result.value = forced_cost + cut.value;
-  for (int edge : cut.cut_edges) {
-    auto it = fact_of_edge.find(edge);
-    RPQRES_CHECK_MSG(it != fact_of_edge.end(),
-                     "cut contains a non-fact edge");
-    result.contingency.push_back(it->second);
+  for (int32_t edge : cut.cut_edges) {
+    RPQRES_CHECK_MSG(
+        edge >= 0 && edge < static_cast<int32_t>(fact_of_edge.size()),
+        "cut contains a non-fact edge");
+    result.contingency.push_back(fact_of_edge[edge]);
   }
   std::sort(result.contingency.begin(), result.contingency.end());
   result.contingency.erase(
       std::unique(result.contingency.begin(), result.contingency.end()),
       result.contingency.end());
   result.network_vertices = network.num_vertices();
-  result.network_edges = static_cast<int64_t>(network.edges().size());
+  result.network_edges = network.num_edges();
   return result;
 }
 

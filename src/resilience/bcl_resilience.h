@@ -10,17 +10,23 @@
 #define RPQRES_RESILIENCE_BCL_RESILIENCE_H_
 
 #include "graphdb/graph_db.h"
+#include "graphdb/label_index.h"
 #include "lang/language.h"
 #include "resilience/result.h"
 #include "util/status.h"
 
 namespace rpqres {
 
+class SolverScratch;
+
 /// Solves RES(Q_L, D) for a language whose infix-free sublanguage is a
-/// bipartite chain language; FailedPrecondition otherwise.
-Result<ResilienceResult> SolveBclResilience(const Language& lang,
-                                            const GraphDb& db,
-                                            Semantics semantics);
+/// bipartite chain language; FailedPrecondition otherwise. `label_index`
+/// (optional, built from `db`) restricts every fact visit to the labels
+/// the chain words use; `scratch` (optional) supplies the reusable solver
+/// arena, defaulting to the calling thread's shared scratch.
+Result<ResilienceResult> SolveBclResilience(
+    const Language& lang, const GraphDb& db, Semantics semantics,
+    const LabelIndex* label_index = nullptr, SolverScratch* scratch = nullptr);
 
 }  // namespace rpqres
 

@@ -13,9 +13,12 @@
 #include "graphdb/label_index.h"
 #include "lang/language.h"
 #include "resilience/result.h"
+#include "resilience/ro_tables.h"
 #include "util/status.h"
 
 namespace rpqres {
+
+class SolverScratch;
 
 /// Solves RES(Q_L, D) for a language whose infix-free sublanguage is local.
 /// Fails with FailedPrecondition otherwise.
@@ -25,15 +28,24 @@ Result<ResilienceResult> SolveLocalResilience(const Language& lang,
 
 /// Core of Theorem 3.13: resilience given an RO-εNFA for the language.
 /// `ro` must be read-once (checked); the language may be any local language.
-/// `label_index` (optional, must be built from `db`) lets the network
-/// construction visit only facts whose label the automaton reads, instead
-/// of scanning and filtering all facts — the registered-database hot path.
-/// Note the two paths may return *different* (equally optimal, both
-/// witness-verified) minimum contingency sets, because network edge order
-/// differs.
+/// `label_index` (optional, must be built from `db`) lets both the
+/// product-pruning sweep and the network construction visit only facts
+/// whose label the automaton reads, instead of scanning and filtering all
+/// facts — the registered-database hot path. `scratch` (optional) supplies
+/// the reusable solver arena; the calling thread's shared scratch is used
+/// when absent. Note the indexed and unindexed paths may return
+/// *different* (equally optimal, both witness-verified) minimum
+/// contingency sets, because network edge order differs.
 ResilienceResult SolveLocalResilienceWithRoEnfa(
     const Enfa& ro, const GraphDb& db, Semantics semantics,
-    const LabelIndex* label_index = nullptr);
+    const LabelIndex* label_index = nullptr, SolverScratch* scratch = nullptr);
+
+/// Like SolveLocalResilienceWithRoEnfa, but from tables precomputed once
+/// per automaton (BuildRoProductTables) — the plan-cache hot path, which
+/// skips all per-solve automaton preprocessing.
+ResilienceResult SolveLocalResilienceWithTables(
+    const RoProductTables& tables, const GraphDb& db, Semantics semantics,
+    const LabelIndex* label_index = nullptr, SolverScratch* scratch = nullptr);
 
 /// **Extension beyond the paper** (its Section 8 lists the non-Boolean
 /// setting as future work): resilience with *fixed endpoints* — the
@@ -47,6 +59,16 @@ ResilienceResult SolveLocalResilienceWithRoEnfa(
 Result<ResilienceResult> SolveLocalResilienceFixedEndpoints(
     const Language& lang, const GraphDb& db, NodeId source, NodeId target,
     Semantics semantics);
+
+/// Fixed-endpoint core given tables precompiled from the *original*
+/// language's RO-εNFA (IF-rewriting is unsound with fixed endpoints, so
+/// callers — the engine's request path — must build the automaton from L
+/// itself, e.g. CompiledQuery::ro_tables_exact). Endpoints must be valid
+/// node ids.
+ResilienceResult SolveLocalResilienceFixedEndpointsWithTables(
+    const RoProductTables& tables, const GraphDb& db, NodeId source,
+    NodeId target, Semantics semantics, const LabelIndex* label_index = nullptr,
+    SolverScratch* scratch = nullptr);
 
 }  // namespace rpqres
 

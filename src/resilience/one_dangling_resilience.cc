@@ -50,7 +50,8 @@ Enfa RewriteXtoXZ(const Enfa& ro, char x, char z) {
 
 Result<ResilienceResult> SolveOneDanglingCore(
     const OneDanglingDecomposition& decomposition, const GraphDb& db,
-    Semantics semantics) {
+    Semantics semantics, const LabelIndex* label_index,
+    SolverScratch* scratch) {
   const Language& base = decomposition.base;
   const char x = decomposition.x;
   const char y = decomposition.y;
@@ -64,14 +65,25 @@ Result<ResilienceResult> SolveOneDanglingCore(
     return result;
   }
   // The signed-multiplicity rewrite of Prp 7.9 manipulates x/y costs
-  // arithmetically, which has no meaningful extension to +∞ costs.
-  for (FactId f = 0; f < db.num_facts(); ++f) {
-    if (db.IsExogenous(f) &&
-        (db.fact(f).label == x || db.fact(f).label == y)) {
-      return Status::Unimplemented(
-          "SolveOneDanglingCore: exogenous x/y-labeled facts are not "
-          "supported (the κ/z-multiplicity accounting is arithmetic)");
+  // arithmetically, which has no meaningful extension to +∞ costs. Visit
+  // the x/y facts through the index when the caller has one.
+  auto for_each_xy_fact = [&](const auto& visit) {
+    if (label_index != nullptr) {
+      for (FactId f : label_index->Facts(x)) visit(f);
+      for (FactId f : label_index->Facts(y)) visit(f);
+    } else {
+      for (FactId f = 0; f < db.num_facts(); ++f) {
+        char label = db.fact(f).label;
+        if (label == x || label == y) visit(f);
+      }
     }
+  };
+  bool exogenous_xy = false;
+  for_each_xy_fact([&](FactId f) { exogenous_xy |= db.IsExogenous(f); });
+  if (exogenous_xy) {
+    return Status::Unimplemented(
+        "SolveOneDanglingCore: exogenous x/y-labeled facts are not "
+        "supported (the κ/z-multiplicity accounting is arithmetic)");
   }
 
   RPQRES_ASSIGN_OR_RETURN(Enfa ro_base, BuildRoEnfa(base));
@@ -86,14 +98,14 @@ Result<ResilienceResult> SolveOneDanglingCore(
   // contributes free_cost = Σ_v min(0, Xin(v) − Yout(v)).
   std::vector<Capacity> x_in(db.num_nodes(), 0), y_out(db.num_nodes(), 0);
   Capacity kappa = 0;
-  for (FactId f = 0; f < db.num_facts(); ++f) {
+  for_each_xy_fact([&](FactId f) {
     const Fact& fact = db.fact(f);
     if (fact.label == x) x_in[fact.target] += db.Cost(f, semantics);
     if (fact.label == y) {
       y_out[fact.source] += db.Cost(f, semantics);
       kappa += db.Cost(f, semantics);
     }
-  }
+  });
   Capacity free_cost = 0;
   for (NodeId v = 0; v < db.num_nodes(); ++v) {
     free_cost += std::min<Capacity>(0, x_in[v] - y_out[v]);
@@ -150,7 +162,8 @@ Result<ResilienceResult> SolveOneDanglingCore(
   // The rewritten multiplicities already encode costs, so solve in bag
   // semantics regardless of the original semantics.
   ResilienceResult local = SolveLocalResilienceWithRoEnfa(
-      ro_rewritten, rewritten, Semantics::kBag);
+      ro_rewritten, rewritten, Semantics::kBag, /*label_index=*/nullptr,
+      scratch);
   if (local.infinite) {
     // A base-language walk made of exogenous facts only (ε ∉ base was
     // checked above): the query cannot be falsified.
@@ -160,6 +173,8 @@ Result<ResilienceResult> SolveOneDanglingCore(
   result.value = local.value + free_cost + kappa;
   result.network_vertices = local.network_vertices;
   result.network_edges = local.network_edges;
+  result.product_vertices_pruned = local.product_vertices_pruned;
+  result.product_edges_pruned = local.product_edges_pruned;
 
   // --- Witness mapping (Claim 7.10 (ii)) ------------------------------------
   std::vector<bool> cut(rewritten.num_facts(), false);
@@ -214,9 +229,9 @@ Result<ResilienceResult> SolveOneDanglingCore(
   return result;
 }
 
-Result<ResilienceResult> SolveOneDanglingResilience(const Language& lang,
-                                                    const GraphDb& db,
-                                                    Semantics semantics) {
+Result<ResilienceResult> SolveOneDanglingResilience(
+    const Language& lang, const GraphDb& db, Semantics semantics,
+    const LabelIndex* label_index, SolverScratch* scratch) {
   Language ifl = InfixFreeSublanguage(lang);
   ResilienceResult result;
   if (ifl.ContainsEpsilon()) {
@@ -238,16 +253,19 @@ Result<ResilienceResult> SolveOneDanglingResilience(const Language& lang,
       OneDanglingDecomposition flipped{
           decomposition->y, decomposition->x, decomposition->base.Mirror(),
           decomposition->y_in_base, decomposition->x_in_base};
+      // Doubly-mirrored database: the caller's index does not describe it.
       RPQRES_ASSIGN_OR_RETURN(
           ResilienceResult r,
-          SolveOneDanglingCore(flipped, oriented.MirrorDb(), semantics));
+          SolveOneDanglingCore(flipped, oriented.MirrorDb(), semantics,
+                               /*label_index=*/nullptr, scratch));
       // MirrorDb preserves fact ids, so the witness maps back unchanged.
       if (mirrored) r.algorithm += " [mirrored]";
       return r;
     }
     RPQRES_ASSIGN_OR_RETURN(
         ResilienceResult r,
-        SolveOneDanglingCore(*decomposition, oriented, semantics));
+        SolveOneDanglingCore(*decomposition, oriented, semantics,
+                             mirrored ? nullptr : label_index, scratch));
     if (mirrored) r.algorithm += " [mirrored]";
     return r;
   }

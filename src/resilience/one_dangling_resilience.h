@@ -16,6 +16,7 @@
 #define RPQRES_RESILIENCE_ONE_DANGLING_RESILIENCE_H_
 
 #include "graphdb/graph_db.h"
+#include "graphdb/label_index.h"
 #include "lang/language.h"
 #include "lang/one_dangling.h"
 #include "resilience/result.h"
@@ -23,18 +24,26 @@
 
 namespace rpqres {
 
+class SolverScratch;
+
 /// Solves RES(Q_L, D) for a language whose infix-free sublanguage is
 /// one-dangling, directly or after mirroring (Prp 6.3). FailedPrecondition
-/// if no decomposition exists.
-Result<ResilienceResult> SolveOneDanglingResilience(const Language& lang,
-                                                    const GraphDb& db,
-                                                    Semantics semantics);
+/// if no decomposition exists. `label_index` (optional, built from `db`)
+/// speeds the x/y fact scans on the non-mirrored path (the mirrored path
+/// solves against a rewritten copy the index does not describe);
+/// `scratch` (optional) backs the inner local flow solve on the rewritten
+/// database.
+Result<ResilienceResult> SolveOneDanglingResilience(
+    const Language& lang, const GraphDb& db, Semantics semantics,
+    const LabelIndex* label_index = nullptr, SolverScratch* scratch = nullptr);
 
 /// Core of Prp 7.9 for an explicit decomposition base ∪ {xy}. Requires
-/// y ∉ Σ(base) (callers mirror first when only x is fresh).
+/// y ∉ Σ(base) (callers mirror first when only x is fresh). `label_index`
+/// must be built from `db` when given.
 Result<ResilienceResult> SolveOneDanglingCore(
     const OneDanglingDecomposition& decomposition, const GraphDb& db,
-    Semantics semantics);
+    Semantics semantics, const LabelIndex* label_index = nullptr,
+    SolverScratch* scratch = nullptr);
 
 }  // namespace rpqres
 

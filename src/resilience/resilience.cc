@@ -29,7 +29,7 @@ Result<ResiliencePlan> PlanResilienceWithIF(Language ifl,
   }
   ResiliencePlan plan{std::move(ifl), ResilienceMethod::kExact,
                       /*trivial_infinite=*/false, /*trivial_empty=*/false,
-                      /*ro_enfa=*/std::nullopt};
+                      /*ro_enfa=*/std::nullopt, /*ro_tables=*/std::nullopt};
   if (plan.if_language.ContainsEpsilon()) {
     plan.trivial_infinite = true;
     return plan;
@@ -41,6 +41,8 @@ Result<ResiliencePlan> PlanResilienceWithIF(Language ifl,
   if (IsLocal(plan.if_language)) {
     plan.method = ResilienceMethod::kLocalFlow;
     RPQRES_ASSIGN_OR_RETURN(plan.ro_enfa, BuildRoEnfa(plan.if_language));
+    RPQRES_ASSIGN_OR_RETURN(plan.ro_tables,
+                            BuildRoProductTables(*plan.ro_enfa));
     return plan;
   }
   if (IsBipartiteChainLanguage(plan.if_language)) {
@@ -62,7 +64,8 @@ Result<ResiliencePlan> PlanResilienceWithIF(Language ifl,
 
 Result<ResilienceResult> ComputeResilienceWithPlan(
     const ResiliencePlan& plan, const GraphDb& db, Semantics semantics,
-    const ExactOptions& exact_options, const LabelIndex* label_index) {
+    const ExactOptions& exact_options, const LabelIndex* label_index,
+    SolverScratch* scratch) {
   if (plan.trivial_infinite) {
     ResilienceResult result;
     result.infinite = true;
@@ -76,15 +79,21 @@ Result<ResilienceResult> ComputeResilienceWithPlan(
   }
   switch (plan.method) {
     case ResilienceMethod::kLocalFlow:
+      if (plan.ro_tables.has_value()) {
+        return SolveLocalResilienceWithTables(*plan.ro_tables, db, semantics,
+                                              label_index, scratch);
+      }
       if (plan.ro_enfa.has_value()) {
         return SolveLocalResilienceWithRoEnfa(*plan.ro_enfa, db, semantics,
-                                              label_index);
+                                              label_index, scratch);
       }
       return SolveLocalResilience(plan.if_language, db, semantics);
     case ResilienceMethod::kBclFlow:
-      return SolveBclResilience(plan.if_language, db, semantics);
+      return SolveBclResilience(plan.if_language, db, semantics, label_index,
+                                scratch);
     case ResilienceMethod::kOneDanglingFlow:
-      return SolveOneDanglingResilience(plan.if_language, db, semantics);
+      return SolveOneDanglingResilience(plan.if_language, db, semantics,
+                                        label_index, scratch);
     case ResilienceMethod::kExact:
       return SolveExactResilience(plan.if_language, db, semantics,
                                   exact_options);

@@ -16,9 +16,12 @@
 #include "lang/language.h"
 #include "resilience/exact.h"
 #include "resilience/result.h"
+#include "resilience/ro_tables.h"
 #include "util/status.h"
 
 namespace rpqres {
+
+class SolverScratch;
 
 /// Which algorithm to use.
 enum class ResilienceMethod {
@@ -61,6 +64,10 @@ struct ResiliencePlan {
   /// Precompiled RO-εNFA (Lemma 3.17) when method == kLocalFlow, so each
   /// ComputeResilienceWithPlan call skips straight to the Thm 3.13 product.
   std::optional<Enfa> ro_enfa;
+  /// Solver-ready tables derived from `ro_enfa` (letter transitions,
+  /// ε-CSRs, per-state labels, initial/final bits), so the product
+  /// construction does zero per-solve automaton preprocessing.
+  std::optional<RoProductTables> ro_tables;
 };
 
 /// Derives the kAuto dispatch plan for `lang`. Plans are a kAuto notion:
@@ -84,11 +91,14 @@ Result<ResiliencePlan> PlanResilienceWithIF(
 /// inconclusive budget exhaustion, not an answer). `label_index`, when
 /// given, must be built from `db`; flow-network construction then iterates
 /// per-label fact lists instead of scanning every fact (the DbRegistry
-/// snapshot hot path).
+/// snapshot hot path). `scratch`, when given, supplies the reusable flow
+/// solver arena (flow/solver_scratch.h); the flow solvers otherwise fall
+/// back to the calling thread's shared scratch, so repeated calls are
+/// allocation-free in steady state either way.
 Result<ResilienceResult> ComputeResilienceWithPlan(
     const ResiliencePlan& plan, const GraphDb& db, Semantics semantics,
     const ExactOptions& exact_options = {},
-    const LabelIndex* label_index = nullptr);
+    const LabelIndex* label_index = nullptr, SolverScratch* scratch = nullptr);
 
 /// Decision variant (Section 2 problem statement): RES(Q_L, D) <= k?
 Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,

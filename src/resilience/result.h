@@ -27,6 +27,11 @@ struct ResilienceResult {
   // --- solver statistics (informational) -----------------------------------
   int64_t network_vertices = 0;  ///< flow-based solvers: |V| of the network
   int64_t network_edges = 0;     ///< flow-based solvers: |E| of the network
+  /// Product-pruning effect (local flow): dead (node, state) vertices and
+  /// edges the reach/co-reach sweep skipped relative to the full |V|·|S|
+  /// construction.
+  int64_t product_vertices_pruned = 0;
+  int64_t product_edges_pruned = 0;
   uint64_t search_nodes = 0;     ///< exact solver: branch-and-bound nodes
 };
 

@@ -1,9 +1,9 @@
 // Tests for the compiled-query resilience engine: plan-cache hit/miss
-// semantics and eviction, cached-compile speedup, v2 batch results
-// matching per-call ComputeResilience, thread-pool determinism of values,
-// per-request option overrides, the plan API underneath (PlanResilience /
-// ComputeResilienceWithPlan), and the deprecated v1 shims (including the
-// null-database regression).
+// semantics and eviction, cached-compile speedup, batch results matching
+// per-call ComputeResilience, thread-pool determinism of values,
+// per-request option overrides, fixed-endpoint requests, the plan API
+// underneath (PlanResilience / ComputeResilienceWithPlan), and the
+// missing-database regression.
 
 #include <gtest/gtest.h>
 
@@ -17,7 +17,9 @@
 #include "engine/request.h"
 #include "graphdb/generators.h"
 #include "graphdb/graph_db.h"
+#include "graphdb/rpq_eval.h"
 #include "lang/language.h"
+#include "resilience/local_resilience.h"
 #include "resilience/resilience.h"
 #include "util/rng.h"
 
@@ -338,65 +340,129 @@ TEST(EngineCompiledQueryTest, ExposesClassificationAndPlan) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated v1 shims
+// Invalid requests
 // ---------------------------------------------------------------------------
 
-TEST(V1ShimTest, RunMatchesEvaluate) {
-  Rng rng(11);
-  GraphDb db = LayeredFlowDb(&rng, 2, 3, 3, 2, 0.6, 4);
+// A request with a default (invalid) DbHandle must fail with
+// InvalidArgument — never crash — in every entry point, and an
+// InvalidArgument differential pair judges as agreement (a caller error,
+// not a solver divergence).
+TEST(InvalidRequestTest, MissingDatabaseIsInvalidArgumentNotACrash) {
   ResilienceEngine engine;
-  InstanceOutcome outcome =
-      engine.Run(QueryInstance{"ax*b", &db, Semantics::kBag});
-  ASSERT_TRUE(outcome.status.ok()) << outcome.status;
-
-  DbRegistry registry;
-  DbHandle handle = registry.Register(db);
-  ResilienceResponse response = engine.Evaluate(
-      {.regex = "ax*b", .db = handle, .semantics = Semantics::kBag});
-  ASSERT_TRUE(response.status.ok());
-  EXPECT_EQ(outcome.result.value, response.result.value);
-  EXPECT_EQ(outcome.result.infinite, response.result.infinite);
-
-  // Run(CompiledQuery&, GraphDb&) still executes caller-managed plans.
-  auto compiled = engine.Compile("ax*b", Semantics::kBag);
-  ASSERT_TRUE(compiled.ok());
-  InstanceOutcome via_plan = engine.Run(**compiled, db);
-  ASSERT_TRUE(via_plan.status.ok());
-  EXPECT_EQ(via_plan.result.value, outcome.result.value);
-}
-
-// Regression: v1 entry points used to dereference instance.db blindly and
-// crash on null; they must fail with InvalidArgument instead.
-TEST(V1ShimTest, NullDatabaseIsInvalidArgumentNotACrash) {
-  ResilienceEngine engine;
-  InstanceOutcome outcome =
-      engine.Run(QueryInstance{"ax*b", nullptr, Semantics::kSet});
-  EXPECT_EQ(outcome.status.code(), StatusCode::kInvalidArgument);
-
-  GraphDb db = PathDb("ab");
-  std::vector<QueryInstance> instances = {
-      {"ab", &db, Semantics::kSet},
-      {"ab", nullptr, Semantics::kSet},
-  };
-  std::vector<InstanceOutcome> outcomes = engine.RunBatch(instances);
-  EXPECT_TRUE(outcomes[0].status.ok());
-  EXPECT_EQ(outcomes[1].status.code(), StatusCode::kInvalidArgument);
-
-  std::vector<DifferentialOutcome> differential =
-      engine.RunDifferential(instances);
-  EXPECT_TRUE(differential[0].agree) << differential[0].mismatch;
-  EXPECT_EQ(differential[1].primary.status.code(),
-            StatusCode::kInvalidArgument);
-  // Both sides refused with the same code: agreement per the judge
-  // contract (caller error, not a solver divergence) — and crucially
-  // never a differential mismatch.
-  EXPECT_TRUE(differential[1].agree);
-  EXPECT_TRUE(differential[1].mismatch.empty());
-  EXPECT_EQ(engine.stats().differential_mismatches, 0);
-
-  // And the v2 equivalent: a default (invalid) DbHandle.
   ResilienceResponse response = engine.Evaluate({.regex = "ab"});
   EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+
+  DbRegistry registry;
+  DbHandle db = registry.Register(PathDb("ab"));
+  std::vector<ResilienceRequest> requests = {
+      {.regex = "ab", .db = db},
+      {.regex = "ab"},  // no database
+  };
+  std::vector<ResilienceResponse> responses = engine.EvaluateBatch(requests);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kInvalidArgument);
+
+  std::vector<ResilienceResponse> differential =
+      engine.EvaluateDifferential(requests);
+  ASSERT_TRUE(differential[0].differential.has_value());
+  EXPECT_TRUE(differential[0].differential->agree)
+      << differential[0].differential->mismatch;
+  ASSERT_TRUE(differential[1].differential.has_value());
+  EXPECT_EQ(differential[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(differential[1].differential->agree);
+  EXPECT_TRUE(differential[1].differential->mismatch.empty());
+  EXPECT_EQ(engine.stats().differential_mismatches, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-endpoint requests (Thm 3.13 ext through API v2)
+// ---------------------------------------------------------------------------
+
+TEST(FixedEndpointRequestTest, MatchesDirectSolverAndBooleanBound) {
+  Rng rng(11);
+  GraphDb graph = LayeredFlowDb(&rng, 2, 3, 3, 2, 0.6, 4);
+  Language lang = Language::MustFromRegexString("ax*b");
+  std::optional<WitnessWalk> walk = ShortestWitnessWalk(graph, lang);
+  ASSERT_TRUE(walk.has_value() && !walk->empty());
+  NodeId s = graph.fact(walk->front()).source;
+  NodeId t = graph.fact(walk->back()).target;
+
+  DbRegistry registry;
+  DbHandle db = registry.Register(graph);
+  ResilienceEngine engine;
+  ResilienceResponse targeted = engine.Evaluate({.regex = "ax*b",
+                                                 .db = db,
+                                                 .semantics = Semantics::kBag,
+                                                 .source = s,
+                                                 .target = t});
+  ASSERT_TRUE(targeted.status.ok()) << targeted.status;
+  EXPECT_EQ(targeted.result.algorithm,
+            "local flow, fixed endpoints (Thm 3.13 ext)");
+
+  Result<ResilienceResult> direct = SolveLocalResilienceFixedEndpoints(
+      lang, graph, s, t, Semantics::kBag);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  EXPECT_EQ(targeted.result.infinite, direct->infinite);
+  EXPECT_EQ(targeted.result.value, direct->value);
+
+  // Targeted interdiction can never cost more than the Boolean one.
+  ResilienceResponse boolean = engine.Evaluate(
+      {.regex = "ax*b", .db = db, .semantics = Semantics::kBag});
+  ASSERT_TRUE(boolean.status.ok());
+  EXPECT_LE(targeted.result.value, boolean.result.value);
+
+  // The targeted witness must actually sever every s -> t route.
+  std::vector<bool> removed(graph.num_facts(), false);
+  for (FactId f : targeted.result.contingency) removed[f] = true;
+  EXPECT_FALSE(
+      EvaluatesToTrueBetween(graph, lang.enfa(), s, t, &removed));
+}
+
+TEST(FixedEndpointRequestTest, ValidationAndNonLocalRefusal) {
+  DbRegistry registry;
+  DbHandle db = registry.Register(PathDb("axxb"));
+  ResilienceEngine engine;
+
+  // Half-set endpoints: InvalidArgument.
+  ResilienceResponse half =
+      engine.Evaluate({.regex = "ax*b", .db = db, .source = 0});
+  EXPECT_EQ(half.status.code(), StatusCode::kInvalidArgument);
+
+  // Out-of-range endpoints: InvalidArgument.
+  ResilienceResponse out_of_range = engine.Evaluate(
+      {.regex = "ax*b", .db = db, .source = 0, .target = 999});
+  EXPECT_EQ(out_of_range.status.code(), StatusCode::kInvalidArgument);
+
+  // Forced solver + endpoints: InvalidArgument.
+  ResilienceResponse forced = engine.Evaluate(
+      {.regex = "ax*b",
+       .db = db,
+       .source = 0,
+       .target = 4,
+       .options = {.method = ResilienceMethod::kLocalFlow}});
+  EXPECT_EQ(forced.status.code(), StatusCode::kInvalidArgument);
+
+  // Non-local language (IF-rewriting unsound with endpoints):
+  // FailedPrecondition even though IF(a|aa) = {a} is local.
+  ResilienceResponse non_local = engine.Evaluate(
+      {.regex = "a|aa", .db = db, .source = 0, .target = 4});
+  EXPECT_EQ(non_local.status.code(), StatusCode::kFailedPrecondition);
+
+  // Same endpoints with ε ∈ L: infinite (the query holds vacuously).
+  ResilienceResponse eps = engine.Evaluate(
+      {.regex = "x*", .db = db, .source = 2, .target = 2});
+  ASSERT_TRUE(eps.status.ok()) << eps.status;
+  EXPECT_TRUE(eps.result.infinite);
+
+  // Differential runs judge fixed-endpoint requests inconclusive.
+  std::vector<ResilienceRequest> requests = {
+      {.regex = "ax*b", .db = db, .source = 0, .target = 4}};
+  std::vector<ResilienceResponse> judged =
+      engine.EvaluateDifferential(requests);
+  ASSERT_TRUE(judged[0].differential.has_value());
+  EXPECT_TRUE(judged[0].differential->inconclusive);
+  EXPECT_FALSE(judged[0].differential->agree);
+  EXPECT_EQ(engine.stats().differential_mismatches, 0);
 }
 
 TEST(ResiliencePlanTest, PlanApiMatchesAutoDispatch) {

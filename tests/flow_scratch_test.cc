@@ -1,0 +1,159 @@
+// Scratch-reuse tests for the zero-copy flow core: after a warm-up solve,
+// repeated solves through a SolverScratch must neither grow any scratch
+// buffer nor allocate on the heap inside the flow path. Heap activity is
+// counted by overriding global operator new in this binary (kept in its
+// own test target so the override affects nothing else); the flow-path
+// assertion brackets the solver call, whose only remaining allocations
+// are the returned ResilienceResult's own members.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "engine/db_registry.h"
+#include "engine/engine.h"
+#include "engine/request.h"
+#include "flow/solver_scratch.h"
+#include "graphdb/generators.h"
+#include "graphdb/label_index.h"
+#include "lang/language.h"
+#include "lang/ro_enfa.h"
+#include "resilience/bcl_resilience.h"
+#include "resilience/local_resilience.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<long long> g_allocations{0};
+
+}  // namespace
+
+// The full replaceable-allocation set must be overridden together —
+// otherwise (e.g.) a nothrow new from the default set paired with our
+// sized delete trips ASan's alloc-dealloc-mismatch check.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace rpqres {
+namespace {
+
+TEST(SolverScratchTest, LocalSolveReusesBuffersAndStopsAllocating) {
+  Rng rng(1234);
+  GraphDb db = LayeredFlowDb(&rng, 4, 8, 6, 4, 0.4, 50);
+  LabelIndex index(db);
+  Language lang = Language::MustFromRegexString("ax*b");
+  Enfa ro = BuildRoEnfa(lang).ValueOrDie();
+  RoProductTables tables = BuildRoProductTables(ro).ValueOrDie();
+
+  SolverScratch scratch;
+  ResilienceResult first =
+      SolveLocalResilienceWithTables(tables, db, Semantics::kBag, &index,
+                                     &scratch);
+  ASSERT_FALSE(first.infinite);
+  const size_t warm_bytes = scratch.total_capacity_bytes();
+  ASSERT_GT(warm_bytes, 0u);
+
+  for (int round = 0; round < 20; ++round) {
+    long long before = g_allocations.load(std::memory_order_relaxed);
+    ResilienceResult again = SolveLocalResilienceWithTables(
+        tables, db, Semantics::kBag, &index, &scratch);
+    long long solver_allocations =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(again.value, first.value);
+    EXPECT_EQ(again.contingency, first.contingency);
+    // Steady state: the scratch never grows...
+    EXPECT_EQ(scratch.total_capacity_bytes(), warm_bytes)
+        << "round " << round << " grew a scratch buffer";
+    // ...and the only heap activity is the returned result itself (its
+    // contingency vector and algorithm string — NOT proportional to the
+    // database or network size).
+    EXPECT_LE(solver_allocations, 4) << "round " << round;
+  }
+}
+
+TEST(SolverScratchTest, BclSolveReusesBuffers) {
+  Rng rng(99);
+  GraphDb db = WordSoupDb(&rng, {"ab", "bc"}, 16, {'a', 'b', 'c'}, 32, 10);
+  LabelIndex index(db);
+  Language lang = Language::MustFromRegexString("ab|bc");
+
+  SolverScratch scratch;
+  Result<ResilienceResult> first =
+      SolveBclResilience(lang, db, Semantics::kBag, &index, &scratch);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const size_t warm_bytes = scratch.total_capacity_bytes();
+
+  for (int round = 0; round < 10; ++round) {
+    Result<ResilienceResult> again =
+        SolveBclResilience(lang, db, Semantics::kBag, &index, &scratch);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->value, first->value);
+    EXPECT_EQ(scratch.total_capacity_bytes(), warm_bytes)
+        << "round " << round << " grew a scratch buffer";
+  }
+}
+
+// End-to-end: the engine's per-thread scratch reaches a steady state
+// where repeated identical requests stop growing it. Single-threaded so
+// every request lands on the same worker scratch.
+TEST(SolverScratchTest, EngineThreadScratchReachesSteadyState) {
+  Rng rng(7);
+  DbRegistry registry;
+  DbHandle db = registry.Register(LayeredFlowDb(&rng, 4, 8, 6, 4, 0.4, 50));
+  EngineOptions options;
+  options.num_threads = 1;
+  ResilienceEngine engine(options);
+  ResilienceRequest request{
+      .regex = "ax*b", .db = db, .semantics = Semantics::kBag};
+
+  ResilienceResponse first = engine.Evaluate(request);
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  EXPECT_GT(first.result.product_vertices_pruned, 0);
+  // Warm up, then bound the per-request allocation count: response
+  // strings and result vectors only, never O(network) buffers.
+  for (int i = 0; i < 3; ++i) engine.Evaluate(request);
+  for (int round = 0; round < 10; ++round) {
+    long long before = g_allocations.load(std::memory_order_relaxed);
+    ResilienceResponse again = engine.Evaluate(request);
+    long long request_allocations =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    ASSERT_TRUE(again.status.ok());
+    EXPECT_EQ(again.result.value, first.result.value);
+    EXPECT_LE(request_allocations, 24) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace rpqres

@@ -124,13 +124,19 @@ TEST(LocalResilienceTest, SelfLoopWalks) {
 }
 
 TEST(LocalResilienceTest, CombinedComplexityNetworkSize) {
-  // Network has 2 + |V|·|S| vertices — the Thm 3.13 bound.
+  // The Thm 3.13 bound is 2 + |V|·|S| vertices; the reach/co-reach sweep
+  // materializes only live (node, state) pairs, so the built network plus
+  // the reported pruning must account for exactly that bound.
   Language lang = Language::MustFromRegexString("ax*b");
   Enfa ro = BuildRoEnfa(lang).ValueOrDie();
   GraphDb db = PathDb("axxb");
   ResilienceResult r =
       SolveLocalResilienceWithRoEnfa(ro, db, Semantics::kSet);
-  EXPECT_EQ(r.network_vertices, 2 + db.num_nodes() * ro.num_states());
+  EXPECT_LE(r.network_vertices, 2 + db.num_nodes() * ro.num_states());
+  EXPECT_EQ(r.network_vertices + r.product_vertices_pruned,
+            2 + db.num_nodes() * ro.num_states());
+  EXPECT_GT(r.product_vertices_pruned, 0)
+      << "a path database must have dead product vertices to prune";
 }
 
 // Randomized cross-check against brute force, set and bag semantics.

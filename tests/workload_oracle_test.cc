@@ -1,4 +1,4 @@
-// Tests for the differential oracle and the engine's RunDifferential:
+// Tests for the differential oracle and the engine's EvaluateDifferential:
 // clean sweeps on seeded workloads, replay determinism, the judge's
 // mismatch detection, and counterexample machinery.
 
@@ -216,18 +216,22 @@ TEST(EvaluateDifferentialTest, CompileErrorIsReportedPerInstance) {
       << responses[1].differential->mismatch;
 }
 
-// The v1 RunDifferential shim must keep reporting through the old
-// DifferentialOutcome shape (one release of compatibility).
-TEST(EvaluateDifferentialTest, V1ShimStillJudges) {
-  GraphDb db = PathDb("axxb");
-  std::vector<QueryInstance> instances = {{"ax*b", &db, Semantics::kSet}};
+// Differential verdicts ride on the unified response: the primary and
+// reference answers of an agreeing pair must match.
+TEST(EvaluateDifferentialTest, AgreeingPairCarriesBothAnswers) {
+  DbRegistry registry;
+  DbHandle db = registry.Register(PathDb("axxb"));
+  std::vector<ResilienceRequest> requests = {
+      {.regex = "ax*b", .db = db, .semantics = Semantics::kSet}};
   ResilienceEngine engine;
-  std::vector<DifferentialOutcome> outcomes =
-      engine.RunDifferential(instances);
-  ASSERT_EQ(outcomes.size(), 1u);
-  EXPECT_TRUE(outcomes[0].agree) << outcomes[0].mismatch;
-  EXPECT_EQ(outcomes[0].primary.result.value,
-            outcomes[0].reference.result.value);
+  std::vector<ResilienceResponse> responses =
+      engine.EvaluateDifferential(requests);
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_TRUE(responses[0].differential.has_value());
+  EXPECT_TRUE(responses[0].differential->agree)
+      << responses[0].differential->mismatch;
+  EXPECT_EQ(responses[0].result.value,
+            responses[0].differential->reference_result.value);
 }
 
 }  // namespace
