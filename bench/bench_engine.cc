@@ -19,9 +19,23 @@
 //                        product (CSR + scratch reuse dominate) and a
 //                        sparse one (the reach/co-reach sweep prunes
 //                        most relevant-labeled facts)
+//   delta_commit_small — registry v3 delta commits: per-commit latency of
+//                        a 2-op delta across base sizes (stdout shows the
+//                        per-size medians — the commit cost tracks the
+//                        delta, not the database)
+//   delta_commit_vs_rebuild — the same op streams priced the v2 way
+//                        (full Register: GraphDb copy + from-scratch
+//                        LabelIndex); the per-scenario p50 ratio is the
+//                        delta-commit win
+//   result_cache_hot   — repeat queries against one registered version
+//                        with the version-keyed ResultCache enabled;
+//                        compare p50 against handle_vs_raw_v2_handle
+//                        (same database family, cache off)
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
@@ -144,6 +158,132 @@ std::vector<GraphDb> SparseProductDbs() {
   return dbs;
 }
 
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Registry v3 delta commits vs v2-style full re-registration: identical
+// deterministic op streams (add one x-fact, remove one existing fact, per
+// commit) over bases of increasing size. The delta side prices
+// DeltaBatch + Commit (copy-on-write overlay + incremental LabelIndex);
+// the rebuild side prices what v2 forced (full GraphDb copy + full index
+// build). Checksums replay ax*b on the final version of every size.
+std::pair<ScenarioReport, ScenarioReport> RunDeltaCommitScenarios(
+    ResilienceEngine& engine) {
+  ScenarioReport delta;
+  delta.name = "delta_commit_small";
+  delta.description =
+      "2-op delta commits across base sizes (overlay + incremental index)";
+  delta.regex = "ax*b";
+  delta.semantics = "bag";
+  ScenarioReport rebuild = delta;
+  rebuild.name = "delta_commit_vs_rebuild";
+  rebuild.description =
+      "same op streams, priced as v2 full re-registration per change";
+
+  std::vector<double> delta_micros, rebuild_micros;
+  const int kCommits = 40;
+  for (int num_facts : {4000, 16000, 64000}) {
+    Rng rng(777 + num_facts);
+    GraphDb base = RandomGraphDb(&rng, /*num_nodes=*/num_facts / 10, num_facts,
+                                 {'a', 'x', 'b', 'm', 'n', 'o', 'p', 'q'},
+                                 /*max_multiplicity=*/4);
+    DbRegistry registry;
+    GraphDb twin = base;
+    DbHandle latest = registry.Register(std::move(base), "delta_bench");
+    DbHandle rebuilt;
+    std::vector<double> size_micros;
+    for (int commit = 0; commit < kCommits; ++commit) {
+      const int nodes = twin.num_nodes();
+      NodeId u = static_cast<NodeId>(rng.NextBelow(nodes));
+      NodeId v = static_cast<NodeId>(rng.NextBelow(nodes));
+      FactId victim =
+          static_cast<FactId>(rng.NextBelow(twin.num_facts()));
+      const Fact removed = twin.fact(victim);
+
+      auto start = std::chrono::steady_clock::now();
+      DeltaBatch batch = registry.BeginDelta(latest);
+      if (!batch.AddFact(u, 'x', v).ok() ||
+          !batch.RemoveFact(removed.source, removed.label, removed.target)
+               .ok()) {
+        ++delta.errors;
+        continue;
+      }
+      Result<DbHandle> committed = batch.Commit();
+      double commit_micros = MicrosSince(start);
+      if (!committed.ok()) {
+        ++delta.errors;
+        continue;
+      }
+      latest = *std::move(committed);
+      ++delta.instances;
+      delta_micros.push_back(commit_micros);
+      size_micros.push_back(commit_micros);
+
+      // The v2 price of the same change: rebuild the flat twin and
+      // re-register it wholesale (copy + full label index).
+      twin.AddFact(u, 'x', v);
+      twin = twin.RemoveFacts({twin.FindFact(removed.source, removed.label,
+                                             removed.target)});
+      start = std::chrono::steady_clock::now();
+      rebuilt = registry.Register(twin, "rebuild_bench");
+      rebuild_micros.push_back(MicrosSince(start));
+      ++rebuild.instances;
+      registry.Unregister(rebuilt.id());
+    }
+    std::printf(
+        "delta_commit_small: base=%6d facts  commit p50 %8.1fus (vs "
+        "rebuild %8.1fus)\n",
+        num_facts, Percentile(size_micros, 50),
+        Percentile(std::vector<double>(rebuild_micros.end() - size_micros.size(),
+                                       rebuild_micros.end()),
+                   50));
+
+    // Determinism checksum: the query answer on the final version must
+    // match the flat twin's — and stay fixed across machines.
+    for (ScenarioReport* report : {&delta, &rebuild}) {
+      ResilienceRequest request;
+      request.regex = "ax*b";
+      request.semantics = Semantics::kBag;
+      request.db = report == &delta ? latest : registry.Register(twin);
+      ResilienceResponse response = engine.Evaluate(request);
+      if (response.status.ok() && !response.result.infinite) {
+        report->resilience_checksum += response.result.value;
+      } else if (!response.status.ok()) {
+        ++report->errors;
+      }
+      if (report->algorithm.empty()) {
+        report->algorithm = response.stats.algorithm;
+        report->complexity = response.stats.complexity;
+        report->rule = response.stats.rule;
+      }
+    }
+  }
+
+  for (auto [report, samples] :
+       {std::make_pair(&delta, &delta_micros),
+        std::make_pair(&rebuild, &rebuild_micros)}) {
+    report->solve_p50_micros = Percentile(*samples, 50);
+    report->solve_p95_micros = Percentile(*samples, 95);
+    report->solve_max_micros = Percentile(*samples, 100);
+    double sum = 0;
+    for (double micros : *samples) {
+      sum += micros;
+      report->total_wall_micros += micros;
+    }
+    if (!samples->empty()) {
+      report->solve_mean_micros = sum / static_cast<double>(samples->size());
+    }
+    if (report->total_wall_micros > 0) {
+      report->throughput_qps = static_cast<double>(report->instances) /
+                               (report->total_wall_micros / 1e6);
+    }
+  }
+  return {std::move(delta), std::move(rebuild)};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -218,6 +358,31 @@ int main(int argc, char** argv) {
                        .repetitions = 15});
 
   std::vector<ScenarioReport> reports = harness.RunAll();
+
+  // Registry v3 scenarios. The hot result cache runs on its own engine:
+  // enabling it on the shared harness engine would collapse every other
+  // scenario into cache hits and break the BENCH trajectory.
+  {
+    EngineOptions cached_options;
+    cached_options.result_cache_capacity = 4096;
+    Harness cached_harness(cached_options);
+    cached_harness.AddScenario(
+        {.name = "result_cache_hot",
+         .description = "ax*b repeats over one registered version, "
+                        "version-keyed ResultCache on (hits after warm-up)",
+         .regex = "ax*b",
+         .semantics = Semantics::kBag,
+         .databases = NoisyLocalDbs(),
+         .repetitions = 20});
+    for (ScenarioReport& report : cached_harness.RunAll()) {
+      reports.push_back(std::move(report));
+    }
+  }
+  {
+    auto [delta, rebuild] = RunDeltaCommitScenarios(harness.engine());
+    reports.push_back(std::move(delta));
+    reports.push_back(std::move(rebuild));
+  }
 
   Status write_status = harness.WriteJson(output, reports);
   if (!write_status.ok()) {

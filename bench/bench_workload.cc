@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "workload/churn.h"
 #include "workload/differential_oracle.h"
 
 namespace rpqres {
@@ -132,6 +133,36 @@ void PrintReport(const OracleReport& report) {
   }
 }
 
+/// --churn N: sweep N seeded delta-commit churn sequences (the versioned
+/// registry's delta-vs-rebuild equivalence check; see workload/churn.h).
+int RunChurn(uint64_t base_seed, int sequences, int threads) {
+  workload::ChurnOptions options;
+  options.engine.num_threads = threads;
+  workload::ChurnHarness harness(options);
+  int64_t commits = 0, ops = 0, inconclusive = 0, generation_failures = 0;
+  std::vector<std::string> mismatches;
+  for (int i = 0; i < sequences; ++i) {
+    workload::ChurnReport report = harness.Run(base_seed + i);
+    commits += report.commits;
+    ops += report.ops;
+    inconclusive += report.inconclusive;
+    if (report.generation_failed) ++generation_failures;
+    for (const std::string& mismatch : report.mismatches) {
+      mismatches.push_back(mismatch);
+    }
+  }
+  std::printf(
+      "churn: %d sequences, %lld commits, %lld ops, %lld inconclusive, "
+      "%lld gen-fail, %zu mismatches\n",
+      sequences, static_cast<long long>(commits), static_cast<long long>(ops),
+      static_cast<long long>(inconclusive),
+      static_cast<long long>(generation_failures), mismatches.size());
+  for (const std::string& mismatch : mismatches) {
+    std::printf("CHURN MISMATCH %s\n", mismatch.c_str());
+  }
+  return mismatches.empty() ? 0 : 1;
+}
+
 int Replay(DifferentialOracle& oracle, uint64_t seed) {
   Result<WorkloadInstance> instance = oracle.BuildInstance(seed);
   if (!instance.ok()) {
@@ -154,6 +185,7 @@ int Main(int argc, char** argv) {
   std::string out_path = "BENCH_workload.json";
   bool replay = false;
   uint64_t replay_seed = 0;
+  int churn_sequences = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -180,12 +212,14 @@ int Main(int argc, char** argv) {
     } else if (arg == "--replay") {
       replay = true;
       replay_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--churn") {
+      churn_sequences = std::atoi(next());
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_workload [--seed N] [--per-class N] [--threads N]\n"
           "                      [--size-class 0|1|2] [--exact-budget N]\n"
           "                      [--no-minimize] [--out PATH]\n"
-          "                      | --replay SEED\n");
+          "                      | --replay SEED | --churn SEQUENCES\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -209,6 +243,11 @@ int Main(int argc, char** argv) {
   if (options.max_exact_search_nodes < 1) {
     std::fprintf(stderr, "--exact-budget must be >= 1\n");
     return 2;
+  }
+
+  if (churn_sequences > 0) {
+    return RunChurn(options.base_seed, churn_sequences,
+                    options.engine.num_threads);
   }
 
   DifferentialOracle oracle(options);

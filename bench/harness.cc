@@ -132,6 +132,10 @@ ScenarioReport Harness::RunScenario(const Scenario& scenario) {
       after.flow_vertices_pruned - before.flow_vertices_pruned;
   steady_.flow_edges_pruned +=
       after.flow_edges_pruned - before.flow_edges_pruned;
+  report.result_cache_hits =
+      after.result_cache_hits - before.result_cache_hits;
+  report.result_cache_misses =
+      after.result_cache_misses - before.result_cache_misses;
   for (const DbHandle& handle : handles) registry_.Unregister(handle.id());
 
   std::vector<double> solve_micros;
@@ -210,6 +214,10 @@ std::string Harness::ToJson(
   os << "    \"flow_vertices_pruned\": " << steady_.flow_vertices_pruned
      << ",\n";
   os << "    \"flow_edges_pruned\": " << steady_.flow_edges_pruned << ",\n";
+  os << "    \"result_cache_capacity\": "
+     << engine_.options().result_cache_capacity << ",\n";
+  os << "    \"result_cache_hits\": " << stats.result_cache_hits << ",\n";
+  os << "    \"result_cache_misses\": " << stats.result_cache_misses << ",\n";
   os << "    \"errors\": " << steady_.errors << "\n";
   os << "  },\n";
   os << "  \"scenarios\": [\n";
@@ -245,6 +253,8 @@ std::string Harness::ToJson(
     os << "      \"pruned_vertices_max\": " << r.pruned_vertices_max << ",\n";
     os << "      \"pruned_edges_max\": " << r.pruned_edges_max << ",\n";
     os << "      \"search_nodes_max\": " << r.search_nodes_max << ",\n";
+    os << "      \"result_cache_hits\": " << r.result_cache_hits << ",\n";
+    os << "      \"result_cache_misses\": " << r.result_cache_misses << ",\n";
     os << "      \"resilience_checksum\": " << r.resilience_checksum << "\n";
     os << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
   }

@@ -62,6 +62,10 @@ struct ScenarioReport {
   int64_t pruned_vertices_max = 0;
   int64_t pruned_edges_max = 0;
   uint64_t search_nodes_max = 0;
+  /// Version-keyed ResultCache traffic during the timed batch (0 unless
+  /// the harness engine enables the cache).
+  int64_t result_cache_hits = 0;
+  int64_t result_cache_misses = 0;
   /// Sum of finite resilience values — a determinism checksum comparable
   /// across runs and machines.
   int64_t resilience_checksum = 0;

@@ -18,6 +18,17 @@ import json
 import os
 import sys
 
+# Scenarios every bench run (and baseline) must carry. The symmetric diff
+# below already fails on run-vs-baseline mismatches; this set additionally
+# refuses a baseline regenerated without the registry-v3 scenarios.
+REQUIRED_SCENARIOS = {
+    "local_ax_star_b",
+    "handle_vs_raw_v2_handle",
+    "delta_commit_small",
+    "delta_commit_vs_rebuild",
+    "result_cache_hot",
+}
+
 
 def load_scenarios(path):
     with open(path) as f:
@@ -43,6 +54,14 @@ def main(argv):
     )
 
     run = load_scenarios(run_path)
+    missing = REQUIRED_SCENARIOS - set(run)
+    if missing:
+        print(
+            "bench run is missing required scenarios: "
+            + ", ".join(sorted(missing)),
+            file=sys.stderr,
+        )
+        return 1
     if update:
         baseline = {
             "comment": (

@@ -1,5 +1,8 @@
 #include "engine/db_registry.h"
 
+#include <algorithm>
+#include <charconv>
+
 namespace rpqres {
 
 const std::string& DbHandle::name() const {
@@ -7,29 +10,265 @@ const std::string& DbHandle::name() const {
   return snapshot_ != nullptr ? snapshot_->name : kEmpty;
 }
 
+// ---------------------------------------------------------------------------
+// DeltaBatch
+// ---------------------------------------------------------------------------
+
+DeltaBatch::DeltaBatch(DbRegistry* registry,
+                       std::shared_ptr<const DbSnapshot> parent)
+    : registry_(registry), parent_(std::move(parent)) {
+  // Aliasing pointer: the overlay's base reference keeps the whole parent
+  // snapshot (db + label index) alive.
+  work_ = GraphDb::MakeOverlay(
+      std::shared_ptr<const GraphDb>(parent_, &parent_->db));
+}
+
+void DeltaBatch::TouchLabel(char label) {
+  unsigned char l = static_cast<unsigned char>(label);
+  if (touched_[l]) return;
+  touched_[l] = true;
+  touched_labels_.push_back(label);
+}
+
+NodeId DeltaBatch::AddNode(std::string name) {
+  if (!valid()) return -1;
+  ++ops_;
+  return name.empty() ? work_.AddNode() : work_.AddNode(name);
+}
+
+Result<FactId> DeltaBatch::AddFact(NodeId source, char label, NodeId target,
+                                   Capacity multiplicity) {
+  if (!valid()) {
+    return Status::FailedPrecondition("AddFact on an invalid DeltaBatch");
+  }
+  if (source < 0 || source >= work_.num_nodes() || target < 0 ||
+      target >= work_.num_nodes()) {
+    return Status::InvalidArgument(
+        "AddFact: node ids must reference existing nodes");
+  }
+  if (multiplicity < 1) {
+    return Status::InvalidArgument("AddFact: multiplicity must be >= 1");
+  }
+  ++ops_;
+  int before = work_.num_facts();
+  FactId id = work_.AddFact(source, label, target, multiplicity);
+  // A multiplicity bump leaves the fact set — and hence the label index —
+  // unchanged; only genuinely new facts touch their label.
+  if (work_.num_facts() != before) TouchLabel(label);
+  return id;
+}
+
+Status DeltaBatch::RemoveFact(NodeId source, char label, NodeId target) {
+  if (!valid()) {
+    return Status::FailedPrecondition("RemoveFact on an invalid DeltaBatch");
+  }
+  RPQRES_RETURN_IF_ERROR(work_.RemoveFact(source, label, target));
+  ++ops_;
+  TouchLabel(label);
+  return Status::OK();
+}
+
+Result<DbHandle> DeltaBatch::Commit() {
+  if (!valid()) {
+    return Status::FailedPrecondition(
+        "Commit on an invalid or already-committed DeltaBatch");
+  }
+  return registry_->CommitDelta(this);
+}
+
+// ---------------------------------------------------------------------------
+// DbRegistry
+// ---------------------------------------------------------------------------
+
 DbHandle DbRegistry::Register(GraphDb db, std::string name) {
   auto snapshot = std::make_shared<DbSnapshot>();
   snapshot->name = std::move(name);
   snapshot->db = std::move(db);
   snapshot->label_index = LabelIndex(snapshot->db);
+  snapshot->version = 1;
   std::lock_guard<std::mutex> lock(mu_);
   snapshot->id = next_id_++;
+  snapshot->lineage = snapshot->id;
   snapshots_.emplace(snapshot->id, snapshot);
+  Lineage& lineage = lineages_[snapshot->lineage];
+  lineage.name = snapshot->name;
+  lineage.versions.emplace(snapshot->version, snapshot);
+  if (!snapshot->name.empty()) {
+    lineage_by_name_[snapshot->name] = snapshot->lineage;
+  }
   ++stats_.registered;
+  return DbHandle(std::move(snapshot));
+}
+
+DeltaBatch DbRegistry::BeginDelta(const DbHandle& parent) {
+  if (!parent.valid()) return DeltaBatch();
+  return DeltaBatch(this, parent.snapshot_);
+}
+
+Result<DbHandle> DbRegistry::CommitDelta(DeltaBatch* batch) {
+  batch->committed_ = true;  // one-shot, even on failure
+  const DbSnapshot& parent = *batch->parent_;
+
+  auto snapshot = std::make_shared<DbSnapshot>();
+  snapshot->lineage = parent.lineage;
+  snapshot->name = parent.name;
+  // snapshot->version is assigned under the lock below, from the
+  // lineage's never-decreasing counter.
+  // Compaction: once the accumulated overlay is a sizeable fraction of
+  // the database, fold it into a fresh flat base (one O(|db|) rebuild
+  // amortized over the commits that grew the overlay).
+  const int64_t threshold = std::max<int64_t>(
+      options_.compaction_min_overlay,
+      static_cast<int64_t>(options_.compaction_fraction *
+                           static_cast<double>(batch->work_.num_live_facts())));
+  if (batch->work_.overlay_size() > threshold) {
+    snapshot->db = batch->work_.Compact();
+    snapshot->label_index = LabelIndex(snapshot->db);
+    snapshot->compacted = true;
+  } else {
+    const FactId first_new_fact = parent.db.num_facts();
+    snapshot->db = std::move(batch->work_);
+    snapshot->label_index = LabelIndex(snapshot->db, parent.label_index,
+                                       batch->touched_labels_, first_new_fact);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto lineage_it = lineages_.find(snapshot->lineage);
+  if (lineage_it == lineages_.end()) {
+    return Status::NotFound("Commit: lineage " +
+                            std::to_string(snapshot->lineage) +
+                            " was unregistered");
+  }
+  auto& versions = lineage_it->second.versions;
+  if (versions.empty() || versions.rbegin()->first != parent.version) {
+    ++stats_.commit_conflicts;
+    return Status::Aborted(
+        "Commit: lineage " + std::to_string(snapshot->lineage) +
+        " advanced past version " + std::to_string(parent.version) +
+        " (re-begin the delta from the latest version)");
+  }
+  snapshot->id = next_id_++;
+  // Versions are never recycled: after Unregister of the latest version
+  // the next commit still gets a fresh number, so version-keyed
+  // ResultCache entries can never alias a different database.
+  snapshot->version = lineage_it->second.next_version++;
+  snapshots_.emplace(snapshot->id, snapshot);
+  versions.emplace(snapshot->version, snapshot);
+  ++stats_.commits;
+  if (snapshot->compacted) ++stats_.compactions;
   return DbHandle(std::move(snapshot));
 }
 
 bool DbRegistry::Unregister(uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (snapshots_.erase(id) == 0) return false;
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) return false;
+  const uint64_t lineage_id = it->second->lineage;
+  const uint32_t version = it->second->version;
+  snapshots_.erase(it);
+  auto lineage_it = lineages_.find(lineage_id);
+  if (lineage_it != lineages_.end()) {
+    lineage_it->second.versions.erase(version);
+    if (lineage_it->second.versions.empty()) {
+      auto name_it = lineage_by_name_.find(lineage_it->second.name);
+      if (name_it != lineage_by_name_.end() &&
+          name_it->second == lineage_id) {
+        lineage_by_name_.erase(name_it);
+      }
+      lineages_.erase(lineage_it);
+    }
+  }
   ++stats_.unregistered;
   return true;
+}
+
+int DbRegistry::UnregisterLineage(uint64_t lineage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto lineage_it = lineages_.find(lineage);
+  if (lineage_it == lineages_.end()) return 0;
+  int dropped = 0;
+  for (const auto& [version, snapshot] : lineage_it->second.versions) {
+    snapshots_.erase(snapshot->id);
+    ++dropped;
+  }
+  stats_.unregistered += dropped;
+  auto name_it = lineage_by_name_.find(lineage_it->second.name);
+  if (name_it != lineage_by_name_.end() && name_it->second == lineage) {
+    lineage_by_name_.erase(name_it);
+  }
+  lineages_.erase(lineage_it);
+  return dropped;
 }
 
 DbHandle DbRegistry::Find(uint64_t id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = snapshots_.find(id);
   return it != snapshots_.end() ? DbHandle(it->second) : DbHandle();
+}
+
+DbHandle DbRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto name_it = lineage_by_name_.find(name);
+  if (name_it == lineage_by_name_.end()) return DbHandle();
+  auto lineage_it = lineages_.find(name_it->second);
+  if (lineage_it == lineages_.end() || lineage_it->second.versions.empty()) {
+    return DbHandle();
+  }
+  return DbHandle(lineage_it->second.versions.rbegin()->second);
+}
+
+DbHandle DbRegistry::Latest(uint64_t lineage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto lineage_it = lineages_.find(lineage);
+  if (lineage_it == lineages_.end() || lineage_it->second.versions.empty()) {
+    return DbHandle();
+  }
+  return DbHandle(lineage_it->second.versions.rbegin()->second);
+}
+
+Result<DbHandle> DbRegistry::Resolve(std::string_view reference) const {
+  std::string_view name = reference;
+  std::string_view version_part;
+  size_t at = reference.rfind('@');
+  if (at != std::string_view::npos) {
+    name = reference.substr(0, at);
+    version_part = reference.substr(at + 1);
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("Resolve: empty lineage name in '" +
+                                   std::string(reference) + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto name_it = lineage_by_name_.find(name);
+  if (name_it == lineage_by_name_.end()) {
+    return Status::NotFound("Resolve: no lineage named '" +
+                            std::string(name) + "'");
+  }
+  auto lineage_it = lineages_.find(name_it->second);
+  if (lineage_it == lineages_.end() || lineage_it->second.versions.empty()) {
+    return Status::NotFound("Resolve: no lineage named '" +
+                            std::string(name) + "'");
+  }
+  const Lineage& lineage = lineage_it->second;
+  if (at == std::string_view::npos || version_part == "latest") {
+    return DbHandle(lineage.versions.rbegin()->second);
+  }
+  uint32_t version = 0;
+  auto [end, ec] = std::from_chars(
+      version_part.data(), version_part.data() + version_part.size(),
+      version);
+  if (ec != std::errc() || end != version_part.data() + version_part.size() ||
+      version == 0) {
+    return Status::InvalidArgument(
+        "Resolve: bad version '" + std::string(version_part) +
+        "' (want a positive integer or 'latest')");
+  }
+  auto version_it = lineage.versions.find(version);
+  if (version_it == lineage.versions.end()) {
+    return Status::NotFound("Resolve: lineage '" + std::string(name) +
+                            "' has no version " + std::to_string(version));
+  }
+  return DbHandle(version_it->second);
 }
 
 size_t DbRegistry::size() const {

@@ -1,56 +1,83 @@
-// rpqres — engine/db_registry: owned, immutable database snapshots.
+// rpqres — engine/db_registry: named, versioned database lineages.
 //
-// Serving API v1 borrowed raw `const GraphDb*` pointers per request, which
-// pushed a lifetime contract onto every caller ("db must outlive the
-// call") and left nowhere to hang per-database precomputation. The
-// registry inverts that: Register(GraphDb) moves the database into an
-// immutable, refcounted DbSnapshot — together with a per-label adjacency
-// index built exactly once — and hands back a DbHandle. Handles are cheap
-// value types (one shared_ptr); every query against the same handle
-// shares the snapshot and its index, and a handle stays valid even after
-// the registry entry is unregistered or the registry itself is destroyed.
+// Registry v2 knew whole immutable snapshots: any single-fact change
+// forced a full GraphDb copy plus a from-scratch LabelIndex rebuild, and
+// gave the engine no version key to cache answers against. v3 keeps the
+// snapshot model — every version is immutable, refcounted, and survives
+// deregistration while handles exist — but organizes snapshots into
+// *lineages* with delta commits:
 //
 //   DbRegistry registry;
-//   DbHandle db = registry.Register(std::move(graph), "orders-2026-07");
-//   engine.Evaluate({.regex = "ax*b", .db = db});
+//   DbHandle v1 = registry.Register(std::move(graph), "orders");
+//   DeltaBatch delta = registry.BeginDelta(v1);
+//   delta.AddFact(u, 'a', v);
+//   delta.RemoveFact(w, 'b', u);
+//   DbHandle v2 = *delta.Commit();        // version 2, shares v1's facts
+//   registry.Resolve("orders@latest");    // == v2
+//   registry.Resolve("orders@1");         // == v1
 //
-// Every snapshot owns its database and label index — the v1 borrowed-
-// pointer escape hatch (DbHandle::Borrow) was removed with the rest of
-// the v1 surface.
+// A commit produces a copy-on-write snapshot (GraphDb::MakeOverlay):
+// facts live in the lineage's immutable flat base plus per-version
+// add/tombstone overlays, and the LabelIndex is patched incrementally —
+// only the labels the delta touched are rebuilt — so commit cost scales
+// with the delta (plus the touched labels' facts), not the database.
+// When the accumulated overlay crosses the compaction threshold the
+// commit folds everything back into a fresh flat base.
+//
+// Lineage histories are linear: committing a delta whose parent is no
+// longer the lineage's latest version fails with Aborted (optimistic
+// concurrency — re-begin from the new latest and retry). The
+// (lineage, version) pair on every handle is the immutable identity the
+// engine's ResultCache keys resilience answers by.
 
 #ifndef RPQRES_ENGINE_DB_REGISTRY_H_
 #define RPQRES_ENGINE_DB_REGISTRY_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "graphdb/graph_db.h"
 #include "graphdb/label_index.h"
+#include "util/status.h"
 
 namespace rpqres {
 
-/// One immutable registered database: the owned GraphDb plus everything
-/// precomputed for it. Shared (shared_ptr-to-const) between the registry
-/// and any number of outstanding handles / in-flight requests.
+/// One immutable registered database version: the owned GraphDb (flat for
+/// version 1 and compacted versions, a copy-on-write overlay otherwise)
+/// plus everything precomputed for it. Shared (shared_ptr-to-const)
+/// between the registry and any number of outstanding handles / in-flight
+/// requests.
 struct DbSnapshot {
-  /// Registry-unique id.
+  /// Registry-unique snapshot id.
   uint64_t id = 0;
-  /// Optional display name given at Register time.
+  /// Lineage this version belongs to (== the id of version 1).
+  uint64_t lineage = 0;
+  /// 1-based position in the lineage's linear history.
+  uint32_t version = 1;
+  /// Optional display name given at Register time (shared by the whole
+  /// lineage; Resolve/Find look it up).
   std::string name;
   /// The database, owned.
   GraphDb db;
-  /// Per-label fact adjacency, built once at Register time.
+  /// Per-label fact adjacency — full-built at Register, incrementally
+  /// patched by delta commits.
   LabelIndex label_index;
+  /// True when the commit that produced this version folded the
+  /// accumulated overlay into a fresh flat base.
+  bool compacted = false;
 };
 
-/// A value-type reference to a registered database. Default constructed
-/// handles are invalid; requests carrying one fail with InvalidArgument
-/// instead of crashing.
+/// A value-type reference to a registered database version. Default
+/// constructed handles are invalid; every accessor below is safe on an
+/// invalid handle except db(), and requests carrying an invalid handle
+/// fail with InvalidArgument instead of crashing.
 class DbHandle {
  public:
   DbHandle() = default;
@@ -63,54 +90,187 @@ class DbHandle {
   const LabelIndex* label_index() const {
     return snapshot_ != nullptr ? &snapshot_->label_index : nullptr;
   }
+  /// Snapshot id; 0 for an invalid handle (registry ids start at 1).
   uint64_t id() const { return snapshot_ != nullptr ? snapshot_->id : 0; }
+  /// Lineage id; 0 for an invalid handle.
+  uint64_t lineage() const {
+    return snapshot_ != nullptr ? snapshot_->lineage : 0;
+  }
+  /// 1-based version within the lineage; 0 for an invalid handle.
+  uint32_t version() const {
+    return snapshot_ != nullptr ? snapshot_->version : 0;
+  }
+  /// Lineage name; the empty string for an invalid (or unnamed) handle.
   const std::string& name() const;
 
  private:
   friend class DbRegistry;
+  friend class DeltaBatch;
   explicit DbHandle(std::shared_ptr<const DbSnapshot> snapshot)
       : snapshot_(std::move(snapshot)) {}
 
   std::shared_ptr<const DbSnapshot> snapshot_;
 };
 
-/// Thread-safe id → snapshot map. Unregistering (or destroying the
-/// registry) drops only the registry's reference — outstanding DbHandles
-/// keep their snapshot alive, so in-flight requests never race a
-/// deregistration.
+class DbRegistry;
+
+/// A mutation batch against one parent version. Obtained from
+/// DbRegistry::BeginDelta, filled with AddNode/AddFact/RemoveFact, and
+/// turned into the next version by Commit (one-shot). A batch applies its
+/// operations eagerly to a private copy-on-write overlay, so AddFact
+/// returns real fact ids and RemoveFact validates immediately; nothing is
+/// visible to readers until Commit succeeds. Not thread-safe (one writer
+/// per batch); distinct batches are independent.
+class DeltaBatch {
+ public:
+  DeltaBatch() = default;
+  /// Moves invalidate the source: a moved-from batch reports
+  /// valid() == false and refuses mutations and Commit.
+  DeltaBatch(DeltaBatch&& other) noexcept { *this = std::move(other); }
+  DeltaBatch& operator=(DeltaBatch&& other) noexcept {
+    registry_ = std::exchange(other.registry_, nullptr);
+    parent_ = std::move(other.parent_);
+    work_ = std::move(other.work_);
+    touched_labels_ = std::move(other.touched_labels_);
+    touched_ = other.touched_;
+    ops_ = other.ops_;
+    committed_ = other.committed_;
+    return *this;
+  }
+
+  /// False for default-constructed, BeginDelta-on-invalid-handle, or
+  /// already-committed batches. Mutations on an invalid batch fail.
+  bool valid() const { return registry_ != nullptr && !committed_; }
+
+  /// Appends a node; ids continue the parent's node space.
+  NodeId AddNode(std::string name = "");
+  /// Adds (or multiplicity-bumps) a fact between existing nodes (parent
+  /// or batch-added). InvalidArgument on out-of-range node ids.
+  Result<FactId> AddFact(NodeId source, char label, NodeId target,
+                         Capacity multiplicity = 1);
+  /// Tombstones a live fact; NotFound when no such fact exists.
+  Status RemoveFact(NodeId source, char label, NodeId target);
+
+  /// Operations recorded so far (adds + removes + nodes).
+  int64_t num_ops() const { return ops_; }
+
+  /// Publishes the batch as the parent lineage's next version and
+  /// returns its handle. Fails with Aborted when another commit advanced
+  /// the lineage first (re-begin and retry), NotFound when the lineage
+  /// was unregistered, FailedPrecondition on an invalid/consumed batch.
+  Result<DbHandle> Commit();
+
+ private:
+  friend class DbRegistry;
+  DeltaBatch(DbRegistry* registry, std::shared_ptr<const DbSnapshot> parent);
+
+  void TouchLabel(char label);
+
+  DbRegistry* registry_ = nullptr;
+  std::shared_ptr<const DbSnapshot> parent_;
+  GraphDb work_;
+  /// Labels whose fact set the batch changed, deduplicated — the
+  /// incremental LabelIndex rebuilds exactly these.
+  std::vector<char> touched_labels_;
+  std::array<bool, 256> touched_{};
+  int64_t ops_ = 0;
+  bool committed_ = false;
+};
+
+/// Thread-safe registry of versioned database lineages. Unregistering (or
+/// destroying the registry) drops only the registry's references —
+/// outstanding DbHandles keep their snapshots alive, so in-flight
+/// requests never race a deregistration.
 class DbRegistry {
  public:
+  struct Options {
+    /// A commit compacts (folds overlays into a fresh flat base) once the
+    /// accumulated overlay exceeds
+    /// max(compaction_min_overlay, compaction_fraction * live facts).
+    int64_t compaction_min_overlay = 256;
+    double compaction_fraction = 0.25;
+  };
+
   struct Stats {
     int64_t registered = 0;    ///< Register calls since construction
-    int64_t unregistered = 0;  ///< successful Unregister calls
+    int64_t unregistered = 0;  ///< snapshots dropped (incl. lineage drops)
+    int64_t commits = 0;       ///< successful delta commits
+    int64_t commit_conflicts = 0;  ///< commits refused with Aborted
+    int64_t compactions = 0;   ///< commits that folded their overlay
   };
 
   DbRegistry() = default;
+  explicit DbRegistry(Options options) : options_(options) {}
 
-  /// Moves `db` into a fresh immutable snapshot, builds its label index,
-  /// and returns a handle. Ids are unique per registry, starting at 1.
+  /// Moves `db` into a fresh immutable snapshot — version 1 of a new
+  /// lineage — builds its label index, and returns a handle. Ids are
+  /// unique per registry, starting at 1. Names need not be unique;
+  /// Find/Resolve see the most recently registered lineage per name.
   DbHandle Register(GraphDb db, std::string name = "");
 
-  /// Drops the registry's reference to `id`; returns false when absent.
-  /// Handles already handed out stay valid.
+  /// Starts a delta against `parent`'s version. An invalid parent yields
+  /// an invalid batch (whose Commit fails with FailedPrecondition).
+  DeltaBatch BeginDelta(const DbHandle& parent);
+
+  /// Drops the registry's reference to snapshot `id`; returns false when
+  /// absent. Handles already handed out stay valid. Dropping a lineage's
+  /// latest version makes the highest remaining version latest; dropping
+  /// the last version removes the lineage.
   bool Unregister(uint64_t id);
 
-  /// The handle for `id`, or an invalid handle when absent.
+  /// Drops every version of `lineage`; returns how many were dropped.
+  int UnregisterLineage(uint64_t lineage);
+
+  /// The handle for snapshot `id`, or an invalid handle when absent.
   DbHandle Find(uint64_t id) const;
 
-  /// Currently registered snapshot count (not counting unregistered
-  /// snapshots kept alive by outstanding handles).
+  /// The latest version of the most recently registered lineage named
+  /// `name`, or an invalid handle. (Prefer Resolve for @version access.)
+  DbHandle Find(std::string_view name) const;
+
+  /// Resolves "name", "name@latest", or "name@<version>" to a handle.
+  /// NotFound for unknown names/versions, InvalidArgument for malformed
+  /// references.
+  Result<DbHandle> Resolve(std::string_view reference) const;
+
+  /// The latest version of `lineage`, or an invalid handle.
+  DbHandle Latest(uint64_t lineage) const;
+
+  /// Currently registered snapshot count across all lineages (not
+  /// counting unregistered snapshots kept alive by outstanding handles).
   size_t size() const;
 
   Stats stats() const;
 
-  /// Ids currently registered, ascending (introspection / tooling).
+  const Options& options() const { return options_; }
+
+  /// Snapshot ids currently registered, ascending (introspection).
   std::vector<uint64_t> ids() const;
 
  private:
+  friend class DeltaBatch;
+
+  struct Lineage {
+    std::string name;
+    /// version -> snapshot; the latest is versions.rbegin().
+    std::map<uint32_t, std::shared_ptr<const DbSnapshot>> versions;
+    /// Next version number to assign; never decreases, even when the
+    /// latest version is unregistered — a (lineage, version) pair must
+    /// never be recycled, or ResultCache entries keyed by it would serve
+    /// the old version's answers for the new one.
+    uint32_t next_version = 2;
+  };
+
+  /// Publishes a finished batch (called by DeltaBatch::Commit).
+  Result<DbHandle> CommitDelta(DeltaBatch* batch);
+
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;
   std::map<uint64_t, std::shared_ptr<const DbSnapshot>> snapshots_;
+  std::map<uint64_t, Lineage> lineages_;
+  /// name -> lineage id of the most recent registration with that name.
+  std::map<std::string, uint64_t, std::less<>> lineage_by_name_;
+  Options options_;
   Stats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <optional>
@@ -43,6 +44,7 @@ bool IsInconclusiveCode(StatusCode code) {
 ResilienceEngine::ResilienceEngine(EngineOptions options)
     : options_(options),
       cache_(options.plan_cache_capacity),
+      result_cache_(options.result_cache_capacity),
       pool_(options.num_threads > 0 ? options.num_threads
                                     : ThreadPool::DefaultNumThreads()) {}
 
@@ -149,8 +151,18 @@ std::vector<ResilienceResponse> ResilienceEngine::EvaluateBatch(
   return responses;
 }
 
-void JudgeDifferential(const Language& lang, const GraphDb& db,
-                       Semantics semantics, ResilienceResponse* response) {
+namespace {
+
+/// Shared verdict logic; source/target < 0 judges the Boolean query.
+void JudgeDifferentialImpl(const Language& lang, const GraphDb& db,
+                           NodeId source, NodeId target, Semantics semantics,
+                           ResilienceResponse* response) {
+  auto verify = [&](const ResilienceResult& result) {
+    return source < 0
+               ? VerifyResilienceResult(lang, db, semantics, result)
+               : VerifyResilienceResultBetween(lang, db, source, target,
+                                               semantics, result);
+  };
   if (!response->differential.has_value()) response->differential.emplace();
   ResilienceResponse::Differential& d = *response->differential;
   d.agree = false;
@@ -195,13 +207,13 @@ void JudgeDifferential(const Language& lang, const GraphDb& db,
                  r.algorithm + ")";
     return;
   }
-  Status primary_witness = VerifyResilienceResult(lang, db, semantics, p);
+  Status primary_witness = verify(p);
   if (!primary_witness.ok()) {
     d.mismatch = "primary witness invalid (" + p.algorithm + "): " +
                  primary_witness.message();
     return;
   }
-  Status reference_witness = VerifyResilienceResult(lang, db, semantics, r);
+  Status reference_witness = verify(r);
   if (!reference_witness.ok()) {
     d.mismatch = "reference witness invalid (" + r.algorithm + "): " +
                  reference_witness.message();
@@ -210,17 +222,68 @@ void JudgeDifferential(const Language& lang, const GraphDb& db,
   d.agree = true;
 }
 
+}  // namespace
+
+void JudgeDifferential(const Language& lang, const GraphDb& db,
+                       Semantics semantics, ResilienceResponse* response) {
+  JudgeDifferentialImpl(lang, db, /*source=*/-1, /*target=*/-1, semantics,
+                        response);
+}
+
+void JudgeDifferentialBetween(const Language& lang, const GraphDb& db,
+                              NodeId source, NodeId target,
+                              Semantics semantics,
+                              ResilienceResponse* response) {
+  JudgeDifferentialImpl(lang, db, source, target, semantics, response);
+}
+
 void ResilienceEngine::RunReference(const CompiledQuery& query,
                                     const ResilienceRequest& request,
                                     ResilienceResponse* response) {
   response->differential.emplace();
   ResilienceResponse::Differential& d = *response->differential;
   if (request.source.has_value() || request.target.has_value()) {
-    // The exact reference solver answers the Boolean query only; a
-    // fixed-endpoint request has no independent second opinion yet.
-    d.reference_status = Status::Unimplemented(
-        "differential reference does not support fixed endpoints");
-    d.inconclusive = true;
+    // Fixed endpoints: the walk-based exact reference answers the Boolean
+    // query only, so the second opinion is the endpoint-pinned all-subsets
+    // brute force — real on small databases, inconclusive beyond the
+    // budget (2^facts subsets).
+    if (!request.db.valid() || !request.source.has_value() ||
+        !request.target.has_value()) {
+      // Argument errors agree by construction: the reference would refuse
+      // these requests identically.
+      d.reference_status = response->status;
+      d.agree = !response->status.ok();
+      d.inconclusive = response->status.ok();
+      return;
+    }
+    if (!response->status.ok()) {
+      // No primary answer to compare — deadline/budget exhaustion, or a
+      // capability refusal (e.g. non-local language) the brute force does
+      // not share. Neither agreement nor mismatch.
+      d.reference_status = response->status;
+      d.inconclusive = true;
+      return;
+    }
+    const GraphDb& db = request.db.db();
+    const int max_facts =
+        std::min(options_.fixed_endpoint_reference_max_facts, 22);
+    auto start = std::chrono::steady_clock::now();
+    Result<ResilienceResult> reference = SolveBruteForceResilienceBetween(
+        query.language, db, *request.source, *request.target, query.semantics,
+        max_facts);
+    d.reference_stats.solve_micros = MicrosSince(start);
+    if (!reference.ok()) {
+      d.reference_status = reference.status();
+      // OutOfRange == database too large for the subset enumeration: no
+      // refutable answer, not a divergence.
+      d.inconclusive = true;
+      return;
+    }
+    d.reference_result = *std::move(reference);
+    d.reference_stats.algorithm = d.reference_result.algorithm;
+    d.reference_stats.search_nodes = d.reference_result.search_nodes;
+    JudgeDifferentialBetween(query.language, db, *request.source,
+                             *request.target, query.semantics, response);
     return;
   }
   if (!request.db.valid()) {
@@ -270,7 +333,17 @@ std::vector<ResilienceResponse> ResilienceEngine::EvaluateDifferential(
   std::vector<ResilienceResponse> responses(requests.size());
   pool_.ParallelFor(
       static_cast<int64_t>(requests.size()), [&](int64_t i) {
-        const ResilienceRequest& request = requests[i];
+        // Pin name-based databases once so primary and reference judge the
+        // SAME snapshot — "@latest" advancing mid-differential must not
+        // read as a solver divergence.
+        ResilienceRequest request = requests[i];
+        if (!request.db.valid() && !request.db_ref.empty() &&
+            request.registry != nullptr) {
+          Result<DbHandle> resolved = request.registry->Resolve(request.db_ref);
+          if (resolved.ok()) request.db = *std::move(resolved);
+          // Resolution errors fall through: Execute re-resolves and
+          // surfaces the same status.
+        }
         ResilienceResponse& response = responses[i];
         const CompiledQuery* query = request.query.get();
         if (query == nullptr) {
@@ -336,7 +409,6 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
                                              const ResilienceRequest& request,
                                              bool cache_hit,
                                              double compile_micros) {
-  const DbHandle& db = request.db;
   const RequestOptions& request_options = request.options;
   ResilienceResponse response;
   response.stats.complexity =
@@ -345,6 +417,18 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
   response.stats.cache_hit = cache_hit;
   response.stats.compile_micros = compile_micros;
 
+  // Name-based resolution happens at execution time, so a queued request
+  // against "lineage@latest" sees the version that is latest *now*.
+  DbHandle db = request.db;
+  if (!db.valid() && !request.db_ref.empty() && request.registry != nullptr) {
+    Result<DbHandle> resolved = request.registry->Resolve(request.db_ref);
+    if (!resolved.ok()) {
+      response.status = resolved.status();
+      RecordInstance(response);
+      return response;
+    }
+    db = *std::move(resolved);
+  }
   if (!db.valid()) {
     response.status = Status::InvalidArgument(
         "request carries no database (default DbHandle)");
@@ -385,6 +469,40 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
     response.status = cancel->ToStatus();
     RecordInstance(response);
     return response;
+  }
+
+  // Version-keyed answer cache: sound because a (lineage, version) pair
+  // is immutable. Forced-method requests bypass it (they are routing
+  // experiments), as do databases registered outside a lineage (lineage 0
+  // never occurs — registry ids start at 1 — so validity == lineage != 0).
+  const bool cacheable =
+      result_cache_.enabled() && db.lineage() != 0 &&
+      (!request_options.method.has_value() ||
+       *request_options.method == ResilienceMethod::kAuto);
+  ResultCacheKey cache_key;
+  if (cacheable) {
+    cache_key = ResultCacheKey{query.regex,
+                               query.semantics,
+                               db.lineage(),
+                               db.version(),
+                               request.source.value_or(-1),
+                               request.target.value_or(-1)};
+    auto lookup_start = std::chrono::steady_clock::now();
+    if (std::optional<CachedResult> hit = result_cache_.Lookup(cache_key)) {
+      response.result = hit->result;
+      // Report what computed the cached answer, stamped as a cache hit.
+      response.stats.algorithm = hit->stats.algorithm;
+      response.stats.network_vertices = hit->stats.network_vertices;
+      response.stats.network_edges = hit->stats.network_edges;
+      response.stats.product_vertices_pruned =
+          hit->stats.product_vertices_pruned;
+      response.stats.product_edges_pruned = hit->stats.product_edges_pruned;
+      response.stats.search_nodes = hit->stats.search_nodes;
+      response.stats.result_cache_hit = true;
+      response.stats.solve_micros = MicrosSince(lookup_start);
+      RecordInstance(response);
+      return response;
+    }
   }
 
   ExactOptions exact_options;
@@ -453,6 +571,10 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
         response.result.product_vertices_pruned;
     response.stats.product_edges_pruned = response.result.product_edges_pruned;
     response.stats.search_nodes = response.result.search_nodes;
+    if (cacheable) {
+      result_cache_.Insert(std::move(cache_key),
+                           CachedResult{response.result, response.stats});
+    }
   }
   RecordInstance(response);
   return response;
@@ -476,22 +598,39 @@ void ResilienceEngine::RecordInstance(const ResilienceResponse& response) {
 
 EngineStats ResilienceEngine::stats() const {
   PlanCache::Stats cache_stats = cache_.stats();
+  ResultCache::Stats result_stats = result_cache_.stats();
   std::lock_guard<std::mutex> lock(stats_mu_);
   EngineStats snapshot = stats_;
   snapshot.cache_hits = cache_stats.hits;
   snapshot.cache_misses = cache_stats.misses;
   snapshot.cache_evictions = cache_stats.evictions;
+  snapshot.result_cache_hits = result_stats.hits;
+  snapshot.result_cache_misses = result_stats.misses;
+  snapshot.result_cache_evictions = result_stats.evictions;
+  snapshot.result_cache_invalidations = result_stats.invalidations;
   return snapshot;
 }
 
 void ResilienceEngine::ResetStats() {
   cache_.ResetStats();
+  result_cache_.ResetStats();
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_ = EngineStats{};
 }
 
 PlanCacheView ResilienceEngine::plan_cache_view() const {
   return PlanCacheView{cache_.size(), cache_.capacity(), cache_.stats()};
+}
+
+ResultCacheView ResilienceEngine::result_cache_view() const {
+  return ResultCacheView{result_cache_.size(), result_cache_.capacity(),
+                         result_cache_.stats()};
+}
+
+int64_t ResilienceEngine::InvalidateResults(uint64_t lineage,
+                                            std::optional<uint32_t> version) {
+  return version.has_value() ? result_cache_.EraseVersion(lineage, *version)
+                             : result_cache_.EraseLineage(lineage);
 }
 
 }  // namespace rpqres

@@ -39,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -49,6 +50,7 @@
 #include "engine/engine_stats.h"
 #include "engine/plan_cache.h"
 #include "engine/request.h"
+#include "engine/result_cache.h"
 #include "graphdb/graph_db.h"
 #include "resilience/resilience.h"
 #include "util/status.h"
@@ -71,6 +73,17 @@ struct EngineOptions {
   /// Exceeding it yields OutOfRange — differential runs report such pairs
   /// as inconclusive, not as mismatches.
   uint64_t max_exact_search_nodes = 50'000'000;
+  /// Max entries in the version-keyed ResultCache (answers keyed by
+  /// (query, lineage, version, semantics, endpoints) — sound because
+  /// registry versions are immutable). 0 disables the cache, the
+  /// default: benchmarks and differential harnesses measure solvers, not
+  /// memoization; serving deployments opt in.
+  size_t result_cache_capacity = 0;
+  /// Fixed-endpoint differential reference: requests whose database has
+  /// at most this many live facts get an endpoint-pinned brute-force
+  /// second opinion (2^facts subsets); larger instances judge
+  /// inconclusive. Clamped to 22.
+  int fixed_endpoint_reference_max_facts = 16;
 };
 
 /// Read-only plan-cache introspection snapshot (size, capacity, hit/miss
@@ -79,6 +92,13 @@ struct PlanCacheView {
   size_t size = 0;
   size_t capacity = 0;
   PlanCache::Stats stats;
+};
+
+/// Read-only ResultCache introspection snapshot.
+struct ResultCacheView {
+  size_t size = 0;
+  size_t capacity = 0;
+  ResultCache::Stats stats;
 };
 
 /// The engine. Thread-safe: Compile/Evaluate/EvaluateBatch/Submit may be
@@ -140,6 +160,16 @@ class ResilienceEngine {
   /// Read-only plan-cache snapshot.
   PlanCacheView plan_cache_view() const;
 
+  /// Read-only ResultCache snapshot.
+  ResultCacheView result_cache_view() const;
+
+  /// Drops cached answers for `lineage` (every version, or just
+  /// `version`). Version-keyed entries are never stale, so this is
+  /// capacity hygiene for dropped lineages, not a correctness hook; the
+  /// dropped count lands in result_cache_invalidations.
+  int64_t InvalidateResults(uint64_t lineage,
+                            std::optional<uint32_t> version = std::nullopt);
+
  private:
   /// Compile-or-cache; sets *was_cache_hit (if non-null) to whether the
   /// plan was already resident.
@@ -176,6 +206,7 @@ class ResilienceEngine {
 
   EngineOptions options_;
   PlanCache cache_;
+  ResultCache result_cache_;
   mutable std::mutex stats_mu_;
   EngineStats stats_;
   /// Declared last on purpose: ~ThreadPool drains still-queued Submit

@@ -25,6 +25,10 @@ struct InstanceStats {
   /// hits and for requests that carry a caller-managed precompiled query
   /// (ResilienceRequest::query), which bypass the cache.
   bool cache_hit = false;
+  /// True iff the answer came from the version-keyed ResultCache (no
+  /// solver ran; `algorithm` etc. describe the run that populated the
+  /// entry).
+  bool result_cache_hit = false;
   /// Compile wall time attributed to this instance (0 on a cache hit).
   double compile_micros = 0;
   /// Solve wall time (plan execution only).
@@ -65,6 +69,11 @@ struct EngineStats {
   /// value divergence or an invalid witness on either side).
   int64_t differentials_run = 0;
   int64_t differential_mismatches = 0;
+  /// Version-keyed ResultCache counters (0 when the cache is disabled).
+  int64_t result_cache_hits = 0;
+  int64_t result_cache_misses = 0;
+  int64_t result_cache_evictions = 0;
+  int64_t result_cache_invalidations = 0;
   /// Aggregate product-pruning effect across flow solves (see
   /// InstanceStats::product_vertices_pruned).
   int64_t flow_vertices_pruned = 0;

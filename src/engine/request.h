@@ -74,8 +74,16 @@ struct ResilienceRequest {
   /// semantics takes precedence over `semantics` below.
   std::shared_ptr<const CompiledQuery> query;
   /// The database, as a DbRegistry handle. Invalid handles fail with
-  /// InvalidArgument.
+  /// InvalidArgument (unless `db_ref` resolves one below).
   DbHandle db;
+  /// Name-based database resolution (registry v3): when `db` is invalid
+  /// and both fields here are set, the engine resolves
+  /// "lineage", "lineage@latest", or "lineage@<version>" against
+  /// `registry` at execution time — so a queued request against
+  /// "orders@latest" sees whatever version is latest when it actually
+  /// runs. Resolution failures surface as the response status.
+  std::string db_ref;
+  const DbRegistry* registry = nullptr;
   Semantics semantics = Semantics::kSet;
   /// Fixed-endpoint resilience (non-Boolean extension, Thm 3.13 ext):
   /// when set, RES is the minimum cost to remove every L-walk from
@@ -83,8 +91,10 @@ struct ResilienceRequest {
   /// anywhere. Both must be set together (InvalidArgument otherwise).
   /// Requires the query language *itself* to be local — IF-rewriting is
   /// unsound with fixed endpoints, so non-local languages fail with
-  /// FailedPrecondition. Differential runs judge such requests
-  /// inconclusive (the exact reference solver is Boolean-only).
+  /// FailedPrecondition. Differential runs use the endpoint-pinned
+  /// brute force as the reference on databases up to
+  /// EngineOptions::fixed_endpoint_reference_max_facts facts, and judge
+  /// larger instances inconclusive.
   std::optional<NodeId> source;
   std::optional<NodeId> target;
   RequestOptions options;
@@ -128,6 +138,14 @@ struct ResilienceResponse {
 /// shrunken databases outside the engine.
 void JudgeDifferential(const Language& lang, const GraphDb& db,
                        Semantics semantics, ResilienceResponse* response);
+
+/// Endpoint-pinned judging for fixed-endpoint requests: identical
+/// verdict logic, but witnesses are verified against the (source, target)
+/// query (VerifyResilienceResultBetween).
+void JudgeDifferentialBetween(const Language& lang, const GraphDb& db,
+                              NodeId source, NodeId target,
+                              Semantics semantics,
+                              ResilienceResponse* response);
 
 }  // namespace rpqres
 

@@ -1,0 +1,104 @@
+// rpqres — engine/result_cache: version-keyed resilience answer cache.
+//
+// The VCSP view of resilience (Bodirsky–Lutz–Semanišinová) treats
+// RES(Q, db) as a pure function of the instance — which is exactly what
+// makes answer caching sound once the database side has an immutable
+// identity. DbRegistry v3 provides it: a (lineage, version) pair never
+// changes meaning, so a resilience answer keyed by
+//
+//   (query fingerprint, lineage, version, semantics, endpoints)
+//
+// stays valid forever. The cache is a bounded, thread-safe LRU; entries
+// for superseded versions age out under capacity pressure (they are never
+// *wrong*, just cold), and EraseLineage offers explicit invalidation when
+// a lineage is dropped. Requests that force a specific solver bypass the
+// cache — a forced method is a routing experiment, not a lookup.
+
+#ifndef RPQRES_ENGINE_RESULT_CACHE_H_
+#define RPQRES_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "engine/engine_stats.h"
+#include "graphdb/graph_db.h"
+#include "resilience/result.h"
+
+namespace rpqres {
+
+/// The immutable identity of one cacheable instance. `source`/`target`
+/// are -1 for Boolean (endpoint-free) requests.
+struct ResultCacheKey {
+  std::string regex;
+  Semantics semantics = Semantics::kSet;
+  uint64_t lineage = 0;
+  uint32_t version = 0;
+  NodeId source = -1;
+  NodeId target = -1;
+
+  auto operator<=>(const ResultCacheKey&) const = default;
+};
+
+/// A cached answer: the result plus the solve-side stats of the run that
+/// produced it (algorithm, network sizes) so cache hits still report what
+/// computed the answer.
+struct CachedResult {
+  ResilienceResult result;
+  InstanceStats stats;
+};
+
+/// Thread-safe LRU (key → answer). Capacity 0 disables the cache (every
+/// Lookup misses without counting, Insert is a no-op).
+class ResultCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+    /// Entries dropped by EraseLineage/EraseVersion.
+    int64_t invalidations = 0;
+  };
+
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// The cached answer, marked most-recently-used; nullopt on miss.
+  std::optional<CachedResult> Lookup(const ResultCacheKey& key);
+
+  /// Inserts (or refreshes) the answer, evicting the least-recently-used
+  /// entry when over capacity.
+  void Insert(ResultCacheKey key, CachedResult value);
+
+  /// Drops every entry of `lineage` (all versions); returns the count.
+  int64_t EraseLineage(uint64_t lineage);
+  /// Drops every entry of one (lineage, version); returns the count.
+  int64_t EraseVersion(uint64_t lineage, uint32_t version);
+
+  size_t size() const;
+  Stats stats() const;
+  void ResetStats();
+  void Clear();
+
+ private:
+  using Entry = std::pair<ResultCacheKey, CachedResult>;
+
+  int64_t EraseMatching(uint64_t lineage, std::optional<uint32_t> version);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<ResultCacheKey, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_ENGINE_RESULT_CACHE_H_

@@ -8,23 +8,40 @@
 namespace rpqres {
 
 NodeId GraphDb::AddNode() {
-  return AddNode("n" + std::to_string(node_names_.size()));
+  return AddNode("n" + std::to_string(num_nodes()));
 }
 
 NodeId GraphDb::AddNode(const std::string& name) {
-  NodeId id = static_cast<NodeId>(node_names_.size());
+  NodeId id = static_cast<NodeId>(num_nodes());
   node_names_.push_back(name);
-  out_facts_.emplace_back();
-  in_facts_.emplace_back();
+  if (base_ == nullptr) {
+    out_facts_.emplace_back();
+    in_facts_.emplace_back();
+  }
   return id;
 }
 
 NodeId GraphDb::GetOrAddNode(const std::string& name) {
+  if (base_ != nullptr) {
+    auto base_it = base_->nodes_by_name_.find(name);
+    if (base_it != base_->nodes_by_name_.end()) return base_it->second;
+  }
   auto it = nodes_by_name_.find(name);
   if (it != nodes_by_name_.end()) return it->second;
   NodeId id = AddNode(name);
   nodes_by_name_[name] = id;
   return id;
+}
+
+bool GraphDb::LookupMultOverride(FactId id, Capacity* value) const {
+  auto it = std::lower_bound(
+      mult_override_.begin(), mult_override_.end(), id,
+      [](const std::pair<FactId, Capacity>& entry, FactId key) {
+        return entry.first < key;
+      });
+  if (it == mult_override_.end() || it->first != id) return false;
+  *value = it->second;
+  return true;
 }
 
 FactId GraphDb::AddFact(NodeId source, char label, NodeId target,
@@ -33,53 +50,211 @@ FactId GraphDb::AddFact(NodeId source, char label, NodeId target,
   RPQRES_DCHECK(target >= 0 && target < num_nodes());
   RPQRES_CHECK_MSG(multiplicity >= 1, "fact multiplicity must be >= 1");
   auto key = std::make_tuple(source, label, target);
+  // Live-duplicate detection: overlay additions first, then the base
+  // (a tombstoned base fact does NOT merge — a re-add is a new fact at
+  // the end of the id space, matching what a from-scratch rebuild does).
   auto it = fact_index_.find(key);
   if (it != fact_index_.end()) {
-    multiplicities_[it->second] += multiplicity;
-    return it->second;
+    // fact_index_ only holds locally-stored facts (all facts of a flat
+    // database, overlay additions of a versioned one), so the id is
+    // always at or above the watermark.
+    FactId id = it->second;
+    multiplicities_[id - base_facts_] += multiplicity;
+    return id;
   }
-  FactId id = static_cast<FactId>(facts_.size());
+  if (base_ != nullptr) {
+    FactId base_id = base_->FindFact(source, label, target);
+    if (base_id >= 0 && IsLive(base_id)) {
+      auto pos = std::lower_bound(
+          mult_override_.begin(), mult_override_.end(), base_id,
+          [](const std::pair<FactId, Capacity>& entry, FactId k) {
+            return entry.first < k;
+          });
+      if (pos != mult_override_.end() && pos->first == base_id) {
+        pos->second += multiplicity;
+      } else {
+        mult_override_.insert(
+            pos, {base_id, base_->multiplicities_[base_id] + multiplicity});
+      }
+      return base_id;
+    }
+  }
+  FactId id = static_cast<FactId>(num_facts());
   facts_.push_back(Fact{source, label, target});
   multiplicities_.push_back(multiplicity);
   exogenous_.push_back(false);
-  out_facts_[source].push_back(id);
-  in_facts_[target].push_back(id);
+  if (base_ == nullptr) {
+    out_facts_[source].push_back(id);
+    in_facts_[target].push_back(id);
+  } else {
+    overlay_out_[source].push_back(id);
+    overlay_in_[target].push_back(id);
+  }
+  if (!dead_.empty()) dead_.push_back(0);
   fact_index_[key] = id;
   return id;
 }
 
 void GraphDb::SetExogenous(FactId id, bool exogenous) {
   RPQRES_DCHECK(id >= 0 && id < num_facts());
-  exogenous_[id] = exogenous;
+  RPQRES_CHECK_MSG(id >= base_facts_,
+                   "SetExogenous: base facts of an overlay are immutable");
+  exogenous_[id - base_facts_] = exogenous;
 }
 
 int GraphDb::NumExogenous() const {
-  return static_cast<int>(
-      std::count(exogenous_.begin(), exogenous_.end(), true));
+  int count = 0;
+  for (FactId f = 0; f < num_facts(); ++f) {
+    if (IsLive(f) && IsExogenous(f)) ++count;
+  }
+  return count;
 }
 
 FactId GraphDb::FindFact(NodeId source, char label, NodeId target) const {
   auto it = fact_index_.find(std::make_tuple(source, label, target));
-  return it == fact_index_.end() ? -1 : it->second;
+  if (it != fact_index_.end()) {
+    return IsLive(it->second) ? it->second : -1;
+  }
+  if (base_ != nullptr) {
+    FactId base_id = base_->FindFact(source, label, target);
+    if (base_id >= 0 && IsLive(base_id)) return base_id;
+  }
+  return -1;
 }
 
 Capacity GraphDb::TotalCost(Semantics semantics) const {
   Capacity total = 0;
   for (FactId id = 0; id < num_facts(); ++id) {
-    if (!exogenous_[id]) total += Cost(id, semantics);
+    if (IsLive(id) && !IsExogenous(id)) total += Cost(id, semantics);
   }
   return total;
 }
 
 std::vector<char> GraphDb::Labels() const {
   std::vector<char> labels;
-  for (const Fact& f : facts_) labels.push_back(f.label);
+  for (FactId f = 0; f < num_facts(); ++f) {
+    if (IsLive(f)) labels.push_back(fact(f).label);
+  }
   std::sort(labels.begin(), labels.end());
   labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
   return labels;
 }
 
+GraphDb GraphDb::MakeOverlay(std::shared_ptr<const GraphDb> parent) {
+  RPQRES_CHECK_MSG(parent != nullptr, "MakeOverlay: null parent");
+  GraphDb out;
+  if (parent->base_ == nullptr) {
+    out.base_ = std::move(parent);
+  } else {
+    // Same flat base; the parent's overlay is the starting point.
+    const GraphDb& p = *parent;
+    out.base_ = p.base_;
+    out.node_names_ = p.node_names_;
+    out.facts_ = p.facts_;
+    out.multiplicities_ = p.multiplicities_;
+    out.exogenous_ = p.exogenous_;
+    out.nodes_by_name_ = p.nodes_by_name_;
+    out.fact_index_ = p.fact_index_;
+    out.num_dead_ = p.num_dead_;
+    out.dead_ = p.dead_;
+    out.mult_override_ = p.mult_override_;
+    out.overlay_out_ = p.overlay_out_;
+    out.overlay_in_ = p.overlay_in_;
+  }
+  out.base_nodes_ = out.base_->num_nodes();
+  out.base_facts_ = out.base_->num_facts();
+  return out;
+}
+
+Status GraphDb::RemoveFact(NodeId source, char label, NodeId target) {
+  if (base_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RemoveFact: only overlay databases support in-place removal "
+        "(use RemoveFacts on a flat database)");
+  }
+  FactId id = FindFact(source, label, target);
+  if (id < 0) {
+    return Status::NotFound("RemoveFact: no live fact " +
+                            std::to_string(source) + " -" + label + "-> " +
+                            std::to_string(target));
+  }
+  if (dead_.empty()) dead_.assign(num_facts(), 0);
+  dead_[id] = 1;
+  ++num_dead_;
+  if (id >= base_facts_) {
+    fact_index_.erase(std::make_tuple(source, label, target));
+  } else {
+    // A dead base fact needs no override; drop it so a later re-add
+    // starts from a clean slate.
+    auto it = std::lower_bound(
+        mult_override_.begin(), mult_override_.end(), id,
+        [](const std::pair<FactId, Capacity>& entry, FactId key) {
+          return entry.first < key;
+        });
+    if (it != mult_override_.end() && it->first == id) {
+      mult_override_.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+GraphDb GraphDb::Compact(std::vector<FactId>* old_id_of) const {
+  GraphDb out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    out.AddNode(node_name(v));
+  }
+  out.nodes_by_name_ =
+      base_ != nullptr ? base_->nodes_by_name_ : nodes_by_name_;
+  if (base_ != nullptr) {
+    for (const auto& [name, id] : nodes_by_name_) {
+      out.nodes_by_name_.emplace(name, id);
+    }
+  }
+  if (old_id_of != nullptr) {
+    old_id_of->clear();
+    old_id_of->reserve(num_live_facts());
+  }
+  for (FactId f = 0; f < num_facts(); ++f) {
+    if (!IsLive(f)) continue;
+    const Fact& fct = fact(f);
+    FactId id =
+        out.AddFact(fct.source, fct.label, fct.target, multiplicity(f));
+    if (IsExogenous(f)) out.SetExogenous(id);
+    if (old_id_of != nullptr) old_id_of->push_back(f);
+  }
+  return out;
+}
+
+GraphDb::IncidentFacts GraphDb::IncidentView(NodeId node, bool out) const {
+  const uint8_t* dead = dead_.empty() ? nullptr : dead_.data();
+  const std::vector<FactId>* primary = nullptr;
+  if (base_ == nullptr) {
+    primary = out ? &out_facts_[node] : &in_facts_[node];
+  } else if (node < base_nodes_) {
+    primary = out ? &base_->out_facts_[node] : &base_->in_facts_[node];
+  }
+  const FactId* first = nullptr;
+  const FactId* first_end = nullptr;
+  if (primary != nullptr && !primary->empty()) {
+    first = primary->data();
+    first_end = first + primary->size();
+  }
+  const FactId* second = first_end;
+  const FactId* second_end = first_end;
+  if (base_ != nullptr) {
+    const auto& overlay = out ? overlay_out_ : overlay_in_;
+    auto it = overlay.find(node);
+    if (it != overlay.end() && !it->second.empty()) {
+      second = it->second.data();
+      second_end = second + it->second.size();
+    }
+  }
+  return IncidentFacts(dead, first, first_end, second, second_end);
+}
+
 GraphDb GraphDb::RemoveFacts(const std::vector<FactId>& fact_ids) const {
+  RPQRES_CHECK_MSG(base_ == nullptr,
+                   "RemoveFacts: Compact() an overlay database first");
   std::vector<bool> removed(facts_.size(), false);
   for (FactId id : fact_ids) {
     RPQRES_DCHECK(id >= 0 && id < num_facts());
@@ -99,6 +274,8 @@ GraphDb GraphDb::RemoveFacts(const std::vector<FactId>& fact_ids) const {
 }
 
 GraphDb GraphDb::MirrorDb() const {
+  RPQRES_CHECK_MSG(base_ == nullptr,
+                   "MirrorDb: Compact() an overlay database first");
   GraphDb out;
   for (const std::string& name : node_names_) out.AddNode(name);
   out.nodes_by_name_ = nodes_by_name_;
@@ -113,10 +290,11 @@ GraphDb GraphDb::MirrorDb() const {
 std::string GraphDb::ToString() const {
   std::ostringstream os;
   for (FactId id = 0; id < num_facts(); ++id) {
-    const Fact& f = facts_[id];
-    os << node_names_[f.source] << " -" << f.label << "-> "
-       << node_names_[f.target];
-    if (multiplicities_[id] != 1) os << " [x" << multiplicities_[id] << "]";
+    if (!IsLive(id)) continue;
+    const Fact& f = fact(id);
+    os << node_name(f.source) << " -" << f.label << "-> "
+       << node_name(f.target);
+    if (multiplicity(id) != 1) os << " [x" << multiplicity(id) << "]";
     os << "\n";
   }
   return os.str();

@@ -5,14 +5,36 @@
 // deletion cost); set semantics is the special case where solvers treat
 // every fact as cost 1 (paper, Section 2: RES_set reduces to RES_bag with
 // unit multiplicities).
+//
+// Two physical layouts share this one type:
+//
+//  * Flat databases — the historical layout: dense node/fact arrays built
+//    by AddNode/AddFact. Every mutator works, every fact id is live.
+//  * Versioned overlays (DbRegistry v3 delta commits) — an immutable
+//    shared *base* (a flat GraphDb held by shared_ptr) plus a private
+//    overlay: appended nodes/facts, a tombstone bitmap over the combined
+//    id space, and multiplicity overrides for base facts. Building an
+//    overlay copies O(|overlay|) state, never the base, which is what
+//    makes a delta commit scale with the delta.
+//
+// Fact ids stay dense over [0, num_facts()) in both layouts; in an
+// overlay, tombstoned ids are *dead* — IsLive(id) is false and the id
+// never appears in OutFactsLive/InFactsLive, a LabelIndex, a solver
+// network, or a serialization. Code that indexes storage by fact id
+// (cost arrays, removal masks) keeps working unchanged; code that
+// *enumerates* facts must either use the live views or guard with
+// IsLive. The legacy OutFacts/InFacts vector refs remain for flat
+// databases only.
 
 #ifndef RPQRES_GRAPHDB_GRAPH_DB_H_
 #define RPQRES_GRAPHDB_GRAPH_DB_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "flow/capacity.h"
@@ -54,67 +76,229 @@ class GraphDb {
   NodeId GetOrAddNode(const std::string& name);
 
   /// Adds a fact with the given multiplicity (>= 1); if the fact already
-  /// exists its multiplicity is increased. Returns the fact id.
+  /// exists (and is live) its multiplicity is increased. Returns the fact
+  /// id. On an overlay, bumping a base fact records a multiplicity
+  /// override; the fact keeps its id and position.
   FactId AddFact(NodeId source, char label, NodeId target,
                  Capacity multiplicity = 1);
-  /// Fact id of (source, label, target), or -1.
+  /// Fact id of the *live* (source, label, target), or -1.
   FactId FindFact(NodeId source, char label, NodeId target) const;
 
   /// Marks a fact as *exogenous*: it can never belong to a contingency set
   /// (the paper's Theorem 2.2 remark — equivalently, deletion cost +∞).
+  /// On an overlay only facts added by the overlay may be toggled.
   void SetExogenous(FactId id, bool exogenous = true);
-  bool IsExogenous(FactId id) const { return exogenous_[id]; }
-  /// Number of exogenous facts.
+  bool IsExogenous(FactId id) const {
+    return id < base_facts_ ? base_->exogenous_[id]
+                            : exogenous_[id - base_facts_];
+  }
+  /// Number of live exogenous facts.
   int NumExogenous() const;
 
-  int num_nodes() const { return static_cast<int>(node_names_.size()); }
-  int num_facts() const { return static_cast<int>(facts_.size()); }
-  const std::vector<Fact>& facts() const { return facts_; }
-  const Fact& fact(FactId id) const { return facts_[id]; }
-  Capacity multiplicity(FactId id) const { return multiplicities_[id]; }
+  int num_nodes() const {
+    return base_nodes_ + static_cast<int>(node_names_.size());
+  }
+  /// Size of the fact id space, dead ids included. Use num_live_facts()
+  /// for the logical fact count.
+  int num_facts() const {
+    return base_facts_ + static_cast<int>(facts_.size());
+  }
+  int num_live_facts() const { return num_facts() - num_dead_; }
+  const Fact& fact(FactId id) const {
+    return id < base_facts_ ? base_->facts_[id] : facts_[id - base_facts_];
+  }
+  Capacity multiplicity(FactId id) const {
+    if (id >= base_facts_) return multiplicities_[id - base_facts_];
+    if (!mult_override_.empty()) {
+      Capacity override_value;
+      if (LookupMultOverride(id, &override_value)) return override_value;
+    }
+    return base_->multiplicities_[id];
+  }
   /// Deletion cost of a fact under the given semantics
   /// (kInfiniteCapacity for exogenous facts).
   Capacity Cost(FactId id, Semantics semantics) const {
-    if (exogenous_[id]) return kInfiniteCapacity;
-    return semantics == Semantics::kSet ? 1 : multiplicities_[id];
+    if (IsExogenous(id)) return kInfiniteCapacity;
+    return semantics == Semantics::kSet ? 1 : multiplicity(id);
   }
-  /// Sum of costs of all *endogenous* facts (the cost of deleting
+  /// Sum of costs of all live *endogenous* facts (the cost of deleting
   /// everything deletable).
   Capacity TotalCost(Semantics semantics) const;
 
-  const std::string& node_name(NodeId id) const { return node_names_[id]; }
+  const std::string& node_name(NodeId id) const {
+    return id < base_nodes_ ? base_->node_names_[id]
+                            : node_names_[id - base_nodes_];
+  }
 
-  /// Fact ids whose source is `node`.
+  /// Fact ids whose source is `node`. Flat databases only (an overlay has
+  /// no single contiguous per-node list) — use OutFactsLive there.
   const std::vector<FactId>& OutFacts(NodeId node) const {
     return out_facts_[node];
   }
-  /// Fact ids whose target is `node`.
+  /// Fact ids whose target is `node`. Flat databases only.
   const std::vector<FactId>& InFacts(NodeId node) const {
     return in_facts_[node];
   }
 
-  /// Edge labels present in the database, sorted, deduplicated.
+  // --- versioned overlays ---------------------------------------------------
+
+  /// True when this database is a copy-on-write overlay over a shared
+  /// immutable base.
+  bool is_versioned() const { return base_ != nullptr; }
+  /// False iff `id` is tombstoned. Flat databases are all-live.
+  bool IsLive(FactId id) const { return dead_.empty() || !dead_[id]; }
+  /// Facts the overlay added or tombstoned on top of its base — the size
+  /// the registry's compaction threshold watches. 0 for flat databases.
+  int64_t overlay_size() const {
+    if (base_ == nullptr) return 0;
+    return static_cast<int64_t>(facts_.size()) + num_dead_;
+  }
+  /// The base fact-id watermark: ids below it resolve into the shared
+  /// base, ids at or above it into the overlay. 0 for flat databases.
+  FactId base_fact_watermark() const { return base_facts_; }
+
+  /// Starts a copy-on-write overlay on top of `parent`. When `parent` is
+  /// itself an overlay the new database shares the same flat base and
+  /// copies the parent's overlay (O(|overlay|)); the base is never
+  /// copied. `parent` must outlive nothing — the overlay keeps it alive.
+  static GraphDb MakeOverlay(std::shared_ptr<const GraphDb> parent);
+
+  /// Tombstones the live fact (source, label, target). Overlay databases
+  /// only; NotFound when no such live fact exists. The id space is
+  /// unchanged — the id simply goes dead.
+  Status RemoveFact(NodeId source, char label, NodeId target);
+
+  /// A flat materialization: live facts renumbered densely (order
+  /// preserved), every node kept. When `old_id_of` is non-null it is
+  /// filled so old_id_of[new_id] maps back into this database's id space
+  /// (for translating witness contingency sets).
+  GraphDb Compact(std::vector<FactId>* old_id_of = nullptr) const;
+
+  /// Iterable view over the *live* facts incident to one node: the base
+  /// facts (tombstones filtered) chained with the overlay's additions.
+  /// On a flat database this degenerates to the plain per-node list.
+  class IncidentFacts {
+   public:
+    class iterator {
+     public:
+      FactId operator*() const { return *pos_; }
+      iterator& operator++() {
+        ++pos_;
+        Settle();
+        return *this;
+      }
+      bool operator!=(const iterator& other) const {
+        return pos_ != other.pos_;
+      }
+      bool operator==(const iterator& other) const {
+        return pos_ == other.pos_;
+      }
+
+     private:
+      friend class IncidentFacts;
+      iterator(const uint8_t* dead, const FactId* pos, const FactId* seg_end,
+               const FactId* next, const FactId* next_end)
+          : dead_(dead), pos_(pos), seg_end_(seg_end), next_(next),
+            next_end_(next_end) {
+        Settle();
+      }
+      void Settle() {
+        for (;;) {
+          if (pos_ == seg_end_) {
+            if (next_ == nullptr || pos_ == next_end_) return;
+            pos_ = next_;
+            seg_end_ = next_end_;
+            next_ = nullptr;
+            continue;
+          }
+          if (dead_ == nullptr || !dead_[*pos_]) return;
+          ++pos_;
+        }
+      }
+      const uint8_t* dead_;
+      const FactId* pos_;
+      const FactId* seg_end_;
+      const FactId* next_;
+      const FactId* next_end_;
+    };
+
+    iterator begin() const {
+      return iterator(dead_, first_, first_end_, second_, second_end_);
+    }
+    iterator end() const {
+      return iterator(nullptr, second_end_, second_end_, nullptr,
+                      second_end_);
+    }
+    bool empty() const { return !(begin() != end()); }
+
+   private:
+    friend class GraphDb;
+    IncidentFacts(const uint8_t* dead, const FactId* first,
+                  const FactId* first_end, const FactId* second,
+                  const FactId* second_end)
+        : dead_(dead), first_(first), first_end_(first_end), second_(second),
+          second_end_(second_end) {}
+    const uint8_t* dead_;
+    const FactId* first_;
+    const FactId* first_end_;
+    const FactId* second_;
+    const FactId* second_end_;
+  };
+
+  /// Live facts out of / into `node`, in ascending id order. Works for
+  /// both layouts; on flat databases this is as cheap as OutFacts.
+  IncidentFacts OutFactsLive(NodeId node) const {
+    return IncidentView(node, /*out=*/true);
+  }
+  IncidentFacts InFactsLive(NodeId node) const {
+    return IncidentView(node, /*out=*/false);
+  }
+
+  // --------------------------------------------------------------------------
+
+  /// Edge labels present among live facts, sorted, deduplicated.
   std::vector<char> Labels() const;
 
   /// Copy of this database without the given facts (node set unchanged).
+  /// Flat databases only; an overlay should Compact() first.
   GraphDb RemoveFacts(const std::vector<FactId>& fact_ids) const;
 
   /// Copy with every edge reversed (the database mirror of Prp 6.3). Fact
-  /// ids are preserved: fact i of the mirror is fact i reversed.
+  /// ids are preserved: fact i of the mirror is fact i reversed. Flat
+  /// databases only.
   GraphDb MirrorDb() const;
 
   /// Human-readable listing ("u -a-> v [x3]").
   std::string ToString() const;
 
  private:
+  IncidentFacts IncidentView(NodeId node, bool out) const;
+  bool LookupMultOverride(FactId id, Capacity* value) const;
+
+  // Flat storage — for an overlay these hold the overlay's own nodes and
+  // facts only; ids are offset by base_nodes_ / base_facts_.
   std::vector<std::string> node_names_;
   std::vector<Fact> facts_;
   std::vector<Capacity> multiplicities_;
   std::vector<bool> exogenous_;
-  std::vector<std::vector<FactId>> out_facts_;
-  std::vector<std::vector<FactId>> in_facts_;
+  std::vector<std::vector<FactId>> out_facts_;  // flat layout only
+  std::vector<std::vector<FactId>> in_facts_;   // flat layout only
   std::map<std::string, NodeId> nodes_by_name_;
   std::map<std::tuple<NodeId, char, NodeId>, FactId> fact_index_;
+
+  // Overlay state (empty for flat databases).
+  std::shared_ptr<const GraphDb> base_;  // flat; shared between versions
+  int32_t base_nodes_ = 0;
+  int32_t base_facts_ = 0;
+  int32_t num_dead_ = 0;
+  /// Tombstone bitmap over [0, num_facts()); allocated on first removal.
+  std::vector<uint8_t> dead_;
+  /// Multiplicity overrides for base facts (AddFact bumps), sorted by id.
+  std::vector<std::pair<FactId, Capacity>> mult_override_;
+  /// Overlay adjacency: facts added on top of the base, keyed by incident
+  /// node (base or overlay). Flat databases use out_facts_/in_facts_.
+  std::map<NodeId, std::vector<FactId>> overlay_out_;
+  std::map<NodeId, std::vector<FactId>> overlay_in_;
 };
 
 }  // namespace rpqres

@@ -125,7 +125,7 @@ struct ProductSearch {
         std::reverse(walk.begin(), walk.end());
         return walk;
       }
-      for (FactId fid : db.OutFacts(v)) {
+      for (FactId fid : db.OutFactsLive(v)) {
         if (IsRemoved(fid)) continue;
         const Fact& fact = db.fact(fid);
         for (auto [symbol, to] : letter_out[s]) {

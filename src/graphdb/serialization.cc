@@ -9,15 +9,19 @@ namespace rpqres {
 std::string SerializeGraphDb(const GraphDb& db) {
   std::ostringstream os;
   os << "# rpqres graph database: " << db.num_nodes() << " nodes, "
-     << db.num_facts() << " facts\n";
+     << db.num_live_facts() << " facts\n";
   // Isolated nodes carry no fact line; declare them explicitly so the
-  // node set (and the header count) round-trips.
+  // node set (and the header count) round-trips. Live views make this
+  // (and the fact listing below) identical for a versioned overlay and
+  // its compacted flat twin — the byte-equality the delta-equivalence
+  // suite pins down.
   for (NodeId v = 0; v < db.num_nodes(); ++v) {
-    if (db.OutFacts(v).empty() && db.InFacts(v).empty()) {
+    if (db.OutFactsLive(v).empty() && db.InFactsLive(v).empty()) {
       os << "node " << db.node_name(v) << "\n";
     }
   }
   for (FactId f = 0; f < db.num_facts(); ++f) {
+    if (!db.IsLive(f)) continue;
     const Fact& fact = db.fact(f);
     os << db.node_name(fact.source) << " " << fact.label << " "
        << db.node_name(fact.target);

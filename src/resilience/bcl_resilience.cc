@@ -71,6 +71,7 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
     }
   } else {
     for (FactId f = 0; f < db.num_facts(); ++f) {
+      if (!db.IsLive(f)) continue;
       if (forced_label[static_cast<unsigned char>(db.fact(f).label)] &&
           !force_fact(f)) {
         result.infinite = true;
@@ -148,6 +149,7 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
     }
   } else {
     for (FactId f = 0; f < db.num_facts(); ++f) {
+      if (!db.IsLive(f)) continue;
       unsigned char label = static_cast<unsigned char>(db.fact(f).label);
       if (!relevant_label[label] || forced_label[label]) continue;
       stage_fact(f);
@@ -172,16 +174,59 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
   // Word wiring. A word is *forward* if its first letter lies in the source
   // partition (then its last letter is in the target partition since the
   // coloring is proper), *reversed* otherwise.
+  //
+  // Each adjacent letter pair (c1, c2) joins on the shared node — target
+  // of the c1-fact == source of the c2-fact — so the wiring is
+  // output-linear: O(|A| + |B| + emitted edges) per pair, never the
+  // all-pairs |A|·|B| scan. With a LabelIndex the per-node grouping of
+  // the c2 facts is the index's own source CSR; otherwise the facts are
+  // counting-sorted by source node into the scratch once per pair.
+  auto& node_bucket_offset = scratch->node_bucket_offset;
+  auto& node_bucket = scratch->node_bucket;
+  auto& node_bucket_cursor = scratch->node_bucket_cursor;
+  // Lazily (re)built per second letter; consecutive pairs sharing the
+  // letter — and the scratch buffers — keep this allocation-free in
+  // steady state.
+  char bucketed_label = '\0';
+  bool bucket_ready = false;
+  auto bucket_by_source = [&](char label) {
+    if (bucket_ready && bucketed_label == label) return;
+    bucket_ready = true;
+    bucketed_label = label;
+    std::span<const int32_t> facts = facts_with(label);
+    node_bucket_offset.assign(db.num_nodes() + 1, 0);
+    for (FactId f : facts) ++node_bucket_offset[db.fact(f).source + 1];
+    for (int v = 0; v < db.num_nodes(); ++v) {
+      node_bucket_offset[v + 1] += node_bucket_offset[v];
+    }
+    node_bucket.resize(facts.size());
+    node_bucket_cursor.assign(node_bucket_offset.begin(),
+                              node_bucket_offset.end() - 1);
+    for (FactId f : facts) {
+      node_bucket[node_bucket_cursor[db.fact(f).source]++] = f;
+    }
+  };
   for (const std::string& w : long_words) {
     bool forward = coloring->at(w.front()) == 0;
     for (size_t i = 0; i + 1 < w.size(); ++i) {
+      const char c2 = w[i + 1];
+      if (label_index == nullptr) bucket_by_source(c2);
       for (FactId f1 : facts_with(w[i])) {
-        for (FactId f2 : facts_with(w[i + 1])) {
-          if (db.fact(f1).target != db.fact(f2).source) continue;
+        NodeId shared = db.fact(f1).target;
+        auto wire = [&](FactId f2) {
+          if (start_of[f2] < 0) return;  // forced/irrelevant label
           if (forward) {
             network.AddEdge(end_of[f1], start_of[f2], kInfiniteCapacity);
           } else {
             network.AddEdge(end_of[f2], start_of[f1], kInfiniteCapacity);
+          }
+        };
+        if (label_index != nullptr) {
+          for (FactId f2 : label_index->FactsFrom(c2, shared)) wire(f2);
+        } else {
+          for (int32_t j = node_bucket_offset[shared];
+               j < node_bucket_offset[shared + 1]; ++j) {
+            wire(node_bucket[j]);
           }
         }
       }

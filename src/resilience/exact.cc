@@ -25,7 +25,7 @@ class BranchAndBound {
     best_value_ = db_.TotalCost(semantics_);
     best_set_.clear();
     for (FactId f = 0; f < db_.num_facts(); ++f) {
-      if (!db_.IsExogenous(f)) best_set_.push_back(f);
+      if (db_.IsLive(f) && !db_.IsExogenous(f)) best_set_.push_back(f);
     }
 
     if (options_.use_disjoint_match_bound) {
@@ -170,6 +170,17 @@ Result<ResilienceResult> SolveBruteForceResilience(const Language& lang,
                                                    const GraphDb& db,
                                                    Semantics semantics,
                                                    int max_facts) {
+  if (db.is_versioned()) {
+    // Subset enumeration must range over live facts only; run on the flat
+    // materialization and translate the witness back.
+    std::vector<FactId> old_id_of;
+    GraphDb flat = db.Compact(&old_id_of);
+    RPQRES_ASSIGN_OR_RETURN(
+        ResilienceResult result,
+        SolveBruteForceResilience(lang, flat, semantics, max_facts));
+    for (FactId& f : result.contingency) f = old_id_of[f];
+    return result;
+  }
   ResilienceResult result;
   result.algorithm = "brute force (all subsets)";
   if (db.num_facts() > max_facts || max_facts > 24) {
@@ -223,6 +234,16 @@ Result<ResilienceResult> SolveBruteForceResilience(const Language& lang,
 Result<ResilienceResult> SolveBruteForceResilienceBetween(
     const Language& lang, const GraphDb& db, NodeId source, NodeId target,
     Semantics semantics, int max_facts) {
+  if (db.is_versioned()) {
+    std::vector<FactId> old_id_of;
+    GraphDb flat = db.Compact(&old_id_of);
+    RPQRES_ASSIGN_OR_RETURN(
+        ResilienceResult result,
+        SolveBruteForceResilienceBetween(lang, flat, source, target,
+                                         semantics, max_facts));
+    for (FactId& f : result.contingency) f = old_id_of[f];
+    return result;
+  }
   ResilienceResult result;
   result.algorithm = "brute force, fixed endpoints";
   if (db.num_facts() > max_facts || max_facts > 24) {
@@ -276,6 +297,16 @@ Result<ResilienceResult> SolveHittingSetResilience(const Language& lang,
                                                    Semantics semantics) {
   ResilienceResult result;
   result.algorithm = "hypergraph hitting set (Def 4.7)";
+  if (db.is_versioned()) {
+    // Match enumeration walks the flat per-node adjacency; materialize.
+    std::vector<FactId> old_id_of;
+    GraphDb flat = db.Compact(&old_id_of);
+    RPQRES_ASSIGN_OR_RETURN(
+        ResilienceResult remapped,
+        SolveHittingSetResilience(lang, flat, semantics));
+    for (FactId& f : remapped.contingency) f = old_id_of[f];
+    return remapped;
+  }
   Language ifl = InfixFreeSublanguage(lang);
   if (ifl.ContainsEpsilon()) {
     result.infinite = true;

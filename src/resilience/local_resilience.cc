@@ -106,7 +106,7 @@ ResilienceResult SolveLocalProduct(const RoProductTables& t, const GraphDb& db,
           }
         }
       } else {
-        for (FactId f : db.OutFacts(v)) {
+        for (FactId f : db.OutFactsLive(v)) {
           unsigned char label = static_cast<unsigned char>(db.fact(f).label);
           if (letter_from[label] == s) {
             candidate_facts.push_back(f);
@@ -143,7 +143,7 @@ ResilienceResult SolveLocalProduct(const RoProductTables& t, const GraphDb& db,
           }
         }
       } else {
-        for (FactId f : db.InFacts(v)) {
+        for (FactId f : db.InFactsLive(v)) {
           unsigned char label = static_cast<unsigned char>(db.fact(f).label);
           if (letter_to[label] == s) {
             push_bwd(db.fact(f).source, letter_from[label]);
@@ -170,6 +170,7 @@ ResilienceResult SolveLocalProduct(const RoProductTables& t, const GraphDb& db,
       }
     } else {
       for (FactId f = 0; f < db.num_facts(); ++f) {
+        if (!db.IsLive(f)) continue;
         unsigned char label = static_cast<unsigned char>(db.fact(f).label);
         if (letter_from[label] >= 0) candidate_facts.push_back(f);
       }

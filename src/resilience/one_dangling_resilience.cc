@@ -232,6 +232,20 @@ Result<ResilienceResult> SolveOneDanglingCore(
 Result<ResilienceResult> SolveOneDanglingResilience(
     const Language& lang, const GraphDb& db, Semantics semantics,
     const LabelIndex* label_index, SolverScratch* scratch) {
+  if (db.is_versioned()) {
+    // The κ/z rewrite and the mirror both re-derive databases fact-by-fact
+    // and lean on id-preserving copies; run them on the flat
+    // materialization and translate the witness back into the overlay's
+    // id space (Compact preserves live-fact order).
+    std::vector<FactId> old_id_of;
+    GraphDb flat = db.Compact(&old_id_of);
+    RPQRES_ASSIGN_OR_RETURN(
+        ResilienceResult result,
+        SolveOneDanglingResilience(lang, flat, semantics,
+                                   /*label_index=*/nullptr, scratch));
+    for (FactId& f : result.contingency) f = old_id_of[f];
+    return result;
+  }
   Language ifl = InfixFreeSublanguage(lang);
   ResilienceResult result;
   if (ifl.ContainsEpsilon()) {

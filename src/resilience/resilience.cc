@@ -140,18 +140,30 @@ Result<bool> ResilienceAtMost(const Language& lang, const GraphDb& db,
   return result.value <= k;
 }
 
-Status VerifyResilienceResult(const Language& lang, const GraphDb& db,
-                              Semantics semantics,
-                              const ResilienceResult& result) {
-  // Resilience is +∞ iff ε ∈ L, or the query survives deleting every
-  // endogenous fact (a fully-exogenous match exists).
-  bool unfalsifiable = lang.ContainsEpsilon();
+namespace {
+
+/// Shared verification core; source/target < 0 means the Boolean query.
+Status VerifyResilienceImpl(const Language& lang, const GraphDb& db,
+                            Semantics semantics,
+                            const ResilienceResult& result, NodeId source,
+                            NodeId target) {
+  auto holds = [&](const std::vector<bool>* removed) {
+    return source < 0
+               ? EvaluatesToTrue(db, lang.enfa(), removed)
+               : EvaluatesToTrueBetween(db, lang.enfa(), source, target,
+                                        removed);
+  };
+  // Resilience is +∞ iff ε ∈ L (for fixed endpoints: and they coincide),
+  // or the query survives deleting every endogenous fact (a
+  // fully-exogenous match exists).
+  bool unfalsifiable =
+      lang.ContainsEpsilon() && (source < 0 || source == target);
   if (!unfalsifiable && db.NumExogenous() > 0) {
     std::vector<bool> endogenous_removed(db.num_facts(), false);
     for (FactId f = 0; f < db.num_facts(); ++f) {
       endogenous_removed[f] = !db.IsExogenous(f);
     }
-    unfalsifiable = EvaluatesToTrue(db, lang.enfa(), &endogenous_removed);
+    unfalsifiable = holds(&endogenous_removed);
   }
   if (result.infinite != unfalsifiable) {
     return Status::Internal(
@@ -166,6 +178,10 @@ Status VerifyResilienceResult(const Language& lang, const GraphDb& db,
   for (FactId f : result.contingency) {
     if (f < 0 || f >= db.num_facts()) {
       return Status::Internal("contingency contains invalid fact id " +
+                              std::to_string(f));
+    }
+    if (!db.IsLive(f)) {
+      return Status::Internal("contingency contains tombstoned fact id " +
                               std::to_string(f));
     }
     if (removed[f]) {
@@ -184,11 +200,32 @@ Status VerifyResilienceResult(const Language& lang, const GraphDb& db,
                             " != reported value " +
                             std::to_string(result.value));
   }
-  if (EvaluatesToTrue(db, lang.enfa(), &removed)) {
+  if (holds(&removed)) {
     return Status::Internal(
         "query still holds after removing the contingency set");
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyResilienceResult(const Language& lang, const GraphDb& db,
+                              Semantics semantics,
+                              const ResilienceResult& result) {
+  return VerifyResilienceImpl(lang, db, semantics, result, /*source=*/-1,
+                              /*target=*/-1);
+}
+
+Status VerifyResilienceResultBetween(const Language& lang, const GraphDb& db,
+                                     NodeId source, NodeId target,
+                                     Semantics semantics,
+                                     const ResilienceResult& result) {
+  if (source < 0 || source >= db.num_nodes() || target < 0 ||
+      target >= db.num_nodes()) {
+    return Status::InvalidArgument(
+        "fixed endpoints must be nodes of the database");
+  }
+  return VerifyResilienceImpl(lang, db, semantics, result, source, target);
 }
 
 }  // namespace rpqres

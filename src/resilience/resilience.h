@@ -112,6 +112,14 @@ Status VerifyResilienceResult(const Language& lang, const GraphDb& db,
                               Semantics semantics,
                               const ResilienceResult& result);
 
+/// Endpoint-pinned variant: the contingency must remove every L-walk from
+/// `source` to `target` (the non-Boolean Thm 3.13 extension). Powers the
+/// differential second opinion for fixed-endpoint requests.
+Status VerifyResilienceResultBetween(const Language& lang, const GraphDb& db,
+                                     NodeId source, NodeId target,
+                                     Semantics semantics,
+                                     const ResilienceResult& result);
+
 }  // namespace rpqres
 
 #endif  // RPQRES_RESILIENCE_RESILIENCE_H_

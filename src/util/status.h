@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kCancelled,
+  kAborted,
 };
 
 /// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -63,6 +64,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

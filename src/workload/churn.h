@@ -1,0 +1,93 @@
+// rpqres — workload/churn: seeded delta-commit churn sequences.
+//
+// The versioned-registry invariant worth an executable statement: any
+// sequence of delta commits must be indistinguishable from registering
+// the final database from scratch. A churn sequence derives a workload
+// instance from one uint64 seed (same derivation as the oracle), then
+// interleaves randomized delta batches (fact adds, multiplicity bumps,
+// removals, node adds) with queries; after every commit it checks, against
+// an independently maintained flat twin:
+//
+//   1. serialization — byte-identical output,
+//   2. the incremental LabelIndex — span-identical to a full rebuild over
+//      the same overlay, and (through the live-fact renumbering) to the
+//      index of the from-scratch database,
+//   3. resilience — the engine's answer on the delta-built snapshot
+//      equals the answer on a freshly registered rebuild, with the
+//      versioned witness verified.
+//
+// One seed fully determines the instance, the op stream, and every check
+// — a failing seed is a complete bug report.
+
+#ifndef RPQRES_WORKLOAD_CHURN_H_
+#define RPQRES_WORKLOAD_CHURN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+namespace rpqres {
+namespace workload {
+
+struct ChurnOptions {
+  /// Delta commits per sequence.
+  int num_commits = 6;
+  /// Ops per commit are drawn uniformly from [1, max_ops_per_commit].
+  int max_ops_per_commit = 8;
+  /// Op mix, in percent (the remainder are fact adds / bumps).
+  int remove_percent = 35;
+  int add_node_percent = 10;
+  /// Seed → base instance derivation (same as the oracle's).
+  WorkloadOptions workload;
+  /// Engine configuration for the answer checks.
+  EngineOptions engine;
+  /// Exact-solver budget per answer check; exhausted pairs count
+  /// inconclusive, not as mismatches.
+  uint64_t max_exact_search_nodes = 200'000;
+  /// Registry compaction tuning for the sequence's lineage.
+  DbRegistry::Options registry;
+};
+
+/// Outcome of one churn sequence.
+struct ChurnReport {
+  uint64_t seed = 0;
+  std::string regex;
+  Semantics semantics = Semantics::kSet;
+  int commits = 0;
+  int64_t ops = 0;
+  /// Commits whose overlay was folded into a fresh flat base.
+  int compactions = 0;
+  /// Answer checks skipped for exact-budget exhaustion.
+  int inconclusive = 0;
+  /// True when the seed failed workload generation (nothing was checked).
+  bool generation_failed = false;
+  /// Human-readable, seed-stamped divergence descriptions; empty == pass.
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Reusable churn runner (one engine across sequences, so sweeping many
+/// seeds does not re-spin thread pools).
+class ChurnHarness {
+ public:
+  explicit ChurnHarness(ChurnOptions options = {});
+
+  /// Runs the churn sequence `seed` denotes end-to-end.
+  ChurnReport Run(uint64_t seed);
+
+  const ChurnOptions& options() const { return options_; }
+  ResilienceEngine& engine() { return engine_; }
+
+ private:
+  ChurnOptions options_;
+  ResilienceEngine engine_;
+};
+
+}  // namespace workload
+}  // namespace rpqres
+
+#endif  // RPQRES_WORKLOAD_CHURN_H_

@@ -454,14 +454,34 @@ TEST(FixedEndpointRequestTest, ValidationAndNonLocalRefusal) {
   ASSERT_TRUE(eps.status.ok()) << eps.status;
   EXPECT_TRUE(eps.result.infinite);
 
-  // Differential runs judge fixed-endpoint requests inconclusive.
+  // Differential runs get a real second opinion on small databases: the
+  // endpoint-pinned brute force agrees with the flow answer.
   std::vector<ResilienceRequest> requests = {
       {.regex = "ax*b", .db = db, .source = 0, .target = 4}};
   std::vector<ResilienceResponse> judged =
       engine.EvaluateDifferential(requests);
   ASSERT_TRUE(judged[0].differential.has_value());
-  EXPECT_TRUE(judged[0].differential->inconclusive);
-  EXPECT_FALSE(judged[0].differential->agree);
+  EXPECT_FALSE(judged[0].differential->inconclusive);
+  EXPECT_TRUE(judged[0].differential->agree);
+  EXPECT_EQ(judged[0].differential->reference_result.value,
+            judged[0].result.value);
+  EXPECT_EQ(engine.stats().differential_mismatches, 0);
+
+  // A primary with no answer (expired deadline) is inconclusive — never
+  // counted as agreement, never as a mismatch.
+  std::vector<ResilienceRequest> expired = {
+      {.regex = "ax*b",
+       .db = db,
+       .source = 0,
+       .target = 4,
+       .options = {.deadline = std::chrono::steady_clock::now() -
+                               std::chrono::milliseconds(1)}}};
+  std::vector<ResilienceResponse> timed_out =
+      engine.EvaluateDifferential(expired);
+  EXPECT_EQ(timed_out[0].status.code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(timed_out[0].differential.has_value());
+  EXPECT_TRUE(timed_out[0].differential->inconclusive);
+  EXPECT_FALSE(timed_out[0].differential->agree);
   EXPECT_EQ(engine.stats().differential_mismatches, 0);
 }
 

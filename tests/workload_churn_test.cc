@@ -1,0 +1,74 @@
+// The delta-equivalence acceptance suite: across ≥200 workload-seeded
+// churn sequences, every delta commit must yield a snapshot whose
+// serialization is byte-identical, whose incremental LabelIndex is
+// span-identical (to both a full rebuild over the overlay and, through
+// the live renumbering, the from-scratch index), and whose resilience
+// answers match a from-scratch registration. See workload/churn.h.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/churn.h"
+
+namespace rpqres {
+namespace workload {
+namespace {
+
+TEST(ChurnEquivalenceTest, TwoHundredSeededSequences) {
+  ChurnOptions options;
+  options.engine.num_threads = 2;
+  ChurnHarness harness(options);
+  int commits = 0;
+  int generation_failures = 0;
+  for (uint64_t seed = 52000; seed < 52200; ++seed) {
+    ChurnReport report = harness.Run(seed);
+    commits += report.commits;
+    if (report.generation_failed) ++generation_failures;
+    for (const std::string& mismatch : report.mismatches) {
+      ADD_FAILURE() << mismatch;
+    }
+  }
+  // The suite only means something if it actually churned.
+  EXPECT_GT(commits, 800);
+  EXPECT_LT(generation_failures, 40);
+}
+
+// Aggressive compaction: the same equivalence must hold when commits keep
+// folding overlays back into flat bases (and the fold must happen).
+TEST(ChurnEquivalenceTest, SequencesUnderAggressiveCompaction) {
+  ChurnOptions options;
+  options.engine.num_threads = 2;
+  options.registry.compaction_min_overlay = 2;
+  options.registry.compaction_fraction = 0.01;
+  options.num_commits = 8;
+  ChurnHarness harness(options);
+  int compactions = 0;
+  for (uint64_t seed = 53000; seed < 53040; ++seed) {
+    ChurnReport report = harness.Run(seed);
+    compactions += report.compactions;
+    for (const std::string& mismatch : report.mismatches) {
+      ADD_FAILURE() << mismatch;
+    }
+  }
+  EXPECT_GT(compactions, 50);
+}
+
+// Removal-heavy churn drives tombstone-dominated overlays.
+TEST(ChurnEquivalenceTest, RemovalHeavySequences) {
+  ChurnOptions options;
+  options.engine.num_threads = 2;
+  options.remove_percent = 70;
+  options.add_node_percent = 5;
+  ChurnHarness harness(options);
+  for (uint64_t seed = 54000; seed < 54030; ++seed) {
+    ChurnReport report = harness.Run(seed);
+    for (const std::string& mismatch : report.mismatches) {
+      ADD_FAILURE() << mismatch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace rpqres
