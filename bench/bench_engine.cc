@@ -31,9 +31,19 @@
 //                        with the version-keyed ResultCache enabled;
 //                        compare p50 against handle_vs_raw_v2_handle
 //                        (same database family, cache off)
+//   obs_off_deep_product / obs_on_deep_product — the observability
+//                        overhead pair: identical deep-product workloads
+//                        on engines with tracing off vs on; CI's
+//                        check_metrics_export.py asserts the obs_on p50
+//                        stays within ~5% and the checksums match
+//
+// Besides BENCH_engine.json the run dumps the engine's Prometheus
+// exposition (ExportMetrics) next to it as <output>.prom for the CI
+// metrics validator.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -267,7 +277,11 @@ std::pair<ScenarioReport, ScenarioReport> RunDeltaCommitScenarios(
         std::make_pair(&rebuild, &rebuild_micros)}) {
     report->solve_p50_micros = Percentile(*samples, 50);
     report->solve_p95_micros = Percentile(*samples, 95);
+    report->solve_p99_micros = Percentile(*samples, 99);
     report->solve_max_micros = Percentile(*samples, 100);
+    obs::LatencyHistogram histogram;
+    for (double micros : *samples) histogram.Record(micros);
+    report->solve_histogram = histogram.TakeSnapshot();
     double sum = 0;
     for (double micros : *samples) {
       sum += micros;
@@ -282,6 +296,105 @@ std::pair<ScenarioReport, ScenarioReport> RunDeltaCommitScenarios(
     }
   }
   return {std::move(delta), std::move(rebuild)};
+}
+
+// Observability overhead pair: identical deep-product workloads on two
+// fresh engines, per-request tracing off vs on. The engines alternate
+// round by round — a paired design, so clock-speed drift and scheduler
+// noise over the run hit both sides equally and the p50 delta isolates
+// the tracing cost. CI (scripts/check_metrics_export.py) asserts the
+// obs_on p50 stays within the overhead budget and the checksums match.
+std::pair<ScenarioReport, ScenarioReport> RunObservabilityPair() {
+  ScenarioReport off;
+  off.name = "obs_off_deep_product";
+  off.description =
+      "ax*b over deep products, per-request tracing disabled "
+      "(overhead control; interleaved with obs_on)";
+  off.regex = "ax*b";
+  off.semantics = "bag";
+  ScenarioReport on = off;
+  on.name = "obs_on_deep_product";
+  on.description =
+      "same workload with trace spans recorded on every request";
+
+  DbRegistry registry;
+  std::vector<DbHandle> handles;
+  for (GraphDb& db : DeepProductDbs()) {
+    handles.push_back(registry.Register(std::move(db), "obs_pair"));
+  }
+  std::vector<ResilienceRequest> requests;
+  for (const DbHandle& handle : handles) {
+    ResilienceRequest request;
+    request.regex = "ax*b";
+    request.db = handle;
+    request.semantics = Semantics::kBag;
+    requests.push_back(std::move(request));
+  }
+
+  // Single-threaded engines: the pair measures per-request cost, and a
+  // pool would add scheduling jitter to exactly the delta under test.
+  EngineOptions off_options;
+  off_options.num_threads = 1;
+  off_options.enable_tracing = false;
+  EngineOptions on_options = off_options;
+  on_options.enable_tracing = true;
+  ResilienceEngine engine_off(off_options);
+  ResilienceEngine engine_on(on_options);
+
+  const int kWarmupRounds = 3;
+  const int kRounds = 60;
+  std::vector<double> off_micros, on_micros;
+  for (int round = 0; round < kWarmupRounds + kRounds; ++round) {
+    const bool timed = round >= kWarmupRounds;
+    for (auto [engine, report, samples] :
+         {std::make_tuple(&engine_off, &off, &off_micros),
+          std::make_tuple(&engine_on, &on, &on_micros)}) {
+      auto start = std::chrono::steady_clock::now();
+      std::vector<ResilienceResponse> outcomes =
+          engine->EvaluateBatch(requests);
+      if (!timed) continue;
+      report->total_wall_micros += MicrosSince(start);
+      for (const ResilienceResponse& outcome : outcomes) {
+        ++report->instances;
+        if (!outcome.status.ok()) {
+          ++report->errors;
+          continue;
+        }
+        samples->push_back(outcome.stats.solve_micros);
+        if (!outcome.result.infinite) {
+          report->resilience_checksum += outcome.result.value;
+        }
+        if (report->algorithm.empty()) {
+          report->algorithm = outcome.stats.algorithm;
+          report->complexity = outcome.stats.complexity;
+          report->rule = outcome.stats.rule;
+        }
+      }
+    }
+  }
+
+  for (auto [report, samples] : {std::make_pair(&off, &off_micros),
+                                 std::make_pair(&on, &on_micros)}) {
+    report->solve_p50_micros = Percentile(*samples, 50);
+    report->solve_p95_micros = Percentile(*samples, 95);
+    report->solve_p99_micros = Percentile(*samples, 99);
+    report->solve_max_micros = Percentile(*samples, 100);
+    obs::LatencyHistogram histogram;
+    double sum = 0;
+    for (double micros : *samples) {
+      histogram.Record(micros);
+      sum += micros;
+    }
+    report->solve_histogram = histogram.TakeSnapshot();
+    if (!samples->empty()) {
+      report->solve_mean_micros = sum / static_cast<double>(samples->size());
+    }
+    if (report->total_wall_micros > 0) {
+      report->throughput_qps = static_cast<double>(report->instances) /
+                               (report->total_wall_micros / 1e6);
+    }
+  }
+  return {std::move(off), std::move(on)};
 }
 
 }  // namespace
@@ -384,11 +497,38 @@ int main(int argc, char** argv) {
     reports.push_back(std::move(rebuild));
   }
 
+  {
+    auto [obs_off, obs_on] = RunObservabilityPair();
+    reports.push_back(std::move(obs_off));
+    reports.push_back(std::move(obs_on));
+  }
+
   Status write_status = harness.WriteJson(output, reports);
   if (!write_status.ok()) {
     std::fprintf(stderr, "error: %s\n", write_status.ToString().c_str());
     return 1;
   }
+
+  // Prometheus exposition from the main harness engine, for the CI
+  // metrics validator (BENCH_engine.json -> BENCH_engine.prom).
+  std::string prom_path = output;
+  const std::string json_suffix = ".json";
+  if (prom_path.size() > json_suffix.size() &&
+      prom_path.compare(prom_path.size() - json_suffix.size(),
+                        json_suffix.size(), json_suffix) == 0) {
+    prom_path.resize(prom_path.size() - json_suffix.size());
+  }
+  prom_path += ".prom";
+  {
+    std::ofstream prom(prom_path);
+    prom << harness.engine().ExportMetrics(MetricsFormat::kPrometheus,
+                                           &harness.registry());
+    if (!prom) {
+      std::fprintf(stderr, "error: failed writing %s\n", prom_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %s\n", prom_path.c_str());
 
   for (const ScenarioReport& r : reports) {
     std::printf(

@@ -64,6 +64,39 @@ std::string JsonNumber(double v) {
   return os.str();
 }
 
+// Sparse non-cumulative bucket list mirroring obs::ToJson's histogram
+// series shape: [{"le": bound-or-"+Inf", "count": n}, ...].
+std::string HistogramJson(const obs::LatencyHistogram::Snapshot& h,
+                          const std::string& indent) {
+  const auto& bounds = obs::LatencyHistogram::BucketBoundsMicros();
+  std::ostringstream os;
+  os << "{\n";
+  os << indent << "  \"count\": " << h.total_count << ",\n";
+  os << indent << "  \"sum_micros\": " << JsonNumber(h.sum_micros) << ",\n";
+  os << indent << "  \"p50_micros\": " << JsonNumber(h.Quantile(0.50))
+     << ",\n";
+  os << indent << "  \"p95_micros\": " << JsonNumber(h.Quantile(0.95))
+     << ",\n";
+  os << indent << "  \"p99_micros\": " << JsonNumber(h.Quantile(0.99))
+     << ",\n";
+  os << indent << "  \"buckets\": [";
+  bool first = true;
+  for (int i = 0; i < obs::LatencyHistogram::kTotalBuckets; ++i) {
+    if (h.counts[i] == 0) continue;
+    os << (first ? "" : ", ");
+    first = false;
+    os << "{\"le\": ";
+    if (i < obs::LatencyHistogram::kFiniteBuckets) {
+      os << JsonNumber(bounds[i]);
+    } else {
+      os << "\"+Inf\"";
+    }
+    os << ", \"count\": " << h.counts[i] << "}";
+  }
+  os << "]\n" << indent << "}";
+  return os.str();
+}
+
 }  // namespace
 
 Harness::Harness(EngineOptions options) : engine_(options) {}
@@ -174,7 +207,11 @@ ScenarioReport Harness::RunScenario(const Scenario& scenario) {
 
   report.solve_p50_micros = Percentile(solve_micros, 50);
   report.solve_p95_micros = Percentile(solve_micros, 95);
+  report.solve_p99_micros = Percentile(solve_micros, 99);
   report.solve_max_micros = Percentile(solve_micros, 100);
+  obs::LatencyHistogram histogram;
+  for (double micros : solve_micros) histogram.Record(micros);
+  report.solve_histogram = histogram.TakeSnapshot();
   if (!solve_micros.empty()) {
     double sum = 0;
     for (double v : solve_micros) sum += v;
@@ -220,6 +257,16 @@ std::string Harness::ToJson(
   os << "    \"result_cache_misses\": " << stats.result_cache_misses << ",\n";
   os << "    \"errors\": " << steady_.errors << "\n";
   os << "  },\n";
+  // The engine's own metrics export (counters, latency histograms with
+  // p50/p95/p99, cache/registry gauges) — the same document
+  // ExportMetrics(kJson) serves; spliced verbatim, it is a JSON object.
+  std::string metrics =
+      engine_.ExportMetrics(MetricsFormat::kJson, &registry_);
+  while (!metrics.empty() &&
+         (metrics.back() == '\n' || metrics.back() == ' ')) {
+    metrics.pop_back();
+  }
+  os << "  \"metrics\": " << metrics << ",\n";
   os << "  \"scenarios\": [\n";
   for (size_t i = 0; i < reports.size(); ++i) {
     const ScenarioReport& r = reports[i];
@@ -239,8 +286,12 @@ std::string Harness::ToJson(
        << ",\n";
     os << "      \"solve_p95_micros\": " << JsonNumber(r.solve_p95_micros)
        << ",\n";
+    os << "      \"solve_p99_micros\": " << JsonNumber(r.solve_p99_micros)
+       << ",\n";
     os << "      \"solve_max_micros\": " << JsonNumber(r.solve_max_micros)
        << ",\n";
+    os << "      \"latency_histogram\": "
+       << HistogramJson(r.solve_histogram, "      ") << ",\n";
     os << "      \"solve_mean_micros\": " << JsonNumber(r.solve_mean_micros)
        << ",\n";
     os << "      \"total_wall_micros\": " << JsonNumber(r.total_wall_micros)

@@ -19,6 +19,7 @@
 #include "engine/engine.h"
 #include "engine/request.h"
 #include "graphdb/graph_db.h"
+#include "obs/metrics.h"
 
 namespace rpqres {
 namespace bench {
@@ -51,8 +52,13 @@ struct ScenarioReport {
   double compile_cold_micros = 0;  ///< first compilation of the regex
   double solve_p50_micros = 0;
   double solve_p95_micros = 0;
+  double solve_p99_micros = 0;
   double solve_max_micros = 0;
   double solve_mean_micros = 0;
+  /// Per-scenario solve-latency distribution in the obs fixed log-scale
+  /// buckets — the BENCH trajectory carries the full shape, not just the
+  /// percentile samples above.
+  obs::LatencyHistogram::Snapshot solve_histogram;
   double total_wall_micros = 0;  ///< batch wall time (all instances)
   double throughput_qps = 0;     ///< instances / total wall
   int64_t network_vertices_max = 0;
@@ -90,7 +96,8 @@ class Harness {
   std::vector<ScenarioReport> RunAll();
 
   /// The full JSON document for a set of reports (includes engine
-  /// configuration and aggregate engine stats).
+  /// configuration, aggregate engine stats, and the engine's own metrics
+  /// export — counters, latency histograms, gauges — under "metrics").
   std::string ToJson(const std::vector<ScenarioReport>& reports) const;
 
   /// Writes ToJson(reports) to `path`.

@@ -27,6 +27,8 @@ REQUIRED_SCENARIOS = {
     "delta_commit_small",
     "delta_commit_vs_rebuild",
     "result_cache_hot",
+    "obs_off_deep_product",
+    "obs_on_deep_product",
 }
 
 

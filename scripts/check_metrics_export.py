@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validate the engine's metrics export in a bench_engine run.
+
+Checks three things CI's bench-smoke job relies on:
+
+1. The Prometheus exposition (<run>.prom, written by bench_engine next to
+   the JSON report) is structurally sound: every sample is preceded by
+   HELP/TYPE lines, histogram `le` bucket series are cumulative and
+   monotone, the "+Inf" bucket equals `_count`, and `_sum` is present.
+2. BENCH_engine.json embeds the same export under a top-level "metrics"
+   object (counters / histograms / gauges), and every scenario carries a
+   "latency_histogram" whose bucket counts add up to its `count` and
+   whose p50 <= p95 <= p99.
+3. The observability overhead pair: `obs_on_deep_product` must answer
+   identically to `obs_off_deep_product` (same resilience_checksum) and
+   its p50 must stay within 5% + a 5us absolute floor for jitter on
+   sub-100us solves.
+
+Usage:
+  check_metrics_export.py BENCH_engine.json [BENCH_engine.prom]
+Exit status: 0 clean, 1 validation failure, 2 usage error.
+"""
+
+import json
+import math
+import re
+import sys
+
+OBS_PAIR = ("obs_off_deep_product", "obs_on_deep_product")
+# obs_on p50 <= obs_off p50 * (1 + REL_SLACK) + ABS_SLACK_MICROS.
+REL_SLACK = 0.05
+ABS_SLACK_MICROS = 5.0
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r"\s+(?P<value>[^ ]+)$"
+)
+
+
+def parse_labels(text):
+    if not text:
+        return {}
+    labels = {}
+    # Label values are quoted and may contain escaped quotes/backslashes.
+    for match in re.finditer(r'(\w+)="((?:[^"\\]|\\.)*)"', text):
+        labels[match.group(1)] = match.group(2)
+    return labels
+
+
+def check_prometheus(text, failures):
+    helped, typed = set(), {}
+    series = {}  # (name, frozen labels minus le) -> [(le, value), ...]
+    scalars = {}  # full sample line key -> value
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            failures.append(f"prom line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = parse_labels(match.group("labels"))
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            failures.append(f"prom line {lineno}: non-numeric value: {line!r}")
+            continue
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+        if base not in typed or base not in helped:
+            failures.append(
+                f"prom line {lineno}: sample '{name}' lacks HELP/TYPE "
+                f"for '{base}'"
+            )
+        if name.endswith("_bucket") and "le" in labels:
+            le = labels.pop("le")
+            key = (base, tuple(sorted(labels.items())))
+            bound = math.inf if le == "+Inf" else float(le)
+            series.setdefault(key, []).append((bound, value))
+        else:
+            scalars[(name, tuple(sorted(labels.items())))] = value
+
+    if not series:
+        failures.append("prom: no histogram bucket series found at all")
+    for (base, labels), buckets in series.items():
+        where = f"prom histogram {base}{dict(labels)}"
+        bounds = [b for b, _ in buckets]
+        values = [v for _, v in buckets]
+        if bounds != sorted(bounds):
+            failures.append(f"{where}: le bounds out of order")
+        if values != sorted(values):
+            failures.append(f"{where}: cumulative counts not monotone")
+        if not buckets or buckets[-1][0] != math.inf:
+            failures.append(f"{where}: missing +Inf bucket")
+            continue
+        count = scalars.get((base + "_count", labels))
+        if count is None:
+            failures.append(f"{where}: missing _count sample")
+        elif count != buckets[-1][1]:
+            failures.append(
+                f"{where}: +Inf bucket {buckets[-1][1]} != _count {count}"
+            )
+        if (base + "_sum", labels) not in scalars:
+            failures.append(f"{where}: missing _sum sample")
+
+
+def check_embedded_metrics(doc, failures):
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        failures.append("BENCH json: no top-level 'metrics' object")
+        return
+    for key in ("counters", "histograms", "gauges"):
+        if not isinstance(metrics.get(key), list):
+            failures.append(f"BENCH json: metrics.{key} missing or not a list")
+    for family in metrics.get("counters", []):
+        for sample in family.get("samples", []):
+            if sample["value"] < 0:
+                failures.append(
+                    f"metrics counter {family['name']}: negative sample"
+                )
+    for family in metrics.get("histograms", []):
+        for entry in family.get("series", []):
+            bucket_total = sum(b["count"] for b in entry.get("buckets", []))
+            if bucket_total != entry["count"]:
+                failures.append(
+                    f"metrics histogram {family['name']}"
+                    f"{{{entry.get('label')}}}: bucket counts {bucket_total}"
+                    f" != count {entry['count']}"
+                )
+
+
+def check_scenario_histograms(doc, failures):
+    for scenario in doc.get("scenarios", []):
+        name = scenario.get("name", "?")
+        hist = scenario.get("latency_histogram")
+        if not isinstance(hist, dict):
+            failures.append(f"scenario '{name}': no latency_histogram")
+            continue
+        bucket_total = sum(b["count"] for b in hist.get("buckets", []))
+        if bucket_total != hist.get("count"):
+            failures.append(
+                f"scenario '{name}': histogram buckets sum to {bucket_total}"
+                f" but count is {hist.get('count')}"
+            )
+        quantiles = [hist.get(k, 0) for k in
+                     ("p50_micros", "p95_micros", "p99_micros")]
+        if quantiles != sorted(quantiles):
+            failures.append(
+                f"scenario '{name}': quantiles not monotone: {quantiles}"
+            )
+        finite = [b for b in hist.get("buckets", []) if b["le"] != "+Inf"]
+        bounds = [b["le"] for b in finite]
+        if bounds != sorted(bounds):
+            failures.append(f"scenario '{name}': bucket bounds out of order")
+
+
+def check_obs_pair(doc, failures):
+    scenarios = {s["name"]: s for s in doc.get("scenarios", [])}
+    off_name, on_name = OBS_PAIR
+    off, on = scenarios.get(off_name), scenarios.get(on_name)
+    if off is None or on is None:
+        failures.append(
+            f"missing observability pair: need '{off_name}' and '{on_name}'"
+        )
+        return
+    if off["resilience_checksum"] != on["resilience_checksum"]:
+        failures.append(
+            "obs pair answers diverged: checksum "
+            f"{on['resilience_checksum']} (on) != "
+            f"{off['resilience_checksum']} (off)"
+        )
+    budget = off["solve_p50_micros"] * (1 + REL_SLACK) + ABS_SLACK_MICROS
+    if on["solve_p50_micros"] > budget:
+        failures.append(
+            f"observability overhead too high: obs_on p50 "
+            f"{on['solve_p50_micros']:.1f}us exceeds budget {budget:.1f}us "
+            f"(obs_off p50 {off['solve_p50_micros']:.1f}us)"
+        )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    json_path = argv[1]
+    prom_path = (
+        argv[2]
+        if len(argv) > 2
+        else (json_path[: -len(".json")] if json_path.endswith(".json")
+              else json_path) + ".prom"
+    )
+
+    with open(json_path) as f:
+        doc = json.load(f)
+    with open(prom_path) as f:
+        prom_text = f.read()
+
+    failures = []
+    check_prometheus(prom_text, failures)
+    check_embedded_metrics(doc, failures)
+    check_scenario_histograms(doc, failures)
+    check_obs_pair(doc, failures)
+
+    if failures:
+        print("metrics export validation failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  * {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"metrics export ok: {len(doc['scenarios'])} scenario histograms, "
+        "Prometheus exposition and embedded JSON metrics validated"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

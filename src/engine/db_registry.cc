@@ -281,6 +281,25 @@ DbRegistry::Stats DbRegistry::stats() const {
   return stats_;
 }
 
+DbRegistry::Gauges DbRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Gauges gauges;
+  gauges.lineages = static_cast<int64_t>(lineages_.size());
+  gauges.snapshots = static_cast<int64_t>(snapshots_.size());
+  for (const auto& [lineage_id, lineage] : lineages_) {
+    gauges.max_version_depth =
+        std::max(gauges.max_version_depth,
+                 static_cast<int64_t>(lineage.versions.size()));
+    if (lineage.versions.empty()) continue;
+    const DbSnapshot& latest = *lineage.versions.rbegin()->second;
+    gauges.nodes += latest.db.num_nodes();
+    gauges.live_facts += latest.db.num_live_facts();
+    gauges.dead_facts += latest.db.num_facts() - latest.db.num_live_facts();
+    gauges.overlay_facts += latest.db.overlay_size();
+  }
+  return gauges;
+}
+
 std::vector<uint64_t> DbRegistry::ids() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint64_t> out;

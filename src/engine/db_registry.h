@@ -199,6 +199,21 @@ class DbRegistry {
     int64_t compactions = 0;   ///< commits that folded their overlay
   };
 
+  /// Instantaneous shape of the registry — the read-amplification signal
+  /// the metrics exporter publishes (and a future background compactor
+  /// would watch). Latest-version figures sum over each lineage's current
+  /// latest snapshot only; retained older versions contribute to
+  /// `snapshots` and `max_version_depth`.
+  struct Gauges {
+    int64_t lineages = 0;
+    int64_t snapshots = 0;          ///< registered snapshots, all versions
+    int64_t max_version_depth = 0;  ///< most resident versions in a lineage
+    int64_t nodes = 0;              ///< nodes across latest versions
+    int64_t live_facts = 0;         ///< live facts across latest versions
+    int64_t dead_facts = 0;         ///< tombstoned ids across latest versions
+    int64_t overlay_facts = 0;      ///< overlay adds+tombstones across latest
+  };
+
   DbRegistry() = default;
   explicit DbRegistry(Options options) : options_(options) {}
 
@@ -241,6 +256,7 @@ class DbRegistry {
   size_t size() const;
 
   Stats stats() const;
+  Gauges gauges() const;
 
   const Options& options() const { return options_; }
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "flow/solver_scratch.h"
+#include "obs/export.h"
 #include "resilience/local_resilience.h"
 
 namespace rpqres {
@@ -39,12 +42,53 @@ bool IsInconclusiveCode(StatusCode code) {
          code == StatusCode::kCancelled;
 }
 
+/// The DISJOINT status label the exporter reports (unlike
+/// EngineStats::errors, which rolls deadline/cancel in).
+std::string_view StatusLabel(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    default:
+      return "error";
+  }
+}
+
 }  // namespace
 
 ResilienceEngine::ResilienceEngine(EngineOptions options)
     : options_(options),
       cache_(options.plan_cache_capacity),
-      result_cache_(options.result_cache_capacity),
+      result_cache_(options.result_cache_capacity,
+                    options.result_cache_max_bytes),
+      requests_total_(metrics_.Counter(
+          "rpqres_requests_total",
+          "Requests by disjoint final status; the four labels sum to "
+          "instances_run.",
+          "status")),
+      requests_by_algorithm_(metrics_.Counter(
+          "rpqres_requests_by_algorithm_total",
+          "Answered requests by the solver algorithm that produced the "
+          "answer.",
+          "algorithm")),
+      request_latency_(metrics_.Histogram(
+          "rpqres_request_latency_micros",
+          "End-to-end request wall time in microseconds, by disjoint final "
+          "status.",
+          "status")),
+      solve_latency_(metrics_.Histogram(
+          "rpqres_solve_latency_micros",
+          "Solver wall time in microseconds, by algorithm (answered "
+          "requests only).",
+          "algorithm")),
+      phase_micros_(metrics_.Histogram(
+          "rpqres_phase_micros",
+          "Per-phase wall time in microseconds, from request trace spans.",
+          "phase")),
+      slow_log_(options.slow_query_log_capacity),
       pool_(options.num_threads > 0 ? options.num_threads
                                     : ThreadPool::DefaultNumThreads()) {}
 
@@ -58,20 +102,29 @@ Result<std::shared_ptr<const CompiledQuery>> ResilienceEngine::CompileInternal(
   if (std::shared_ptr<const CompiledQuery> cached =
           cache_.Lookup(regex, semantics)) {
     if (was_cache_hit) *was_cache_hit = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_hits;
     return cached;
   }
   if (was_cache_hit) *was_cache_hit = false;
+  {
+    // Counted at the probe (before the compile can fail), matching the
+    // plan cache's own hit/miss semantics.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_misses;
+  }
   CompileOptions compile_options;
   compile_options.allow_exponential = options_.allow_exponential;
   compile_options.max_word_length = options_.max_word_length;
   RPQRES_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledQuery> compiled,
                           CompileQuery(regex, semantics, compile_options));
+  const size_t evicted = cache_.Insert(compiled);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.compilations;
     stats_.total_compile_micros += compiled->compile_micros;
+    stats_.cache_evictions += static_cast<int64_t>(evicted);
   }
-  cache_.Insert(compiled);
   return compiled;
 }
 
@@ -87,16 +140,25 @@ ResilienceResponse ResilienceEngine::Evaluate(
                    /*compile_micros=*/0);
   }
   bool was_resident = false;
+  auto lookup_start = std::chrono::steady_clock::now();
   Result<std::shared_ptr<const CompiledQuery>> compiled =
       CompileInternal(request.regex, request.semantics, &was_resident);
+  const double lookup_micros = MicrosSince(lookup_start);
   if (!compiled.ok()) {
     ResilienceResponse response;
     response.status = compiled.status();
-    RecordInstance(response);
+    RecordContext context;
+    context.request = &request;
+    context.total_micros = lookup_micros;
+    RecordInstance(response, context);
     return response;
   }
+  // On a residency hit the measured time is the pure cache probe; on a
+  // miss it is dominated by the compile, which Execute records from the
+  // plan's own compile_micros instead.
   return Execute(**compiled, request, was_resident,
-                 was_resident ? 0 : (*compiled)->compile_micros);
+                 was_resident ? 0 : (*compiled)->compile_micros,
+                 was_resident ? lookup_micros : 0);
 }
 
 std::map<std::pair<std::string, Semantics>, ResilienceEngine::PlanSlot>
@@ -136,7 +198,9 @@ std::vector<ResilienceResponse> ResilienceEngine::EvaluateBatch(
               plans.at({request.regex, request.semantics});
           if (!slot.compiled.ok()) {
             responses[i].status = slot.compiled.status();
-            RecordInstance(responses[i]);
+            RecordContext context;
+            context.request = &request;
+            RecordInstance(responses[i], context);
             return;
           }
           query = slot.compiled->get();
@@ -242,6 +306,10 @@ void ResilienceEngine::RunReference(const CompiledQuery& query,
                                     ResilienceResponse* response) {
   response->differential.emplace();
   ResilienceResponse::Differential& d = *response->differential;
+  const std::string_view reference_phase =
+      obs::SpanKindName(obs::SpanKind::kReferenceSolve);
+  const std::string_view judge_phase =
+      obs::SpanKindName(obs::SpanKind::kDifferentialJudge);
   if (request.source.has_value() || request.target.has_value()) {
     // Fixed endpoints: the walk-based exact reference answers the Boolean
     // query only, so the second opinion is the endpoint-pinned all-subsets
@@ -272,6 +340,8 @@ void ResilienceEngine::RunReference(const CompiledQuery& query,
         query.language, db, *request.source, *request.target, query.semantics,
         max_facts);
     d.reference_stats.solve_micros = MicrosSince(start);
+    phase_micros_->WithLabel(reference_phase)
+        .Record(d.reference_stats.solve_micros);
     if (!reference.ok()) {
       d.reference_status = reference.status();
       // OutOfRange == database too large for the subset enumeration: no
@@ -282,8 +352,10 @@ void ResilienceEngine::RunReference(const CompiledQuery& query,
     d.reference_result = *std::move(reference);
     d.reference_stats.algorithm = d.reference_result.algorithm;
     d.reference_stats.search_nodes = d.reference_result.search_nodes;
+    auto judge_start = std::chrono::steady_clock::now();
     JudgeDifferentialBetween(query.language, db, *request.source,
                              *request.target, query.semantics, response);
+    phase_micros_->WithLabel(judge_phase).Record(MicrosSince(judge_start));
     return;
   }
   if (!request.db.valid()) {
@@ -314,6 +386,8 @@ void ResilienceEngine::RunReference(const CompiledQuery& query,
           : SolveExactResilience(query.language, db, query.semantics,
                                  reference_options);
   d.reference_stats.solve_micros = MicrosSince(start);
+  phase_micros_->WithLabel(reference_phase)
+      .Record(d.reference_stats.solve_micros);
   if (!reference.ok()) {
     d.reference_status = reference.status();
   } else {
@@ -321,7 +395,9 @@ void ResilienceEngine::RunReference(const CompiledQuery& query,
     d.reference_stats.algorithm = d.reference_result.algorithm;
     d.reference_stats.search_nodes = d.reference_result.search_nodes;
   }
+  auto judge_start = std::chrono::steady_clock::now();
   JudgeDifferential(query.language, db, query.semantics, response);
+  phase_micros_->WithLabel(judge_phase).Record(MicrosSince(judge_start));
 }
 
 std::vector<ResilienceResponse> ResilienceEngine::EvaluateDifferential(
@@ -355,7 +431,9 @@ std::vector<ResilienceResponse> ResilienceEngine::EvaluateDifferential(
             response.differential->reference_status = slot.compiled.status();
             response.differential->mismatch =
                 "compile failed: " + slot.compiled.status().ToString();
-            RecordInstance(response);
+            RecordContext context;
+            context.request = &request;
+            RecordInstance(response, context);
             return;
           }
           query = slot.compiled->get();
@@ -408,23 +486,65 @@ std::vector<std::future<ResilienceResponse>> ResilienceEngine::SubmitBatch(
 ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
                                              const ResilienceRequest& request,
                                              bool cache_hit,
-                                             double compile_micros) {
+                                             double compile_micros,
+                                             double plan_lookup_micros) {
+  auto start = std::chrono::steady_clock::now();
+  // The span sink: the caller's context when provided, a stack-local one
+  // when engine-wide tracing is on, nullptr otherwise. Stack allocation
+  // keeps the hot path heap-free (see obs/trace.h).
+  obs::TraceContext local_trace;
+  obs::TraceContext* trace =
+      request.options.trace != nullptr
+          ? request.options.trace
+          : (options_.enable_tracing ? &local_trace : nullptr);
+  const int root = trace != nullptr ? trace->Begin(obs::SpanKind::kRequest)
+                                    : -1;
+  if (trace != nullptr) {
+    // Plan acquisition happened before this context existed; backfill it
+    // as completed spans so the tree accounts for the whole request.
+    if (plan_lookup_micros > 0) {
+      trace->AddComplete(obs::SpanKind::kPlanCacheLookup,
+                         static_cast<int64_t>(plan_lookup_micros));
+    }
+    if (compile_micros > 0) {
+      trace->AddComplete(obs::SpanKind::kCompile,
+                         static_cast<int64_t>(compile_micros));
+    }
+  }
+
+  RequestTelemetry telemetry;
+  ResilienceResponse response =
+      ExecuteTraced(query, request, trace, &telemetry);
+  response.stats.cache_hit = cache_hit;
+  response.stats.compile_micros = compile_micros;
+
+  if (trace != nullptr) trace->End(root);
+  RecordContext context;
+  context.request = &request;
+  context.trace = trace;
+  context.telemetry = &telemetry;
+  context.total_micros = MicrosSince(start);
+  RecordInstance(response, context);
+  return response;
+}
+
+ResilienceResponse ResilienceEngine::ExecuteTraced(
+    const CompiledQuery& query, const ResilienceRequest& request,
+    obs::TraceContext* trace, RequestTelemetry* telemetry) {
   const RequestOptions& request_options = request.options;
   ResilienceResponse response;
   response.stats.complexity =
       ComplexityClassName(query.classification.complexity);
   response.stats.rule = query.classification.rule;
-  response.stats.cache_hit = cache_hit;
-  response.stats.compile_micros = compile_micros;
 
   // Name-based resolution happens at execution time, so a queued request
   // against "lineage@latest" sees the version that is latest *now*.
   DbHandle db = request.db;
   if (!db.valid() && !request.db_ref.empty() && request.registry != nullptr) {
+    obs::ScopedSpan resolve_span(trace, obs::SpanKind::kResolve);
     Result<DbHandle> resolved = request.registry->Resolve(request.db_ref);
     if (!resolved.ok()) {
       response.status = resolved.status();
-      RecordInstance(response);
       return response;
     }
     db = *std::move(resolved);
@@ -432,9 +552,10 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
   if (!db.valid()) {
     response.status = Status::InvalidArgument(
         "request carries no database (default DbHandle)");
-    RecordInstance(response);
     return response;
   }
+  telemetry->lineage = db.lineage();
+  telemetry->version = db.version();
 
   // Fixed-endpoint validation (the solve itself branches below).
   const bool fixed_endpoints =
@@ -443,21 +564,18 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
     if (!request.source.has_value() || !request.target.has_value()) {
       response.status = Status::InvalidArgument(
           "fixed-endpoint requests must set source and target together");
-      RecordInstance(response);
       return response;
     }
     if (*request.source < 0 || *request.source >= db.db().num_nodes() ||
         *request.target < 0 || *request.target >= db.db().num_nodes()) {
       response.status = Status::InvalidArgument(
           "fixed endpoints must be nodes of the database");
-      RecordInstance(response);
       return response;
     }
     if (request_options.method.has_value() &&
         *request_options.method != ResilienceMethod::kAuto) {
       response.status = Status::InvalidArgument(
           "fixed endpoints cannot be combined with a forced solver");
-      RecordInstance(response);
       return response;
     }
   }
@@ -467,7 +585,6 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
   const CancelToken* cancel = EffectiveCancel(request_options, &deadline_token);
   if (cancel != nullptr && cancel->ShouldStop()) {
     response.status = cancel->ToStatus();
-    RecordInstance(response);
     return response;
   }
 
@@ -479,6 +596,7 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
       result_cache_.enabled() && db.lineage() != 0 &&
       (!request_options.method.has_value() ||
        *request_options.method == ResilienceMethod::kAuto);
+  telemetry->result_cache_checked = cacheable;
   ResultCacheKey cache_key;
   if (cacheable) {
     cache_key = ResultCacheKey{query.regex,
@@ -488,6 +606,7 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
                                request.source.value_or(-1),
                                request.target.value_or(-1)};
     auto lookup_start = std::chrono::steady_clock::now();
+    obs::ScopedSpan lookup_span(trace, obs::SpanKind::kResultCacheLookup);
     if (std::optional<CachedResult> hit = result_cache_.Lookup(cache_key)) {
       response.result = hit->result;
       // Report what computed the cached answer, stamped as a cache hit.
@@ -500,11 +619,13 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
       response.stats.search_nodes = hit->stats.search_nodes;
       response.stats.result_cache_hit = true;
       response.stats.solve_micros = MicrosSince(lookup_start);
-      RecordInstance(response);
       return response;
     }
   }
 
+  // Method dispatch: resolve the per-request overrides against the
+  // compiled plan (cheap — the real classification happened at compile).
+  obs::ScopedSpan classify_span(trace, obs::SpanKind::kClassify);
   ExactOptions exact_options;
   exact_options.max_search_nodes =
       request_options.max_exact_search_nodes.value_or(
@@ -516,8 +637,16 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
   // The calling worker's reusable flow arena: in steady state the whole
   // flow path (product sweep, CSR build, Dinic) allocates nothing.
   SolverScratch& scratch = SolverScratch::ThreadLocal();
+  classify_span.End();
 
+  // Hand the span sink to the solvers for the duration of this solve.
+  // The scratch arena is thread_local and outlives the request, so the
+  // pointer MUST be cleared before returning — a later request with
+  // tracing off would otherwise write into a dead stack frame.
+  scratch.trace = trace;
   auto start = std::chrono::steady_clock::now();
+  const int solve_span =
+      trace != nullptr ? trace->Begin(obs::SpanKind::kSolve) : -1;
   Result<ResilienceResult> result = [&]() -> Result<ResilienceResult> {
     if (fixed_endpoints) {
       // Thm 3.13 ext: needs tables for L's own RO-εNFA (IF-rewriting is
@@ -559,6 +688,8 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
                                      exact_options, db.label_index(),
                                      &scratch);
   }();
+  if (trace != nullptr) trace->End(solve_span);
+  scratch.trace = nullptr;
   response.stats.solve_micros = MicrosSince(start);
   if (!result.ok()) {
     response.status = result.status();
@@ -572,50 +703,206 @@ ResilienceResponse ResilienceEngine::Execute(const CompiledQuery& query,
     response.stats.product_edges_pruned = response.result.product_edges_pruned;
     response.stats.search_nodes = response.result.search_nodes;
     if (cacheable) {
-      result_cache_.Insert(std::move(cache_key),
-                           CachedResult{response.result, response.stats});
+      telemetry->result_cache_evictions = static_cast<int64_t>(
+          result_cache_.Insert(std::move(cache_key),
+                               CachedResult{response.result, response.stats}));
     }
   }
-  RecordInstance(response);
   return response;
 }
 
-void ResilienceEngine::RecordInstance(const ResilienceResponse& response) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.instances_run;
-  if (!response.status.ok()) ++stats_.errors;
-  if (response.status.code() == StatusCode::kDeadlineExceeded) {
-    ++stats_.deadline_exceeded;
+void ResilienceEngine::RecordInstance(const ResilienceResponse& response,
+                                      const RecordContext& context) {
+  const StatusCode code = response.status.code();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.instances_run;
+    if (!response.status.ok()) ++stats_.errors;
+    if (code == StatusCode::kDeadlineExceeded) ++stats_.deadline_exceeded;
+    if (code == StatusCode::kCancelled) ++stats_.cancelled;
+    stats_.total_solve_micros += response.stats.solve_micros;
+    stats_.flow_vertices_pruned += response.stats.product_vertices_pruned;
+    stats_.flow_edges_pruned += response.stats.product_edges_pruned;
+    if (!response.stats.algorithm.empty()) {
+      ++stats_.instances_by_algorithm[response.stats.algorithm];
+    }
+    if (context.telemetry != nullptr &&
+        context.telemetry->result_cache_checked) {
+      if (response.stats.result_cache_hit) {
+        ++stats_.result_cache_hits;
+      } else {
+        ++stats_.result_cache_misses;
+      }
+      stats_.result_cache_evictions += context.telemetry->result_cache_evictions;
+    }
   }
-  if (response.status.code() == StatusCode::kCancelled) ++stats_.cancelled;
-  stats_.total_solve_micros += response.stats.solve_micros;
-  stats_.flow_vertices_pruned += response.stats.product_vertices_pruned;
-  stats_.flow_edges_pruned += response.stats.product_edges_pruned;
+
+  // Metric families are internally synchronized; no stats_mu_ needed.
+  const std::string_view status = StatusLabel(response.status);
+  const double total_micros = context.total_micros > 0
+                                  ? context.total_micros
+                                  : response.stats.solve_micros;
+  requests_total_->WithLabel(status).Increment();
+  request_latency_->WithLabel(status).Record(total_micros);
   if (!response.stats.algorithm.empty()) {
-    ++stats_.instances_by_algorithm[response.stats.algorithm];
+    requests_by_algorithm_->WithLabel(response.stats.algorithm).Increment();
+    solve_latency_->WithLabel(response.stats.algorithm)
+        .Record(response.stats.solve_micros);
+  }
+  if (context.trace != nullptr) {
+    const obs::TraceSpan* spans = context.trace->spans();
+    for (int i = 0; i < context.trace->size(); ++i) {
+      const obs::TraceSpan& span = spans[i];
+      if (span.kind == obs::SpanKind::kRequest || span.duration_ns < 0) {
+        continue;
+      }
+      phase_micros_->WithLabel(obs::SpanKindName(span.kind))
+          .Record(static_cast<double>(span.duration_ns) / 1000.0);
+    }
+  }
+
+  // Slow path only: requests past the threshold, or shed by deadline /
+  // cancellation (those are exactly the ones worth a span tree even when
+  // they died fast).
+  const bool shed = code == StatusCode::kDeadlineExceeded ||
+                    code == StatusCode::kCancelled;
+  if (slow_log_.capacity() > 0 &&
+      (shed || total_micros >=
+                   static_cast<double>(options_.slow_query_threshold_micros))) {
+    obs::SlowQueryRecord record;
+    if (context.request != nullptr) {
+      const ResilienceRequest& request = *context.request;
+      if (request.query != nullptr) {
+        record.regex = request.query->regex;
+        record.semantics =
+            request.query->semantics == Semantics::kBag ? "bag" : "set";
+      } else {
+        record.regex = request.regex;
+        record.semantics = request.semantics == Semantics::kBag ? "bag" : "set";
+      }
+    }
+    record.status = std::string(status);
+    record.algorithm = response.stats.algorithm;
+    if (context.telemetry != nullptr) {
+      record.lineage = context.telemetry->lineage;
+      record.version = context.telemetry->version;
+    }
+    record.compile_micros =
+        static_cast<int64_t>(response.stats.compile_micros);
+    record.solve_micros = static_cast<int64_t>(response.stats.solve_micros);
+    record.total_micros = static_cast<int64_t>(total_micros);
+    record.network_vertices = response.stats.network_vertices;
+    record.network_edges = response.stats.network_edges;
+    record.search_nodes = response.stats.search_nodes;
+    if (context.trace != nullptr) {
+      record.spans_dropped = context.trace->dropped();
+      record.spans.assign(context.trace->spans(),
+                          context.trace->spans() + context.trace->size());
+    }
+    slow_log_.Push(std::move(record));
   }
 }
 
 EngineStats ResilienceEngine::stats() const {
-  PlanCache::Stats cache_stats = cache_.stats();
-  ResultCache::Stats result_stats = result_cache_.stats();
   std::lock_guard<std::mutex> lock(stats_mu_);
-  EngineStats snapshot = stats_;
-  snapshot.cache_hits = cache_stats.hits;
-  snapshot.cache_misses = cache_stats.misses;
-  snapshot.cache_evictions = cache_stats.evictions;
-  snapshot.result_cache_hits = result_stats.hits;
-  snapshot.result_cache_misses = result_stats.misses;
-  snapshot.result_cache_evictions = result_stats.evictions;
-  snapshot.result_cache_invalidations = result_stats.invalidations;
-  return snapshot;
+  return stats_;
 }
 
 void ResilienceEngine::ResetStats() {
   cache_.ResetStats();
   result_cache_.ResetStats();
+  metrics_.Reset();
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_ = EngineStats{};
+}
+
+std::string ResilienceEngine::ExportMetrics(MetricsFormat format,
+                                            const DbRegistry* registry) const {
+  obs::MetricsSnapshot snapshot = TakeMetricsSnapshot(registry);
+  return format == MetricsFormat::kPrometheus ? obs::ToPrometheusText(snapshot)
+                                              : obs::ToJson(snapshot);
+}
+
+obs::MetricsSnapshot ResilienceEngine::TakeMetricsSnapshot(
+    const DbRegistry* registry) const {
+  obs::MetricsSnapshot snapshot = metrics_.TakeSnapshot();
+  const EngineStats s = stats();
+
+  // EngineStats counters exported as families (samples sorted by label,
+  // matching CounterFamily snapshots).
+  auto add_counter = [&snapshot](
+                         std::string_view name, std::string_view help,
+                         std::vector<obs::CounterFamily::Sample> samples) {
+    obs::CounterFamily::Snapshot family;
+    family.name = std::string(name);
+    family.help = std::string(help);
+    family.label_key = "event";
+    family.samples = std::move(samples);
+    snapshot.counters.push_back(std::move(family));
+  };
+  add_counter("rpqres_plan_cache_events_total",
+              "Plan-cache probes and evictions.",
+              {{"eviction", s.cache_evictions},
+               {"hit", s.cache_hits},
+               {"miss", s.cache_misses}});
+  add_counter("rpqres_result_cache_events_total",
+              "Version-keyed result-cache probes, evictions, and explicit "
+              "invalidations.",
+              {{"eviction", s.result_cache_evictions},
+               {"hit", s.result_cache_hits},
+               {"invalidation", s.result_cache_invalidations},
+               {"miss", s.result_cache_misses}});
+  add_counter("rpqres_engine_events_total",
+              "Engine lifecycle events (compiles, batches, async submits, "
+              "differential runs).",
+              {{"batch", s.batches_run},
+               {"compilation", s.compilations},
+               {"differential", s.differentials_run},
+               {"differential_mismatch", s.differential_mismatches},
+               {"submit", s.submits}});
+
+  auto add_gauge = [&snapshot](std::string_view name, std::string_view help,
+                               double value) {
+    snapshot.gauges.push_back(
+        obs::GaugeSample{std::string(name), std::string(help), value});
+  };
+  add_gauge("rpqres_plan_cache_entries", "Compiled plans resident in the LRU.",
+            static_cast<double>(cache_.size()));
+  add_gauge("rpqres_result_cache_entries",
+            "Cached resilience answers resident.",
+            static_cast<double>(result_cache_.size()));
+  add_gauge("rpqres_result_cache_bytes",
+            "Accounted byte footprint of cached answers.",
+            static_cast<double>(result_cache_.size_bytes()));
+  add_gauge("rpqres_slow_query_log_entries",
+            "Slow-query records currently retained.",
+            static_cast<double>(slow_log_.size()));
+  if (registry != nullptr) {
+    const DbRegistry::Gauges g = registry->gauges();
+    add_gauge("rpqres_db_lineages", "Registered database lineages.",
+              static_cast<double>(g.lineages));
+    add_gauge("rpqres_db_snapshots",
+              "Registered snapshots across all versions.",
+              static_cast<double>(g.snapshots));
+    add_gauge("rpqres_db_max_version_depth",
+              "Most resident versions in any one lineage.",
+              static_cast<double>(g.max_version_depth));
+    add_gauge("rpqres_db_nodes", "Nodes across latest versions.",
+              static_cast<double>(g.nodes));
+    add_gauge("rpqres_db_live_facts", "Live facts across latest versions.",
+              static_cast<double>(g.live_facts));
+    add_gauge("rpqres_db_dead_facts",
+              "Tombstoned fact ids across latest versions.",
+              static_cast<double>(g.dead_facts));
+    add_gauge("rpqres_db_overlay_facts",
+              "Copy-on-write overlay adds+tombstones across latest versions.",
+              static_cast<double>(g.overlay_facts));
+  }
+  return snapshot;
+}
+
+std::vector<obs::SlowQueryRecord> ResilienceEngine::slow_queries() const {
+  return slow_log_.Dump();
 }
 
 PlanCacheView ResilienceEngine::plan_cache_view() const {
@@ -624,13 +911,18 @@ PlanCacheView ResilienceEngine::plan_cache_view() const {
 
 ResultCacheView ResilienceEngine::result_cache_view() const {
   return ResultCacheView{result_cache_.size(), result_cache_.capacity(),
+                         result_cache_.size_bytes(), result_cache_.max_bytes(),
                          result_cache_.stats()};
 }
 
 int64_t ResilienceEngine::InvalidateResults(uint64_t lineage,
                                             std::optional<uint32_t> version) {
-  return version.has_value() ? result_cache_.EraseVersion(lineage, *version)
-                             : result_cache_.EraseLineage(lineage);
+  const int64_t dropped = version.has_value()
+                              ? result_cache_.EraseVersion(lineage, *version)
+                              : result_cache_.EraseLineage(lineage);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.result_cache_invalidations += dropped;
+  return dropped;
 }
 
 }  // namespace rpqres

@@ -52,6 +52,9 @@
 #include "engine/request.h"
 #include "engine/result_cache.h"
 #include "graphdb/graph_db.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "resilience/resilience.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -84,6 +87,33 @@ struct EngineOptions {
   /// second opinion (2^facts subsets); larger instances judge
   /// inconclusive. Clamped to 22.
   int fixed_endpoint_reference_max_facts = 16;
+
+  // --- observability (src/obs/) --------------------------------------------
+  /// Record per-request trace spans (resolve, result-cache lookup, solve,
+  /// product prune, flow build, Dinic, cut extraction, exact search) into
+  /// a stack-allocated per-request context, feeding the per-phase latency
+  /// histograms and the slow-query log. The context is fixed-size and the
+  /// span clock is two steady_clock reads per phase, so the zero-
+  /// allocation hot path is preserved; measured overhead is a few percent
+  /// of p50 on the deep-product flow benchmark (see README
+  /// "Observability"). Per-request RequestOptions::trace overrides this.
+  bool enable_tracing = true;
+  /// Requests slower than this land in the slow-query log with their full
+  /// span tree (DeadlineExceeded/Cancelled requests land there regardless
+  /// of duration).
+  int64_t slow_query_threshold_micros = 10'000;
+  /// Slow-query ring-buffer capacity; 0 disables the log.
+  size_t slow_query_log_capacity = 64;
+  /// Byte budget for the version-keyed ResultCache (witness sets
+  /// accounted per entry); 0 = bound by entry count only. Ignored while
+  /// result_cache_capacity is 0.
+  size_t result_cache_max_bytes = 0;
+};
+
+/// Output formats of ResilienceEngine::ExportMetrics.
+enum class MetricsFormat {
+  kJson,        ///< one JSON object (counters/histograms+quantiles/gauges)
+  kPrometheus,  ///< Prometheus text exposition 0.0.4
 };
 
 /// Read-only plan-cache introspection snapshot (size, capacity, hit/miss
@@ -98,6 +128,9 @@ struct PlanCacheView {
 struct ResultCacheView {
   size_t size = 0;
   size_t capacity = 0;
+  /// Accounted entry footprint and its budget (0 = unbounded by bytes).
+  size_t bytes = 0;
+  size_t max_bytes = 0;
   ResultCache::Stats stats;
 };
 
@@ -151,9 +184,34 @@ class ResilienceEngine {
 
   // --- Introspection ------------------------------------------------------
 
-  /// Aggregate counters snapshot (cache_* reflect the plan cache).
+  /// Aggregate counters snapshot (cache_* reflect the plan cache). The
+  /// snapshot is CONSISTENT under concurrent Submit/Evaluate traffic:
+  /// every field is maintained under one mutex at its counting point, so
+  /// cross-field invariants (deadline_exceeded + cancelled <= errors <=
+  /// instances_run, sum of instances_by_algorithm <= instances_run, ...)
+  /// hold in every snapshot, never just at quiescence.
   EngineStats stats() const;
+  /// Clears the EngineStats snapshot, the underlying cache counters, and
+  /// every metric family (latency histograms included) atomically per
+  /// component. The slow-query log is NOT cleared (it is a log, not a
+  /// counter); use slow_queries() before resetting if needed.
   void ResetStats();
+
+  /// Renders every engine metric — request/solve/phase latency histograms
+  /// (p50/p95/p99 in the JSON form), disjoint-status request counters,
+  /// cache event counters, and instantaneous gauges (cache entries and
+  /// bytes, slow-log depth, plus DbRegistry lineage/version/fact gauges
+  /// when `registry` is non-null) — in the requested format.
+  std::string ExportMetrics(MetricsFormat format,
+                            const DbRegistry* registry = nullptr) const;
+
+  /// The structured form of ExportMetrics (exporter-independent).
+  obs::MetricsSnapshot TakeMetricsSnapshot(
+      const DbRegistry* registry = nullptr) const;
+
+  /// The retained slow-query records, oldest first (see
+  /// EngineOptions::slow_query_threshold_micros).
+  std::vector<obs::SlowQueryRecord> slow_queries() const;
 
   const EngineOptions& options() const { return options_; }
 
@@ -189,12 +247,46 @@ class ResilienceEngine {
       std::span<const ResilienceRequest> requests,
       std::vector<bool>* first_compile);
 
+  /// Side facts Execute gathers for RecordInstance that don't belong in
+  /// the response itself (cache interaction, resolved db identity).
+  struct RequestTelemetry {
+    uint64_t lineage = 0;
+    uint32_t version = 0;
+    bool result_cache_checked = false;
+    int64_t result_cache_evictions = 0;
+  };
+
+  /// Context handed to RecordInstance alongside the response; everything
+  /// optional so bare RecordInstance(response) keeps working for callers
+  /// with no trace/telemetry (the differential reference path).
+  struct RecordContext {
+    const ResilienceRequest* request = nullptr;
+    const obs::TraceContext* trace = nullptr;
+    const RequestTelemetry* telemetry = nullptr;
+    double total_micros = 0;
+  };
+
   /// Solve step shared by all entry points; applies per-request
   /// overrides, deadline, cancellation, and fixed endpoints; solves with
-  /// the calling thread's SolverScratch; records into stats_.
+  /// the calling thread's SolverScratch; records into stats_ and the
+  /// metric families. Opens a kRequest span on the effective trace
+  /// context (request.options.trace, else a stack-local one when
+  /// options_.enable_tracing), then delegates to ExecuteTraced.
+  /// `plan_lookup_micros` is the already-paid plan-cache/compile lookup
+  /// time the caller measured, recorded as a completed span.
   ResilienceResponse Execute(const CompiledQuery& query,
                              const ResilienceRequest& request, bool cache_hit,
-                             double compile_micros);
+                             double compile_micros,
+                             double plan_lookup_micros = 0);
+
+  /// The body of Execute: db resolution, result-cache lookup, solver
+  /// dispatch. Records spans into `trace` (nullable) and side facts into
+  /// `telemetry`; does NOT touch stats_ — Execute records once on the
+  /// way out.
+  ResilienceResponse ExecuteTraced(const CompiledQuery& query,
+                                   const ResilienceRequest& request,
+                                   obs::TraceContext* trace,
+                                   RequestTelemetry* telemetry);
 
   /// The exact reference solve + judging for one differential request;
   /// fills response->differential.
@@ -202,16 +294,30 @@ class ResilienceEngine {
                     const ResilienceRequest& request,
                     ResilienceResponse* response);
 
-  void RecordInstance(const ResilienceResponse& response);
+  /// Single sink for per-instance accounting: EngineStats fields under
+  /// stats_mu_, then (outside the mutex) metric families and, when the
+  /// request qualifies, the slow-query log. A default-constructed context
+  /// is valid (no trace, no telemetry).
+  void RecordInstance(const ResilienceResponse& response,
+                      const RecordContext& context);
 
   EngineOptions options_;
   PlanCache cache_;
   ResultCache result_cache_;
   mutable std::mutex stats_mu_;
   EngineStats stats_;
+  /// Metric families live in metrics_; the pointers below are stable
+  /// (MetricsRegistry owns them) and set once in the constructor.
+  obs::MetricsRegistry metrics_;
+  obs::CounterFamily* requests_total_ = nullptr;        // {status}
+  obs::CounterFamily* requests_by_algorithm_ = nullptr; // {algorithm}
+  obs::HistogramFamily* request_latency_ = nullptr;     // {status}, micros
+  obs::HistogramFamily* solve_latency_ = nullptr;       // {algorithm}, micros
+  obs::HistogramFamily* phase_micros_ = nullptr;        // {phase}, micros
+  obs::SlowQueryLog slow_log_;
   /// Declared last on purpose: ~ThreadPool drains still-queued Submit
-  /// tasks, which touch cache_/stats_mu_/stats_ — everything they use
-  /// must be destroyed after the pool.
+  /// tasks, which touch cache_/stats_mu_/stats_/metrics_ — everything
+  /// they use must be destroyed after the pool.
   ThreadPool pool_;
 };
 

@@ -55,7 +55,13 @@ struct EngineStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
-  /// Instances that ended in a non-OK status.
+  /// Instances that ended in a non-OK status. NOTE: this is a roll-up —
+  /// `deadline_exceeded` and `cancelled` below are counted here too
+  /// (kept for compatibility). The metrics exporter reports the four
+  /// DISJOINT statuses instead (ok / error / deadline_exceeded /
+  /// cancelled, summing to instances_run), so shed-rate math needs no
+  /// double-count correction; generic errors alone are
+  /// `errors - deadline_exceeded - cancelled`.
   int64_t errors = 0;
   /// Requests accepted through the async Submit/SubmitBatch surface.
   int64_t submits = 0;

@@ -19,7 +19,7 @@ std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
   return it->second->second;
 }
 
-void PlanCache::Insert(std::shared_ptr<const CompiledQuery> query) {
+size_t PlanCache::Insert(std::shared_ptr<const CompiledQuery> query) {
   Key key{query->regex, query->semantics};
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.insertions;
@@ -27,15 +27,18 @@ void PlanCache::Insert(std::shared_ptr<const CompiledQuery> query) {
   if (it != index_.end()) {
     it->second->second = std::move(query);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return 0;
   }
   lru_.emplace_front(key, std::move(query));
   index_[key] = lru_.begin();
+  size_t evicted = 0;
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    ++evicted;
   }
+  return evicted;
 }
 
 size_t PlanCache::size() const {

@@ -40,8 +40,10 @@ class PlanCache {
                                               Semantics semantics);
 
   /// Inserts (or replaces) the plan for its own (regex, semantics) key,
-  /// evicting the least-recently-used entry when over capacity.
-  void Insert(std::shared_ptr<const CompiledQuery> query);
+  /// evicting the least-recently-used entry when over capacity. Returns
+  /// how many entries were evicted, so the engine can fold evictions into
+  /// its own consistent stats snapshot.
+  size_t Insert(std::shared_ptr<const CompiledQuery> query);
 
   size_t size() const;
   size_t capacity() const { return capacity_; }

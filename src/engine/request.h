@@ -33,6 +33,7 @@
 #include "engine/db_registry.h"
 #include "engine/engine_stats.h"
 #include "graphdb/graph_db.h"
+#include "obs/trace.h"
 #include "resilience/resilience.h"
 #include "resilience/result.h"
 #include "util/cancel.h"
@@ -62,6 +63,14 @@ struct RequestOptions {
   /// who may RequestCancel() at any time → the request fails with
   /// Cancelled). Composes with `deadline`.
   std::shared_ptr<CancelToken> cancel;
+  /// Caller-owned span sink. When set, the engine records this request's
+  /// trace spans (request, resolve, result-cache lookup, solve, product
+  /// prune, flow build, Dinic, cut extraction, exact search, ...) into it
+  /// instead of an internal per-request context, so the caller can
+  /// inspect the span tree after the response returns. Must outlive the
+  /// request (beware Submit: the solve is asynchronous). Overrides
+  /// EngineOptions::enable_tracing for this request.
+  obs::TraceContext* trace = nullptr;
 };
 
 /// One unit of serving work: evaluate RES(Q, db) under `semantics`.

@@ -2,6 +2,33 @@
 
 namespace rpqres {
 
+namespace {
+
+size_t StringBytes(const std::string& s) {
+  // Short strings live inline; only spilled buffers cost heap.
+  return s.capacity() > sizeof(std::string) ? s.capacity() + 1 : 0;
+}
+
+}  // namespace
+
+size_t ResultCache::EntryFootprintBytes(const ResultCacheKey& key,
+                                        const CachedResult& value) {
+  // The list node plus the index node (which re-copies the key). Node
+  // headers are approximated as three pointers each.
+  size_t bytes = sizeof(Entry) + 3 * sizeof(void*);  // list node
+  // Index node: rb-tree header (3 pointers + color) + key copy + iterator.
+  bytes += sizeof(ResultCacheKey) + 4 * sizeof(void*) +
+           sizeof(std::list<Entry>::iterator);
+  bytes += 2 * StringBytes(key.regex);  // both key copies
+  // The witness set is the dominant variable-size component.
+  bytes += value.result.contingency.capacity() * sizeof(FactId);
+  bytes += StringBytes(value.result.algorithm);
+  bytes += StringBytes(value.stats.complexity);
+  bytes += StringBytes(value.stats.rule);
+  bytes += StringBytes(value.stats.algorithm);
+  return bytes;
+}
+
 std::optional<CachedResult> ResultCache::Lookup(const ResultCacheKey& key) {
   if (!enabled()) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
@@ -12,26 +39,45 @@ std::optional<CachedResult> ResultCache::Lookup(const ResultCacheKey& key) {
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return it->second->value;
 }
 
-void ResultCache::Insert(ResultCacheKey key, CachedResult value) {
-  if (!enabled()) return;
+void ResultCache::PopLru() {
+  bytes_ -= lru_.back().bytes;
+  index_.erase(lru_.back().key);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+size_t ResultCache::Insert(ResultCacheKey key, CachedResult value) {
+  if (!enabled()) return 0;
+  const size_t footprint = EntryFootprintBytes(key, value);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(value);
+    bytes_ += footprint - it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = footprint;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return 0;
   }
-  lru_.emplace_front(std::move(key), std::move(value));
-  index_.emplace(lru_.front().first, lru_.begin());
+  lru_.push_front(Entry{std::move(key), std::move(value), footprint});
+  index_.emplace(lru_.front().key, lru_.begin());
+  bytes_ += footprint;
   ++stats_.insertions;
+  size_t evicted = 0;
   while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
+    PopLru();
+    ++evicted;
   }
+  // Byte budget: keep evicting LRU-first, but always retain at least the
+  // entry just inserted (a single oversized answer is admitted rather
+  // than bouncing forever).
+  while (max_bytes_ > 0 && bytes_ > max_bytes_ && lru_.size() > 1) {
+    PopLru();
+    ++evicted;
+  }
+  return evicted;
 }
 
 int64_t ResultCache::EraseMatching(uint64_t lineage,
@@ -39,9 +85,10 @@ int64_t ResultCache::EraseMatching(uint64_t lineage,
   std::lock_guard<std::mutex> lock(mu_);
   int64_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->first.lineage == lineage &&
-        (!version.has_value() || it->first.version == *version)) {
-      index_.erase(it->first);
+    if (it->key.lineage == lineage &&
+        (!version.has_value() || it->key.version == *version)) {
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
       it = lru_.erase(it);
       ++dropped;
     } else {
@@ -65,6 +112,11 @@ size_t ResultCache::size() const {
   return lru_.size();
 }
 
+size_t ResultCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -79,6 +131,7 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  bytes_ = 0;
 }
 
 }  // namespace rpqres

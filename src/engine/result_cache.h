@@ -53,7 +53,13 @@ struct CachedResult {
 };
 
 /// Thread-safe LRU (key → answer). Capacity 0 disables the cache (every
-/// Lookup misses without counting, Insert is a no-op).
+/// Lookup misses without counting, Insert is a no-op). Bounded two ways:
+/// by entry count (`capacity`) and — when `max_bytes` > 0 — by the
+/// accounted byte footprint of the retained answers (witness sets
+/// dominate: a contingency set can hold thousands of fact ids while
+/// another entry holds two). Either bound evicts LRU-first; a single
+/// over-budget entry is still admitted (the cache never thrashes down to
+/// zero).
 class ResultCache {
  public:
   struct Stats {
@@ -65,17 +71,25 @@ class ResultCache {
     int64_t invalidations = 0;
   };
 
-  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+  explicit ResultCache(size_t capacity, size_t max_bytes = 0)
+      : capacity_(capacity), max_bytes_(max_bytes) {}
 
   bool enabled() const { return capacity_ > 0; }
   size_t capacity() const { return capacity_; }
+  size_t max_bytes() const { return max_bytes_; }
+
+  /// Approximate heap footprint of one entry: the LRU node, the two key
+  /// copies (list + index), the witness contingency set, and the owned
+  /// strings. The basis of the byte budget and the cache-bytes gauge.
+  static size_t EntryFootprintBytes(const ResultCacheKey& key,
+                                    const CachedResult& value);
 
   /// The cached answer, marked most-recently-used; nullopt on miss.
   std::optional<CachedResult> Lookup(const ResultCacheKey& key);
 
-  /// Inserts (or refreshes) the answer, evicting the least-recently-used
-  /// entry when over capacity.
-  void Insert(ResultCacheKey key, CachedResult value);
+  /// Inserts (or refreshes) the answer, evicting LRU entries while over
+  /// the entry or byte budget. Returns how many entries were evicted.
+  size_t Insert(ResultCacheKey key, CachedResult value);
 
   /// Drops every entry of `lineage` (all versions); returns the count.
   int64_t EraseLineage(uint64_t lineage);
@@ -83,17 +97,26 @@ class ResultCache {
   int64_t EraseVersion(uint64_t lineage, uint32_t version);
 
   size_t size() const;
+  /// Accounted bytes across all retained entries (the cache-bytes gauge).
+  size_t size_bytes() const;
   Stats stats() const;
   void ResetStats();
   void Clear();
 
  private:
-  using Entry = std::pair<ResultCacheKey, CachedResult>;
+  struct Entry {
+    ResultCacheKey key;
+    CachedResult value;
+    size_t bytes = 0;  ///< EntryFootprintBytes at insertion time
+  };
 
   int64_t EraseMatching(uint64_t lineage, std::optional<uint32_t> version);
+  void PopLru();
 
   mutable std::mutex mu_;
   size_t capacity_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::map<ResultCacheKey, std::list<Entry>::iterator> index_;
   Stats stats_;

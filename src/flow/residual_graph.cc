@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rpqres {
@@ -156,7 +157,7 @@ bool ResidualGraph::BlockingFlow() {
   }
 }
 
-const MinCutView& ResidualGraph::Solve() {
+const MinCutView& ResidualGraph::Solve(obs::TraceContext* trace) {
   RPQRES_CHECK_MSG(source_ >= 0 && target_ >= 0, "source/target not set");
   RPQRES_CHECK_MSG(!solved_, "Solve() may run at most once per Reset()");
   solved_ = true;
@@ -169,14 +170,21 @@ const MinCutView& ResidualGraph::Solve() {
     view_.infinite = true;
     return view_;
   }
-  BuildCsr();
-  while (Bfs()) {
-    iter_.assign(arc_offset_.begin(), arc_offset_.end() - 1);
-    if (BlockingFlow()) {
-      view_.infinite = true;
-      return view_;
+  {
+    obs::ScopedSpan span(trace, obs::SpanKind::kFlowBuild);
+    BuildCsr();
+  }
+  {
+    obs::ScopedSpan span(trace, obs::SpanKind::kDinic);
+    while (Bfs()) {
+      iter_.assign(arc_offset_.begin(), arc_offset_.end() - 1);
+      if (BlockingFlow()) {
+        view_.infinite = true;
+        return view_;
+      }
     }
   }
+  obs::ScopedSpan cut_span(trace, obs::SpanKind::kCutExtract);
   view_.value = flow_;
 
   // Residual reachability split: the final (failed) BFS already computed

@@ -30,6 +30,10 @@
 
 namespace rpqres {
 
+namespace obs {
+class TraceContext;
+}  // namespace obs
+
 /// Result of a min-cut computation. Spans and pointers reference buffers
 /// owned by the ResidualGraph that produced the view; they stay valid
 /// until its next Reset().
@@ -87,8 +91,10 @@ class ResidualGraph {
   /// extracts the minimum cut. Destructive on staged capacities — may be
   /// called at most once per Reset(). Infinite capacities are handled
   /// exactly: a cut is reported infinite iff its value must exceed the
-  /// total finite capacity.
-  const MinCutView& Solve();
+  /// total finite capacity. When `trace` is non-null, the CSR build,
+  /// Dinic, and cut extraction are bracketed as flow_build / dinic /
+  /// cut_extract spans (allocation-free — see obs/trace.h).
+  const MinCutView& Solve(obs::TraceContext* trace = nullptr);
 
   /// Total bytes currently reserved across every internal buffer. Stable
   /// across solves of same-shaped inputs once warm — the scratch-reuse

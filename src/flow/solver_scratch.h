@@ -25,6 +25,10 @@
 
 namespace rpqres {
 
+namespace obs {
+class TraceContext;
+}  // namespace obs
+
 /// A dense int64-keyed set with O(1) amortized clear, used for product
 /// vertex marks over the (node, state) space: clearing bumps an epoch
 /// instead of touching the (possibly large, mostly dead) key range.
@@ -144,6 +148,16 @@ class SolverScratch {
   /// and unpruned constructions must produce identical cut values — the
   /// parity suite flips this to prove it.
   bool disable_product_pruning = false;
+
+  // --- observability -------------------------------------------------------
+  /// Per-request trace recorder, set by the engine for the duration of
+  /// one solve (null when tracing is off or the solver is called
+  /// directly). Solvers bracket their phases with obs::ScopedSpan, which
+  /// tolerates null, so instrumentation costs nothing when disabled. The
+  /// context is stack-allocated fixed-size storage — recording spans
+  /// never allocates, preserving this scratch's zero-allocation
+  /// guarantee.
+  obs::TraceContext* trace = nullptr;
 };
 
 }  // namespace rpqres

@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace rpqres::obs {
+
+namespace {
+
+// Stable per-thread shard index; hashing the thread id once per thread
+// keeps Add() to a single relaxed fetch_add on a thread-private line.
+int ThisThreadShard() {
+  static thread_local const int shard = static_cast<int>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      ShardedCounter::kShards);
+  return shard;
+}
+
+}  // namespace
+
+void ShardedCounter::Add(int64_t delta) {
+  shards_[ThisThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t ShardedCounter::value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ShardedCounter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::array<double, LatencyHistogram::kFiniteBuckets>&
+LatencyHistogram::BucketBoundsMicros() {
+  static const std::array<double, kFiniteBuckets> bounds = [] {
+    std::array<double, kFiniteBuckets> b{};
+    for (int i = 0; i < kFiniteBuckets; ++i) {
+      b[i] = 0.1 * std::pow(10.0, static_cast<double>(i) / 4.0);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+int LatencyHistogram::BucketFor(double micros) {
+  const auto& bounds = BucketBoundsMicros();
+  // 34 buckets: a forward scan beats binary search on branch prediction
+  // since most latencies land in a narrow band.
+  for (int i = 0; i < kFiniteBuckets; ++i) {
+    if (micros <= bounds[i]) return i;
+  }
+  return kFiniteBuckets;  // overflow
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0 || !std::isfinite(micros)) micros = 0;
+  counts_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(std::llround(micros * 1000.0),
+                       std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  for (int i = 0; i < kTotalBuckets; ++i) {
+    snapshot.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snapshot.total_count += snapshot.counts[i];
+  }
+  snapshot.sum_micros =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1000.0;
+  return snapshot;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Snapshot::Quantile(double q) const {
+  if (total_count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_count);
+  const auto& bounds = LatencyHistogram::BucketBoundsMicros();
+  uint64_t cumulative = 0;
+  for (int i = 0; i < LatencyHistogram::kTotalBuckets; ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= target) {
+      if (i >= LatencyHistogram::kFiniteBuckets) {
+        return bounds.back();  // overflow: best lower estimate
+      }
+      const double lower = (i == 0) ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+ShardedCounter& CounterFamily::WithLabel(std::string_view label) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cells_.find(label);
+    if (it != cells_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return cells_.try_emplace(std::string(label)).first->second;
+}
+
+CounterFamily::Snapshot CounterFamily::TakeSnapshot() const {
+  Snapshot snapshot{name_, help_, label_key_, {}};
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  snapshot.samples.reserve(cells_.size());
+  for (const auto& [label, counter] : cells_) {
+    snapshot.samples.push_back({label, counter.value()});
+  }
+  return snapshot;
+}
+
+void CounterFamily::Reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [label, counter] : cells_) counter.Reset();
+}
+
+LatencyHistogram& HistogramFamily::WithLabel(std::string_view label) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cells_.find(label);
+    if (it != cells_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return cells_.try_emplace(std::string(label)).first->second;
+}
+
+HistogramFamily::Snapshot HistogramFamily::TakeSnapshot() const {
+  Snapshot snapshot{name_, help_, label_key_, {}};
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  snapshot.series.reserve(cells_.size());
+  for (const auto& [label, histogram] : cells_) {
+    snapshot.series.push_back({label, histogram.TakeSnapshot()});
+  }
+  return snapshot;
+}
+
+void HistogramFamily::Reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [label, histogram] : cells_) histogram.Reset();
+}
+
+CounterFamily* MetricsRegistry::Counter(std::string_view name,
+                                        std::string_view help,
+                                        std::string_view label_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& family : counters_) {
+    if (family->name() == name) return family.get();
+  }
+  counters_.push_back(std::make_unique<CounterFamily>(
+      std::string(name), std::string(help), std::string(label_key)));
+  return counters_.back().get();
+}
+
+HistogramFamily* MetricsRegistry::Histogram(std::string_view name,
+                                            std::string_view help,
+                                            std::string_view label_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& family : histograms_) {
+    if (family->name() == name) return family.get();
+  }
+  histograms_.push_back(std::make_unique<HistogramFamily>(
+      std::string(name), std::string(help), std::string(label_key)));
+  return histograms_.back().get();
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& family : counters_) {
+    snapshot.counters.push_back(family->TakeSnapshot());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& family : histograms_) {
+    snapshot.histograms.push_back(family->TakeSnapshot());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& family : counters_) family->Reset();
+  for (const auto& family : histograms_) family->Reset();
+}
+
+}  // namespace rpqres::obs

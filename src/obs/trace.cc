@@ -1,0 +1,41 @@
+#include "obs/trace.h"
+
+namespace rpqres::obs {
+
+std::string_view SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest:
+      return "request";
+    case SpanKind::kCompile:
+      return "compile";
+    case SpanKind::kPlanCacheLookup:
+      return "plan_cache_lookup";
+    case SpanKind::kResolve:
+      return "resolve";
+    case SpanKind::kResultCacheLookup:
+      return "result_cache_lookup";
+    case SpanKind::kClassify:
+      return "classify";
+    case SpanKind::kSolve:
+      return "solve";
+    case SpanKind::kProductPrune:
+      return "product_prune";
+    case SpanKind::kFlowBuild:
+      return "flow_build";
+    case SpanKind::kDinic:
+      return "dinic";
+    case SpanKind::kCutExtract:
+      return "cut_extract";
+    case SpanKind::kExactSearch:
+      return "exact_search";
+    case SpanKind::kReferenceSolve:
+      return "reference_solve";
+    case SpanKind::kDifferentialJudge:
+      return "differential_judge";
+    case SpanKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace rpqres::obs

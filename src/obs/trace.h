@@ -1,0 +1,179 @@
+// rpqres — obs/trace: allocation-free per-request trace spans.
+//
+// A TraceContext is a fixed-size, stack-allocatable recorder of timed
+// spans for ONE request. It never touches the heap — spans live in an
+// inline array, nesting is tracked by a small index stack, and overflow
+// (more spans than kMaxSpans, or nesting deeper than kMaxDepth) drops
+// the span and bumps a counter instead of growing anything. That is what
+// lets the engine attach a context to the zero-allocation flow hot path
+// (flow_scratch_test) without weakening its guarantee.
+//
+// The context is single-threaded by design: one request, one worker.
+// Cross-thread aggregation happens later, in obs::MetricsRegistry.
+
+#ifndef RPQRES_OBS_TRACE_H_
+#define RPQRES_OBS_TRACE_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace rpqres::obs {
+
+/// Every instrumented phase of the serving path. Keep in sync with
+/// SpanKindName(); kCount is a sentinel.
+enum class SpanKind : uint8_t {
+  kRequest = 0,        ///< whole Execute() call
+  kCompile,            ///< plan-cache miss → CompileQuery
+  kPlanCacheLookup,    ///< plan-cache probe (hit or miss)
+  kResolve,            ///< db_ref → DbRegistry snapshot resolution
+  kResultCacheLookup,  ///< version-keyed result-cache probe
+  kClassify,           ///< complexity classification / method dispatch
+  kSolve,              ///< whole solver call (any algorithm)
+  kProductPrune,       ///< local flow: reach/co-reach product sweep
+  kFlowBuild,          ///< CSR residual-network construction
+  kDinic,              ///< max-flow augmentation phases
+  kCutExtract,         ///< min-cut → contingency-set extraction
+  kExactSearch,        ///< branch & bound
+  kReferenceSolve,     ///< differential: reference word-bound solver
+  kDifferentialJudge,  ///< differential: verdict computation
+  kCount,
+};
+
+/// Stable lowercase name for exporters ("request", "dinic", ...).
+std::string_view SpanKindName(SpanKind kind);
+
+/// One closed (or still-open) span. Offsets are nanoseconds relative to
+/// the owning context's epoch, so the struct stays 16 bytes.
+struct TraceSpan {
+  SpanKind kind = SpanKind::kRequest;
+  uint8_t depth = 0;          ///< nesting level: 0 == root
+  int64_t start_ns = 0;       ///< offset from TraceContext epoch
+  int64_t duration_ns = -1;   ///< -1 while the span is open
+};
+
+/// Fixed-capacity span recorder for one request. No heap, no locks.
+class TraceContext {
+ public:
+  static constexpr int kMaxSpans = 48;
+  static constexpr int kMaxDepth = 8;
+
+  TraceContext() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Opens a span; returns its index, or -1 if the span was dropped
+  /// (buffer full or too deeply nested). End(-1) is a no-op, so callers
+  /// can thread the return value through unconditionally.
+  int Begin(SpanKind kind) {
+    if (count_ >= kMaxSpans || depth_ >= kMaxDepth) {
+      ++dropped_;
+      return -1;
+    }
+    const int index = count_++;
+    TraceSpan& span = spans_[index];
+    span.kind = kind;
+    span.depth = static_cast<uint8_t>(depth_);
+    span.start_ns = NowNs();
+    span.duration_ns = -1;
+    open_[depth_++] = static_cast<int16_t>(index);
+    return index;
+  }
+
+  /// Closes the span opened as `index`. Tolerates -1 (dropped span) and
+  /// double-End (second call is ignored).
+  void End(int index) {
+    if (index < 0 || index >= count_) return;
+    TraceSpan& span = spans_[index];
+    if (span.duration_ns >= 0) return;  // already closed
+    span.duration_ns = NowNs() - span.start_ns;
+    // Pop the stack down past this span; out-of-order Ends close any
+    // abandoned children at this span's end instant, keeping child
+    // intervals inside the parent's.
+    while (depth_ > 0) {
+      const int16_t top = open_[depth_ - 1];
+      --depth_;
+      if (top == index) break;
+      TraceSpan& abandoned = spans_[top];
+      if (abandoned.duration_ns < 0) {
+        abandoned.duration_ns = span.start_ns + span.duration_ns -
+                                abandoned.start_ns;
+      }
+    }
+  }
+
+  /// Records an already-measured span (e.g. compile time measured by the
+  /// plan cache before a context existed). Does not affect nesting. The
+  /// span is backdated to end now — it describes work that just finished
+  /// — and any open ancestors are widened to cover it, so the invariant
+  /// "children nest inside their parents" survives backfilling.
+  void AddComplete(SpanKind kind, int64_t duration_micros) {
+    if (count_ >= kMaxSpans) {
+      ++dropped_;
+      return;
+    }
+    TraceSpan& span = spans_[count_++];
+    span.kind = kind;
+    span.depth = static_cast<uint8_t>(depth_);
+    span.duration_ns = duration_micros * 1000;
+    span.start_ns = NowNs() - span.duration_ns;
+    for (int level = 0; level < depth_; ++level) {
+      TraceSpan& ancestor = spans_[open_[level]];
+      if (ancestor.start_ns > span.start_ns) {
+        ancestor.start_ns = span.start_ns;
+      }
+    }
+  }
+
+  const TraceSpan* spans() const { return spans_.data(); }
+  int size() const { return count_; }
+  int dropped() const { return dropped_; }
+  int open_depth() const { return depth_; }
+
+  /// Nanoseconds since the context was created.
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  int count_ = 0;
+  int depth_ = 0;
+  int dropped_ = 0;
+  std::array<int16_t, kMaxDepth> open_{};
+  std::array<TraceSpan, kMaxSpans> spans_{};
+};
+
+/// RAII span. Tolerates a null context (tracing disabled): every method
+/// degrades to a no-op, so solver code can bracket phases without
+/// checking whether observability is on.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* context, SpanKind kind)
+      : context_(context),
+        index_(context != nullptr ? context->Begin(kind) : -1) {}
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Closes early; idempotent.
+  void End() {
+    if (context_ != nullptr && !ended_) {
+      context_->End(index_);
+      ended_ = true;
+    }
+  }
+
+  int index() const { return index_; }
+
+ private:
+  TraceContext* context_;
+  int index_;
+  bool ended_ = false;
+};
+
+}  // namespace rpqres::obs
+
+#endif  // RPQRES_OBS_TRACE_H_

@@ -242,7 +242,7 @@ Result<ResilienceResult> SolveBclResilience(const Language& lang,
     }
   }
 
-  const MinCutView& cut = network.Solve();
+  const MinCutView& cut = network.Solve(scratch->trace);
   if (cut.infinite) {
     // Some match consists of exogenous facts only.
     result.infinite = true;

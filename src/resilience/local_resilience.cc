@@ -6,6 +6,7 @@
 #include "flow/solver_scratch.h"
 #include "lang/infix_free.h"
 #include "lang/ro_enfa.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rpqres {
@@ -61,6 +62,8 @@ ResilienceResult SolveLocalProduct(const RoProductTables& t, const GraphDb& db,
   };
 
   // --- Reach / co-reach sweep over (node, state) ---------------------------
+  obs::TraceContext* trace = scratch->trace;
+  obs::ScopedSpan prune_span(trace, obs::SpanKind::kProductPrune);
   auto& fwd = scratch->reach_fwd;
   auto& bwd = scratch->reach_bwd;
   auto& fwd_visited = scratch->fwd_visited;
@@ -193,7 +196,10 @@ ResilienceResult SolveLocalProduct(const RoProductTables& t, const GraphDb& db,
     }
   }
 
+  prune_span.End();
+
   // --- Arc emission, straight into the CSR residual graph -----------------
+  obs::ScopedSpan build_span(trace, obs::SpanKind::kFlowBuild);
   ResidualGraph& network = scratch->graph;
   network.Reset(2 + live_count);
   network.SetSource(0);
@@ -238,7 +244,8 @@ ResilienceResult SolveLocalProduct(const RoProductTables& t, const GraphDb& db,
     }
   }
 
-  const MinCutView& cut = network.Solve();
+  build_span.End();
+  const MinCutView& cut = network.Solve(trace);
   if (cut.infinite) {
     // With ε ∉ L every source-target path crosses a fact edge, so an
     // infinite cut means some L-walk consists of exogenous facts only:

@@ -2,12 +2,14 @@
 
 #include <utility>
 
+#include "flow/solver_scratch.h"
 #include "graphdb/rpq_eval.h"
 #include "lang/chain.h"
 #include "lang/infix_free.h"
 #include "lang/local.h"
 #include "lang/one_dangling.h"
 #include "lang/ro_enfa.h"
+#include "obs/trace.h"
 #include "resilience/bcl_resilience.h"
 #include "resilience/exact.h"
 #include "resilience/local_resilience.h"
@@ -94,9 +96,14 @@ Result<ResilienceResult> ComputeResilienceWithPlan(
     case ResilienceMethod::kOneDanglingFlow:
       return SolveOneDanglingResilience(plan.if_language, db, semantics,
                                         label_index, scratch);
-    case ResilienceMethod::kExact:
+    case ResilienceMethod::kExact: {
+      // The branch & bound does not take a scratch; bracket it here so
+      // the trace still attributes the (potentially exponential) time.
+      obs::ScopedSpan span(scratch != nullptr ? scratch->trace : nullptr,
+                           obs::SpanKind::kExactSearch);
       return SolveExactResilience(plan.if_language, db, semantics,
                                   exact_options);
+    }
     case ResilienceMethod::kBruteForce:
       return SolveBruteForceResilience(plan.if_language, db, semantics);
     case ResilienceMethod::kAuto:

@@ -1,0 +1,286 @@
+// The engine observability layer end to end: caller-attached trace
+// sinks, the metrics exporter (Prometheus + JSON), disjoint status
+// counters, gauges (caches, slow log, DbRegistry), the slow-query log
+// (threshold, shed requests, wraparound), and ResetStats semantics.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/db_registry.h"
+#include "engine/engine.h"
+#include "engine/request.h"
+#include "obs/trace.h"
+#include "util/cancel.h"
+
+namespace rpqres {
+namespace {
+
+GraphDb LayerDb() {
+  GraphDb db;
+  NodeId s = db.AddNode("s");
+  NodeId m1 = db.AddNode("m1");
+  NodeId m2 = db.AddNode("m2");
+  NodeId t = db.AddNode("t");
+  db.AddFact(s, 'a', m1);
+  db.AddFact(m1, 'x', m2, 2);
+  db.AddFact(m2, 'b', t);
+  db.AddFact(s, 'a', m2);
+  return db;
+}
+
+bool HasSpan(const obs::TraceContext& trace, obs::SpanKind kind) {
+  for (int i = 0; i < trace.size(); ++i) {
+    if (trace.spans()[i].kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(EngineObservabilityTest, CallerTraceSinkReceivesSpanTree) {
+  DbRegistry registry;
+  ResilienceEngine engine;
+  DbHandle db = registry.Register(LayerDb(), "hot");
+
+  obs::TraceContext trace;
+  ResilienceRequest request{.regex = "ax*b", .db = db};
+  request.options.trace = &trace;
+  ResilienceResponse response = engine.Evaluate(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+
+  ASSERT_GT(trace.size(), 0);
+  EXPECT_EQ(trace.open_depth(), 0);  // everything closed
+  const obs::TraceSpan& root = trace.spans()[0];
+  EXPECT_EQ(root.kind, obs::SpanKind::kRequest);
+  EXPECT_EQ(root.depth, 0);
+  ASSERT_GE(root.duration_ns, 0);
+  EXPECT_TRUE(HasSpan(trace, obs::SpanKind::kSolve));
+  // "ax*b" routes to the local flow solver: the flow phases must appear.
+  EXPECT_TRUE(HasSpan(trace, obs::SpanKind::kProductPrune));
+  EXPECT_TRUE(HasSpan(trace, obs::SpanKind::kFlowBuild));
+  EXPECT_TRUE(HasSpan(trace, obs::SpanKind::kDinic));
+  EXPECT_TRUE(HasSpan(trace, obs::SpanKind::kCutExtract));
+  // Every span is inside the root's interval.
+  for (int i = 0; i < trace.size(); ++i) {
+    const obs::TraceSpan& span = trace.spans()[i];
+    ASSERT_GE(span.duration_ns, 0) << "span " << i << " left open";
+    EXPECT_GE(span.start_ns, root.start_ns);
+    EXPECT_LE(span.start_ns + span.duration_ns,
+              root.start_ns + root.duration_ns);
+  }
+}
+
+TEST(EngineObservabilityTest, CallerTraceOverridesDisabledTracing) {
+  DbRegistry registry;
+  EngineOptions options;
+  options.enable_tracing = false;
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb());
+
+  obs::TraceContext trace;
+  ResilienceRequest request{.regex = "ax*b", .db = db};
+  request.options.trace = &trace;
+  ASSERT_TRUE(engine.Evaluate(request).status.ok());
+  EXPECT_TRUE(HasSpan(trace, obs::SpanKind::kDinic));
+}
+
+TEST(EngineObservabilityTest, ExportsDisjointStatusCounters) {
+  DbRegistry registry;
+  ResilienceEngine engine;
+  DbHandle db = registry.Register(LayerDb(), "hot");
+
+  // ok
+  ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = db}).status.ok());
+  // error (no database)
+  EXPECT_EQ(engine.Evaluate({.regex = "ax*b"}).status.code(),
+            StatusCode::kInvalidArgument);
+  // deadline_exceeded (already expired)
+  ResilienceRequest late{.regex = "ax*b", .db = db};
+  late.options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(engine.Evaluate(late).status.code(),
+            StatusCode::kDeadlineExceeded);
+  // cancelled
+  auto token = std::make_shared<CancelToken>();
+  token->RequestCancel();
+  ResilienceRequest cancelled{.regex = "ax*b", .db = db};
+  cancelled.options.cancel = token;
+  EXPECT_EQ(engine.Evaluate(cancelled).status.code(), StatusCode::kCancelled);
+
+  // EngineStats keeps the roll-up (errors includes deadline + cancel)...
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.instances_run, 4);
+  EXPECT_EQ(stats.errors, 3);
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.cancelled, 1);
+
+  // ...while the exporter reports the four DISJOINT statuses.
+  std::string text = engine.ExportMetrics(MetricsFormat::kPrometheus);
+  EXPECT_NE(text.find("rpqres_requests_total{status=\"ok\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpqres_requests_total{status=\"error\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpqres_requests_total{status=\"deadline_exceeded\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpqres_requests_total{status=\"cancelled\"} 1"),
+            std::string::npos);
+}
+
+TEST(EngineObservabilityTest, ExportCarriesHistogramsCachesAndDbGauges) {
+  DbRegistry registry;
+  EngineOptions options;
+  options.result_cache_capacity = 16;
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb(), "hot");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = db}).status.ok());
+  }
+
+  std::string text = engine.ExportMetrics(MetricsFormat::kPrometheus, &registry);
+  // Latency histograms with cumulative buckets.
+  EXPECT_NE(text.find("# TYPE rpqres_request_latency_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpqres_request_latency_micros_count{status=\"ok\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpqres_solve_latency_micros_bucket{algorithm="),
+            std::string::npos);
+  // Per-phase histograms fed from trace spans.
+  EXPECT_NE(text.find("rpqres_phase_micros_bucket{phase=\"dinic\""),
+            std::string::npos);
+  // Cache event counters.
+  EXPECT_NE(text.find("rpqres_plan_cache_events_total{event=\"hit\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpqres_result_cache_events_total{event=\"hit\"} 2"),
+            std::string::npos);
+  // Gauges, including the registry's.
+  EXPECT_NE(text.find("rpqres_plan_cache_entries 1"), std::string::npos);
+  EXPECT_NE(text.find("rpqres_result_cache_entries 1"), std::string::npos);
+  EXPECT_NE(text.find("rpqres_result_cache_bytes"), std::string::npos);
+  EXPECT_NE(text.find("rpqres_db_lineages 1"), std::string::npos);
+  EXPECT_NE(text.find("rpqres_db_live_facts 4"), std::string::npos);
+
+  std::string json = engine.ExportMetrics(MetricsFormat::kJson, &registry);
+  EXPECT_NE(json.find("\"rpqres_request_latency_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpqres_db_overlay_facts\""), std::string::npos);
+}
+
+TEST(EngineObservabilityTest, SlowQueryLogCapturesThresholdCrossers) {
+  DbRegistry registry;
+  EngineOptions options;
+  options.slow_query_threshold_micros = 0;  // everything is "slow"
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb(), "hot");
+
+  ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = db}).status.ok());
+  std::vector<obs::SlowQueryRecord> records = engine.slow_queries();
+  ASSERT_EQ(records.size(), 1u);
+  const obs::SlowQueryRecord& record = records[0];
+  EXPECT_EQ(record.regex, "ax*b");
+  EXPECT_EQ(record.semantics, "set");
+  EXPECT_EQ(record.status, "ok");
+  EXPECT_FALSE(record.algorithm.empty());
+  EXPECT_EQ(record.lineage, db.lineage());
+  EXPECT_EQ(record.version, db.version());
+  EXPECT_GE(record.total_micros, record.solve_micros);
+  EXPECT_GT(record.network_vertices, 0);
+  ASSERT_FALSE(record.spans.empty());
+  EXPECT_EQ(record.spans[0].kind, obs::SpanKind::kRequest);
+  EXPECT_EQ(record.spans_dropped, 0);
+}
+
+TEST(EngineObservabilityTest, ShedRequestsAlwaysLandInSlowLog) {
+  DbRegistry registry;
+  EngineOptions options;
+  options.slow_query_threshold_micros = 60'000'000;  // nothing crosses it
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb(), "hot");
+
+  ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = db}).status.ok());
+  EXPECT_TRUE(engine.slow_queries().empty());
+
+  ResilienceRequest late{.regex = "ax*b", .db = db};
+  late.options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  engine.Evaluate(late);
+  std::vector<obs::SlowQueryRecord> records = engine.slow_queries();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, "deadline_exceeded");
+}
+
+TEST(EngineObservabilityTest, SlowQueryRingWrapsAround) {
+  DbRegistry registry;
+  EngineOptions options;
+  options.slow_query_threshold_micros = 0;
+  options.slow_query_log_capacity = 2;
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb(), "hot");
+
+  for (const char* regex : {"ax*b", "ab", "a"}) {
+    engine.Evaluate({.regex = regex, .db = db});
+  }
+  std::vector<obs::SlowQueryRecord> records = engine.slow_queries();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].regex, "ab");
+  EXPECT_EQ(records[1].regex, "a");
+  EXPECT_LT(records[0].sequence, records[1].sequence);
+
+  std::string text = engine.ExportMetrics(MetricsFormat::kPrometheus);
+  EXPECT_NE(text.find("rpqres_slow_query_log_entries 2"), std::string::npos);
+}
+
+TEST(EngineObservabilityTest, PrecompiledQueriesLogTheirOwnRegex) {
+  DbRegistry registry;
+  EngineOptions options;
+  options.slow_query_threshold_micros = 0;
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb(), "hot");
+
+  auto compiled = engine.Compile("ax*b", Semantics::kBag);
+  ASSERT_TRUE(compiled.ok());
+  ResilienceRequest request{.query = *compiled, .db = db};
+  ASSERT_TRUE(engine.Evaluate(request).status.ok());
+  std::vector<obs::SlowQueryRecord> records = engine.slow_queries();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].regex, "ax*b");
+  EXPECT_EQ(records[0].semantics, "bag");
+}
+
+TEST(EngineObservabilityTest, ResetStatsClearsMetricsButKeepsSlowLog) {
+  DbRegistry registry;
+  EngineOptions options;
+  options.slow_query_threshold_micros = 0;
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb(), "hot");
+  ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = db}).status.ok());
+
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().instances_run, 0);
+  std::string text = engine.ExportMetrics(MetricsFormat::kPrometheus);
+  EXPECT_NE(text.find("rpqres_requests_total{status=\"ok\"} 0"),
+            std::string::npos);
+  // The slow-query log is a log, not a counter: it survives the reset.
+  EXPECT_EQ(engine.slow_queries().size(), 1u);
+}
+
+TEST(EngineObservabilityTest, TracingOffStillFeedsRequestHistograms) {
+  DbRegistry registry;
+  EngineOptions options;
+  options.enable_tracing = false;
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb(), "hot");
+  ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = db}).status.ok());
+
+  std::string text = engine.ExportMetrics(MetricsFormat::kPrometheus);
+  // Request/solve latency come from wall-clock timers, not spans.
+  EXPECT_NE(text.find("rpqres_request_latency_micros_count{status=\"ok\"} 1"),
+            std::string::npos);
+  // Phase histograms need spans, so they stay empty.
+  EXPECT_EQ(text.find("rpqres_phase_micros_bucket"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpqres

@@ -142,6 +142,72 @@ TEST(ResultCacheTest, EvictionAndInvalidation) {
   EXPECT_EQ(engine.InvalidateResults(db1.lineage()), 0);
 }
 
+// The byte budget: witness sets dominate entry footprint, so a cache
+// bounded at a few entries' worth of bytes must evict LRU-first once the
+// accounted footprint crosses the budget, even with entry headroom left.
+TEST(ResultCacheTest, ByteBudgetEvictsWhenWitnessBytesAccumulate) {
+  DbRegistry registry;
+  // Size the budget from a real entry's accounted footprint so the test
+  // tracks the accounting instead of hard-coding sizeof sums.
+  ResilienceEngine probe(WithCache(64));
+  DbHandle probe_db = registry.Register(LayerDb(), "probe");
+  ASSERT_TRUE(probe.Evaluate({.regex = "ax*b", .db = probe_db}).status.ok());
+  const size_t one_entry_bytes = probe.result_cache_view().bytes;
+  ASSERT_GT(one_entry_bytes, 0u);
+
+  EngineOptions options = WithCache(64);  // entry bound far away
+  options.result_cache_max_bytes = one_entry_bytes * 2;
+  ResilienceEngine engine(options);
+  std::vector<DbHandle> dbs;
+  for (int i = 0; i < 4; ++i) {
+    dbs.push_back(registry.Register(LayerDb(), "db" + std::to_string(i)));
+  }
+  for (const DbHandle& db : dbs) {
+    ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = db}).status.ok());
+  }
+
+  ResultCacheView view = engine.result_cache_view();
+  EXPECT_EQ(view.max_bytes, one_entry_bytes * 2);
+  EXPECT_LE(view.bytes, view.max_bytes);
+  EXPECT_LT(view.size, 4u) << "byte budget never evicted";
+  EXPECT_GT(engine.stats().result_cache_evictions, 0);
+
+  // Most-recently-inserted entries survive; the oldest were evicted.
+  ResilienceResponse newest = engine.Evaluate({.regex = "ax*b", .db = dbs[3]});
+  EXPECT_TRUE(newest.stats.result_cache_hit);
+  ResilienceResponse oldest = engine.Evaluate({.regex = "ax*b", .db = dbs[0]});
+  EXPECT_FALSE(oldest.stats.result_cache_hit);
+}
+
+// A single over-budget entry is still admitted (the cache never thrashes
+// to empty), and bytes track insert/evict/invalidate transitions.
+TEST(ResultCacheTest, ByteAccountingTracksLifecycle) {
+  DbRegistry registry;
+  EngineOptions options = WithCache(64);
+  options.result_cache_max_bytes = 1;  // less than any real entry
+  ResilienceEngine engine(options);
+  DbHandle db = registry.Register(LayerDb(), "hot");
+
+  ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = db}).status.ok());
+  ResultCacheView view = engine.result_cache_view();
+  EXPECT_EQ(view.size, 1u);  // admitted despite busting the budget
+  EXPECT_GT(view.bytes, 1u);
+
+  // The one oversized resident is still a usable cache entry.
+  EXPECT_TRUE(
+      engine.Evaluate({.regex = "ax*b", .db = db}).stats.result_cache_hit);
+
+  // A second entry pushes past the budget: the older one goes.
+  DbHandle other = registry.Register(LayerDb(), "cold");
+  ASSERT_TRUE(engine.Evaluate({.regex = "ax*b", .db = other}).status.ok());
+  EXPECT_EQ(engine.result_cache_view().size, 1u);
+
+  // Invalidation returns the bytes.
+  EXPECT_EQ(engine.InvalidateResults(other.lineage()), 1);
+  EXPECT_EQ(engine.result_cache_view().bytes, 0u);
+  EXPECT_EQ(engine.result_cache_view().size, 0u);
+}
+
 TEST(ResultCacheTest, DifferentialPrimaryMayComeFromCache) {
   DbRegistry registry;
   ResilienceEngine engine(WithCache(64));

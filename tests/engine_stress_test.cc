@@ -194,6 +194,85 @@ TEST(EngineStressTest, ConcurrentReadersOnLatestDuringCommits) {
   EXPECT_EQ(registry.Find("hot").version(), 51u);
 }
 
+// Consistent stats snapshots: stats() taken mid-flight, while a Submit
+// barrage is in progress, must satisfy the cross-field invariants on
+// EVERY read — all counters are maintained under one mutex, so a torn
+// snapshot (e.g. errors incremented but instances_run not yet) can never
+// be observed. A final quiescent read checks exact totals.
+TEST(EngineStressTest, StatsSnapshotsAreConsistentUnderConcurrentSubmits) {
+  DbRegistry registry;
+  GraphDb db;
+  NodeId s = db.AddNode("s");
+  NodeId m = db.AddNode("m");
+  NodeId t = db.AddNode("t");
+  db.AddFact(s, 'a', m);
+  db.AddFact(m, 'b', t);
+  DbHandle handle = registry.Register(std::move(db), "hot");
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.result_cache_capacity = 64;
+  ResilienceEngine engine(options);
+
+  constexpr int kRequests = 400;
+  std::vector<std::future<ResilienceResponse>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    ResilienceRequest request;
+    request.db = handle;
+    switch (i % 3) {
+      case 0:
+        request.regex = "ax*b";
+        break;
+      case 1:
+        request.regex = "ab";
+        break;
+      default:
+        request.regex = "ab";
+        // Every third request is shed by an already-expired deadline.
+        request.options.deadline = std::chrono::steady_clock::now() -
+                                   std::chrono::milliseconds(1);
+        break;
+    }
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+
+  // Sample snapshots while the barrage drains.
+  int snapshots_taken = 0;
+  while (snapshots_taken < 200) {
+    EngineStats snap = engine.stats();
+    ++snapshots_taken;
+    EXPECT_GE(snap.instances_run, 0);
+    EXPECT_LE(snap.instances_run, kRequests);
+    EXPECT_LE(snap.deadline_exceeded + snap.cancelled, snap.errors)
+        << "disjoint statuses exceed the error roll-up";
+    EXPECT_LE(snap.errors, snap.instances_run);
+    EXPECT_LE(snap.cache_hits + snap.cache_misses, 2 * kRequests);
+    EXPECT_LE(snap.result_cache_hits + snap.result_cache_misses, snap.instances_run)
+        << "result-cache probes counted before their instance";
+    int64_t by_algorithm = 0;
+    for (const auto& [algorithm, count] : snap.instances_by_algorithm) {
+      by_algorithm += count;
+    }
+    EXPECT_LE(by_algorithm, snap.instances_run);
+    EXPECT_LE(snap.errors + by_algorithm, snap.instances_run)
+        << "an instance counted both as an error and under an algorithm";
+  }
+  for (std::future<ResilienceResponse>& future : futures) future.get();
+
+  // Quiescent totals: every request accounted for, exactly once.
+  EngineStats final_stats = engine.stats();
+  EXPECT_EQ(final_stats.instances_run, kRequests);
+  EXPECT_EQ(final_stats.submits, kRequests);
+  EXPECT_GE(final_stats.deadline_exceeded, kRequests / 3 - 1);
+  EXPECT_EQ(final_stats.errors, final_stats.deadline_exceeded + final_stats.cancelled);
+  int64_t by_algorithm = 0;
+  for (const auto& [algorithm, count] : final_stats.instances_by_algorithm) {
+    by_algorithm += count;
+  }
+  EXPECT_EQ(by_algorithm + final_stats.errors, kRequests);
+}
+
 // Repeated batches over one engine: plan-cache hits must not change
 // answers (a stale or corrupted cached plan would).
 TEST(EngineStressTest, RepeatedBatchesAreStable) {

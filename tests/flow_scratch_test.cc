@@ -20,6 +20,7 @@
 #include "graphdb/label_index.h"
 #include "lang/language.h"
 #include "lang/ro_enfa.h"
+#include "obs/trace.h"
 #include "resilience/bcl_resilience.h"
 #include "resilience/local_resilience.h"
 #include "util/rng.h"
@@ -152,6 +153,75 @@ TEST(SolverScratchTest, EngineThreadScratchReachesSteadyState) {
     ASSERT_TRUE(again.status.ok());
     EXPECT_EQ(again.result.value, first.result.value);
     EXPECT_LE(request_allocations, 24) << "round " << round;
+  }
+}
+
+// Observability on the hot path: recording trace spans through the flow
+// solver must not add a single heap allocation — the TraceContext is
+// fixed-size and span recording is two clock reads plus array stores.
+TEST(SolverScratchTest, TracedLocalSolveStaysAllocationFree) {
+  Rng rng(1234);
+  GraphDb db = LayeredFlowDb(&rng, 4, 8, 6, 4, 0.4, 50);
+  LabelIndex index(db);
+  Language lang = Language::MustFromRegexString("ax*b");
+  Enfa ro = BuildRoEnfa(lang).ValueOrDie();
+  RoProductTables tables = BuildRoProductTables(ro).ValueOrDie();
+
+  SolverScratch scratch;
+  ResilienceResult first =
+      SolveLocalResilienceWithTables(tables, db, Semantics::kBag, &index,
+                                     &scratch);
+  const size_t warm_bytes = scratch.total_capacity_bytes();
+
+  for (int round = 0; round < 10; ++round) {
+    obs::TraceContext trace;  // stack-allocated span sink
+    scratch.trace = &trace;
+    long long before = g_allocations.load(std::memory_order_relaxed);
+    ResilienceResult again = SolveLocalResilienceWithTables(
+        tables, db, Semantics::kBag, &index, &scratch);
+    long long solver_allocations =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    scratch.trace = nullptr;
+    EXPECT_EQ(again.value, first.value);
+    EXPECT_EQ(scratch.total_capacity_bytes(), warm_bytes)
+        << "round " << round << " grew a scratch buffer";
+    // Same bound as the untraced solve: spans cost no allocations.
+    EXPECT_LE(solver_allocations, 4) << "round " << round;
+    // And the spans actually landed: prune, build, Dinic, cut at least.
+    EXPECT_GE(trace.size(), 4) << "round " << round;
+    EXPECT_EQ(trace.dropped(), 0);
+  }
+}
+
+// End-to-end with tracing explicitly ON and a caller-attached sink: the
+// per-request allocation bound must hold unchanged (metric label lookups
+// are allocation-free after warm-up, the span sink is caller stack).
+TEST(SolverScratchTest, EngineSteadyStateHoldsWithTracingOn) {
+  Rng rng(7);
+  DbRegistry registry;
+  DbHandle db = registry.Register(LayeredFlowDb(&rng, 4, 8, 6, 4, 0.4, 50));
+  EngineOptions options;
+  options.num_threads = 1;
+  options.enable_tracing = true;
+  ResilienceEngine engine(options);
+  ResilienceRequest request{
+      .regex = "ax*b", .db = db, .semantics = Semantics::kBag};
+
+  ResilienceResponse first = engine.Evaluate(request);
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  for (int i = 0; i < 3; ++i) engine.Evaluate(request);  // warm-up
+
+  for (int round = 0; round < 10; ++round) {
+    obs::TraceContext trace;
+    request.options.trace = &trace;
+    long long before = g_allocations.load(std::memory_order_relaxed);
+    ResilienceResponse again = engine.Evaluate(request);
+    long long request_allocations =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    ASSERT_TRUE(again.status.ok());
+    EXPECT_EQ(again.result.value, first.result.value);
+    EXPECT_LE(request_allocations, 24) << "round " << round;
+    EXPECT_GT(trace.size(), 0) << "round " << round;
   }
 }
 

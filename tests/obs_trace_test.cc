@@ -1,0 +1,194 @@
+// TraceContext: span nesting, timing monotonicity, overflow behavior,
+// implicit closing of abandoned children, and the SlowQueryLog ring.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+
+namespace rpqres::obs {
+namespace {
+
+TEST(TraceTest, RecordsNestedSpansWithDepths) {
+  TraceContext trace;
+  int request = trace.Begin(SpanKind::kRequest);
+  int solve = trace.Begin(SpanKind::kSolve);
+  int dinic = trace.Begin(SpanKind::kDinic);
+  trace.End(dinic);
+  trace.End(solve);
+  trace.End(request);
+
+  ASSERT_EQ(trace.size(), 3);
+  EXPECT_EQ(trace.dropped(), 0);
+  EXPECT_EQ(trace.open_depth(), 0);
+  const TraceSpan* spans = trace.spans();
+  EXPECT_EQ(spans[0].kind, SpanKind::kRequest);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].kind, SpanKind::kSolve);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].kind, SpanKind::kDinic);
+  EXPECT_EQ(spans[2].depth, 2);
+}
+
+TEST(TraceTest, TimingIsMonotoneAndNested) {
+  TraceContext trace;
+  int request = trace.Begin(SpanKind::kRequest);
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  int solve = trace.Begin(SpanKind::kSolve);
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  trace.End(solve);
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  trace.End(request);
+
+  const TraceSpan& outer = trace.spans()[0];
+  const TraceSpan& inner = trace.spans()[1];
+  ASSERT_GE(outer.duration_ns, 0);
+  ASSERT_GE(inner.duration_ns, 0);
+  // The child starts after the parent and ends before it.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+  // Wall time is at least the slept time.
+  EXPECT_GE(outer.duration_ns, 600'000);
+  EXPECT_GE(inner.duration_ns, 200'000);
+}
+
+TEST(TraceTest, OverflowDropsInsteadOfGrowing) {
+  TraceContext trace;
+  std::vector<int> indices;
+  for (int i = 0; i < TraceContext::kMaxSpans + 10; ++i) {
+    indices.push_back(trace.Begin(SpanKind::kSolve));
+    trace.End(indices.back());
+  }
+  EXPECT_EQ(trace.size(), TraceContext::kMaxSpans);
+  EXPECT_EQ(trace.dropped(), 10);
+  // Dropped spans report index -1, and End(-1) was a safe no-op.
+  EXPECT_EQ(indices.back(), -1);
+}
+
+TEST(TraceTest, DepthOverflowDropsInsteadOfGrowing) {
+  TraceContext trace;
+  std::vector<int> indices;
+  for (int i = 0; i < TraceContext::kMaxDepth + 3; ++i) {
+    indices.push_back(trace.Begin(SpanKind::kSolve));
+  }
+  EXPECT_EQ(trace.size(), TraceContext::kMaxDepth);
+  EXPECT_EQ(trace.dropped(), 3);
+  EXPECT_EQ(trace.open_depth(), TraceContext::kMaxDepth);
+}
+
+TEST(TraceTest, EndingParentClosesAbandonedChildren) {
+  TraceContext trace;
+  int request = trace.Begin(SpanKind::kRequest);
+  int solve = trace.Begin(SpanKind::kSolve);
+  (void)solve;
+  trace.End(request);  // solve never explicitly ended
+
+  const TraceSpan& parent = trace.spans()[0];
+  const TraceSpan& child = trace.spans()[1];
+  ASSERT_GE(parent.duration_ns, 0);
+  ASSERT_GE(child.duration_ns, 0);  // implicitly closed
+  EXPECT_LE(child.start_ns + child.duration_ns,
+            parent.start_ns + parent.duration_ns);
+  EXPECT_EQ(trace.open_depth(), 0);
+}
+
+TEST(TraceTest, DoubleEndIsIgnored) {
+  TraceContext trace;
+  int span = trace.Begin(SpanKind::kSolve);
+  trace.End(span);
+  int64_t duration = trace.spans()[0].duration_ns;
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  trace.End(span);
+  EXPECT_EQ(trace.spans()[0].duration_ns, duration);
+}
+
+TEST(TraceTest, AddCompleteRecordsWithoutNesting) {
+  TraceContext trace;
+  int request = trace.Begin(SpanKind::kRequest);
+  trace.AddComplete(SpanKind::kCompile, 1234);
+  EXPECT_EQ(trace.open_depth(), 1);  // AddComplete does not push
+  trace.End(request);
+  ASSERT_EQ(trace.size(), 2);
+  EXPECT_EQ(trace.spans()[1].kind, SpanKind::kCompile);
+  EXPECT_EQ(trace.spans()[1].duration_ns, 1234 * 1000);
+}
+
+TEST(TraceTest, ScopedSpanToleratesNullContext) {
+  ScopedSpan span(nullptr, SpanKind::kSolve);
+  EXPECT_EQ(span.index(), -1);
+  span.End();  // no-op, no crash
+}
+
+TEST(TraceTest, SpanKindNamesAreStable) {
+  EXPECT_EQ(SpanKindName(SpanKind::kRequest), "request");
+  EXPECT_EQ(SpanKindName(SpanKind::kDinic), "dinic");
+  EXPECT_EQ(SpanKindName(SpanKind::kExactSearch), "exact_search");
+  // Every kind has a non-"unknown" name.
+  for (int i = 0; i < static_cast<int>(SpanKind::kCount); ++i) {
+    EXPECT_NE(SpanKindName(static_cast<SpanKind>(i)), "unknown") << i;
+  }
+}
+
+// --- SlowQueryLog ---------------------------------------------------------
+
+SlowQueryRecord Record(const std::string& regex) {
+  SlowQueryRecord record;
+  record.regex = regex;
+  return record;
+}
+
+TEST(SlowQueryLogTest, RetainsMostRecentAndWrapsAround) {
+  SlowQueryLog log(3);
+  for (int i = 0; i < 7; ++i) log.Push(Record("q" + std::to_string(i)));
+
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 7u);
+  std::vector<SlowQueryRecord> dump = log.Dump();
+  ASSERT_EQ(dump.size(), 3u);
+  // Oldest first, holding the LAST three pushes.
+  EXPECT_EQ(dump[0].regex, "q4");
+  EXPECT_EQ(dump[1].regex, "q5");
+  EXPECT_EQ(dump[2].regex, "q6");
+  // Sequences are monotone across the wraparound.
+  EXPECT_LT(dump[0].sequence, dump[1].sequence);
+  EXPECT_LT(dump[1].sequence, dump[2].sequence);
+}
+
+TEST(SlowQueryLogTest, DumpBelowCapacityIsInsertionOrder) {
+  SlowQueryLog log(8);
+  log.Push(Record("a"));
+  log.Push(Record("b"));
+  std::vector<SlowQueryRecord> dump = log.Dump();
+  ASSERT_EQ(dump.size(), 2u);
+  EXPECT_EQ(dump[0].regex, "a");
+  EXPECT_EQ(dump[1].regex, "b");
+}
+
+TEST(SlowQueryLogTest, ZeroCapacityDropsEverything) {
+  SlowQueryLog log(0);
+  log.Push(Record("a"));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_TRUE(log.Dump().empty());
+}
+
+TEST(SlowQueryLogTest, ClearKeepsSequenceCounter) {
+  SlowQueryLog log(4);
+  log.Push(Record("a"));
+  log.Push(Record("b"));
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  log.Push(Record("c"));
+  std::vector<SlowQueryRecord> dump = log.Dump();
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_GT(dump[0].sequence, 2u);
+}
+
+}  // namespace
+}  // namespace rpqres::obs
