@@ -40,17 +40,35 @@
 // Besides BENCH_engine.json the run dumps the engine's Prometheus
 // exposition (ExportMetrics) next to it as <output>.prom for the CI
 // metrics validator.
+//
+// Serve mode — `bench_engine --serve [--shards N] [output.json]` —
+// benchmarks the sharded front end instead: one seeded TrafficTrace
+// replayed through a Router at 1/4/16 shards (or {1, N} with --shards),
+// closed-loop mixed read/commit traffic, per-shard p50/p99 from the
+// admission controller's observed latency, shed rate, and a
+// tight-deadline shed storm. Per-shard engines get a fixed thread count
+// and a ResultCache smaller than the trace's read key space, so shard
+// counts where the per-shard working set fits the cache sustain a
+// multiple of the single-shard read throughput — at equal resilience
+// checksums (commits touch only noise labels). Output: BENCH_serve.json
+// plus the merged multi-shard Prometheus exposition as <output>.prom.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <future>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/harness.h"
 #include "graphdb/generators.h"
+#include "serve/router.h"
+#include "serve/sharded_registry.h"
 #include "util/rng.h"
+#include "workload/traffic.h"
 
 using namespace rpqres;
 using namespace rpqres::bench;
@@ -397,10 +415,373 @@ std::pair<ScenarioReport, ScenarioReport> RunObservabilityPair() {
   return {std::move(off), std::move(on)};
 }
 
+// ---------------------------------------------------------------------------
+// Serve mode: sharded front-end throughput under seeded mixed traffic.
+
+// Per-shard engine configuration is FIXED across shard counts — the
+// bench measures scale-out, so more shards mean more total threads and
+// more total ResultCache, never bigger per-shard resources.
+constexpr int kServeThreadsPerShard = 2;
+constexpr int kServeResultCacheCapacity = 96;
+constexpr uint64_t kServeTrafficSeed = 31415926;
+constexpr int kServeTimedOps = 5000;
+constexpr int kServeWave = 250;  // in-flight bound: below every admission cap
+constexpr int kServeStormRequests = 600;
+
+EngineOptions ServeEngineOptions() {
+  EngineOptions options;
+  options.num_threads = kServeThreadsPerShard;
+  options.max_word_length = 8;
+  options.result_cache_capacity = kServeResultCacheCapacity;
+  return options;
+}
+
+// 32 lineages x 4 queries x {set,bag} = 256 distinct read keys: far past
+// one shard's 96-entry cache (a single shard thrashes), comfortably
+// inside it once hashed over 4+ shards (each shard's slice stays
+// resident).
+workload::TrafficOptions ServeTrafficOptions() {
+  workload::TrafficOptions options;
+  options.num_lineages = 32;
+  // Larger lineage databases than the test-suite default: a cache miss
+  // prices a real solve, so the resident-vs-thrashing contrast between
+  // shard counts dwarfs router/runner overhead and run-to-run noise.
+  options.db_num_nodes = 80;
+  options.db_num_facts = 320;
+  return options;
+}
+
+struct ServeShardRun {
+  int shards = 0;
+  int64_t reads = 0;
+  int64_t commits = 0;
+  int64_t errors = 0;
+  int64_t submitted = 0;  ///< timed-phase router submissions
+  int64_t sheds = 0;
+  double wall_micros = 0;
+  double read_qps = 0;
+  double shed_rate = 0;
+  int64_t resilience_checksum = 0;
+  int64_t result_cache_hits = 0;
+  int64_t result_cache_misses = 0;
+  struct PerShard {
+    int64_t instances = 0;  ///< engine instances this shard ran
+    uint64_t latency_count = 0;
+    double p50_micros = 0;
+    double p99_micros = 0;
+  };
+  std::vector<PerShard> per_shard;
+};
+
+struct ServeStorm {
+  int shards = 0;
+  int64_t submitted = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_exhausted = 0;
+  double shed_rate = 0;
+};
+
+// One closed-loop traffic run at `num_shards`. When `storm` is non-null
+// this is the reporting configuration: after the timed phase it also
+// runs the tight-deadline shed storm and dumps the router's merged
+// multi-shard Prometheus exposition into `*prom`.
+ServeShardRun RunServeTraffic(int num_shards, ServeStorm* storm,
+                              std::string* prom) {
+  using workload::TrafficOp;
+
+  serve::ShardedRegistry shards(num_shards, ServeEngineOptions());
+  serve::Router router(&shards);
+  workload::TrafficTrace trace(kServeTrafficSeed, ServeTrafficOptions());
+  for (int i = 0; i < trace.num_lineages(); ++i) {
+    shards.Register(trace.MakeDb(i), trace.lineage_name(i));
+  }
+
+  // Warm-up (untimed): enumerate the full read key space once, so shard
+  // counts whose per-shard slice fits the ResultCache enter the timed
+  // phase resident, and every plan is compiled everywhere.
+  const std::vector<std::string>& pool = workload::TrafficReadPool();
+  const int queries_per_lineage = trace.options().queries_per_lineage;
+  std::vector<std::future<ResilienceResponse>> warm;
+  for (int lineage = 0; lineage < trace.num_lineages(); ++lineage) {
+    for (int j = 0; j < queries_per_lineage; ++j) {
+      for (Semantics semantics : {Semantics::kBag, Semantics::kSet}) {
+        ResilienceRequest request;
+        request.regex =
+            pool[(lineage * queries_per_lineage + j) % pool.size()];
+        request.db_ref = trace.lineage_name(lineage) + "@latest";
+        request.semantics = semantics;
+        warm.push_back(router.Submit({"warmup", std::move(request)}));
+      }
+    }
+  }
+  for (auto& future : warm) future.get();
+  router.Drain();
+
+  const serve::RouterStats router_before = router.stats();
+  const EngineStats engines_before = router.engine_stats();
+
+  ServeShardRun run;
+  run.shards = num_shards;
+
+  std::vector<TrafficOp> ops = trace.NextOps(kServeTimedOps);
+  std::vector<std::future<ResilienceResponse>> inflight;
+  inflight.reserve(kServeWave);
+  auto drain_wave = [&] {
+    for (auto& future : inflight) {
+      ResilienceResponse response = future.get();
+      if (!response.status.ok()) {
+        ++run.errors;
+      } else if (!response.result.infinite) {
+        run.resilience_checksum += response.result.value;
+      }
+    }
+    inflight.clear();
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (TrafficOp& op : ops) {
+    if (op.kind == TrafficOp::Kind::kCommit) {
+      DbRegistry& registry = shards.registry(shards.ShardForRef(op.db_ref));
+      if (!workload::TrafficTrace::ApplyCommit(op, &registry).ok()) {
+        ++run.errors;
+      }
+      ++run.commits;
+      continue;
+    }
+    ResilienceRequest request;
+    request.regex = op.regex;
+    request.db_ref = op.db_ref;
+    request.semantics = op.semantics;
+    inflight.push_back(router.Submit(
+        {"tenant" + std::to_string(op.tenant), std::move(request)}));
+    ++run.reads;
+    if (inflight.size() >= kServeWave) drain_wave();
+  }
+  drain_wave();
+  router.Drain();
+  run.wall_micros = MicrosSince(start);
+
+  const serve::RouterStats router_after = router.stats();
+  const EngineStats engines_after = router.engine_stats();
+  run.submitted = router_after.submitted - router_before.submitted;
+  run.sheds = router_after.sheds() - router_before.sheds();
+  run.shed_rate = run.submitted > 0
+                      ? static_cast<double>(run.sheds) /
+                            static_cast<double>(run.submitted)
+                      : 0.0;
+  run.result_cache_hits =
+      engines_after.result_cache_hits - engines_before.result_cache_hits;
+  run.result_cache_misses =
+      engines_after.result_cache_misses - engines_before.result_cache_misses;
+  if (run.wall_micros > 0) {
+    run.read_qps =
+        static_cast<double>(run.reads) / (run.wall_micros / 1e6);
+  }
+  for (int i = 0; i < num_shards; ++i) {
+    obs::LatencyHistogram::Snapshot latency =
+        router.admission().ShardLatency(i);
+    ServeShardRun::PerShard per_shard;
+    per_shard.instances = shards.engine(i).stats().instances_run;
+    per_shard.latency_count = latency.total_count;
+    per_shard.p50_micros = latency.Quantile(0.5);
+    per_shard.p99_micros = latency.Quantile(0.99);
+    run.per_shard.push_back(per_shard);
+  }
+
+  if (storm != nullptr) {
+    // Shed storm: a single tenant bursts against the hot lineage with
+    // every other request already past its deadline — admission must
+    // refuse those before any solver, and the per-tenant cap prices the
+    // rest of the burst.
+    storm->shards = num_shards;
+    std::vector<std::future<ResilienceResponse>> futures;
+    futures.reserve(kServeStormRequests);
+    for (int i = 0; i < kServeStormRequests; ++i) {
+      ResilienceRequest request;
+      request.regex = pool[0];
+      request.db_ref = trace.lineage_name(0) + "@latest";
+      request.semantics = Semantics::kBag;
+      if (i % 2 == 0) {
+        request.options.deadline = std::chrono::steady_clock::now() -
+                                   std::chrono::milliseconds(1);
+      }
+      futures.push_back(router.Submit({"storm", std::move(request)}));
+    }
+    for (auto& future : futures) {
+      ++storm->submitted;
+      const StatusCode code = future.get().status.code();
+      if (code == StatusCode::kDeadlineExceeded) ++storm->shed_deadline;
+      if (code == StatusCode::kResourceExhausted) ++storm->shed_exhausted;
+    }
+    router.Drain();
+    storm->shed_rate =
+        static_cast<double>(storm->shed_deadline + storm->shed_exhausted) /
+        static_cast<double>(storm->submitted);
+  }
+  if (prom != nullptr) {
+    *prom = router.ExportMetrics(MetricsFormat::kPrometheus);
+  }
+  return run;
+}
+
+std::string ServeJson(const std::vector<ServeShardRun>& runs,
+                      const ServeStorm& storm) {
+  const workload::TrafficTrace trace(kServeTrafficSeed,
+                                     ServeTrafficOptions());
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"serve\",\n";
+  out << "  \"traffic_seed\": " << kServeTrafficSeed << ",\n";
+  out << "  \"engine\": {\"num_threads_per_shard\": " << kServeThreadsPerShard
+      << ", \"result_cache_capacity\": " << kServeResultCacheCapacity
+      << ", \"max_word_length\": 8},\n";
+  out << "  \"traffic\": {\"num_lineages\": " << trace.num_lineages()
+      << ", \"distinct_read_keys\": " << 2 * trace.distinct_read_keys()
+      << ", \"timed_ops\": " << kServeTimedOps << "},\n";
+  out << "  \"runs\": [\n";
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const ServeShardRun& run = runs[r];
+    out << "    {\"shards\": " << run.shards << ", \"reads\": " << run.reads
+        << ", \"commits\": " << run.commits
+        << ", \"errors\": " << run.errors
+        << ", \"submitted\": " << run.submitted
+        << ", \"sheds\": " << run.sheds
+        << ", \"shed_rate\": " << run.shed_rate
+        << ", \"wall_micros\": " << run.wall_micros
+        << ", \"read_throughput_qps\": " << run.read_qps
+        << ", \"resilience_checksum\": " << run.resilience_checksum
+        << ", \"result_cache_hits\": " << run.result_cache_hits
+        << ", \"result_cache_misses\": " << run.result_cache_misses
+        << ",\n     \"per_shard\": [";
+    for (size_t i = 0; i < run.per_shard.size(); ++i) {
+      const ServeShardRun::PerShard& shard = run.per_shard[i];
+      if (i > 0) out << ", ";
+      out << "{\"shard\": " << i << ", \"instances\": " << shard.instances
+          << ", \"latency_count\": " << shard.latency_count
+          << ", \"p50_micros\": " << shard.p50_micros
+          << ", \"p99_micros\": " << shard.p99_micros << "}";
+    }
+    out << "]}" << (r + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"speedup\": [\n";
+  const ServeShardRun* single = nullptr;
+  for (const ServeShardRun& run : runs) {
+    if (run.shards == 1) single = &run;
+  }
+  bool first = true;
+  for (const ServeShardRun& run : runs) {
+    if (run.shards == 1 || single == nullptr || single->read_qps <= 0) {
+      continue;
+    }
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"shards\": " << run.shards
+        << ", \"read_throughput_x_single\": "
+        << run.read_qps / single->read_qps << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"shed_storm\": {\"shards\": " << storm.shards
+      << ", \"submitted\": " << storm.submitted
+      << ", \"shed_deadline_exceeded\": " << storm.shed_deadline
+      << ", \"shed_resource_exhausted\": " << storm.shed_exhausted
+      << ", \"shed_rate\": " << storm.shed_rate << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+int RunServeBench(int requested_shards, const std::string& output) {
+  std::vector<int> shard_counts;
+  if (requested_shards > 0) {
+    if (requested_shards != 1) shard_counts.push_back(1);
+    shard_counts.push_back(requested_shards);
+  } else {
+    shard_counts = {1, 4, 16};
+  }
+
+  std::vector<ServeShardRun> runs;
+  ServeStorm storm;
+  std::string prom;
+  for (size_t i = 0; i < shard_counts.size(); ++i) {
+    const bool reporting = i + 1 == shard_counts.size();
+    runs.push_back(RunServeTraffic(shard_counts[i],
+                                   reporting ? &storm : nullptr,
+                                   reporting ? &prom : nullptr));
+    const ServeShardRun& run = runs.back();
+    std::printf(
+        "serve %2d shard%s  %5lld reads  %8.0f qps  shed %.3f  "
+        "cache hit %lld/%lld  err %lld\n",
+        run.shards, run.shards == 1 ? " " : "s",
+        static_cast<long long>(run.reads), run.read_qps, run.shed_rate,
+        static_cast<long long>(run.result_cache_hits),
+        static_cast<long long>(run.result_cache_hits +
+                               run.result_cache_misses),
+        static_cast<long long>(run.errors));
+    for (size_t s = 0; s < run.per_shard.size(); ++s) {
+      std::printf("    shard %2zu  %5lld inst  p50 %9.1fus  p99 %9.1fus\n",
+                  s, static_cast<long long>(run.per_shard[s].instances),
+                  run.per_shard[s].p50_micros, run.per_shard[s].p99_micros);
+    }
+  }
+  for (const ServeShardRun& run : runs) {
+    if (run.shards != 1 && runs.front().shards == 1 &&
+        runs.front().read_qps > 0) {
+      std::printf("serve speedup %d shards vs 1: %.2fx\n", run.shards,
+                  run.read_qps / runs.front().read_qps);
+    }
+  }
+  std::printf("shed storm: %lld/%lld shed (rate %.3f)\n",
+              static_cast<long long>(storm.shed_deadline +
+                                     storm.shed_exhausted),
+              static_cast<long long>(storm.submitted), storm.shed_rate);
+
+  std::ofstream json(output);
+  json << ServeJson(runs, storm);
+  if (!json) {
+    std::fprintf(stderr, "error: failed writing %s\n", output.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+
+  std::string prom_path = output;
+  const std::string json_suffix = ".json";
+  if (prom_path.size() > json_suffix.size() &&
+      prom_path.compare(prom_path.size() - json_suffix.size(),
+                        json_suffix.size(), json_suffix) == 0) {
+    prom_path.resize(prom_path.size() - json_suffix.size());
+  }
+  prom_path += ".prom";
+  std::ofstream prom_file(prom_path);
+  prom_file << prom;
+  if (!prom_file) {
+    std::fprintf(stderr, "error: failed writing %s\n", prom_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", prom_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string output = argc > 1 ? argv[1] : "BENCH_engine.json";
+  bool serve_mode = false;
+  int serve_shards = 0;
+  std::string output;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve") {
+      serve_mode = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      serve_shards = std::atoi(argv[++i]);
+    } else {
+      output = arg;
+    }
+  }
+  if (serve_mode) {
+    return RunServeBench(serve_shards,
+                         output.empty() ? "BENCH_serve.json" : output);
+  }
+  if (output.empty()) output = "BENCH_engine.json";
 
   Harness harness;
 

@@ -16,8 +16,17 @@ Checks three things CI's bench-smoke job relies on:
    its p50 must stay within 5% + a 5us absolute floor for jitter on
    sub-100us solves.
 
+Serve mode (`--serve`) validates a `bench_engine --serve` run instead:
+the merged multi-shard Prometheus exposition must carry shard="i" labels
+for every shard of the reporting run plus shard="all" roll-ups that
+equal the sum of the per-shard series, and BENCH_serve.json must show
+equal resilience checksums across shard counts, zero errors, per-shard
+p50 <= p99, a shedding shed-storm, and a multi-shard read-throughput
+speedup over single-shard.
+
 Usage:
   check_metrics_export.py BENCH_engine.json [BENCH_engine.prom]
+  check_metrics_export.py --serve BENCH_serve.json [BENCH_serve.prom]
 Exit status: 0 clean, 1 validation failure, 2 usage error.
 """
 
@@ -30,6 +39,11 @@ OBS_PAIR = ("obs_off_deep_product", "obs_on_deep_product")
 # obs_on p50 <= obs_off p50 * (1 + REL_SLACK) + ABS_SLACK_MICROS.
 REL_SLACK = 0.05
 ABS_SLACK_MICROS = 5.0
+# CI floor for the multi-shard read-throughput speedup. The cache
+# residency contrast the serve bench is built on is machine-independent
+# and lands well above 3x locally; the floor leaves room for noisy,
+# core-starved CI runners without letting a regression to ~1x pass.
+SERVE_SPEEDUP_FLOOR = 1.5
 
 SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
@@ -114,6 +128,7 @@ def check_prometheus(text, failures):
             )
         if (base + "_sum", labels) not in scalars:
             failures.append(f"{where}: missing _sum sample")
+    return scalars
 
 
 def check_embedded_metrics(doc, failures):
@@ -190,7 +205,112 @@ def check_obs_pair(doc, failures):
         )
 
 
+def check_serve_json(doc, failures):
+    """Structure and cross-run invariants of BENCH_serve.json."""
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        failures.append("serve json: no 'runs' list")
+        return 0
+    checksums = {run.get("resilience_checksum") for run in runs}
+    if len(checksums) != 1:
+        failures.append(
+            f"serve json: resilience checksums differ across shard counts: "
+            f"{sorted(checksums)}"
+        )
+    for run in runs:
+        shards = run.get("shards", 0)
+        where = f"serve run shards={shards}"
+        if run.get("errors", 1) != 0:
+            failures.append(f"{where}: errors = {run.get('errors')}")
+        if not 0.0 <= run.get("shed_rate", -1) <= 1.0:
+            failures.append(f"{where}: shed_rate out of [0,1]")
+        per_shard = run.get("per_shard", [])
+        if len(per_shard) != shards:
+            failures.append(
+                f"{where}: per_shard has {len(per_shard)} entries"
+            )
+        for entry in per_shard:
+            if entry.get("p50_micros", 0) > entry.get("p99_micros", 0):
+                failures.append(
+                    f"{where} shard {entry.get('shard')}: p50 > p99"
+                )
+    speedups = doc.get("speedup", [])
+    if not speedups:
+        failures.append("serve json: no multi-shard speedup entries")
+    for entry in speedups:
+        ratio = entry.get("read_throughput_x_single", 0)
+        if ratio < SERVE_SPEEDUP_FLOOR:
+            failures.append(
+                f"serve json: {entry.get('shards')}-shard read throughput "
+                f"only {ratio:.2f}x single-shard "
+                f"(floor {SERVE_SPEEDUP_FLOOR}x)"
+            )
+    storm = doc.get("shed_storm", {})
+    if storm.get("submitted", 0) <= 0:
+        failures.append("serve json: shed_storm ran nothing")
+    elif storm.get("shed_deadline_exceeded", 0) <= 0:
+        failures.append("serve json: shed_storm shed no expired deadlines")
+    return max((run.get("shards", 0) for run in runs), default=0)
+
+
+def check_serve_prometheus(scalars, num_shards, failures):
+    """Per-shard labels and shard="all" roll-up consistency in the merged
+    exposition. Gauges carry shard labels but no roll-up; every counter
+    and histogram _count/_sum with an "all" sample must equal the sum of
+    its numeric-shard siblings ( _sum within float tolerance)."""
+    groups = {}
+    for (name, labels), value in scalars.items():
+        rest = dict(labels)
+        shard = rest.pop("shard", None)
+        if shard is None:
+            continue
+        key = (name, tuple(sorted(rest.items())))
+        groups.setdefault(key, {})[shard] = value
+    if not groups:
+        failures.append("serve prom: no shard-labelled samples at all")
+        return
+    shards_seen = set()
+    rollups_checked = 0
+    for (name, labels), by_shard in groups.items():
+        shards_seen.update(s for s in by_shard if s != "all")
+        if "all" not in by_shard:
+            continue  # per-shard gauge: no roll-up by design
+        total = sum(v for s, v in by_shard.items() if s != "all")
+        rollup = by_shard["all"]
+        tolerance = (
+            1e-6 * max(1.0, abs(rollup)) if name.endswith("_sum") else 0
+        )
+        if abs(total - rollup) > tolerance:
+            failures.append(
+                f"serve prom {name}{dict(labels)}: per-shard sum {total} "
+                f"!= shard=\"all\" {rollup}"
+            )
+        else:
+            rollups_checked += 1
+    expected = {str(i) for i in range(num_shards)}
+    missing = expected - shards_seen
+    if missing:
+        failures.append(
+            f"serve prom: no samples for shard(s) {sorted(missing)}"
+        )
+    request_shards = set()
+    for (name, _), by_shard in groups.items():
+        if name == "rpqres_requests_total":
+            request_shards.update(s for s in by_shard if s != "all")
+    if not expected <= request_shards:
+        failures.append(
+            "serve prom: rpqres_requests_total missing per-shard series: "
+            f"have {sorted(request_shards)}, want {sorted(expected)}"
+        )
+    if rollups_checked == 0:
+        failures.append("serve prom: no shard=\"all\" roll-ups found")
+
+
 def main(argv):
+    argv = list(argv)
+    serve_mode = "--serve" in argv
+    if serve_mode:
+        argv.remove("--serve")
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -208,20 +328,31 @@ def main(argv):
         prom_text = f.read()
 
     failures = []
-    check_prometheus(prom_text, failures)
-    check_embedded_metrics(doc, failures)
-    check_scenario_histograms(doc, failures)
-    check_obs_pair(doc, failures)
+    scalars = check_prometheus(prom_text, failures)
+    if serve_mode:
+        num_shards = check_serve_json(doc, failures)
+        check_serve_prometheus(scalars, num_shards, failures)
+    else:
+        check_embedded_metrics(doc, failures)
+        check_scenario_histograms(doc, failures)
+        check_obs_pair(doc, failures)
 
     if failures:
         print("metrics export validation failed:", file=sys.stderr)
         for failure in failures:
             print(f"  * {failure}", file=sys.stderr)
         return 1
-    print(
-        f"metrics export ok: {len(doc['scenarios'])} scenario histograms, "
-        "Prometheus exposition and embedded JSON metrics validated"
-    )
+    if serve_mode:
+        print(
+            f"serve metrics export ok: {len(doc['runs'])} shard-count runs, "
+            "merged multi-shard exposition and BENCH_serve.json validated"
+        )
+    else:
+        print(
+            f"metrics export ok: {len(doc['scenarios'])} scenario "
+            "histograms, Prometheus exposition and embedded JSON metrics "
+            "validated"
+        )
     return 0
 
 

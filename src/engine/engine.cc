@@ -457,14 +457,24 @@ std::vector<ResilienceResponse> ResilienceEngine::EvaluateDifferential(
 
 std::future<ResilienceResponse> ResilienceEngine::Submit(
     ResilienceRequest request) {
+  return Submit(std::move(request), ResponseCallback());
+}
+
+std::future<ResilienceResponse> ResilienceEngine::Submit(
+    ResilienceRequest request, ResponseCallback on_complete) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submits;
   }
   auto promise = std::make_shared<std::promise<ResilienceResponse>>();
   std::future<ResilienceResponse> future = promise->get_future();
-  pool_.Submit([this, request = std::move(request), promise]() {
-    promise->set_value(Evaluate(request));
+  pool_.Submit([this, request = std::move(request), promise,
+                on_complete = std::move(on_complete)]() {
+    ResilienceResponse response = Evaluate(request);
+    // Hook first, then resolve: a waiter unblocked by the future must
+    // observe the callback's side effects (admission slot released).
+    if (on_complete) on_complete(response);
+    promise->set_value(std::move(response));
   });
   return future;
 }

@@ -35,6 +35,7 @@
 #ifndef RPQRES_ENGINE_ENGINE_H_
 #define RPQRES_ENGINE_ENGINE_H_
 
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -175,6 +176,20 @@ class ResilienceEngine {
   /// request waits in the queue — a deadline is wall-clock, not
   /// time-on-CPU). Never throws through the future.
   std::future<ResilienceResponse> Submit(ResilienceRequest request);
+
+  /// Completion hook for a submitted request, invoked on the worker
+  /// thread that evaluated it, BEFORE the future resolves — so by the
+  /// time future.get() returns, the callback's effects are visible. The
+  /// serve Router uses this to release admission slots and record
+  /// end-to-end latency at the exact completion instant.
+  using ResponseCallback = std::function<void(const ResilienceResponse&)>;
+
+  /// Submit with a completion hook; `on_complete` may be empty. The
+  /// callback must not call back into the engine's async surface
+  /// (Submit from inside it would deadlock a single-thread pool at
+  /// shutdown) and must outlive the request.
+  std::future<ResilienceResponse> Submit(ResilienceRequest request,
+                                         ResponseCallback on_complete);
 
   /// Submits every request; futures[i] corresponds to requests[i].
   /// Unlike EvaluateBatch, distinct queries are deduplicated only through

@@ -90,6 +90,36 @@ struct EngineStats {
   std::map<std::string, int64_t> instances_by_algorithm;
 };
 
+/// Accumulates `in` into `out`, field-wise. Every counter sums, so
+/// merging N engines' stats yields the view one engine would have
+/// produced had it run all the traffic — the serve Router relies on this
+/// to present a fleet-wide EngineStats.
+inline void MergeEngineStats(const EngineStats& in, EngineStats* out) {
+  out->instances_run += in.instances_run;
+  out->batches_run += in.batches_run;
+  out->compilations += in.compilations;
+  out->cache_hits += in.cache_hits;
+  out->cache_misses += in.cache_misses;
+  out->cache_evictions += in.cache_evictions;
+  out->errors += in.errors;
+  out->submits += in.submits;
+  out->deadline_exceeded += in.deadline_exceeded;
+  out->cancelled += in.cancelled;
+  out->differentials_run += in.differentials_run;
+  out->differential_mismatches += in.differential_mismatches;
+  out->result_cache_hits += in.result_cache_hits;
+  out->result_cache_misses += in.result_cache_misses;
+  out->result_cache_evictions += in.result_cache_evictions;
+  out->result_cache_invalidations += in.result_cache_invalidations;
+  out->flow_vertices_pruned += in.flow_vertices_pruned;
+  out->flow_edges_pruned += in.flow_edges_pruned;
+  out->total_compile_micros += in.total_compile_micros;
+  out->total_solve_micros += in.total_solve_micros;
+  for (const auto& [algorithm, count] : in.instances_by_algorithm) {
+    out->instances_by_algorithm[algorithm] += count;
+  }
+}
+
 }  // namespace rpqres
 
 #endif  // RPQRES_ENGINE_ENGINE_STATS_H_

@@ -66,6 +66,12 @@ std::string PromEscape(std::string_view text) {
   return out;
 }
 
+// Renders the optional shard dimension; empty shard means none.
+std::string ShardSuffix(std::string_view shard) {
+  if (shard.empty()) return "";
+  return ",shard=\"" + PromEscape(shard) + "\"";
+}
+
 }  // namespace
 
 std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
@@ -75,8 +81,8 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
     out += "# TYPE " + family.name + " counter\n";
     for (const auto& sample : family.samples) {
       out += family.name + "{" + family.label_key + "=\"" +
-             PromEscape(sample.label) + "\"} " +
-             std::to_string(sample.value) + "\n";
+             PromEscape(sample.label) + "\"" + ShardSuffix(sample.shard) +
+             "} " + std::to_string(sample.value) + "\n";
     }
   }
   for (const auto& family : snapshot.histograms) {
@@ -84,8 +90,9 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
     out += "# TYPE " + family.name + " histogram\n";
     const auto& bounds = LatencyHistogram::BucketBoundsMicros();
     for (const auto& series : family.series) {
-      const std::string labels =
-          family.label_key + "=\"" + PromEscape(series.label) + "\"";
+      const std::string labels = family.label_key + "=\"" +
+                                 PromEscape(series.label) + "\"" +
+                                 ShardSuffix(series.shard);
       uint64_t cumulative = 0;
       for (int i = 0; i < LatencyHistogram::kFiniteBuckets; ++i) {
         cumulative += series.histogram.counts[i];
@@ -101,10 +108,20 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
              std::to_string(series.histogram.total_count) + "\n";
     }
   }
+  // Merged shard snapshots repeat each gauge name once per shard;
+  // HELP/TYPE must appear once per family, so track what was emitted.
+  const GaugeSample* previous = nullptr;
   for (const auto& gauge : snapshot.gauges) {
-    out += "# HELP " + gauge.name + " " + gauge.help + "\n";
-    out += "# TYPE " + gauge.name + " gauge\n";
-    out += gauge.name + " " + FormatDouble(gauge.value) + "\n";
+    if (previous == nullptr || previous->name != gauge.name) {
+      out += "# HELP " + gauge.name + " " + gauge.help + "\n";
+      out += "# TYPE " + gauge.name + " gauge\n";
+    }
+    previous = &gauge;
+    out += gauge.name;
+    if (!gauge.shard.empty()) {
+      out += "{shard=\"" + PromEscape(gauge.shard) + "\"}";
+    }
+    out += " " + FormatDouble(gauge.value) + "\n";
   }
   return out;
 }
@@ -122,8 +139,11 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
     for (const auto& sample : family.samples) {
       out += first_sample ? "" : ", ";
       first_sample = false;
-      out += "{\"label\": \"" + JsonEscape(sample.label) + "\", \"value\": " +
-             std::to_string(sample.value) + "}";
+      out += "{\"label\": \"" + JsonEscape(sample.label) + "\"";
+      if (!sample.shard.empty()) {
+        out += ", \"shard\": \"" + JsonEscape(sample.shard) + "\"";
+      }
+      out += ", \"value\": " + std::to_string(sample.value) + "}";
     }
     out += "]}";
   }
@@ -141,7 +161,11 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
       out += first_series ? "" : ", ";
       first_series = false;
       const auto& h = series.histogram;
-      out += "{\"label\": \"" + JsonEscape(series.label) + "\", \"count\": " +
+      out += "{\"label\": \"" + JsonEscape(series.label) + "\"";
+      if (!series.shard.empty()) {
+        out += ", \"shard\": \"" + JsonEscape(series.shard) + "\"";
+      }
+      out += ", \"count\": " +
              std::to_string(h.total_count) + ", \"sum_micros\": " +
              FormatDouble(h.sum_micros) + ", \"p50_micros\": " +
              FormatDouble(h.Quantile(0.50)) + ", \"p95_micros\": " +
@@ -170,8 +194,11 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
     out += first_gauge ? "\n" : ",\n";
     first_gauge = false;
     out += "    {\"name\": \"" + JsonEscape(gauge.name) + "\", \"help\": \"" +
-           JsonEscape(gauge.help) + "\", \"value\": " +
-           FormatDouble(gauge.value) + "}";
+           JsonEscape(gauge.help) + "\"";
+    if (!gauge.shard.empty()) {
+      out += ", \"shard\": \"" + JsonEscape(gauge.shard) + "\"";
+    }
+    out += ", \"value\": " + FormatDouble(gauge.value) + "}";
   }
   out += "\n  ]\n}\n";
   return out;

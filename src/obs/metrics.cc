@@ -82,6 +82,14 @@ void LatencyHistogram::Reset() {
   sum_nanos_.store(0, std::memory_order_relaxed);
 }
 
+void LatencyHistogram::Snapshot::Add(const Snapshot& other) {
+  for (int i = 0; i < LatencyHistogram::kTotalBuckets; ++i) {
+    counts[i] += other.counts[i];
+  }
+  total_count += other.total_count;
+  sum_micros += other.sum_micros;
+}
+
 double LatencyHistogram::Snapshot::Quantile(double q) const {
   if (total_count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -200,6 +208,79 @@ void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& family : counters_) family->Reset();
   for (const auto& family : histograms_) family->Reset();
+}
+
+MetricsSnapshot MergeShardSnapshots(std::vector<MetricsSnapshot> shards) {
+  MetricsSnapshot merged;
+  // Families keyed by name, in first-seen order so the merged exposition
+  // reads like a single engine's. Indexes into merged.{counters,
+  // histograms}.
+  std::map<std::string, size_t, std::less<>> counter_index;
+  std::map<std::string, size_t, std::less<>> histogram_index;
+
+  for (size_t shard = 0; shard < shards.size(); ++shard) {
+    const std::string shard_label = std::to_string(shard);
+    MetricsSnapshot& snapshot = shards[shard];
+    for (CounterFamily::Snapshot& family : snapshot.counters) {
+      auto [it, inserted] =
+          counter_index.try_emplace(family.name, merged.counters.size());
+      if (inserted) {
+        merged.counters.push_back(
+            {family.name, family.help, family.label_key, {}});
+      }
+      CounterFamily::Snapshot& out = merged.counters[it->second];
+      for (CounterFamily::Sample& sample : family.samples) {
+        sample.shard = shard_label;
+        out.samples.push_back(std::move(sample));
+      }
+    }
+    for (HistogramFamily::Snapshot& family : snapshot.histograms) {
+      auto [it, inserted] =
+          histogram_index.try_emplace(family.name, merged.histograms.size());
+      if (inserted) {
+        merged.histograms.push_back(
+            {family.name, family.help, family.label_key, {}});
+      }
+      HistogramFamily::Snapshot& out = merged.histograms[it->second];
+      for (HistogramFamily::Series& series : family.series) {
+        series.shard = shard_label;
+        out.series.push_back(std::move(series));
+      }
+    }
+    for (GaugeSample& gauge : snapshot.gauges) {
+      gauge.shard = shard_label;
+      merged.gauges.push_back(std::move(gauge));
+    }
+  }
+
+  // Group same-name gauges adjacently (stable within a name, shards in
+  // order) so the Prometheus exporter emits HELP/TYPE once per family.
+  std::stable_sort(merged.gauges.begin(), merged.gauges.end(),
+                   [](const GaugeSample& a, const GaugeSample& b) {
+                     return a.name < b.name;
+                   });
+
+  // shard="all" roll-ups: per family, per label, the sum over shards.
+  // Appended after the per-shard samples so scrapes list members first.
+  for (CounterFamily::Snapshot& family : merged.counters) {
+    std::map<std::string, int64_t> totals;
+    for (const CounterFamily::Sample& sample : family.samples) {
+      totals[sample.label] += sample.value;
+    }
+    for (auto& [label, value] : totals) {
+      family.samples.push_back({label, value, "all"});
+    }
+  }
+  for (HistogramFamily::Snapshot& family : merged.histograms) {
+    std::map<std::string, LatencyHistogram::Snapshot> totals;
+    for (const HistogramFamily::Series& series : family.series) {
+      totals[series.label].Add(series.histogram);
+    }
+    for (auto& [label, histogram] : totals) {
+      family.series.push_back({label, histogram, "all"});
+    }
+  }
+  return merged;
 }
 
 }  // namespace rpqres::obs

@@ -74,6 +74,9 @@ class LatencyHistogram {
     /// the covering bucket; q in [0, 1]. Returns 0 when empty. Values in
     /// the overflow bucket report the largest finite bound.
     double Quantile(double q) const;
+    /// Adds `other`'s counts/sum into this snapshot (bucket-wise sum;
+    /// snapshots share the fixed bucket layout, so merging is exact).
+    void Add(const Snapshot& other);
     double Mean() const {
       return total_count == 0 ? 0.0
                               : sum_micros / static_cast<double>(total_count);
@@ -107,6 +110,10 @@ class CounterFamily {
   struct Sample {
     std::string label;
     int64_t value = 0;
+    /// Optional second label rendered as shard="..." by the exporters;
+    /// empty means "no shard dimension" (single-engine exports). Filled
+    /// by MergeShardSnapshots, never by the family itself.
+    std::string shard{};
   };
   struct Snapshot {
     std::string name;
@@ -141,6 +148,9 @@ class HistogramFamily {
   struct Series {
     std::string label;
     LatencyHistogram::Snapshot histogram;
+    /// Optional shard="..." dimension; empty when absent (see
+    /// CounterFamily::Sample::shard).
+    std::string shard{};
   };
   struct Snapshot {
     std::string name;
@@ -168,6 +178,8 @@ struct GaugeSample {
   std::string name;
   std::string help;
   double value = 0.0;
+  /// Optional shard="..." dimension; empty when absent.
+  std::string shard{};
 };
 
 /// Everything the exporters need, in one coherent struct.
@@ -200,6 +212,17 @@ class MetricsRegistry {
   std::vector<std::unique_ptr<CounterFamily>> counters_;
   std::vector<std::unique_ptr<HistogramFamily>> histograms_;
 };
+
+/// Merges per-shard engine snapshots into one fleet view. Every sample,
+/// series, and gauge of shard i is tagged shard="i"; families with the
+/// same name are folded into one family carrying all shards' samples.
+/// Each counter and histogram family additionally gains shard="all"
+/// roll-up samples/series per label (values summed, histogram buckets
+/// merged), so consumers can read fleet totals without adding shards
+/// themselves — and validators can check that the per-shard series sum
+/// to the roll-up. Gauges get no roll-up (per-shard values are already
+/// instantaneous; summing sizes across shards is the reader's call).
+MetricsSnapshot MergeShardSnapshots(std::vector<MetricsSnapshot> shards);
 
 }  // namespace rpqres::obs
 

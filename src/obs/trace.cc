@@ -6,6 +6,8 @@ std::string_view SpanKindName(SpanKind kind) {
   switch (kind) {
     case SpanKind::kRequest:
       return "request";
+    case SpanKind::kAdmission:
+      return "admission";
     case SpanKind::kCompile:
       return "compile";
     case SpanKind::kPlanCacheLookup:

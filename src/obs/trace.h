@@ -25,6 +25,7 @@ namespace rpqres::obs {
 /// SpanKindName(); kCount is a sentinel.
 enum class SpanKind : uint8_t {
   kRequest = 0,        ///< whole Execute() call
+  kAdmission,          ///< serve-layer admission decision (router)
   kCompile,            ///< plan-cache miss → CompileQuery
   kPlanCacheLookup,    ///< plan-cache probe (hit or miss)
   kResolve,            ///< db_ref → DbRegistry snapshot resolution

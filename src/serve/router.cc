@@ -1,0 +1,249 @@
+#include "serve/router.h"
+
+#include <iterator>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace rpqres::serve {
+
+namespace {
+
+std::string_view ShedStatusLabel(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    default:
+      return "error";
+  }
+}
+
+int ThreadsPerShard(const ShardedRegistry& shards) {
+  const int configured = shards.engine(0).options().num_threads;
+  return configured > 0 ? configured : ThreadPool::DefaultNumThreads();
+}
+
+}  // namespace
+
+Router::Router(ShardedRegistry* shards, RouterOptions options)
+    : shards_(shards),
+      options_(options),
+      admission_(shards->num_shards(), ThreadsPerShard(*shards),
+                 options.admission),
+      admission_total_(metrics_.Counter(
+          "rpqres_router_admission_total",
+          "Admission decisions by outcome (admitted / shed_*)", "decision")),
+      tenant_requests_(metrics_.Counter("rpqres_router_tenant_requests_total",
+                                        "Requests submitted per tenant",
+                                        "tenant")),
+      tenant_sheds_(metrics_.Counter("rpqres_router_tenant_sheds_total",
+                                     "Requests shed at admission per tenant",
+                                     "tenant")),
+      tenant_latency_(metrics_.Histogram(
+          "rpqres_router_tenant_latency_micros",
+          "End-to-end latency of completed requests per tenant", "tenant")),
+      shed_log_(options.shed_log_capacity) {}
+
+Router::~Router() { Drain(); }
+
+int Router::RouteShard(const ResilienceRequest& request) const {
+  if (!request.db_ref.empty()) return shards_->ShardForRef(request.db_ref);
+  if (request.db.valid()) return shards_->ShardForHandle(request.db);
+  // No database at all: let shard 0's engine produce the error.
+  return 0;
+}
+
+std::future<ResilienceResponse> Router::Submit(ServeRequest serve) {
+  ResilienceRequest& request = serve.request;
+  const int shard = RouteShard(request);
+  if (!request.db_ref.empty()) {
+    // Name resolution must happen against the home shard's registry;
+    // whatever registry the caller set cannot know the placement.
+    request.registry = &shards_->registry(shard);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  tenant_requests_->WithLabel(serve.tenant).Increment();
+
+  obs::TraceContext trace;
+  const int span = trace.Begin(obs::SpanKind::kAdmission);
+  AdmissionController::Ticket ticket;
+  const AdmissionDecision decision = admission_.TryAdmit(
+      shard, serve.tenant, request.options.deadline, &ticket);
+  trace.End(span);
+  admission_total_->WithLabel(AdmissionDecisionName(decision)).Increment();
+
+  if (decision != AdmissionDecision::kAdmitted) {
+    const Status status = AdmissionStatus(decision, shard);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      switch (decision) {
+        case AdmissionDecision::kShedDeadlineExpired:
+          ++stats_.shed_deadline_expired;
+          break;
+        case AdmissionDecision::kShedDeadlineUnmeetable:
+          ++stats_.shed_deadline_unmeetable;
+          break;
+        case AdmissionDecision::kShedShardSaturated:
+          ++stats_.shed_shard_saturated;
+          break;
+        case AdmissionDecision::kShedTenantCap:
+          ++stats_.shed_tenant_cap;
+          break;
+        case AdmissionDecision::kAdmitted:
+          break;
+      }
+    }
+    tenant_sheds_->WithLabel(serve.tenant).Increment();
+    const int64_t admission_micros =
+        trace.size() > 0 ? trace.spans()[0].duration_ns / 1000 : 0;
+    RecordShed(decision, serve, status, admission_micros, trace);
+
+    ResilienceResponse response;
+    response.status = status;
+    std::promise<ResilienceResponse> promise;
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.admitted;
+  }
+  inflight_.fetch_add(1);
+  const auto start = std::chrono::steady_clock::now();
+  return shards_->engine(shard).Submit(
+      std::move(request),
+      [this, ticket, start, tenant = std::move(serve.tenant)](
+          const ResilienceResponse& response) {
+        (void)response;
+        const double micros =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        admission_.Complete(ticket, micros);
+        tenant_latency_->WithLabel(tenant).Record(micros);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.completed;
+        }
+        inflight_.fetch_sub(1);
+        {
+          std::lock_guard<std::mutex> lock(drain_mu_);
+        }
+        drain_cv_.notify_all();
+      });
+}
+
+std::vector<std::future<ResilienceResponse>> Router::SubmitBatch(
+    std::vector<ServeRequest> requests) {
+  std::vector<std::future<ResilienceResponse>> futures;
+  futures.reserve(requests.size());
+  for (ServeRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+ResilienceResponse Router::Evaluate(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void Router::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return inflight_.load() == 0; });
+}
+
+void Router::RecordShed(AdmissionDecision decision, const ServeRequest& serve,
+                        const Status& status, int64_t admission_micros,
+                        const obs::TraceContext& trace) {
+  obs::SlowQueryRecord record;
+  record.regex = serve.request.query != nullptr ? serve.request.query->regex
+                                                : serve.request.regex;
+  record.semantics =
+      (serve.request.query != nullptr
+           ? serve.request.query->semantics
+           : serve.request.semantics) == Semantics::kBag
+          ? "bag"
+          : "set";
+  record.status = std::string(ShedStatusLabel(status));
+  // No solver ran; surface the shed reason where the algorithm would be.
+  record.algorithm = std::string(AdmissionDecisionName(decision));
+  record.total_micros = admission_micros;
+  record.spans_dropped = trace.dropped();
+  record.spans.assign(trace.spans(), trace.spans() + trace.size());
+  shed_log_.Push(std::move(record));
+}
+
+EngineStats Router::engine_stats() const {
+  EngineStats merged;
+  for (int i = 0; i < shards_->num_shards(); ++i) {
+    MergeEngineStats(shards_->engine(i).stats(), &merged);
+  }
+  return merged;
+}
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+obs::MetricsSnapshot Router::TakeMetricsSnapshot() const {
+  std::vector<obs::MetricsSnapshot> per_shard;
+  per_shard.reserve(shards_->num_shards());
+  for (int i = 0; i < shards_->num_shards(); ++i) {
+    per_shard.push_back(
+        shards_->engine(i).TakeMetricsSnapshot(&shards_->registry(i)));
+  }
+  obs::MetricsSnapshot merged = obs::MergeShardSnapshots(std::move(per_shard));
+
+  obs::MetricsSnapshot own = metrics_.TakeSnapshot();
+  for (auto& family : own.counters) {
+    merged.counters.push_back(std::move(family));
+  }
+  for (auto& family : own.histograms) {
+    merged.histograms.push_back(std::move(family));
+  }
+  for (int i = 0; i < shards_->num_shards(); ++i) {
+    merged.gauges.push_back(
+        {"rpqres_router_shard_inflight",
+         "Admitted requests currently in flight on the shard",
+         static_cast<double>(admission_.shard_inflight(i)),
+         std::to_string(i)});
+  }
+  merged.gauges.push_back({"rpqres_router_shed_log_entries",
+                           "Shed records currently retained by the router",
+                           static_cast<double>(shed_log_.size())});
+  return merged;
+}
+
+std::string Router::ExportMetrics(MetricsFormat format) const {
+  const obs::MetricsSnapshot snapshot = TakeMetricsSnapshot();
+  return format == MetricsFormat::kPrometheus ? obs::ToPrometheusText(snapshot)
+                                              : obs::ToJson(snapshot);
+}
+
+std::vector<obs::SlowQueryRecord> Router::shed_queries() const {
+  return shed_log_.Dump();
+}
+
+std::vector<obs::SlowQueryRecord> Router::slow_queries() const {
+  std::vector<obs::SlowQueryRecord> all;
+  for (int i = 0; i < shards_->num_shards(); ++i) {
+    std::vector<obs::SlowQueryRecord> shard = shards_->engine(i).slow_queries();
+    all.insert(all.end(), std::make_move_iterator(shard.begin()),
+               std::make_move_iterator(shard.end()));
+  }
+  std::vector<obs::SlowQueryRecord> sheds = shed_log_.Dump();
+  all.insert(all.end(), std::make_move_iterator(sheds.begin()),
+             std::make_move_iterator(sheds.end()));
+  return all;
+}
+
+}  // namespace rpqres::serve

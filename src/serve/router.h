@@ -1,0 +1,159 @@
+// rpqres — serve/router: multi-tenant front door over a ShardedRegistry.
+//
+// The Router is what callers talk to in a sharded deployment:
+//
+//   serve::ShardedRegistry shards(4);
+//   serve::Router router(&shards);
+//   auto f = router.Submit({.tenant = "acme", .request = {...}});
+//
+// Per request it (1) resolves the target lineage to its home shard —
+// by db_ref name, or by the pre-resolved handle's name — (2) runs the
+// AdmissionController (bounded shard queue, per-tenant cap, deadline
+// shedding), and (3) on admit hands the request to that shard's engine,
+// releasing the admission slots from the engine worker the instant the
+// request completes. A shed request never touches an engine: its future
+// resolves immediately with kDeadlineExceeded / kResourceExhausted, the
+// shed lands in the router's slow-query log with an admission-only span
+// tree, and the decision is counted in router metrics.
+//
+// The Router also merges the fleet into one view:
+//   * engine_stats()      — field-wise sum of every shard's EngineStats;
+//   * TakeMetricsSnapshot — every shard's series tagged shard="i" plus
+//     shard="all" roll-ups (obs::MergeShardSnapshots), with the
+//     router's own admission/tenant families appended;
+//   * slow_queries()      — shard logs plus the router's shed log.
+//
+// Lifetime: the Router must outlive its in-flight requests (completion
+// callbacks run on engine workers); the destructor Drain()s, so normal
+// destruction order — router before shards — is safe.
+
+#ifndef RPQRES_SERVE_ROUTER_H_
+#define RPQRES_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "serve/admission.h"
+#include "serve/sharded_registry.h"
+
+namespace rpqres::serve {
+
+/// One tenant-attributed unit of serving work.
+struct ServeRequest {
+  std::string tenant;
+  ResilienceRequest request;
+};
+
+struct RouterOptions {
+  AdmissionOptions admission;
+  /// Capacity of the router's shed log (every shed is recorded; the ring
+  /// keeps the most recent ones).
+  size_t shed_log_capacity = 256;
+};
+
+/// Router-level counters; one mutex guards them all, so any snapshot is
+/// internally consistent (submitted == admitted + sheds in every
+/// snapshot, mirroring the engine's stats discipline).
+struct RouterStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t completed = 0;  ///< admitted requests whose engine run finished
+  int64_t shed_deadline_expired = 0;
+  int64_t shed_deadline_unmeetable = 0;
+  int64_t shed_shard_saturated = 0;
+  int64_t shed_tenant_cap = 0;
+
+  int64_t sheds() const {
+    return shed_deadline_expired + shed_deadline_unmeetable +
+           shed_shard_saturated + shed_tenant_cap;
+  }
+};
+
+class Router {
+ public:
+  explicit Router(ShardedRegistry* shards, RouterOptions options = {});
+  /// Waits for all admitted requests to complete (Drain).
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Routes, admits, and (if admitted) submits to the home shard's
+  /// engine. The future resolves to the engine's response, or — on a
+  /// shed — immediately to a response whose status is the admission
+  /// status; a shed response carries no result.
+  std::future<ResilienceResponse> Submit(ServeRequest request);
+
+  /// Fans the batch out per shard; futures[i] corresponds to
+  /// requests[i]. Requests route independently — one batch may span
+  /// every shard.
+  std::vector<std::future<ResilienceResponse>> SubmitBatch(
+      std::vector<ServeRequest> requests);
+
+  /// Submit + wait, for synchronous callers.
+  ResilienceResponse Evaluate(ServeRequest request);
+
+  /// Blocks until no admitted request is in flight.
+  void Drain();
+
+  /// Field-wise sum of every shard engine's EngineStats.
+  EngineStats engine_stats() const;
+  RouterStats stats() const;
+
+  /// Fleet metrics: per-shard engine series tagged shard="i", shard="all"
+  /// roll-ups, per-shard registry gauges, and router-level admission and
+  /// tenant families.
+  obs::MetricsSnapshot TakeMetricsSnapshot() const;
+  std::string ExportMetrics(MetricsFormat format) const;
+
+  /// Sheds recorded by the router (admission-only span trees).
+  std::vector<obs::SlowQueryRecord> shed_queries() const;
+  /// Every retained slow/shed record: each shard's engine log followed
+  /// by the router's shed log.
+  std::vector<obs::SlowQueryRecord> slow_queries() const;
+
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+  ShardedRegistry& shards() { return *shards_; }
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  /// Home shard for a request: db_ref name if present, else the
+  /// handle's lineage name.
+  int RouteShard(const ResilienceRequest& request) const;
+  void RecordShed(AdmissionDecision decision, const ServeRequest& request,
+                  const Status& status, int64_t admission_micros,
+                  const obs::TraceContext& trace);
+
+  ShardedRegistry* const shards_;
+  const RouterOptions options_;
+  AdmissionController admission_;
+
+  obs::MetricsRegistry metrics_;
+  obs::CounterFamily* const admission_total_;
+  obs::CounterFamily* const tenant_requests_;
+  obs::CounterFamily* const tenant_sheds_;
+  obs::HistogramFamily* const tenant_latency_;
+
+  obs::SlowQueryLog shed_log_;
+
+  mutable std::mutex stats_mu_;
+  RouterStats stats_;
+
+  std::atomic<int64_t> inflight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace rpqres::serve
+
+#endif  // RPQRES_SERVE_ROUTER_H_

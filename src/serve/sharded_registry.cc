@@ -1,0 +1,55 @@
+#include "serve/sharded_registry.h"
+
+#include <utility>
+
+namespace rpqres::serve {
+
+ShardedRegistry::ShardedRegistry(int num_shards, EngineOptions engine_options,
+                                 DbRegistry::Options registry_options) {
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(engine_options, registry_options));
+  }
+}
+
+uint64_t ShardedRegistry::HashName(std::string_view name) {
+  // FNV-1a 64: stable across platforms, good avalanche for short names.
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+int ShardedRegistry::ShardForName(std::string_view name) const {
+  return static_cast<int>(HashName(name) %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+int ShardedRegistry::ShardForRef(std::string_view db_ref) const {
+  const size_t at = db_ref.rfind('@');
+  return ShardForName(at == std::string_view::npos ? db_ref
+                                                   : db_ref.substr(0, at));
+}
+
+int ShardedRegistry::ShardForHandle(const DbHandle& handle) const {
+  if (!handle.name().empty()) return ShardForName(handle.name());
+  // Anonymous lineage: mix the id through the same hash via its bytes.
+  const uint64_t lineage = handle.lineage();
+  return ShardForName(std::string_view(
+      reinterpret_cast<const char*>(&lineage), sizeof(lineage)));
+}
+
+DbHandle ShardedRegistry::Register(GraphDb db, std::string name) {
+  const int shard = ShardForName(name);
+  return shards_[shard]->registry.Register(std::move(db), std::move(name));
+}
+
+Result<DbHandle> ShardedRegistry::Resolve(std::string_view reference) const {
+  return shards_[ShardForRef(reference)]->registry.Resolve(reference);
+}
+
+}  // namespace rpqres::serve

@@ -1,0 +1,102 @@
+// rpqres — serve/sharded_registry: N independent engine+registry shards.
+//
+// Scale-out unit of the serving front end. A ShardedRegistry owns N
+// shards, each a fully independent (DbRegistry, ResilienceEngine) pair:
+// its own thread pool, plan cache, version-keyed ResultCache, metrics
+// registry, and slow-query log. Nothing is shared between shards — no
+// lock, no cache line — so adding shards adds capacity without adding
+// contention, and a stuck shard cannot wedge the others.
+//
+// Placement is by LINEAGE: a named versioned database (DbRegistry v3
+// lineage) lives wholly on one shard, chosen by hashing its name
+// (FNV-1a 64). Every version of a lineage, its label indexes, and its
+// cached results therefore stay shard-local; commits against
+// "name@latest" and reads of any version of that lineage route to the
+// same shard. The hash is a pure function of the name — routing is
+// deterministic across processes and restarts (no rebalance state), and
+// serve_router_test pins that.
+//
+// The Router (serve/router.h) sits on top: it routes requests here,
+// applies admission control, and merges the shards' stats and metrics
+// into one fleet view.
+
+#ifndef RPQRES_SERVE_SHARDED_REGISTRY_H_
+#define RPQRES_SERVE_SHARDED_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/db_registry.h"
+#include "engine/engine.h"
+#include "graphdb/graph_db.h"
+#include "util/status.h"
+
+namespace rpqres::serve {
+
+class ShardedRegistry {
+ public:
+  /// Builds `num_shards` independent shards (clamped to >= 1), each
+  /// engine constructed from a copy of `engine_options` and each
+  /// registry from `registry_options`. Per-shard resources (pool
+  /// threads, cache capacities) are what the options say — scaling the
+  /// shard count scales the fleet's aggregate capacity.
+  explicit ShardedRegistry(int num_shards, EngineOptions engine_options = {},
+                           DbRegistry::Options registry_options = {});
+
+  ShardedRegistry(const ShardedRegistry&) = delete;
+  ShardedRegistry& operator=(const ShardedRegistry&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// FNV-1a 64 of `name`; exposed so tests can pin the placement
+  /// function itself.
+  static uint64_t HashName(std::string_view name);
+
+  /// Shard owning lineage `name`. Pure function of (name, num_shards).
+  int ShardForName(std::string_view name) const;
+
+  /// Shard for a "name[@version|@latest]" reference: the version suffix
+  /// is ignored (all versions of a lineage are co-located).
+  int ShardForRef(std::string_view db_ref) const;
+
+  /// Shard for an already-resolved handle, by its lineage name. Handles
+  /// from anonymous registration (empty name) hash their lineage id so
+  /// they still route deterministically.
+  int ShardForHandle(const DbHandle& handle) const;
+
+  /// Registers `db` as a new lineage on its home shard.
+  DbHandle Register(GraphDb db, std::string name);
+
+  /// Resolves "name[@version|@latest]" against the owning shard.
+  Result<DbHandle> Resolve(std::string_view reference) const;
+
+  DbRegistry& registry(int shard) { return shards_[shard]->registry; }
+  const DbRegistry& registry(int shard) const {
+    return shards_[shard]->registry;
+  }
+  ResilienceEngine& engine(int shard) { return shards_[shard]->engine; }
+  const ResilienceEngine& engine(int shard) const {
+    return shards_[shard]->engine;
+  }
+
+ private:
+  struct Shard {
+    // Registry first: engine destruction drains in-flight requests that
+    // may still hold handles into the registry, so the registry must
+    // outlive the engine (members destroy in reverse order).
+    DbRegistry registry;
+    ResilienceEngine engine;
+
+    Shard(const EngineOptions& engine_options,
+          const DbRegistry::Options& registry_options)
+        : registry(registry_options), engine(engine_options) {}
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rpqres::serve
+
+#endif  // RPQRES_SERVE_SHARDED_REGISTRY_H_

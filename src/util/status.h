@@ -27,6 +27,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kAborted,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -67,6 +68,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

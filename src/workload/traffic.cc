@@ -1,0 +1,132 @@
+#include "workload/traffic.h"
+
+#include <utility>
+
+#include "graphdb/generators.h"
+#include "graphdb/label_index.h"
+
+namespace rpqres {
+namespace workload {
+
+namespace {
+
+// SplitMix64 finalizer — derives independent sub-seeds so the op stream
+// and every database draw from disjoint randomness.
+uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+  uint64_t z = seed + salt * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const std::vector<std::string>& TrafficReadPool() {
+  // All PTIME under the Figure-1 classification: local languages and one
+  // bounded-character-length alternation. Alphabet {a, b, c, x, y} —
+  // disjoint from kNoiseLabels by construction.
+  static const std::vector<std::string> pool = {
+      "ax*b",
+      "a(x|y)*b",
+      "ab",
+      "ab|bc",
+      "cx*a",
+      "b(x|y)*c",
+  };
+  return pool;
+}
+
+TrafficTrace::TrafficTrace(uint64_t seed, TrafficOptions options)
+    : seed_(seed), options_(options), rng_(MixSeed(seed, 0xa11ce)) {
+  if (options_.num_lineages < 1) options_.num_lineages = 1;
+  if (options_.hot_lineages > options_.num_lineages) {
+    options_.hot_lineages = options_.num_lineages;
+  }
+  if (options_.num_tenants < 1) options_.num_tenants = 1;
+  if (options_.queries_per_lineage < 1) options_.queries_per_lineage = 1;
+  names_.reserve(options_.num_lineages);
+  for (int i = 0; i < options_.num_lineages; ++i) {
+    names_.push_back("lin" + std::to_string(i));
+  }
+}
+
+GraphDb TrafficTrace::MakeDb(int lineage) const {
+  Rng rng(MixSeed(seed_, 0xdb0000 + static_cast<uint64_t>(lineage)));
+  return RandomGraphDb(&rng, options_.db_num_nodes, options_.db_num_facts,
+                       {'a', 'b', 'c', 'x', 'y'},
+                       options_.db_max_multiplicity);
+}
+
+std::vector<TrafficOp> TrafficTrace::NextOps(int count) {
+  const std::vector<std::string>& pool = TrafficReadPool();
+  std::vector<TrafficOp> ops;
+  ops.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    TrafficOp op;
+    op.tenant = static_cast<int>(rng_.NextBelow(options_.num_tenants));
+    const int cold_lineages = options_.num_lineages - options_.hot_lineages;
+    const bool hot = options_.hot_lineages > 0 &&
+                     (cold_lineages == 0 ||
+                      rng_.NextChance(options_.hot_per_mille, 1000));
+    op.lineage =
+        hot ? static_cast<int>(rng_.NextBelow(options_.hot_lineages))
+            : options_.hot_lineages +
+                  static_cast<int>(rng_.NextBelow(cold_lineages));
+    op.db_ref = names_[op.lineage] + "@latest";
+    if (hot && rng_.NextChance(options_.commit_per_mille, 1000)) {
+      op.kind = TrafficOp::Kind::kCommit;
+      op.op_seed = rng_.Next();
+    } else {
+      op.kind = TrafficOp::Kind::kRead;
+      const int query = static_cast<int>(
+          rng_.NextBelow(options_.queries_per_lineage));
+      op.regex = pool[(static_cast<size_t>(op.lineage) *
+                           options_.queries_per_lineage +
+                       query) %
+                      pool.size()];
+      op.semantics = rng_.NextChance(1, 2) ? Semantics::kBag : Semantics::kSet;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Status TrafficTrace::ApplyCommit(const TrafficOp& op, DbRegistry* registry) {
+  Result<DbHandle> latest = registry->Resolve(op.db_ref);
+  if (!latest.ok()) return latest.status();
+  DeltaBatch delta = registry->BeginDelta(*latest);
+  Rng rng(op.op_seed);
+
+  // Add a fresh node and 1–3 noise facts into it from existing nodes —
+  // labels outside every read query's alphabet, so answers don't move.
+  const NodeId fresh = delta.AddNode();
+  const int additions = 1 + static_cast<int>(rng.NextBelow(3));
+  const int num_nodes = latest->db().num_nodes();
+  for (int i = 0; i < additions; ++i) {
+    const NodeId source =
+        static_cast<NodeId>(rng.NextBelow(static_cast<uint64_t>(num_nodes)));
+    const char label = kNoiseLabels[rng.NextBelow(2)];
+    Result<FactId> added = delta.AddFact(source, label, fresh);
+    if (!added.ok()) return added.status();
+  }
+
+  // Occasionally tombstone one earlier noise fact so sustained traffic
+  // also exercises overlay removals and eventual compaction.
+  if (rng.NextChance(3, 10)) {
+    for (char label : kNoiseLabels) {
+      const std::vector<FactId>& facts = latest->label_index()->Facts(label);
+      if (facts.empty()) continue;
+      const Fact& victim =
+          latest->db().fact(facts[rng.NextBelow(facts.size())]);
+      RPQRES_RETURN_IF_ERROR(
+          delta.RemoveFact(victim.source, victim.label, victim.target));
+      break;
+    }
+  }
+
+  Result<DbHandle> committed = delta.Commit();
+  return committed.ok() ? Status::OK() : committed.status();
+}
+
+}  // namespace workload
+}  // namespace rpqres

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -277,6 +279,70 @@ TEST(DbRegistryV3Test, DeltaSnapshotServesQueriesLikeARebuild) {
     EXPECT_EQ(a.result.infinite, b.result.infinite) << regex;
     EXPECT_EQ(a.result.value, b.result.value) << regex;
   }
+}
+
+// Regression: Resolve("name@latest") racing Commit must hand out an
+// INTERNALLY CONSISTENT (lineage, version) pair — a handle claiming
+// version V must carry exactly version V's database and exactly version
+// V's label index, never version N's number with N+1's index (or vice
+// versa). The committer adds exactly one 'y' fact per commit, so at
+// version V the database holds V-1 live 'y' facts; resolvers hammer
+// "@latest" and cross-check version number, database scan, and label
+// index against each other on every resolution.
+TEST(DbRegistryV3Test, ResolveLatestDuringCommitsIsInternallyConsistent) {
+  DbRegistry registry;
+  GraphDb base;
+  base.AddNode();
+  DbHandle head = registry.Register(std::move(base), "hot");
+
+  constexpr int kCommits = 200;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> torn_handles{0};
+  std::atomic<int64_t> resolutions{0};
+
+  auto resolver = [&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Result<DbHandle> latest = registry.Resolve("hot@latest");
+      if (!latest.ok()) {
+        torn_handles.fetch_add(1);
+        continue;
+      }
+      const uint32_t version = latest->version();
+      const GraphDb& db = latest->db();
+      int64_t scanned = 0;
+      for (FactId id = 0; id < static_cast<FactId>(db.num_facts()); ++id) {
+        if (db.IsLive(id) && db.fact(id).label == 'y') ++scanned;
+      }
+      const int64_t indexed =
+          static_cast<int64_t>(latest->label_index()->Facts('y').size());
+      // All three views must describe the same version.
+      if (scanned != static_cast<int64_t>(version) - 1 ||
+          indexed != scanned) {
+        torn_handles.fetch_add(1);
+      }
+      resolutions.fetch_add(1);
+    }
+  };
+  std::thread r1(resolver), r2(resolver);
+
+  for (int i = 0; i < kCommits; ++i) {
+    DeltaBatch delta = registry.BeginDelta(head);
+    const NodeId fresh = delta.AddNode();
+    ASSERT_TRUE(delta.AddFact(0, 'y', fresh).ok());
+    Result<DbHandle> committed = delta.Commit();
+    ASSERT_TRUE(committed.ok()) << committed.status();
+    head = *committed;
+  }
+
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+
+  EXPECT_EQ(torn_handles.load(), 0);
+  EXPECT_GT(resolutions.load(), 0);
+  Result<DbHandle> final_handle = registry.Resolve("hot@latest");
+  ASSERT_TRUE(final_handle.ok());
+  EXPECT_EQ(final_handle->version(), 1u + kCommits);
 }
 
 }  // namespace
