@@ -41,6 +41,15 @@
 // exposition (ExportMetrics) next to it as <output>.prom for the CI
 // metrics validator.
 //
+// Persist mode — `bench_engine --persist [output.json]` — benchmarks the
+// storage layer (storage/segment.h + journal.h): mmap-backed
+// segment_cold_load vs text_reparse (parse + full Register) at 4k and
+// 64k facts with equal resilience checksums, plus
+// journal_replay_100_commits (restore = segment map + 100-group journal
+// replay). Output: BENCH_persist.json; CI's check_metrics_export.py
+// --persist asserts the 64k cold-load speedup floor and checksum
+// equality.
+//
 // Serve mode — `bench_engine --serve [--shards N] [output.json]` —
 // benchmarks the sharded front end instead: one seeded TrafficTrace
 // replayed through a Router at 1/4/16 shards (or {1, N} with --shards),
@@ -53,11 +62,15 @@
 // checksums (commits touch only noise labels). Output: BENCH_serve.json
 // plus the merged multi-shard Prometheus exposition as <output>.prom.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -65,6 +78,7 @@
 
 #include "bench/harness.h"
 #include "graphdb/generators.h"
+#include "graphdb/serialization.h"
 #include "serve/router.h"
 #include "serve/sharded_registry.h"
 #include "util/rng.h"
@@ -413,6 +427,253 @@ std::pair<ScenarioReport, ScenarioReport> RunObservabilityPair() {
     }
   }
   return {std::move(off), std::move(on)};
+}
+
+// ---------------------------------------------------------------------------
+// Persist mode: storage-layer cold loads vs text reparse, journal replay.
+
+struct PersistRun {
+  std::string name;
+  int num_facts = 0;
+  int reps = 0;
+  double p50_micros = 0;
+  double p95_micros = 0;
+  int64_t resilience_checksum = 0;
+};
+
+GraphDb PersistBenchDb(int num_facts) {
+  Rng rng(4242 + num_facts);
+  return RandomGraphDb(&rng, /*num_nodes=*/num_facts / 10, num_facts,
+                       {'a', 'x', 'b', 'm', 'n', 'o', 'p', 'q'},
+                       /*max_multiplicity=*/4);
+}
+
+int64_t PersistChecksum(ResilienceEngine& engine, const DbHandle& handle) {
+  ResilienceRequest request;
+  request.regex = "ax*b";
+  request.semantics = Semantics::kBag;
+  request.db = handle;
+  ResilienceResponse response = engine.Evaluate(request);
+  if (!response.status.ok()) return -1;
+  return response.result.infinite ? -2 : response.result.value;
+}
+
+int RunPersistBench(const std::string& output) {
+  namespace fs = std::filesystem;
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  ResilienceEngine engine(engine_options);
+  std::vector<PersistRun> runs;
+
+  for (int num_facts : {4000, 64000}) {
+    GraphDb db = PersistBenchDb(num_facts);
+    const std::string text = SerializeGraphDb(db);
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("rpqres_bench_persist_" + std::to_string(num_facts) + "_" +
+          std::to_string(::getpid())))
+            .string();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    {
+      DbRegistry::Options options;
+      options.storage_dir = dir;
+      DbRegistry writer(options);
+      writer.Register(std::move(db), "bench");
+      Status storage = writer.storage_status();
+      if (!storage.ok()) {
+        std::fprintf(stderr, "error: segment write failed: %s\n",
+                     storage.ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Cold load: mmap the segment and materialize GraphDb + LabelIndex.
+    // Each rep opens a fresh registry; the page cache stays warm across
+    // reps (that is the deployment story too — the cold part is the
+    // parse/index work the mmap path skips, not the disk).
+    PersistRun cold;
+    cold.name = "segment_cold_load";
+    cold.num_facts = num_facts;
+    cold.reps = 15;
+    std::vector<double> cold_micros;
+    for (int rep = 0; rep < cold.reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      Result<std::unique_ptr<DbRegistry>> opened =
+          DbRegistry::OpenStorage(dir);
+      double micros = MicrosSince(start);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "error: OpenStorage failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      cold_micros.push_back(micros);
+      if (rep == 0) {
+        Result<DbHandle> handle = (*opened)->Resolve("bench@latest");
+        if (handle.ok()) {
+          cold.resilience_checksum = PersistChecksum(engine, *handle);
+        }
+      }
+    }
+    cold.p50_micros = Percentile(cold_micros, 50);
+    cold.p95_micros = Percentile(cold_micros, 95);
+
+    // The pre-storage restart path: reparse the text dump and Register
+    // (full copy + from-scratch LabelIndex build).
+    PersistRun reparse;
+    reparse.name = "text_reparse";
+    reparse.num_facts = num_facts;
+    reparse.reps = 7;
+    std::vector<double> reparse_micros;
+    for (int rep = 0; rep < reparse.reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      DbRegistry registry;
+      Result<GraphDb> parsed = ParseGraphDb(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: ParseGraphDb failed: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      DbHandle handle = registry.Register(*std::move(parsed), "bench");
+      reparse_micros.push_back(MicrosSince(start));
+      if (rep == 0) {
+        reparse.resilience_checksum = PersistChecksum(engine, handle);
+      }
+    }
+    reparse.p50_micros = Percentile(reparse_micros, 50);
+    reparse.p95_micros = Percentile(reparse_micros, 95);
+
+    std::printf(
+        "persist %6d facts  cold load p50 %9.1fus  reparse p50 %9.1fus  "
+        "(%.1fx)  checksum %lld%s\n",
+        num_facts, cold.p50_micros, reparse.p50_micros,
+        cold.p50_micros > 0 ? reparse.p50_micros / cold.p50_micros : 0.0,
+        static_cast<long long>(cold.resilience_checksum),
+        cold.resilience_checksum == reparse.resilience_checksum
+            ? ""
+            : "  CHECKSUM MISMATCH");
+    runs.push_back(std::move(cold));
+    runs.push_back(std::move(reparse));
+    fs::remove_all(dir, ec);
+  }
+
+  // Journal replay: restore = segment mmap + replaying 100 journaled
+  // delta groups (compaction disabled so every group survives).
+  PersistRun replay;
+  replay.name = "journal_replay_100_commits";
+  replay.num_facts = 2000;
+  replay.reps = 10;
+  const int kReplayCommits = 100;
+  int64_t replay_records = 0;
+  {
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("rpqres_bench_persist_journal_" + std::to_string(::getpid())))
+            .string();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    {
+      DbRegistry::Options options;
+      options.storage_dir = dir;
+      options.compaction_min_overlay = 1 << 30;
+      DbRegistry registry(options);
+      Rng rng(271828);
+      DbHandle latest =
+          registry.Register(PersistBenchDb(replay.num_facts), "bench");
+      for (int commit = 0; commit < kReplayCommits; ++commit) {
+        DeltaBatch batch = registry.BeginDelta(latest);
+        NodeId u = static_cast<NodeId>(
+            rng.NextBelow(latest.db().num_nodes()));
+        NodeId v = static_cast<NodeId>(
+            rng.NextBelow(latest.db().num_nodes()));
+        (void)batch.AddFact(u, 'x', v);
+        NodeId n = batch.AddNode();
+        (void)batch.AddFact(n, 'a', u);
+        Result<DbHandle> committed = batch.Commit();
+        if (!committed.ok()) {
+          std::fprintf(stderr, "error: bench commit failed: %s\n",
+                       committed.status().ToString().c_str());
+          return 1;
+        }
+        latest = *std::move(committed);
+      }
+      if (!registry.storage_status().ok()) {
+        std::fprintf(stderr, "error: journal writes failed\n");
+        return 1;
+      }
+    }
+    std::vector<double> replay_micros;
+    for (int rep = 0; rep < replay.reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      Result<std::unique_ptr<DbRegistry>> opened =
+          DbRegistry::OpenStorage(dir);
+      double micros = MicrosSince(start);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "error: replay OpenStorage failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      replay_micros.push_back(micros);
+      if (rep == 0) {
+        replay_records = (*opened)->gauges().storage_journal_records;
+        Result<DbHandle> handle = (*opened)->Resolve("bench@latest");
+        if (handle.ok()) {
+          replay.resilience_checksum = PersistChecksum(engine, *handle);
+        }
+      }
+    }
+    replay.p50_micros = Percentile(replay_micros, 50);
+    replay.p95_micros = Percentile(replay_micros, 95);
+    fs::remove_all(dir, ec);
+  }
+  std::printf("persist journal replay  %d commits (%lld records)  p50 %9.1fus\n",
+              kReplayCommits, static_cast<long long>(replay_records),
+              replay.p50_micros);
+  runs.push_back(replay);
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"persist\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const PersistRun& run = runs[i];
+    out << "    {\"name\": \"" << run.name
+        << "\", \"num_facts\": " << run.num_facts
+        << ", \"reps\": " << run.reps
+        << ", \"p50_micros\": " << run.p50_micros
+        << ", \"p95_micros\": " << run.p95_micros
+        << ", \"resilience_checksum\": " << run.resilience_checksum << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedup\": [\n";
+  bool first = true;
+  for (int num_facts : {4000, 64000}) {
+    const PersistRun* cold = nullptr;
+    const PersistRun* reparse = nullptr;
+    for (const PersistRun& run : runs) {
+      if (run.num_facts != num_facts) continue;
+      if (run.name == "segment_cold_load") cold = &run;
+      if (run.name == "text_reparse") reparse = &run;
+    }
+    if (cold == nullptr || reparse == nullptr || cold->p50_micros <= 0) {
+      continue;
+    }
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"num_facts\": " << num_facts
+        << ", \"cold_load_x_reparse\": "
+        << reparse->p50_micros / cold->p50_micros << "}";
+  }
+  out << "\n  ],\n  \"journal_replay\": {\"commits\": " << kReplayCommits
+      << ", \"records\": " << replay_records
+      << ", \"p50_micros\": " << replay.p50_micros << "}\n}\n";
+
+  std::ofstream json(output);
+  json << out.str();
+  if (!json) {
+    std::fprintf(stderr, "error: failed writing %s\n", output.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -765,17 +1026,23 @@ int RunServeBench(int requested_shards, const std::string& output) {
 
 int main(int argc, char** argv) {
   bool serve_mode = false;
+  bool persist_mode = false;
   int serve_shards = 0;
   std::string output;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--serve") {
       serve_mode = true;
+    } else if (arg == "--persist") {
+      persist_mode = true;
     } else if (arg == "--shards" && i + 1 < argc) {
       serve_shards = std::atoi(argv[++i]);
     } else {
       output = arg;
     }
+  }
+  if (persist_mode) {
+    return RunPersistBench(output.empty() ? "BENCH_persist.json" : output);
   }
   if (serve_mode) {
     return RunServeBench(serve_shards,

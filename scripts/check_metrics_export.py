@@ -24,9 +24,20 @@ equal resilience checksums across shard counts, zero errors, per-shard
 p50 <= p99, a shedding shed-storm, and a multi-shard read-throughput
 speedup over single-shard.
 
+Persist mode (`--persist`) validates a `bench_engine --persist` run
+(no .prom file — the persist bench measures storage, not the metrics
+exporter): BENCH_persist.json must carry segment_cold_load and
+text_reparse runs at both 4k and 64k facts with EQUAL resilience
+checksums per size (the mmap-restored database answers identically to
+a text re-registration), a journal_replay_100_commits run, and the 64k
+cold-load speedup must clear the floor — segments exist to make
+restart cheaper than reparsing, and a regression to ~1x means the
+mmap path quietly fell back to copying.
+
 Usage:
   check_metrics_export.py BENCH_engine.json [BENCH_engine.prom]
   check_metrics_export.py --serve BENCH_serve.json [BENCH_serve.prom]
+  check_metrics_export.py --persist BENCH_persist.json
 Exit status: 0 clean, 1 validation failure, 2 usage error.
 """
 
@@ -44,6 +55,12 @@ ABS_SLACK_MICROS = 5.0
 # and lands well above 3x locally; the floor leaves room for noisy,
 # core-starved CI runners without letting a regression to ~1x pass.
 SERVE_SPEEDUP_FLOOR = 1.5
+# CI floor for the 64k-fact segment cold-load vs text-reparse speedup.
+# The contrast is structural (mmap + pointer fixup vs a full text parse
+# and index rebuild) and lands >100x locally; 5x leaves enormous head-
+# room for slow CI disks without letting a copy-instead-of-map
+# regression pass.
+PERSIST_SPEEDUP_FLOOR = 5.0
 
 SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
@@ -306,28 +323,111 @@ def check_serve_prometheus(scalars, num_shards, failures):
         failures.append("serve prom: no shard=\"all\" roll-ups found")
 
 
+def check_persist_json(doc, failures):
+    """Structure and invariants of BENCH_persist.json."""
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        failures.append("persist json: no 'runs' list")
+        return
+    by_key = {}
+    for run in runs:
+        by_key[(run.get("name"), run.get("num_facts"))] = run
+        if run.get("reps", 0) <= 0:
+            failures.append(
+                f"persist run {run.get('name')}@{run.get('num_facts')}: "
+                "no timed reps"
+            )
+        p50, p95 = run.get("p50_micros", 0), run.get("p95_micros", 0)
+        if not 0 < p50 <= p95:
+            failures.append(
+                f"persist run {run.get('name')}@{run.get('num_facts')}: "
+                f"implausible quantiles p50={p50} p95={p95}"
+            )
+    for num_facts in (4000, 64000):
+        cold = by_key.get(("segment_cold_load", num_facts))
+        reparse = by_key.get(("text_reparse", num_facts))
+        if cold is None or reparse is None:
+            failures.append(
+                f"persist json: missing segment_cold_load/text_reparse "
+                f"pair at {num_facts} facts"
+            )
+            continue
+        if cold.get("resilience_checksum") < 0:
+            failures.append(
+                f"persist run segment_cold_load@{num_facts}: solve failed "
+                f"(checksum {cold.get('resilience_checksum')})"
+            )
+        if cold.get("resilience_checksum") != reparse.get(
+                "resilience_checksum"):
+            failures.append(
+                f"persist json: answers diverged at {num_facts} facts: "
+                f"checksum {cold.get('resilience_checksum')} (cold load) "
+                f"!= {reparse.get('resilience_checksum')} (reparse)"
+            )
+    speedups = {
+        entry.get("num_facts"): entry.get("cold_load_x_reparse", 0)
+        for entry in doc.get("speedup", [])
+    }
+    if 64000 not in speedups:
+        failures.append("persist json: no 64k-fact speedup entry")
+    elif speedups[64000] < PERSIST_SPEEDUP_FLOOR:
+        failures.append(
+            f"persist json: 64k cold load only {speedups[64000]:.2f}x "
+            f"text reparse (floor {PERSIST_SPEEDUP_FLOOR}x)"
+        )
+    replay = doc.get("journal_replay", {})
+    if replay.get("commits", 0) < 100 or replay.get("records", 0) <= 0:
+        failures.append(
+            "persist json: journal_replay missing or replayed nothing"
+        )
+    elif replay.get("p50_micros", 0) <= 0:
+        failures.append("persist json: journal_replay has no timing")
+
+
 def main(argv):
     argv = list(argv)
     serve_mode = "--serve" in argv
     if serve_mode:
         argv.remove("--serve")
-    if len(argv) < 2:
+    persist_mode = "--persist" in argv
+    if persist_mode:
+        argv.remove("--persist")
+    if len(argv) < 2 or (serve_mode and persist_mode):
         print(__doc__, file=sys.stderr)
         return 2
     json_path = argv[1]
+
+    with open(json_path) as f:
+        doc = json.load(f)
+
+    failures = []
+    if persist_mode:
+        check_persist_json(doc, failures)
+        if failures:
+            print("metrics export validation failed:", file=sys.stderr)
+            for failure in failures:
+                print(f"  * {failure}", file=sys.stderr)
+            return 1
+        speedup = {
+            e["num_facts"]: e["cold_load_x_reparse"]
+            for e in doc.get("speedup", [])
+        }
+        print(
+            f"persist bench ok: {len(doc['runs'])} runs, cold load "
+            f"{speedup.get(64000, 0):.1f}x reparse at 64k facts, "
+            "checksums equal, journal replay validated"
+        )
+        return 0
+
     prom_path = (
         argv[2]
         if len(argv) > 2
         else (json_path[: -len(".json")] if json_path.endswith(".json")
               else json_path) + ".prom"
     )
-
-    with open(json_path) as f:
-        doc = json.load(f)
     with open(prom_path) as f:
         prom_text = f.read()
 
-    failures = []
     scalars = check_prometheus(prom_text, failures)
     if serve_mode:
         num_shards = check_serve_json(doc, failures)

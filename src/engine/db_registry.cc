@@ -2,8 +2,43 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "storage/segment.h"
 
 namespace rpqres {
+
+// ---------------------------------------------------------------------------
+// RegistryStorage — the on-disk side of a persistent registry. All fields
+// are guarded by the registry's mu_, except during Restore (which runs
+// single-threaded before serving starts).
+// ---------------------------------------------------------------------------
+
+class RegistryStorage {
+ public:
+  explicit RegistryStorage(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string SegmentPath(uint64_t lineage) const {
+    return dir_ + "/lineage_" + std::to_string(lineage) + ".seg";
+  }
+  std::string JournalPath(uint64_t lineage) const {
+    return dir_ + "/lineage_" + std::to_string(lineage) + ".journal";
+  }
+  void LatchError(const Status& status) {
+    if (first_error_.ok() && !status.ok()) first_error_ = status;
+  }
+
+  std::string dir_;
+  /// First write error — writes are best-effort, serving continues.
+  Status first_error_;
+  /// Per-lineage open journal writers.
+  std::map<uint64_t, storage::JournalWriter> writers_;
+  /// Per-lineage on-disk segment sizes (for the gauges).
+  std::map<uint64_t, int64_t> segment_bytes_;
+  int64_t replay_micros_ = 0;
+};
 
 const std::string& DbHandle::name() const {
   static const std::string kEmpty;
@@ -21,6 +56,7 @@ DeltaBatch::DeltaBatch(DbRegistry* registry,
   // snapshot (db + label index) alive.
   work_ = GraphDb::MakeOverlay(
       std::shared_ptr<const GraphDb>(parent_, &parent_->db));
+  record_ops_ = registry_->persistent() && !registry_->restoring_;
 }
 
 void DeltaBatch::TouchLabel(char label) {
@@ -33,7 +69,16 @@ void DeltaBatch::TouchLabel(char label) {
 NodeId DeltaBatch::AddNode(std::string name) {
   if (!valid()) return -1;
   ++ops_;
-  return name.empty() ? work_.AddNode() : work_.AddNode(name);
+  NodeId id = name.empty() ? work_.AddNode() : work_.AddNode(name);
+  if (record_ops_) {
+    storage::JournalOp op;
+    op.type = storage::JournalOp::Type::kAddNode;
+    // Journal the *resolved* name: anonymous nodes get a generated one,
+    // and replay must reproduce it byte for byte.
+    op.name = work_.node_name(id);
+    oplog_.push_back(std::move(op));
+  }
+  return id;
 }
 
 Result<FactId> DeltaBatch::AddFact(NodeId source, char label, NodeId target,
@@ -55,6 +100,15 @@ Result<FactId> DeltaBatch::AddFact(NodeId source, char label, NodeId target,
   // A multiplicity bump leaves the fact set — and hence the label index —
   // unchanged; only genuinely new facts touch their label.
   if (work_.num_facts() != before) TouchLabel(label);
+  if (record_ops_) {
+    storage::JournalOp op;
+    op.type = storage::JournalOp::Type::kAddFact;
+    op.source = source;
+    op.target = target;
+    op.label = label;
+    op.multiplicity = multiplicity;
+    oplog_.push_back(std::move(op));
+  }
   return id;
 }
 
@@ -65,6 +119,14 @@ Status DeltaBatch::RemoveFact(NodeId source, char label, NodeId target) {
   RPQRES_RETURN_IF_ERROR(work_.RemoveFact(source, label, target));
   ++ops_;
   TouchLabel(label);
+  if (record_ops_) {
+    storage::JournalOp op;
+    op.type = storage::JournalOp::Type::kRemoveFact;
+    op.source = source;
+    op.target = target;
+    op.label = label;
+    oplog_.push_back(std::move(op));
+  }
   return Status::OK();
 }
 
@@ -79,6 +141,23 @@ Result<DbHandle> DeltaBatch::Commit() {
 // ---------------------------------------------------------------------------
 // DbRegistry
 // ---------------------------------------------------------------------------
+
+DbRegistry::DbRegistry() = default;
+
+DbRegistry::DbRegistry(Options options) : options_(std::move(options)) {
+  if (!options_.storage_dir.empty()) {
+    storage_ = std::make_unique<RegistryStorage>(options_.storage_dir);
+    std::error_code ec;
+    std::filesystem::create_directories(options_.storage_dir, ec);
+    if (ec) {
+      storage_->LatchError(Status::Internal(
+          "storage: cannot create directory '" + options_.storage_dir +
+          "': " + ec.message()));
+    }
+  }
+}
+
+DbRegistry::~DbRegistry() = default;
 
 DbHandle DbRegistry::Register(GraphDb db, std::string name) {
   auto snapshot = std::make_shared<DbSnapshot>();
@@ -97,6 +176,9 @@ DbHandle DbRegistry::Register(GraphDb db, std::string name) {
     lineage_by_name_[snapshot->name] = snapshot->lineage;
   }
   ++stats_.registered;
+  if (storage_ != nullptr && !restoring_) {
+    PersistNewSegmentLocked(*snapshot, /*reset_journal=*/false);
+  }
   return DbHandle(std::move(snapshot));
 }
 
@@ -156,7 +238,143 @@ Result<DbHandle> DbRegistry::CommitDelta(DeltaBatch* batch) {
   versions.emplace(snapshot->version, snapshot);
   ++stats_.commits;
   if (snapshot->compacted) ++stats_.compactions;
+  if (storage_ != nullptr && batch->record_ops_) {
+    if (snapshot->compacted) {
+      // The fresh flat base subsumes the journal: write the new segment
+      // first (atomic rename), then reset the journal. A crash between
+      // the two leaves stale journal groups whose commit versions are at
+      // or below the segment's — Restore skips those.
+      PersistNewSegmentLocked(*snapshot, /*reset_journal=*/true);
+    } else {
+      PersistCommitLocked(parent.version, *snapshot, batch->oplog_);
+    }
+  }
   return DbHandle(std::move(snapshot));
+}
+
+Result<DbHandle> DbRegistry::CommitReplayed(DeltaBatch* batch,
+                                            uint32_t version,
+                                            uint64_t snapshot_id) {
+  batch->committed_ = true;
+  const DbSnapshot& parent = *batch->parent_;
+  auto snapshot = std::make_shared<DbSnapshot>();
+  snapshot->lineage = parent.lineage;
+  snapshot->name = parent.name;
+  // Replayed commits never compact: the journal's groups were produced
+  // by non-compacting commits, and replaying them as plain overlays
+  // reproduces the exact pre-restart fact-id space.
+  const FactId first_new_fact = parent.db.num_facts();
+  snapshot->db = std::move(batch->work_);
+  snapshot->label_index = LabelIndex(snapshot->db, parent.label_index,
+                                     batch->touched_labels_, first_new_fact);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto lineage_it = lineages_.find(snapshot->lineage);
+  if (lineage_it == lineages_.end()) {
+    return Status::DataLoss("Restore: lineage " +
+                            std::to_string(snapshot->lineage) +
+                            " vanished during replay");
+  }
+  auto& versions = lineage_it->second.versions;
+  if (versions.empty() || versions.rbegin()->second->version != parent.version) {
+    return Status::DataLoss(
+        "Restore: journal group for version " + std::to_string(version) +
+        " does not extend the latest restored version of lineage " +
+        std::to_string(snapshot->lineage));
+  }
+  snapshot->id = snapshot_id;
+  snapshot->version = version;
+  next_id_ = std::max(next_id_, snapshot_id + 1);
+  lineage_it->second.next_version =
+      std::max(lineage_it->second.next_version, version + 1);
+  snapshots_.emplace(snapshot->id, snapshot);
+  versions.emplace(snapshot->version, snapshot);
+  return DbHandle(std::move(snapshot));
+}
+
+void DbRegistry::PersistNewSegmentLocked(const DbSnapshot& snapshot,
+                                         bool reset_journal) {
+  storage::SegmentMeta meta;
+  meta.lineage = snapshot.lineage;
+  meta.version = snapshot.version;
+  meta.snapshot_id = snapshot.id;
+  meta.name = snapshot.name;
+  int64_t bytes = 0;
+  // Register normally receives flat databases; an overlay handed to it
+  // is persisted as its compacted live view (same serialization, fresh
+  // fact-id space after a restart).
+  Status written =
+      snapshot.db.is_versioned()
+          ? storage::WriteSegment(storage_->SegmentPath(snapshot.lineage),
+                                  snapshot.db.Compact(), meta, &bytes)
+          : storage::WriteSegment(storage_->SegmentPath(snapshot.lineage),
+                                  snapshot.db, meta, &bytes);
+  if (!written.ok()) {
+    storage_->LatchError(written);
+    return;
+  }
+  storage_->segment_bytes_[snapshot.lineage] = bytes;
+  if (reset_journal) {
+    auto it = storage_->writers_.find(snapshot.lineage);
+    if (it != storage_->writers_.end() && it->second.open()) {
+      storage_->LatchError(it->second.Reset());
+    }
+    return;
+  }
+  Result<storage::JournalWriter> writer = storage::JournalWriter::Open(
+      storage_->JournalPath(snapshot.lineage), snapshot.lineage);
+  if (!writer.ok()) {
+    storage_->LatchError(writer.status());
+    return;
+  }
+  storage_->writers_.insert_or_assign(snapshot.lineage,
+                                      std::move(*writer));
+}
+
+void DbRegistry::PersistCommitLocked(
+    uint32_t parent_version, const DbSnapshot& snapshot,
+    const std::vector<storage::JournalOp>& oplog) {
+  auto it = storage_->writers_.find(snapshot.lineage);
+  if (it == storage_->writers_.end() || !it->second.open()) {
+    storage_->LatchError(Status::Internal(
+        "storage: no journal writer for lineage " +
+        std::to_string(snapshot.lineage)));
+    return;
+  }
+  std::vector<storage::JournalOp> group;
+  group.reserve(oplog.size() + 2);
+  storage::JournalOp begin;
+  begin.type = storage::JournalOp::Type::kBegin;
+  begin.version = parent_version;
+  group.push_back(std::move(begin));
+  group.insert(group.end(), oplog.begin(), oplog.end());
+  storage::JournalOp commit;
+  commit.type = storage::JournalOp::Type::kCommit;
+  commit.version = snapshot.version;
+  commit.snapshot_id = snapshot.id;
+  group.push_back(std::move(commit));
+  storage_->LatchError(it->second.Append(group));
+}
+
+void DbRegistry::PersistDropLocked(uint64_t lineage, uint32_t version,
+                                   bool lineage_gone) {
+  if (lineage_gone) {
+    storage_->writers_.erase(lineage);
+    storage_->segment_bytes_.erase(lineage);
+    std::error_code ec;
+    std::filesystem::remove(storage_->SegmentPath(lineage), ec);
+    std::filesystem::remove(storage_->JournalPath(lineage), ec);
+    return;
+  }
+  auto it = storage_->writers_.find(lineage);
+  if (it == storage_->writers_.end() || !it->second.open()) {
+    storage_->LatchError(Status::Internal(
+        "storage: no journal writer for lineage " + std::to_string(lineage)));
+    return;
+  }
+  storage::JournalOp drop;
+  drop.type = storage::JournalOp::Type::kDropVersion;
+  drop.version = version;
+  storage_->LatchError(it->second.Append({drop}));
 }
 
 bool DbRegistry::Unregister(uint64_t id) {
@@ -166,6 +384,7 @@ bool DbRegistry::Unregister(uint64_t id) {
   const uint64_t lineage_id = it->second->lineage;
   const uint32_t version = it->second->version;
   snapshots_.erase(it);
+  bool lineage_gone = false;
   auto lineage_it = lineages_.find(lineage_id);
   if (lineage_it != lineages_.end()) {
     lineage_it->second.versions.erase(version);
@@ -176,9 +395,13 @@ bool DbRegistry::Unregister(uint64_t id) {
         lineage_by_name_.erase(name_it);
       }
       lineages_.erase(lineage_it);
+      lineage_gone = true;
     }
   }
   ++stats_.unregistered;
+  if (storage_ != nullptr && !restoring_) {
+    PersistDropLocked(lineage_id, version, lineage_gone);
+  }
   return true;
 }
 
@@ -197,6 +420,9 @@ int DbRegistry::UnregisterLineage(uint64_t lineage) {
     lineage_by_name_.erase(name_it);
   }
   lineages_.erase(lineage_it);
+  if (storage_ != nullptr && !restoring_) {
+    PersistDropLocked(lineage, /*version=*/0, /*lineage_gone=*/true);
+  }
   return dropped;
 }
 
@@ -226,6 +452,31 @@ DbHandle DbRegistry::Latest(uint64_t lineage) const {
   return DbHandle(lineage_it->second.versions.rbegin()->second);
 }
 
+namespace {
+
+// "1, 2, 5" from a versions map — for actionable Resolve errors.
+std::string JoinVersions(
+    const std::map<uint32_t, std::shared_ptr<const DbSnapshot>>& versions) {
+  std::string out;
+  for (const auto& [version, snapshot] : versions) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(version);
+  }
+  return out.empty() ? "none" : out;
+}
+
+std::string JoinNames(
+    const std::map<std::string, uint64_t, std::less<>>& by_name) {
+  std::string out;
+  for (const auto& [name, lineage] : by_name) {
+    if (!out.empty()) out += ", ";
+    out += "'" + name + "'";
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace
+
 Result<DbHandle> DbRegistry::Resolve(std::string_view reference) const {
   std::string_view name = reference;
   std::string_view version_part;
@@ -242,12 +493,14 @@ Result<DbHandle> DbRegistry::Resolve(std::string_view reference) const {
   auto name_it = lineage_by_name_.find(name);
   if (name_it == lineage_by_name_.end()) {
     return Status::NotFound("Resolve: no lineage named '" +
-                            std::string(name) + "'");
+                            std::string(name) + "' (registered: " +
+                            JoinNames(lineage_by_name_) + ")");
   }
   auto lineage_it = lineages_.find(name_it->second);
   if (lineage_it == lineages_.end() || lineage_it->second.versions.empty()) {
     return Status::NotFound("Resolve: no lineage named '" +
-                            std::string(name) + "'");
+                            std::string(name) + "' (registered: " +
+                            JoinNames(lineage_by_name_) + ")");
   }
   const Lineage& lineage = lineage_it->second;
   if (at == std::string_view::npos || version_part == "latest") {
@@ -266,7 +519,9 @@ Result<DbHandle> DbRegistry::Resolve(std::string_view reference) const {
   auto version_it = lineage.versions.find(version);
   if (version_it == lineage.versions.end()) {
     return Status::NotFound("Resolve: lineage '" + std::string(name) +
-                            "' has no version " + std::to_string(version));
+                            "' has no version " + std::to_string(version) +
+                            " (available: " + JoinVersions(lineage.versions) +
+                            ")");
   }
   return DbHandle(version_it->second);
 }
@@ -297,7 +552,241 @@ DbRegistry::Gauges DbRegistry::gauges() const {
     gauges.dead_facts += latest.db.num_facts() - latest.db.num_live_facts();
     gauges.overlay_facts += latest.db.overlay_size();
   }
+  if (storage_ != nullptr) {
+    gauges.storage_persistent = 1;
+    for (const auto& [lineage, bytes] : storage_->segment_bytes_) {
+      gauges.storage_segment_bytes += bytes;
+    }
+    for (const auto& [lineage, writer] : storage_->writers_) {
+      gauges.storage_journal_records += writer.records();
+      gauges.storage_journal_bytes += writer.bytes();
+    }
+    gauges.storage_replay_micros = storage_->replay_micros_;
+  }
   return gauges;
+}
+
+Status DbRegistry::storage_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return storage_ != nullptr ? storage_->first_error_ : Status::OK();
+}
+
+Status DbRegistry::Restore() {
+  if (storage_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Restore: registry has no storage_dir configured");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!snapshots_.empty()) {
+      return Status::FailedPrecondition(
+          "Restore: registry is not empty (restore before serving)");
+    }
+    RPQRES_RETURN_IF_ERROR(storage_->first_error_);
+  }
+  struct RestoringGuard {
+    explicit RestoringGuard(bool* flag) : flag_(flag) { *flag_ = true; }
+    ~RestoringGuard() { *flag_ = false; }
+    bool* flag_;
+  } guard(&restoring_);
+  const auto start = std::chrono::steady_clock::now();
+
+  // Scan the directory: leftover temp files from an interrupted segment
+  // write are garbage (the rename never happened), segments and journals
+  // are collected per lineage.
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::map<uint64_t, std::string> journals;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(storage_->dir_, ec)) {
+    const std::string filename = entry.path().filename().string();
+    if (filename.ends_with(".tmp")) {
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+      continue;
+    }
+    uint64_t lineage = 0;
+    std::string_view stem = filename;
+    bool is_segment = false;
+    if (stem.starts_with("lineage_") && stem.ends_with(".seg")) {
+      stem.remove_prefix(8);
+      stem.remove_suffix(4);
+      is_segment = true;
+    } else if (stem.starts_with("lineage_") && stem.ends_with(".journal")) {
+      stem.remove_prefix(8);
+      stem.remove_suffix(8);
+    } else {
+      continue;
+    }
+    auto [end, parse_ec] =
+        std::from_chars(stem.data(), stem.data() + stem.size(), lineage);
+    if (parse_ec != std::errc() || end != stem.data() + stem.size()) continue;
+    if (is_segment) {
+      segments.emplace_back(lineage, entry.path().string());
+    } else {
+      journals.emplace(lineage, entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::Internal("Restore: cannot scan '" + storage_->dir_ +
+                            "': " + ec.message());
+  }
+  // Lineage ids are assigned in registration order, so ascending-id
+  // restore reproduces lineage_by_name_'s most-recent-wins semantics.
+  std::sort(segments.begin(), segments.end());
+  for (const auto& [journal_lineage, path] : journals) {
+    const bool matched = std::any_of(
+        segments.begin(), segments.end(),
+        [journal_lineage](const auto& s) { return s.first == journal_lineage; });
+    if (!matched) {
+      return Status::DataLoss("Restore: journal '" + path +
+                              "' has no matching segment");
+    }
+  }
+
+  for (const auto& [lineage, segment_path] : segments) {
+    RPQRES_ASSIGN_OR_RETURN(storage::LoadedSegment loaded,
+                            storage::ReadSegment(segment_path));
+    if (loaded.meta.lineage != lineage) {
+      return Status::DataLoss(
+          "Restore: segment '" + segment_path + "' claims lineage " +
+          std::to_string(loaded.meta.lineage) + ", filename says " +
+          std::to_string(lineage));
+    }
+    const uint32_t segment_version = loaded.meta.version;
+    auto snapshot = std::make_shared<DbSnapshot>();
+    snapshot->id = loaded.meta.snapshot_id;
+    snapshot->lineage = lineage;
+    snapshot->version = segment_version;
+    snapshot->name = loaded.meta.name;
+    snapshot->db = std::move(loaded.db);
+    snapshot->label_index = std::move(loaded.label_index);
+    snapshot->compacted = segment_version > 1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshots_.emplace(snapshot->id, snapshot);
+      Lineage& entry = lineages_[lineage];
+      entry.name = snapshot->name;
+      entry.versions.emplace(snapshot->version, snapshot);
+      entry.next_version = segment_version + 1;
+      next_id_ = std::max(next_id_, snapshot->id + 1);
+      if (!snapshot->name.empty()) {
+        lineage_by_name_[snapshot->name] = lineage;
+      }
+      storage_->segment_bytes_[lineage] = loaded.file_bytes;
+    }
+
+    auto journal_it = journals.find(lineage);
+    int64_t journal_valid_bytes = -1;
+    int64_t journal_records = 0;
+    if (journal_it != journals.end()) {
+      RPQRES_ASSIGN_OR_RETURN(storage::JournalContents contents,
+                              storage::ReadJournal(journal_it->second,
+                                                   lineage));
+      journal_valid_bytes = contents.valid_bytes;
+      journal_records = contents.records;
+      for (const storage::JournalGroup& group : contents.groups) {
+        if (group.is_drop) {
+          uint64_t drop_id = 0;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto lineage_it = lineages_.find(lineage);
+            if (lineage_it != lineages_.end()) {
+              auto version_it =
+                  lineage_it->second.versions.find(group.drop_version);
+              if (version_it != lineage_it->second.versions.end()) {
+                drop_id = version_it->second->id;
+              }
+            }
+          }
+          // A drop of a version already folded away by a later
+          // compaction (or already dropped) is a no-op.
+          if (drop_id != 0) Unregister(drop_id);
+          continue;
+        }
+        // Compaction crash window: the new segment renamed into place but
+        // the journal reset did not land before the crash. Groups at or
+        // below the segment's version are already folded into the base.
+        if (group.commit_version <= segment_version) continue;
+        DbHandle parent = Latest(lineage);
+        if (!parent.valid() || parent.version() != group.parent_version) {
+          return Status::DataLoss(
+              "Restore: journal group committing version " +
+              std::to_string(group.commit_version) + " of lineage " +
+              std::to_string(lineage) + " expects parent version " +
+              std::to_string(group.parent_version) + ", have " +
+              (parent.valid() ? std::to_string(parent.version()) : "none"));
+        }
+        DeltaBatch batch = BeginDelta(parent);
+        for (const storage::JournalOp& op : group.ops) {
+          switch (op.type) {
+            case storage::JournalOp::Type::kAddNode:
+              batch.AddNode(op.name);
+              break;
+            case storage::JournalOp::Type::kAddFact: {
+              Result<FactId> added =
+                  batch.AddFact(op.source, op.label, op.target,
+                                op.multiplicity);
+              if (!added.ok()) {
+                return Status::DataLoss(
+                    "Restore: replaying AddFact for version " +
+                    std::to_string(group.commit_version) + " of lineage " +
+                    std::to_string(lineage) + " failed: " +
+                    added.status().message());
+              }
+              break;
+            }
+            case storage::JournalOp::Type::kRemoveFact: {
+              Status removed = batch.RemoveFact(op.source, op.label,
+                                                op.target);
+              if (!removed.ok()) {
+                return Status::DataLoss(
+                    "Restore: replaying RemoveFact for version " +
+                    std::to_string(group.commit_version) + " of lineage " +
+                    std::to_string(lineage) + " failed: " +
+                    removed.message());
+              }
+              break;
+            }
+            default:
+              return Status::DataLoss(
+                  "Restore: unexpected op type inside a journal group");
+          }
+        }
+        RPQRES_RETURN_IF_ERROR(
+            CommitReplayed(&batch, group.commit_version, group.snapshot_id)
+                .status());
+      }
+    }
+    // Reopen the journal for appending, chopping any torn tail; a lineage
+    // without a journal file gets a fresh one.
+    const std::string journal_path = storage_->JournalPath(lineage);
+    RPQRES_ASSIGN_OR_RETURN(
+        storage::JournalWriter writer,
+        storage::JournalWriter::Open(journal_path, lineage,
+                                     journal_valid_bytes, journal_records));
+    std::lock_guard<std::mutex> lock(mu_);
+    storage_->writers_.insert_or_assign(lineage, std::move(writer));
+  }
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  std::lock_guard<std::mutex> lock(mu_);
+  storage_->replay_micros_ =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DbRegistry>> DbRegistry::OpenStorage(std::string dir) {
+  return OpenStorage(std::move(dir), Options());
+}
+
+Result<std::unique_ptr<DbRegistry>> DbRegistry::OpenStorage(std::string dir,
+                                                            Options options) {
+  options.storage_dir = std::move(dir);
+  auto registry = std::make_unique<DbRegistry>(std::move(options));
+  RPQRES_RETURN_IF_ERROR(registry->storage_status());
+  RPQRES_RETURN_IF_ERROR(registry->Restore());
+  return registry;
 }
 
 std::vector<uint64_t> DbRegistry::ids() const {

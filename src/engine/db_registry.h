@@ -45,9 +45,12 @@
 
 #include "graphdb/graph_db.h"
 #include "graphdb/label_index.h"
+#include "storage/journal.h"
 #include "util/status.h"
 
 namespace rpqres {
+
+class RegistryStorage;  // engine/db_registry.cc; owns the on-disk state
 
 /// One immutable registered database version: the owned GraphDb (flat for
 /// version 1 and compacted versions, a copy-on-write overlay otherwise)
@@ -135,6 +138,8 @@ class DeltaBatch {
     touched_ = other.touched_;
     ops_ = other.ops_;
     committed_ = other.committed_;
+    record_ops_ = other.record_ops_;
+    oplog_ = std::move(other.oplog_);
     return *this;
   }
 
@@ -175,6 +180,10 @@ class DeltaBatch {
   std::array<bool, 256> touched_{};
   int64_t ops_ = 0;
   bool committed_ = false;
+  /// True when the registry is persistent and this batch's operations
+  /// must be journaled at Commit (false during journal replay).
+  bool record_ops_ = false;
+  std::vector<storage::JournalOp> oplog_;
 };
 
 /// Thread-safe registry of versioned database lineages. Unregistering (or
@@ -189,6 +198,18 @@ class DbRegistry {
     /// max(compaction_min_overlay, compaction_fraction * live facts).
     int64_t compaction_min_overlay = 256;
     double compaction_fraction = 0.25;
+    /// When non-empty, the registry is *persistent*: Register writes
+    /// each lineage's flat base as an mmap-able segment under this
+    /// directory, every delta commit appends to the lineage's journal
+    /// before publishing, and a compacting commit folds the journal into
+    /// a fresh segment. Reopen with DbRegistry::OpenStorage(dir), which
+    /// restores every lineage to its exact pre-restart (lineage,
+    /// version) state — the durable history window is [version of the
+    /// last written segment, latest]; versions older than the last
+    /// compaction are only reachable while the process lives.
+    /// Storage write failures never fail serving: the first error is
+    /// latched and reported by storage_status().
+    std::string storage_dir;
   };
 
   struct Stats {
@@ -212,10 +233,18 @@ class DbRegistry {
     int64_t live_facts = 0;         ///< live facts across latest versions
     int64_t dead_facts = 0;         ///< tombstoned ids across latest versions
     int64_t overlay_facts = 0;      ///< overlay adds+tombstones across latest
+
+    // Storage gauges — all zero for a non-persistent registry.
+    int64_t storage_persistent = 0;      ///< 1 when storage_dir is set
+    int64_t storage_segment_bytes = 0;   ///< on-disk bytes across segments
+    int64_t storage_journal_records = 0; ///< records across live journals
+    int64_t storage_journal_bytes = 0;   ///< on-disk bytes across journals
+    int64_t storage_replay_micros = 0;   ///< time the last Restore spent
   };
 
-  DbRegistry() = default;
-  explicit DbRegistry(Options options) : options_(options) {}
+  DbRegistry();
+  explicit DbRegistry(Options options);
+  ~DbRegistry();
 
   /// Moves `db` into a fresh immutable snapshot — version 1 of a new
   /// lineage — builds its label index, and returns a handle. Ids are
@@ -263,6 +292,30 @@ class DbRegistry {
   /// Snapshot ids currently registered, ascending (introspection).
   std::vector<uint64_t> ids() const;
 
+  // --- persistence ----------------------------------------------------------
+
+  /// True when this registry writes segments + journals (storage_dir set).
+  bool persistent() const { return storage_ != nullptr; }
+
+  /// First storage write error since construction (OK when none, or for a
+  /// non-persistent registry). Writes are best-effort: serving continues
+  /// in memory after a failed write, but durability is gone from the
+  /// failed operation on.
+  Status storage_status() const;
+
+  /// Restores this (empty, persistent) registry from its storage_dir:
+  /// maps every lineage's base segment, replays its journal — cutting a
+  /// torn tail at the last fully committed version — and reapplies
+  /// version drops. Not thread-safe; call before serving. Unreadable or
+  /// corrupt segments, and journals that do not match their segment,
+  /// fail with kDataLoss.
+  Status Restore();
+
+  /// Constructs a persistent registry rooted at `dir` and Restore()s it.
+  static Result<std::unique_ptr<DbRegistry>> OpenStorage(std::string dir);
+  static Result<std::unique_ptr<DbRegistry>> OpenStorage(std::string dir,
+                                                         Options options);
+
  private:
   friend class DeltaBatch;
 
@@ -279,6 +332,18 @@ class DbRegistry {
 
   /// Publishes a finished batch (called by DeltaBatch::Commit).
   Result<DbHandle> CommitDelta(DeltaBatch* batch);
+  /// Publishes a replayed journal group as (version, snapshot_id) —
+  /// never compacts, never journals (Restore only).
+  Result<DbHandle> CommitReplayed(DeltaBatch* batch, uint32_t version,
+                                  uint64_t snapshot_id);
+  /// Storage side of Register / a compacting commit / Unregister; all
+  /// called with mu_ held, all latch errors instead of failing serving.
+  void PersistNewSegmentLocked(const DbSnapshot& snapshot, bool reset_journal);
+  void PersistCommitLocked(uint32_t parent_version,
+                           const DbSnapshot& snapshot,
+                           const std::vector<storage::JournalOp>& oplog);
+  void PersistDropLocked(uint64_t lineage, uint32_t version,
+                         bool lineage_gone);
 
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;
@@ -288,6 +353,10 @@ class DbRegistry {
   std::map<std::string, uint64_t, std::less<>> lineage_by_name_;
   Options options_;
   Stats stats_;
+  /// Non-null iff options_.storage_dir is set.
+  std::unique_ptr<RegistryStorage> storage_;
+  /// True while Restore() replays the journal (suppresses re-journaling).
+  bool restoring_ = false;
 };
 
 }  // namespace rpqres

@@ -907,6 +907,22 @@ obs::MetricsSnapshot ResilienceEngine::TakeMetricsSnapshot(
     add_gauge("rpqres_db_overlay_facts",
               "Copy-on-write overlay adds+tombstones across latest versions.",
               static_cast<double>(g.overlay_facts));
+    if (g.storage_persistent != 0) {
+      // Exported only for persistent registries, so a non-persistent
+      // deployment's exposition is byte-identical to earlier releases.
+      add_gauge("rpqres_db_storage_segment_bytes",
+                "On-disk bytes across lineage base segments.",
+                static_cast<double>(g.storage_segment_bytes));
+      add_gauge("rpqres_db_storage_journal_records",
+                "Records across live delta journals.",
+                static_cast<double>(g.storage_journal_records));
+      add_gauge("rpqres_db_storage_journal_bytes",
+                "On-disk bytes across live delta journals.",
+                static_cast<double>(g.storage_journal_bytes));
+      add_gauge("rpqres_db_storage_replay_micros",
+                "Microseconds the last journal replay (Restore) took.",
+                static_cast<double>(g.storage_replay_micros));
+    }
   }
   return snapshot;
 }

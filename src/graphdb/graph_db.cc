@@ -12,6 +12,8 @@ NodeId GraphDb::AddNode() {
 }
 
 NodeId GraphDb::AddNode(const std::string& name) {
+  RPQRES_CHECK_MSG(mapped_ == nullptr,
+                   "AddNode: mapped databases are immutable");
   NodeId id = static_cast<NodeId>(num_nodes());
   node_names_.push_back(name);
   if (base_ == nullptr) {
@@ -49,6 +51,8 @@ FactId GraphDb::AddFact(NodeId source, char label, NodeId target,
   RPQRES_DCHECK(source >= 0 && source < num_nodes());
   RPQRES_DCHECK(target >= 0 && target < num_nodes());
   RPQRES_CHECK_MSG(multiplicity >= 1, "fact multiplicity must be >= 1");
+  RPQRES_CHECK_MSG(mapped_ == nullptr,
+                   "AddFact: mapped databases are immutable");
   auto key = std::make_tuple(source, label, target);
   // Live-duplicate detection: overlay additions first, then the base
   // (a tombstoned base fact does NOT merge — a re-add is a new fact at
@@ -74,7 +78,7 @@ FactId GraphDb::AddFact(NodeId source, char label, NodeId target,
         pos->second += multiplicity;
       } else {
         mult_override_.insert(
-            pos, {base_id, base_->multiplicities_[base_id] + multiplicity});
+            pos, {base_id, base_->multiplicity(base_id) + multiplicity});
       }
       return base_id;
     }
@@ -99,6 +103,8 @@ void GraphDb::SetExogenous(FactId id, bool exogenous) {
   RPQRES_DCHECK(id >= 0 && id < num_facts());
   RPQRES_CHECK_MSG(id >= base_facts_,
                    "SetExogenous: base facts of an overlay are immutable");
+  RPQRES_CHECK_MSG(mapped_ == nullptr,
+                   "SetExogenous: mapped databases are immutable");
   exogenous_[id - base_facts_] = exogenous;
 }
 
@@ -111,6 +117,26 @@ int GraphDb::NumExogenous() const {
 }
 
 FactId GraphDb::FindFact(NodeId source, char label, NodeId target) const {
+  if (mapped_ != nullptr) {
+    // No heap fact_index_ on a mapped database: binary search the
+    // segment's (source, label, target)-sorted permutation instead.
+    const FactId* first = mapped_->sorted_by_key;
+    const FactId* last = first + mapped_->num_facts;
+    const auto key = std::make_tuple(source, label, target);
+    auto pos = std::lower_bound(
+        first, last, key,
+        [this](FactId id, const std::tuple<NodeId, char, NodeId>& k) {
+          const Fact& f = mapped_->facts[id];
+          return std::make_tuple(f.source, f.label, f.target) < k;
+        });
+    if (pos != last) {
+      const Fact& f = mapped_->facts[*pos];
+      if (f.source == source && f.label == label && f.target == target) {
+        return *pos;
+      }
+    }
+    return -1;
+  }
   auto it = fact_index_.find(std::make_tuple(source, label, target));
   if (it != fact_index_.end()) {
     return IsLive(it->second) ? it->second : -1;
@@ -225,19 +251,40 @@ GraphDb GraphDb::Compact(std::vector<FactId>* old_id_of) const {
   return out;
 }
 
+std::pair<const FactId*, const FactId*> GraphDb::FlatIncidentRange(
+    NodeId node, bool out) const {
+  RPQRES_DCHECK(base_ == nullptr);
+  if (mapped_ != nullptr) {
+    const int32_t* offset = out ? mapped_->out_offset : mapped_->in_offset;
+    const FactId* adj = out ? mapped_->out_adj : mapped_->in_adj;
+    return {adj + offset[node], adj + offset[node + 1]};
+  }
+  const std::vector<FactId>& list = out ? out_facts_[node] : in_facts_[node];
+  return {list.data(), list.data() + list.size()};
+}
+
+GraphDb GraphDb::FromMappedFlat(
+    std::vector<std::string> node_names,
+    std::shared_ptr<const MappedFlatStorage> storage) {
+  RPQRES_CHECK_MSG(storage != nullptr, "FromMappedFlat: null storage");
+  GraphDb out;
+  out.node_names_ = std::move(node_names);
+  out.mapped_ = std::move(storage);
+  return out;
+}
+
 GraphDb::IncidentFacts GraphDb::IncidentView(NodeId node, bool out) const {
   const uint8_t* dead = dead_.empty() ? nullptr : dead_.data();
-  const std::vector<FactId>* primary = nullptr;
-  if (base_ == nullptr) {
-    primary = out ? &out_facts_[node] : &in_facts_[node];
-  } else if (node < base_nodes_) {
-    primary = out ? &base_->out_facts_[node] : &base_->in_facts_[node];
-  }
   const FactId* first = nullptr;
   const FactId* first_end = nullptr;
-  if (primary != nullptr && !primary->empty()) {
-    first = primary->data();
-    first_end = first + primary->size();
+  if (base_ == nullptr) {
+    std::tie(first, first_end) = FlatIncidentRange(node, out);
+  } else if (node < base_nodes_) {
+    std::tie(first, first_end) = base_->FlatIncidentRange(node, out);
+  }
+  if (first == first_end) {
+    first = nullptr;
+    first_end = nullptr;
   }
   const FactId* second = first_end;
   const FactId* second_end = first_end;
@@ -255,19 +302,19 @@ GraphDb::IncidentFacts GraphDb::IncidentView(NodeId node, bool out) const {
 GraphDb GraphDb::RemoveFacts(const std::vector<FactId>& fact_ids) const {
   RPQRES_CHECK_MSG(base_ == nullptr,
                    "RemoveFacts: Compact() an overlay database first");
-  std::vector<bool> removed(facts_.size(), false);
+  std::vector<bool> removed(num_facts(), false);
   for (FactId id : fact_ids) {
     RPQRES_DCHECK(id >= 0 && id < num_facts());
     removed[id] = true;
   }
   GraphDb out;
-  for (const std::string& name : node_names_) out.AddNode(name);
+  for (NodeId v = 0; v < num_nodes(); ++v) out.AddNode(node_name(v));
   out.nodes_by_name_ = nodes_by_name_;
   for (FactId id = 0; id < num_facts(); ++id) {
     if (!removed[id]) {
-      FactId copy = out.AddFact(facts_[id].source, facts_[id].label,
-                                facts_[id].target, multiplicities_[id]);
-      if (exogenous_[id]) out.SetExogenous(copy);
+      const Fact& f = fact(id);
+      FactId copy = out.AddFact(f.source, f.label, f.target, multiplicity(id));
+      if (IsExogenous(id)) out.SetExogenous(copy);
     }
   }
   return out;
@@ -277,12 +324,12 @@ GraphDb GraphDb::MirrorDb() const {
   RPQRES_CHECK_MSG(base_ == nullptr,
                    "MirrorDb: Compact() an overlay database first");
   GraphDb out;
-  for (const std::string& name : node_names_) out.AddNode(name);
+  for (NodeId v = 0; v < num_nodes(); ++v) out.AddNode(node_name(v));
   out.nodes_by_name_ = nodes_by_name_;
   for (FactId id = 0; id < num_facts(); ++id) {
-    FactId copy = out.AddFact(facts_[id].target, facts_[id].label,
-                              facts_[id].source, multiplicities_[id]);
-    if (exogenous_[id]) out.SetExogenous(copy);
+    const Fact& f = fact(id);
+    FactId copy = out.AddFact(f.target, f.label, f.source, multiplicity(id));
+    if (IsExogenous(id)) out.SetExogenous(copy);
   }
   return out;
 }

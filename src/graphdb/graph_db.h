@@ -6,10 +6,13 @@
 // every fact as cost 1 (paper, Section 2: RES_set reduces to RES_bag with
 // unit multiplicities).
 //
-// Two physical layouts share this one type:
+// Three physical layouts share this one type:
 //
 //  * Flat databases — the historical layout: dense node/fact arrays built
 //    by AddNode/AddFact. Every mutator works, every fact id is live.
+//  * Mapped flat databases (FromMappedFlat) — the same dense arrays, but
+//    living in an externally owned mmap'ed segment (src/storage). Flat,
+//    all-live, immutable; usable as an overlay base.
 //  * Versioned overlays (DbRegistry v3 delta commits) — an immutable
 //    shared *base* (a flat GraphDb held by shared_ptr) plus a private
 //    overlay: appended nodes/facts, a tombstone bitmap over the combined
@@ -23,8 +26,8 @@
 // network, or a serialization. Code that indexes storage by fact id
 // (cost arrays, removal masks) keeps working unchanged; code that
 // *enumerates* facts must either use the live views or guard with
-// IsLive. The legacy OutFacts/InFacts vector refs remain for flat
-// databases only.
+// IsLive. The legacy OutFacts/InFacts spans remain for flat databases
+// only.
 
 #ifndef RPQRES_GRAPHDB_GRAPH_DB_H_
 #define RPQRES_GRAPHDB_GRAPH_DB_H_
@@ -32,6 +35,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -56,6 +60,23 @@ struct Fact {
   NodeId target = 0;
 
   bool operator==(const Fact& other) const = default;
+};
+
+/// Dense arrays of a flat database living in an externally owned buffer
+/// (an mmap'ed segment). GraphDb::FromMappedFlat wraps one of these
+/// without copying the arrays; `mapping` keeps the buffer alive for as
+/// long as any GraphDb (or overlay over it) references them.
+struct MappedFlatStorage {
+  const Fact* facts = nullptr;                 // [num_facts]
+  const Capacity* multiplicities = nullptr;    // [num_facts]
+  const uint8_t* exogenous = nullptr;          // [num_facts], 0/1
+  const int32_t* out_offset = nullptr;         // [num_nodes + 1] CSR
+  const FactId* out_adj = nullptr;             // [num_facts]
+  const int32_t* in_offset = nullptr;          // [num_nodes + 1] CSR
+  const FactId* in_adj = nullptr;              // [num_facts]
+  const FactId* sorted_by_key = nullptr;       // perm sorted by (s, l, t)
+  int32_t num_facts = 0;
+  std::shared_ptr<const void> mapping;
 };
 
 /// A graph database under set or bag semantics.
@@ -89,8 +110,9 @@ class GraphDb {
   /// On an overlay only facts added by the overlay may be toggled.
   void SetExogenous(FactId id, bool exogenous = true);
   bool IsExogenous(FactId id) const {
-    return id < base_facts_ ? base_->exogenous_[id]
-                            : exogenous_[id - base_facts_];
+    if (id < base_facts_) return base_->IsExogenous(id);
+    if (mapped_ != nullptr) return mapped_->exogenous[id] != 0;
+    return exogenous_[id - base_facts_];
   }
   /// Number of live exogenous facts.
   int NumExogenous() const;
@@ -101,19 +123,25 @@ class GraphDb {
   /// Size of the fact id space, dead ids included. Use num_live_facts()
   /// for the logical fact count.
   int num_facts() const {
+    if (mapped_ != nullptr) return mapped_->num_facts;
     return base_facts_ + static_cast<int>(facts_.size());
   }
   int num_live_facts() const { return num_facts() - num_dead_; }
   const Fact& fact(FactId id) const {
-    return id < base_facts_ ? base_->facts_[id] : facts_[id - base_facts_];
+    if (id < base_facts_) return base_->fact(id);
+    if (mapped_ != nullptr) return mapped_->facts[id];
+    return facts_[id - base_facts_];
   }
   Capacity multiplicity(FactId id) const {
-    if (id >= base_facts_) return multiplicities_[id - base_facts_];
+    if (id >= base_facts_) {
+      return mapped_ != nullptr ? mapped_->multiplicities[id]
+                                : multiplicities_[id - base_facts_];
+    }
     if (!mult_override_.empty()) {
       Capacity override_value;
       if (LookupMultOverride(id, &override_value)) return override_value;
     }
-    return base_->multiplicities_[id];
+    return base_->multiplicity(id);
   }
   /// Deletion cost of a fact under the given semantics
   /// (kInfiniteCapacity for exogenous facts).
@@ -131,13 +159,16 @@ class GraphDb {
   }
 
   /// Fact ids whose source is `node`. Flat databases only (an overlay has
-  /// no single contiguous per-node list) — use OutFactsLive there.
-  const std::vector<FactId>& OutFacts(NodeId node) const {
-    return out_facts_[node];
+  /// no single contiguous per-node list) — use OutFactsLive there. On a
+  /// mapped database the span points into the mmap'ed CSR arrays.
+  std::span<const FactId> OutFacts(NodeId node) const {
+    auto [first, last] = FlatIncidentRange(node, /*out=*/true);
+    return {first, static_cast<size_t>(last - first)};
   }
   /// Fact ids whose target is `node`. Flat databases only.
-  const std::vector<FactId>& InFacts(NodeId node) const {
-    return in_facts_[node];
+  std::span<const FactId> InFacts(NodeId node) const {
+    auto [first, last] = FlatIncidentRange(node, /*out=*/false);
+    return {first, static_cast<size_t>(last - first)};
   }
 
   // --- versioned overlays ---------------------------------------------------
@@ -145,6 +176,18 @@ class GraphDb {
   /// True when this database is a copy-on-write overlay over a shared
   /// immutable base.
   bool is_versioned() const { return base_ != nullptr; }
+  /// True when the dense fact arrays live in an external (mmap'ed)
+  /// buffer. A mapped database is flat, all-live, and immutable: every
+  /// mutator CHECK-fails. It can serve as an overlay base like any other
+  /// flat database.
+  bool is_mapped() const { return mapped_ != nullptr; }
+
+  /// Wraps externally owned flat arrays (an mmap'ed segment) as a
+  /// read-only flat database. Node names are the only materialized state;
+  /// the fact arrays are used in place. `storage.mapping` must keep the
+  /// bytes alive.
+  static GraphDb FromMappedFlat(std::vector<std::string> node_names,
+                                std::shared_ptr<const MappedFlatStorage> storage);
   /// False iff `id` is tombstoned. Flat databases are all-live.
   bool IsLive(FactId id) const { return dead_.empty() || !dead_[id]; }
   /// Facts the overlay added or tombstoned on top of its base — the size
@@ -274,6 +317,10 @@ class GraphDb {
  private:
   IncidentFacts IncidentView(NodeId node, bool out) const;
   bool LookupMultOverride(FactId id, Capacity* value) const;
+  /// [first, last) of the per-node fact list of a *flat* database (heap
+  /// vectors or mapped CSR). Not valid on overlays.
+  std::pair<const FactId*, const FactId*> FlatIncidentRange(NodeId node,
+                                                            bool out) const;
 
   // Flat storage — for an overlay these hold the overlay's own nodes and
   // facts only; ids are offset by base_nodes_ / base_facts_.
@@ -285,6 +332,11 @@ class GraphDb {
   std::vector<std::vector<FactId>> in_facts_;   // flat layout only
   std::map<std::string, NodeId> nodes_by_name_;
   std::map<std::tuple<NodeId, char, NodeId>, FactId> fact_index_;
+
+  // Mapped storage (null unless built by FromMappedFlat). When set the
+  // database is flat and facts_/multiplicities_/exogenous_/out_facts_/
+  // in_facts_/fact_index_ stay empty; node_names_ holds the dictionary.
+  std::shared_ptr<const MappedFlatStorage> mapped_;
 
   // Overlay state (empty for flat databases).
   std::shared_ptr<const GraphDb> base_;  // flat; shared between versions

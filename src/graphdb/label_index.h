@@ -53,10 +53,11 @@ class LabelIndex {
   LabelIndex(const GraphDb& db, const LabelIndex& parent,
              const std::vector<char>& touched_labels, FactId first_new_fact);
 
-  /// Fact ids carrying `label`, ascending; empty when absent.
-  const std::vector<FactId>& Facts(char label) const {
+  /// Fact ids carrying `label`, ascending; empty when absent. On a
+  /// mapped index (FromMapped) the span points into the mmap'ed segment.
+  std::span<const FactId> Facts(char label) const {
     int16_t slot = slot_[static_cast<unsigned char>(label)];
-    return slot < 0 ? kNoFacts : per_label_[slot]->facts;
+    return slot < 0 ? std::span<const FactId>() : per_label_[slot]->facts;
   }
 
   /// Fact ids carrying `label` whose source is `node`, ascending; empty
@@ -99,24 +100,53 @@ class LabelIndex {
   /// delta-commit path.
   int shared_labels() const { return shared_labels_; }
 
+  /// One label's pre-built CSR arrays inside an mmap'ed segment, for
+  /// FromMapped. Layouts match PerLabel exactly; offsets have
+  /// num_nodes + 1 entries.
+  struct MappedLabelEntry {
+    char label = '\0';
+    std::span<const FactId> facts;
+    std::span<const FactId> by_source;
+    std::span<const int32_t> source_offset;
+    std::span<const FactId> by_target;
+    std::span<const int32_t> target_offset;
+  };
+
+  /// Wraps pre-built per-label CSR arrays living in an external buffer
+  /// (an mmap'ed segment) without copying them. `entries` must be sorted
+  /// by label (as unsigned char); `mapping` keeps the buffer alive and is
+  /// pinned per entry, so incremental child indexes that share an entry
+  /// keep the mapping alive too.
+  static LabelIndex FromMapped(const std::vector<MappedLabelEntry>& entries,
+                               std::shared_ptr<const void> mapping);
+
  private:
   struct PerLabel {
-    std::vector<FactId> facts;  ///< ascending live fact ids with this label
+    std::span<const FactId> facts;  ///< ascending live fact ids, this label
     /// CSR over source nodes: facts of node v are
     /// by_source[source_offset[v] .. source_offset[v+1]).
-    std::vector<FactId> by_source;
-    std::vector<int32_t> source_offset;  ///< size num_nodes + 1 at build
+    std::span<const FactId> by_source;
+    std::span<const int32_t> source_offset;  ///< size num_nodes + 1 at build
     /// CSR over target nodes, same layout.
-    std::vector<FactId> by_target;
-    std::vector<int32_t> target_offset;  ///< size num_nodes + 1 at build
+    std::span<const FactId> by_target;
+    std::span<const int32_t> target_offset;
+
+    // Owned storage behind the spans for heap-built entries. Mapped
+    // entries leave these empty and pin the segment via `mapping`
+    // instead. The keepalive lives on the entry (not the index) because
+    // incremental builds share entries across index generations.
+    std::vector<FactId> facts_store;
+    std::vector<FactId> by_source_store;
+    std::vector<int32_t> source_offset_store;
+    std::vector<FactId> by_target_store;
+    std::vector<int32_t> target_offset_store;
+    std::shared_ptr<const void> mapping;
   };
 
   /// Builds one label's entry from its ascending live fact ids.
   static std::shared_ptr<const PerLabel> BuildEntry(const GraphDb& db,
                                                     std::vector<FactId> facts);
   void InsertEntry(char label, std::shared_ptr<const PerLabel> entry);
-
-  static const std::vector<FactId> kNoFacts;
 
   std::array<int16_t, 256> slot_;  ///< label -> per_label_ index, -1 absent
   std::vector<std::shared_ptr<const PerLabel>> per_label_;

@@ -9,9 +9,28 @@ ShardedRegistry::ShardedRegistry(int num_shards, EngineOptions engine_options,
   if (num_shards < 1) num_shards = 1;
   shards_.reserve(num_shards);
   for (int i = 0; i < num_shards; ++i) {
-    shards_.push_back(
-        std::make_unique<Shard>(engine_options, registry_options));
+    DbRegistry::Options shard_options = registry_options;
+    if (!shard_options.storage_dir.empty()) {
+      shard_options.storage_dir += "/shard" + std::to_string(i);
+    }
+    shards_.push_back(std::make_unique<Shard>(engine_options, shard_options));
   }
+}
+
+Result<std::unique_ptr<ShardedRegistry>> ShardedRegistry::OpenStorage(
+    int num_shards, EngineOptions engine_options,
+    DbRegistry::Options registry_options) {
+  if (registry_options.storage_dir.empty()) {
+    return Status::FailedPrecondition(
+        "ShardedRegistry::OpenStorage: storage_dir must be set");
+  }
+  auto sharded = std::make_unique<ShardedRegistry>(
+      num_shards, std::move(engine_options), std::move(registry_options));
+  for (int i = 0; i < sharded->num_shards(); ++i) {
+    RPQRES_RETURN_IF_ERROR(sharded->registry(i).storage_status());
+    RPQRES_RETURN_IF_ERROR(sharded->registry(i).Restore());
+  }
+  return sharded;
 }
 
 uint64_t ShardedRegistry::HashName(std::string_view name) {

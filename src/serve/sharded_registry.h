@@ -42,8 +42,20 @@ class ShardedRegistry {
   /// registry from `registry_options`. Per-shard resources (pool
   /// threads, cache capacities) are what the options say — scaling the
   /// shard count scales the fleet's aggregate capacity.
+  /// When registry_options.storage_dir is set, shard i persists under
+  /// `<storage_dir>/shard<i>` — lineage placement is a pure function of
+  /// (name, num_shards), so reopening with the same shard count finds
+  /// every lineage on the shard that wrote it.
   explicit ShardedRegistry(int num_shards, EngineOptions engine_options = {},
                            DbRegistry::Options registry_options = {});
+
+  /// Builds a persistent fleet rooted at registry_options.storage_dir
+  /// and Restore()s every shard. The shard count must match the one the
+  /// directory was written with (placement would silently miss lineages
+  /// otherwise — detecting a mismatch is the caller's job for now).
+  static Result<std::unique_ptr<ShardedRegistry>> OpenStorage(
+      int num_shards, EngineOptions engine_options,
+      DbRegistry::Options registry_options);
 
   ShardedRegistry(const ShardedRegistry&) = delete;
   ShardedRegistry& operator=(const ShardedRegistry&) = delete;

@@ -1,0 +1,368 @@
+#include "storage/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "storage/xxhash64.h"
+
+namespace rpqres {
+namespace storage {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'P', 'Q', 'J', 'R', 'N', '0', '1'};
+constexpr size_t kFileHeaderBytes = 16;  // magic + u64 lineage
+constexpr size_t kRecordHeaderBytes = 12;  // u32 len + u64 checksum
+// Sanity cap on a single record's payload; anything larger is treated as
+// a torn/corrupt length field. A record holds one op (name <= 64 KiB).
+constexpr uint32_t kMaxPayload = 1 << 20;
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void PutBytes(std::vector<uint8_t>* buf, const void* src, size_t n) {
+  const size_t at = buf->size();
+  buf->resize(at + n);
+  std::memcpy(buf->data() + at, src, n);
+}
+
+template <typename T>
+void Put(std::vector<uint8_t>* buf, T v) {
+  PutBytes(buf, &v, sizeof(v));
+}
+
+/// Serializes one op into payload bytes (without record framing).
+std::vector<uint8_t> EncodeOp(const JournalOp& op) {
+  std::vector<uint8_t> p;
+  Put<uint8_t>(&p, static_cast<uint8_t>(op.type));
+  switch (op.type) {
+    case JournalOp::Type::kBegin:
+    case JournalOp::Type::kDropVersion:
+      Put<uint32_t>(&p, op.version);
+      break;
+    case JournalOp::Type::kAddNode:
+      Put<uint32_t>(&p, static_cast<uint32_t>(op.name.size()));
+      PutBytes(&p, op.name.data(), op.name.size());
+      break;
+    case JournalOp::Type::kAddFact:
+      Put<int32_t>(&p, op.source);
+      Put<int32_t>(&p, op.target);
+      Put<uint8_t>(&p, static_cast<uint8_t>(op.label));
+      Put<int64_t>(&p, op.multiplicity);
+      break;
+    case JournalOp::Type::kRemoveFact:
+      Put<int32_t>(&p, op.source);
+      Put<int32_t>(&p, op.target);
+      Put<uint8_t>(&p, static_cast<uint8_t>(op.label));
+      break;
+    case JournalOp::Type::kCommit:
+      Put<uint32_t>(&p, op.version);
+      Put<uint64_t>(&p, op.snapshot_id);
+      break;
+  }
+  return p;
+}
+
+/// Decodes one payload back into an op; false on malformed payloads
+/// (which the torn-tail rule treats as end of the valid prefix).
+bool DecodeOp(const uint8_t* p, size_t len, JournalOp* op) {
+  if (len < 1) return false;
+  size_t at = 1;
+  auto take = [&](void* dst, size_t n) {
+    if (at + n > len) return false;
+    std::memcpy(dst, p + at, n);
+    at += n;
+    return true;
+  };
+  op->type = static_cast<JournalOp::Type>(p[0]);
+  switch (op->type) {
+    case JournalOp::Type::kBegin:
+    case JournalOp::Type::kDropVersion:
+      return take(&op->version, 4) && at == len;
+    case JournalOp::Type::kAddNode: {
+      uint32_t name_len = 0;
+      if (!take(&name_len, 4) || at + name_len != len) return false;
+      op->name.assign(reinterpret_cast<const char*>(p + at), name_len);
+      return true;
+    }
+    case JournalOp::Type::kAddFact: {
+      uint8_t label = 0;
+      if (!(take(&op->source, 4) && take(&op->target, 4) &&
+            take(&label, 1) && take(&op->multiplicity, 8) && at == len)) {
+        return false;
+      }
+      op->label = static_cast<char>(label);
+      return true;
+    }
+    case JournalOp::Type::kRemoveFact: {
+      uint8_t label = 0;
+      if (!(take(&op->source, 4) && take(&op->target, 4) &&
+            take(&label, 1) && at == len)) {
+        return false;
+      }
+      op->label = static_cast<char>(label);
+      return true;
+    }
+    case JournalOp::Type::kCommit:
+      return take(&op->version, 4) && take(&op->snapshot_id, 8) && at == len;
+  }
+  return false;
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t n,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < n) {
+    ssize_t w = ::write(fd, data + written, n - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("journal: write failed for", path);
+    }
+    written += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = std::exchange(other.fd_, -1);
+  path_ = std::move(other.path_);
+  bytes_ = other.bytes_;
+  records_ = other.records_;
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<JournalWriter> JournalWriter::Open(const std::string& path,
+                                          uint64_t lineage, int64_t append_at,
+                                          int64_t initial_records) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("journal: cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("journal: fstat failed for", path);
+  }
+  JournalWriter out;
+  out.fd_ = fd;
+  out.path_ = path;
+  if (st.st_size == 0) {
+    // Fresh journal: header only.
+    std::vector<uint8_t> header;
+    PutBytes(&header, kMagic, sizeof(kMagic));
+    Put<uint64_t>(&header, lineage);
+    Status s = WriteAll(fd, header.data(), header.size(), path);
+    if (!s.ok()) return s;
+    if (::fsync(fd) != 0) return ErrnoStatus("journal: fsync failed for", path);
+    out.bytes_ = static_cast<int64_t>(header.size());
+    return out;
+  }
+  if (st.st_size < static_cast<int64_t>(kFileHeaderBytes)) {
+    return Status::DataLoss("journal: '" + path + "' shorter than its header");
+  }
+  uint8_t header[kFileHeaderBytes];
+  if (::pread(fd, header, sizeof(header), 0) !=
+      static_cast<ssize_t>(sizeof(header))) {
+    return ErrnoStatus("journal: cannot read header of", path);
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("journal: '" + path + "' has a bad magic");
+  }
+  uint64_t file_lineage;
+  std::memcpy(&file_lineage, header + 8, 8);
+  if (file_lineage != lineage) {
+    return Status::DataLoss("journal: '" + path + "' belongs to lineage " +
+                            std::to_string(file_lineage) + ", want " +
+                            std::to_string(lineage));
+  }
+  int64_t end = append_at >= 0 ? append_at : st.st_size;
+  if (end < static_cast<int64_t>(kFileHeaderBytes) || end > st.st_size) {
+    return Status::InvalidArgument("journal: append offset " +
+                                   std::to_string(append_at) +
+                                   " out of range for '" + path + "'");
+  }
+  if (end != st.st_size) {
+    // Chop a recovered torn tail before the first new append.
+    if (::ftruncate(fd, end) != 0) {
+      return ErrnoStatus("journal: ftruncate failed for", path);
+    }
+    if (::fsync(fd) != 0) return ErrnoStatus("journal: fsync failed for", path);
+  }
+  if (::lseek(fd, end, SEEK_SET) < 0) {
+    return ErrnoStatus("journal: lseek failed for", path);
+  }
+  out.bytes_ = end;
+  out.records_ = initial_records;
+  return out;
+}
+
+Status JournalWriter::Append(const std::vector<JournalOp>& ops) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal: Append on a closed writer");
+  }
+  // The whole group becomes one write: either the kernel sees all of it
+  // or (on a crash before the write reaches the file) a prefix, which
+  // the torn-tail rule rolls back to the group boundary.
+  std::vector<uint8_t> buf;
+  for (const JournalOp& op : ops) {
+    const std::vector<uint8_t> payload = EncodeOp(op);
+    Put<uint32_t>(&buf, static_cast<uint32_t>(payload.size()));
+    Put<uint64_t>(&buf, XxHash64(payload.data(), payload.size()));
+    PutBytes(&buf, payload.data(), payload.size());
+  }
+  RPQRES_RETURN_IF_ERROR(WriteAll(fd_, buf.data(), buf.size(), path_));
+  if (::fsync(fd_) != 0) {
+    return ErrnoStatus("journal: fsync failed for", path_);
+  }
+  bytes_ += static_cast<int64_t>(buf.size());
+  records_ += static_cast<int64_t>(ops.size());
+  return Status::OK();
+}
+
+Status JournalWriter::Reset() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal: Reset on a closed writer");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(kFileHeaderBytes)) != 0) {
+    return ErrnoStatus("journal: ftruncate failed for", path_);
+  }
+  if (::fsync(fd_) != 0) {
+    return ErrnoStatus("journal: fsync failed for", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(kFileHeaderBytes), SEEK_SET) < 0) {
+    return ErrnoStatus("journal: lseek failed for", path_);
+  }
+  bytes_ = static_cast<int64_t>(kFileHeaderBytes);
+  records_ = 0;
+  return Status::OK();
+}
+
+Result<JournalContents> ReadJournal(const std::string& path,
+                                    uint64_t expected_lineage) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("journal: cannot open '" + path + "': " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("journal: fstat failed for", path);
+  }
+  std::vector<uint8_t> file(static_cast<size_t>(st.st_size));
+  size_t got = 0;
+  while (got < file.size()) {
+    ssize_t n = ::pread(fd, file.data() + got, file.size() - got,
+                        static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("journal: read failed for", path);
+    }
+    if (n == 0) break;
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (got < kFileHeaderBytes) {
+    return Status::DataLoss("journal: '" + path + "' shorter than its header");
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("journal: '" + path + "' has a bad magic");
+  }
+  JournalContents out;
+  std::memcpy(&out.lineage, file.data() + 8, 8);
+  if (out.lineage != expected_lineage) {
+    return Status::DataLoss("journal: '" + path + "' belongs to lineage " +
+                            std::to_string(out.lineage) + ", want " +
+                            std::to_string(expected_lineage));
+  }
+
+  // Scan records until the first torn or corrupt one. valid_bytes only
+  // advances at group boundaries (Commit / DropVersion), which is
+  // exactly the torn-tail rule: a trailing group whose Commit record did
+  // not survive is rolled back wholesale to its Begin offset.
+  size_t at = kFileHeaderBytes;
+  bool in_group = false;
+  bool stop = false;
+  int64_t group_records = 0;
+  JournalGroup group;
+  out.valid_bytes = static_cast<int64_t>(at);
+  while (!stop) {
+    if (at + kRecordHeaderBytes > got) break;  // torn record header
+    uint32_t len;
+    uint64_t checksum;
+    std::memcpy(&len, file.data() + at, 4);
+    std::memcpy(&checksum, file.data() + at + 4, 8);
+    if (len > kMaxPayload || at + kRecordHeaderBytes + len > got) break;
+    const uint8_t* payload = file.data() + at + kRecordHeaderBytes;
+    if (XxHash64(payload, len) != checksum) break;
+    JournalOp op;
+    if (!DecodeOp(payload, len, &op)) break;
+    const size_t next = at + kRecordHeaderBytes + len;
+    switch (op.type) {
+      case JournalOp::Type::kBegin:
+        if (in_group) {
+          // A Begin inside an open group: the previous group never
+          // committed, so everything from its Begin on is dropped.
+          stop = true;
+          break;
+        }
+        in_group = true;
+        group_records = 0;
+        group = JournalGroup{};
+        group.parent_version = op.version;
+        break;
+      case JournalOp::Type::kCommit:
+        if (!in_group) {
+          stop = true;  // framing corrupt; cut at the last good boundary
+          break;
+        }
+        group.commit_version = op.version;
+        group.snapshot_id = op.snapshot_id;
+        out.groups.push_back(std::move(group));
+        out.records += group_records + 2;  // ops + Begin + Commit
+        in_group = false;
+        out.valid_bytes = static_cast<int64_t>(next);
+        break;
+      case JournalOp::Type::kDropVersion:
+        if (in_group) {
+          stop = true;
+          break;
+        }
+        {
+          JournalGroup drop;
+          drop.is_drop = true;
+          drop.drop_version = op.version;
+          out.groups.push_back(std::move(drop));
+        }
+        ++out.records;
+        out.valid_bytes = static_cast<int64_t>(next);
+        break;
+      case JournalOp::Type::kAddNode:
+      case JournalOp::Type::kAddFact:
+      case JournalOp::Type::kRemoveFact:
+        if (!in_group) {
+          stop = true;
+          break;
+        }
+        group.ops.push_back(std::move(op));
+        ++group_records;
+        break;
+    }
+    if (!stop) at = next;
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace rpqres

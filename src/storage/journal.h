@@ -1,0 +1,133 @@
+// rpqres — storage/journal: the per-lineage delta journal.
+//
+// Delta commits are tiny next to their base snapshot, so persisting each
+// one as a full segment would turn an O(|delta|) commit into an O(|db|)
+// write. Instead every lineage pairs its base segment with an
+// append-only journal of the commits applied on top of it:
+//
+//   file   := header record*                 (all integers little-endian)
+//   header := magic "RPQJRN01", u64 lineage id
+//   record := u32 payload_len, u64 XXH64(payload), payload
+//
+// A committed delta is one contiguous *group* of records —
+// Begin(parent_version), the AddNode/AddFact/RemoveFact operations in
+// order, Commit(version, snapshot_id) — appended with a single write()
+// and fsync'ed before the commit publishes. Version drops append a
+// standalone DropVersion record. Replaying the journal over the base
+// segment reproduces every surviving version bit for bit.
+//
+// Torn-tail rule (crash recovery): a reader scans records until the
+// first truncated or checksum-failing record and ignores everything
+// from there on; a trailing group whose Commit record did not survive is
+// rolled back to its Begin offset. Recovery therefore always lands on
+// the last fully committed version, never a torn one. The writer
+// physically truncates the tail before appending again.
+
+#ifndef RPQRES_STORAGE_JOURNAL_H_
+#define RPQRES_STORAGE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphdb/graph_db.h"
+#include "util/status.h"
+
+namespace rpqres {
+namespace storage {
+
+/// One journaled operation. Which fields are meaningful depends on type.
+struct JournalOp {
+  enum class Type : uint8_t {
+    kBegin = 1,        // parent_version
+    kAddNode = 2,      // name (the resolved display name)
+    kAddFact = 3,      // source, label, target, multiplicity
+    kRemoveFact = 4,   // source, label, target
+    kCommit = 5,       // version, snapshot_id
+    kDropVersion = 6,  // version
+  };
+
+  Type type = Type::kBegin;
+  uint32_t version = 0;      // kBegin: parent; kCommit/kDropVersion: subject
+  uint64_t snapshot_id = 0;  // kCommit
+  NodeId source = 0;         // kAddFact / kRemoveFact
+  NodeId target = 0;
+  char label = '\0';
+  Capacity multiplicity = 1;  // kAddFact
+  std::string name;           // kAddNode
+};
+
+/// One fully committed journal group (or a standalone version drop),
+/// decoded by ReadJournal.
+struct JournalGroup {
+  bool is_drop = false;
+  uint32_t drop_version = 0;    // when is_drop
+  uint32_t parent_version = 0;  // otherwise
+  uint32_t commit_version = 0;
+  uint64_t snapshot_id = 0;
+  std::vector<JournalOp> ops;  // kAddNode / kAddFact / kRemoveFact only
+};
+
+/// Everything ReadJournal recovered from one journal file.
+struct JournalContents {
+  uint64_t lineage = 0;
+  std::vector<JournalGroup> groups;  // commits and drops, in append order
+  /// File offset where the valid prefix ends — the torn tail (if any)
+  /// starts here. A writer reopening the journal truncates to this.
+  int64_t valid_bytes = 0;
+  int64_t records = 0;  ///< records in the valid prefix
+};
+
+/// Append-only journal writer for one lineage. Not thread-safe; the
+/// registry serializes appends under its own lock.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(JournalWriter&& other) noexcept { *this = std::move(other); }
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens (creating if absent) the journal at `path`, positioned at
+  /// `append_at` — pass the recovered valid_bytes to chop a torn tail,
+  /// or -1 to append at the current end (fresh files get just the
+  /// header). An existing file's header must match `lineage`.
+  /// `initial_records` seeds records() (pass JournalContents::records
+  /// when reopening after recovery).
+  static Result<JournalWriter> Open(const std::string& path, uint64_t lineage,
+                                    int64_t append_at = -1,
+                                    int64_t initial_records = 0);
+
+  /// Appends `ops` as one contiguous group in a single write, then
+  /// fsyncs. The caller supplies the full Begin..Commit framing (or a
+  /// single DropVersion).
+  Status Append(const std::vector<JournalOp>& ops);
+
+  /// Truncates the journal back to just its header (after a compaction
+  /// folded the journal into a fresh base segment) and fsyncs.
+  Status Reset();
+
+  bool open() const { return fd_ >= 0; }
+  int64_t bytes() const { return bytes_; }
+  int64_t records() const { return records_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  int64_t bytes_ = 0;
+  int64_t records_ = 0;
+};
+
+/// Reads and validates the journal at `path`, applying the torn-tail
+/// rule. `expected_lineage` guards against a journal paired with the
+/// wrong segment; corruption of the header is kDataLoss, while a torn or
+/// corrupt *tail* is not an error (that is the crash-recovery contract —
+/// the tail is simply cut).
+Result<JournalContents> ReadJournal(const std::string& path,
+                                    uint64_t expected_lineage);
+
+}  // namespace storage
+}  // namespace rpqres
+
+#endif  // RPQRES_STORAGE_JOURNAL_H_

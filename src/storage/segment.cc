@@ -1,0 +1,578 @@
+#include "storage/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "storage/xxhash64.h"
+#include "util/check.h"
+
+namespace rpqres {
+namespace storage {
+namespace {
+
+// The segment format *is* the in-memory layout, little-endian. Refuse to
+// compile anywhere that would silently break it.
+static_assert(std::endian::native == std::endian::little,
+              "segment format requires a little-endian host");
+static_assert(sizeof(Fact) == 12, "Fact must be 12 bytes on disk");
+static_assert(offsetof(Fact, source) == 0);
+static_assert(offsetof(Fact, label) == 4);
+static_assert(offsetof(Fact, target) == 8);
+static_assert(sizeof(Capacity) == 8);
+static_assert(sizeof(FactId) == 4);
+
+constexpr char kMagic[8] = {'R', 'P', 'Q', 'S', 'E', 'G', '0', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderBytes = 64;
+constexpr size_t kTableEntryBytes = 32;
+constexpr size_t kSectionAlign = 64;
+
+enum SectionKind : uint32_t {
+  kMeta = 1,             // u32 name_len + name bytes
+  kNodeNameOffsets = 2,  // (num_nodes + 1) * u32 into the name heap
+  kNodeNameHeap = 3,     // concatenated name bytes
+  kFacts = 4,            // num_facts * 12-byte Fact records
+  kMultiplicities = 5,   // num_facts * i64
+  kExogenous = 6,        // num_facts * u8 (0/1)
+  kOutOffset = 7,        // (num_nodes + 1) * i32 CSR offsets
+  kOutAdj = 8,           // num_facts * i32
+  kInOffset = 9,         // (num_nodes + 1) * i32
+  kInAdj = 10,           // num_facts * i32
+  kSortedByKey = 11,     // num_facts * i32, sorted by (source, label, target)
+  kLabelDir = 12,        // per label: u32 label byte, u32 fact count
+  kLabelFacts = 13,      // concatenated per-label fact lists, i32
+  kLabelBySource = 14,   // concatenated per-label source-CSR adjacency, i32
+  kLabelSourceOffset = 15,  // per label: (num_nodes + 1) * i32
+  kLabelByTarget = 16,   // concatenated per-label target-CSR adjacency, i32
+  kLabelTargetOffset = 17,  // per label: (num_nodes + 1) * i32
+};
+constexpr uint32_t kSectionCount = 17;
+
+size_t AlignUp(size_t n) {
+  return (n + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+void PutU32(std::vector<uint8_t>* buf, uint32_t v) {
+  const size_t at = buf->size();
+  buf->resize(at + sizeof(v));
+  std::memcpy(buf->data() + at, &v, sizeof(v));
+}
+
+void PutI32(std::vector<uint8_t>* buf, int32_t v) {
+  PutU32(buf, static_cast<uint32_t>(v));
+}
+
+void PutI64(std::vector<uint8_t>* buf, int64_t v) {
+  const size_t at = buf->size();
+  buf->resize(at + sizeof(v));
+  std::memcpy(buf->data() + at, &v, sizeof(v));
+}
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " +
+                          std::strerror(errno));
+}
+
+/// An open mmap'ed file; the shared_ptr deleter unmaps it.
+struct Mapping {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+
+  ~Mapping() {
+    if (data != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data), size);
+    }
+  }
+};
+
+}  // namespace
+
+Status WriteSegment(const std::string& path, const GraphDb& db,
+                    const SegmentMeta& meta, int64_t* bytes_written) {
+  if (db.is_versioned()) {
+    return Status::InvalidArgument(
+        "WriteSegment: database must be flat (Compact() an overlay first)");
+  }
+  if (db.num_live_facts() != db.num_facts()) {
+    return Status::InvalidArgument(
+        "WriteSegment: database must be all-live");
+  }
+  const int num_nodes = db.num_nodes();
+  const int num_facts = db.num_facts();
+
+  // --- build every section payload in memory ------------------------------
+  std::array<std::vector<uint8_t>, kSectionCount> sections;
+  auto section = [&sections](SectionKind kind) -> std::vector<uint8_t>* {
+    return &sections[kind - 1];
+  };
+
+  {
+    std::vector<uint8_t>* s = section(kMeta);
+    PutU32(s, static_cast<uint32_t>(meta.name.size()));
+    s->insert(s->end(), meta.name.begin(), meta.name.end());
+  }
+  {
+    std::vector<uint8_t>* offs = section(kNodeNameOffsets);
+    std::vector<uint8_t>* heap = section(kNodeNameHeap);
+    uint32_t at = 0;
+    PutU32(offs, 0);
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      const std::string& name = db.node_name(v);
+      heap->insert(heap->end(), name.begin(), name.end());
+      at += static_cast<uint32_t>(name.size());
+      PutU32(offs, at);
+    }
+  }
+  {
+    // Facts are written field by field into zeroed records so the three
+    // padding bytes are deterministic (they feed the section checksum).
+    std::vector<uint8_t>* s = section(kFacts);
+    s->assign(static_cast<size_t>(num_facts) * sizeof(Fact), 0);
+    for (FactId f = 0; f < num_facts; ++f) {
+      uint8_t* rec = s->data() + static_cast<size_t>(f) * sizeof(Fact);
+      const Fact& fact = db.fact(f);
+      std::memcpy(rec + offsetof(Fact, source), &fact.source,
+                  sizeof(fact.source));
+      rec[offsetof(Fact, label)] = static_cast<uint8_t>(fact.label);
+      std::memcpy(rec + offsetof(Fact, target), &fact.target,
+                  sizeof(fact.target));
+    }
+  }
+  {
+    std::vector<uint8_t>* mult = section(kMultiplicities);
+    std::vector<uint8_t>* exo = section(kExogenous);
+    for (FactId f = 0; f < num_facts; ++f) {
+      PutI64(mult, db.multiplicity(f));
+      exo->push_back(db.IsExogenous(f) ? 1 : 0);
+    }
+  }
+  {
+    std::vector<uint8_t>* out_off = section(kOutOffset);
+    std::vector<uint8_t>* out_adj = section(kOutAdj);
+    std::vector<uint8_t>* in_off = section(kInOffset);
+    std::vector<uint8_t>* in_adj = section(kInAdj);
+    int32_t out_at = 0, in_at = 0;
+    PutI32(out_off, 0);
+    PutI32(in_off, 0);
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      for (FactId f : db.OutFacts(v)) PutI32(out_adj, f);
+      out_at += static_cast<int32_t>(db.OutFacts(v).size());
+      PutI32(out_off, out_at);
+      for (FactId f : db.InFacts(v)) PutI32(in_adj, f);
+      in_at += static_cast<int32_t>(db.InFacts(v).size());
+      PutI32(in_off, in_at);
+    }
+  }
+  {
+    // FindFact on a mapped database binary-searches this permutation.
+    std::vector<FactId> perm(num_facts);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&db](FactId a, FactId b) {
+      const Fact& fa = db.fact(a);
+      const Fact& fb = db.fact(b);
+      return std::make_tuple(fa.source, fa.label, fa.target) <
+             std::make_tuple(fb.source, fb.label, fb.target);
+    });
+    std::vector<uint8_t>* s = section(kSortedByKey);
+    for (FactId f : perm) PutI32(s, f);
+  }
+  {
+    // Per-label CSR arrays, built with the same counting sort as
+    // LabelIndex::BuildEntry so a reopened index answers identically to
+    // the one built in memory at Register time.
+    std::array<std::vector<FactId>, 256> facts_by_label;
+    for (FactId f = 0; f < num_facts; ++f) {
+      facts_by_label[static_cast<unsigned char>(db.fact(f).label)]
+          .push_back(f);
+    }
+    std::vector<uint8_t>* dir = section(kLabelDir);
+    std::vector<uint8_t>* lfacts = section(kLabelFacts);
+    std::vector<uint8_t>* by_src = section(kLabelBySource);
+    std::vector<uint8_t>* src_off = section(kLabelSourceOffset);
+    std::vector<uint8_t>* by_tgt = section(kLabelByTarget);
+    std::vector<uint8_t>* tgt_off = section(kLabelTargetOffset);
+    for (int l = 0; l < 256; ++l) {
+      const std::vector<FactId>& facts = facts_by_label[l];
+      if (facts.empty()) continue;
+      PutU32(dir, static_cast<uint32_t>(l));
+      PutU32(dir, static_cast<uint32_t>(facts.size()));
+      for (FactId f : facts) PutI32(lfacts, f);
+      std::vector<int32_t> soff(num_nodes + 1, 0), toff(num_nodes + 1, 0);
+      for (FactId f : facts) {
+        ++soff[db.fact(f).source + 1];
+        ++toff[db.fact(f).target + 1];
+      }
+      for (int v = 0; v < num_nodes; ++v) {
+        soff[v + 1] += soff[v];
+        toff[v + 1] += toff[v];
+      }
+      std::vector<FactId> bs(facts.size()), bt(facts.size());
+      std::vector<int32_t> sc(soff.begin(), soff.end() - 1);
+      std::vector<int32_t> tc(toff.begin(), toff.end() - 1);
+      for (FactId f : facts) {
+        bs[sc[db.fact(f).source]++] = f;
+        bt[tc[db.fact(f).target]++] = f;
+      }
+      for (FactId f : bs) PutI32(by_src, f);
+      for (int32_t v : soff) PutI32(src_off, v);
+      for (FactId f : bt) PutI32(by_tgt, f);
+      for (int32_t v : toff) PutI32(tgt_off, v);
+    }
+  }
+
+  // --- assemble the file ---------------------------------------------------
+  const size_t table_at = kHeaderBytes;
+  size_t payload_at = AlignUp(table_at + kSectionCount * kTableEntryBytes);
+  std::vector<uint8_t> table;
+  table.reserve(kSectionCount * kTableEntryBytes);
+  std::vector<size_t> offsets(kSectionCount);
+  for (uint32_t k = 0; k < kSectionCount; ++k) {
+    const std::vector<uint8_t>& body = sections[k];
+    offsets[k] = payload_at;
+    PutU32(&table, k + 1);  // kind
+    PutU32(&table, 0);      // reserved
+    PutI64(&table, static_cast<int64_t>(payload_at));
+    PutI64(&table, static_cast<int64_t>(body.size()));
+    PutI64(&table,
+           static_cast<int64_t>(XxHash64(body.data(), body.size())));
+    payload_at = AlignUp(payload_at + body.size());
+  }
+
+  std::vector<uint8_t> file(payload_at, 0);
+  std::memcpy(file.data(), kMagic, sizeof(kMagic));
+  auto put_at = [&file](size_t at, const void* src, size_t n) {
+    std::memcpy(file.data() + at, src, n);
+  };
+  const uint32_t format_version = kFormatVersion;
+  const uint32_t section_count = kSectionCount;
+  const uint32_t version = meta.version;
+  const uint32_t num_nodes_u = static_cast<uint32_t>(num_nodes);
+  const uint32_t num_facts_u = static_cast<uint32_t>(num_facts);
+  const uint32_t reserved = 0;
+  put_at(8, &format_version, 4);
+  put_at(12, &section_count, 4);
+  put_at(16, &meta.lineage, 8);
+  put_at(24, &version, 4);
+  put_at(28, &num_nodes_u, 4);
+  put_at(32, &num_facts_u, 4);
+  put_at(36, &reserved, 4);
+  put_at(40, &meta.snapshot_id, 8);
+  const uint64_t table_checksum = XxHash64(table.data(), table.size());
+  put_at(48, &table_checksum, 8);
+  const uint64_t header_checksum = XxHash64(file.data(), 56);
+  put_at(56, &header_checksum, 8);
+  put_at(table_at, table.data(), table.size());
+  for (uint32_t k = 0; k < kSectionCount; ++k) {
+    put_at(offsets[k], sections[k].data(), sections[k].size());
+  }
+
+  // --- temp file + fsync + atomic rename ----------------------------------
+  const std::string tmp_path = path + ".tmp";
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("WriteSegment: cannot create", tmp_path);
+  size_t written = 0;
+  while (written < file.size()) {
+    ssize_t n = ::write(fd, file.data() + written, file.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return ErrnoStatus("WriteSegment: write failed for", tmp_path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("WriteSegment: fsync failed for", tmp_path);
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("WriteSegment: rename failed for", path);
+  }
+  // fsync the directory so the rename itself is durable.
+  const size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  if (bytes_written != nullptr) {
+    *bytes_written = static_cast<int64_t>(file.size());
+  }
+  return Status::OK();
+}
+
+Result<LoadedSegment> ReadSegment(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("ReadSegment: cannot open '" + path + "': " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("ReadSegment: fstat failed for", path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    ::close(fd);
+    return Status::DataLoss("ReadSegment: '" + path + "' is truncated (" +
+                            std::to_string(size) + " bytes)");
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file referenced
+  if (addr == MAP_FAILED) {
+    return ErrnoStatus("ReadSegment: mmap failed for", path);
+  }
+  auto mapping = std::make_shared<Mapping>();
+  mapping->data = static_cast<const uint8_t*>(addr);
+  mapping->size = size;
+  // Fault the pages in up front: segments are read hot immediately after
+  // open (restore then serve), and eager read-ahead keeps page-fault
+  // timing out of query latencies — and out of sanitizer/CI runs, where
+  // lazy major faults would make mmap-backed tests nondeterministic.
+  ::madvise(addr, size, MADV_WILLNEED);
+
+  const uint8_t* base = mapping->data;
+  auto data_loss = [&path](const std::string& why) {
+    return Status::DataLoss("ReadSegment: '" + path + "': " + why);
+  };
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return data_loss("bad magic (not a segment file)");
+  }
+  auto read_u32 = [base](size_t at) {
+    uint32_t v;
+    std::memcpy(&v, base + at, 4);
+    return v;
+  };
+  auto read_u64 = [base](size_t at) {
+    uint64_t v;
+    std::memcpy(&v, base + at, 8);
+    return v;
+  };
+  if (read_u32(8) != kFormatVersion) {
+    return data_loss("unsupported format version " +
+                     std::to_string(read_u32(8)));
+  }
+  if (read_u64(56) != XxHash64(base, 56)) {
+    return data_loss("header checksum mismatch");
+  }
+  const uint32_t section_count = read_u32(12);
+  if (section_count != kSectionCount) {
+    return data_loss("unexpected section count " +
+                     std::to_string(section_count));
+  }
+  const size_t table_bytes = section_count * kTableEntryBytes;
+  if (kHeaderBytes + table_bytes > size) {
+    return data_loss("section table past end of file");
+  }
+  if (read_u64(48) != XxHash64(base + kHeaderBytes, table_bytes)) {
+    return data_loss("section table checksum mismatch");
+  }
+
+  SegmentMeta meta;
+  meta.lineage = read_u64(16);
+  meta.version = read_u32(24);
+  meta.snapshot_id = read_u64(40);
+  const uint32_t num_nodes = read_u32(28);
+  const uint32_t num_facts = read_u32(32);
+
+  struct Section {
+    size_t offset = 0;
+    size_t size = 0;
+  };
+  std::array<Section, kSectionCount> secs;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const size_t at = kHeaderBytes + i * kTableEntryBytes;
+    const uint32_t kind = read_u32(at);
+    if (kind < 1 || kind > kSectionCount) {
+      return data_loss("unknown section kind " + std::to_string(kind));
+    }
+    Section& s = secs[kind - 1];
+    s.offset = static_cast<size_t>(read_u64(at + 8));
+    s.size = static_cast<size_t>(read_u64(at + 16));
+    if (s.offset > size || s.size > size - s.offset) {
+      return data_loss("section " + std::to_string(kind) +
+                       " past end of file");
+    }
+    if (read_u64(at + 24) != XxHash64(base + s.offset, s.size)) {
+      return data_loss("section " + std::to_string(kind) +
+                       " checksum mismatch");
+    }
+  }
+  // The checksums cover header, table, and every section; the only bytes
+  // left are alignment padding, which WriteSegment zeroes. Verifying they
+  // are still zero makes corruption detection total — any flipped byte in
+  // the file is caught.
+  {
+    std::vector<std::pair<size_t, size_t>> covered;
+    covered.reserve(kSectionCount + 1);
+    covered.emplace_back(0, kHeaderBytes + table_bytes);
+    for (const Section& s : secs) covered.emplace_back(s.offset, s.size);
+    std::sort(covered.begin(), covered.end());
+    size_t at = 0;
+    for (const auto& [offset, length] : covered) {
+      for (size_t pad = at; pad < offset; ++pad) {
+        if (base[pad] != 0) {
+          return data_loss("nonzero padding byte at offset " +
+                           std::to_string(pad));
+        }
+      }
+      at = std::max(at, offset + length);
+    }
+    for (size_t pad = at; pad < size; ++pad) {
+      if (base[pad] != 0) {
+        return data_loss("nonzero padding byte at offset " +
+                         std::to_string(pad));
+      }
+    }
+  }
+  auto sec = [&secs](SectionKind kind) -> const Section& {
+    return secs[kind - 1];
+  };
+  auto expect_size = [&](SectionKind kind, size_t want) -> Status {
+    if (sec(kind).size != want) {
+      return data_loss("section " + std::to_string(kind) + " has " +
+                       std::to_string(sec(kind).size) + " bytes, want " +
+                       std::to_string(want));
+    }
+    return Status::OK();
+  };
+  RPQRES_RETURN_IF_ERROR(
+      expect_size(kNodeNameOffsets, (num_nodes + 1) * 4ul));
+  RPQRES_RETURN_IF_ERROR(expect_size(kFacts, num_facts * sizeof(Fact)));
+  RPQRES_RETURN_IF_ERROR(expect_size(kMultiplicities, num_facts * 8ul));
+  RPQRES_RETURN_IF_ERROR(expect_size(kExogenous, num_facts * 1ul));
+  RPQRES_RETURN_IF_ERROR(expect_size(kOutOffset, (num_nodes + 1) * 4ul));
+  RPQRES_RETURN_IF_ERROR(expect_size(kOutAdj, num_facts * 4ul));
+  RPQRES_RETURN_IF_ERROR(expect_size(kInOffset, (num_nodes + 1) * 4ul));
+  RPQRES_RETURN_IF_ERROR(expect_size(kInAdj, num_facts * 4ul));
+  RPQRES_RETURN_IF_ERROR(expect_size(kSortedByKey, num_facts * 4ul));
+
+  {
+    const Section& m = sec(kMeta);
+    if (m.size < 4) return data_loss("meta section too small");
+    uint32_t name_len;
+    std::memcpy(&name_len, base + m.offset, 4);
+    if (name_len > m.size - 4) return data_loss("meta name overflows section");
+    meta.name.assign(reinterpret_cast<const char*>(base + m.offset + 4),
+                     name_len);
+  }
+
+  // Node names are the one materialized piece of state.
+  std::vector<std::string> node_names;
+  node_names.reserve(num_nodes);
+  {
+    const uint32_t* offs =
+        reinterpret_cast<const uint32_t*>(base + sec(kNodeNameOffsets).offset);
+    const char* heap =
+        reinterpret_cast<const char*>(base + sec(kNodeNameHeap).offset);
+    const size_t heap_size = sec(kNodeNameHeap).size;
+    if (offs[0] != 0 || offs[num_nodes] != heap_size) {
+      return data_loss("node name offsets do not cover the heap");
+    }
+    for (uint32_t v = 0; v < num_nodes; ++v) {
+      if (offs[v + 1] < offs[v] || offs[v + 1] > heap_size) {
+        return data_loss("node name offsets not monotonic");
+      }
+      node_names.emplace_back(heap + offs[v], offs[v + 1] - offs[v]);
+    }
+  }
+
+  auto storage = std::make_shared<MappedFlatStorage>();
+  storage->facts = reinterpret_cast<const Fact*>(base + sec(kFacts).offset);
+  storage->multiplicities = reinterpret_cast<const Capacity*>(
+      base + sec(kMultiplicities).offset);
+  storage->exogenous = base + sec(kExogenous).offset;
+  storage->out_offset =
+      reinterpret_cast<const int32_t*>(base + sec(kOutOffset).offset);
+  storage->out_adj =
+      reinterpret_cast<const FactId*>(base + sec(kOutAdj).offset);
+  storage->in_offset =
+      reinterpret_cast<const int32_t*>(base + sec(kInOffset).offset);
+  storage->in_adj = reinterpret_cast<const FactId*>(base + sec(kInAdj).offset);
+  storage->sorted_by_key =
+      reinterpret_cast<const FactId*>(base + sec(kSortedByKey).offset);
+  storage->num_facts = static_cast<int32_t>(num_facts);
+  storage->mapping = mapping;
+
+  // Per-label CSR views straight into the mapped sections.
+  std::vector<LabelIndex::MappedLabelEntry> entries;
+  {
+    const Section& dir = sec(kLabelDir);
+    if (dir.size % 8 != 0) return data_loss("label directory size not 8k");
+    const size_t num_labels = dir.size / 8;
+    const uint32_t* d = reinterpret_cast<const uint32_t*>(base + dir.offset);
+    const FactId* lfacts =
+        reinterpret_cast<const FactId*>(base + sec(kLabelFacts).offset);
+    const FactId* by_src =
+        reinterpret_cast<const FactId*>(base + sec(kLabelBySource).offset);
+    const int32_t* src_off = reinterpret_cast<const int32_t*>(
+        base + sec(kLabelSourceOffset).offset);
+    const FactId* by_tgt =
+        reinterpret_cast<const FactId*>(base + sec(kLabelByTarget).offset);
+    const int32_t* tgt_off = reinterpret_cast<const int32_t*>(
+        base + sec(kLabelTargetOffset).offset);
+    size_t facts_at = 0;
+    uint64_t total = 0;
+    const size_t off_stride = num_nodes + 1;
+    RPQRES_RETURN_IF_ERROR(
+        expect_size(kLabelSourceOffset, num_labels * off_stride * 4));
+    RPQRES_RETURN_IF_ERROR(
+        expect_size(kLabelTargetOffset, num_labels * off_stride * 4));
+    for (size_t i = 0; i < num_labels; ++i) {
+      const uint32_t label = d[2 * i];
+      const uint32_t count = d[2 * i + 1];
+      if (label > 255) return data_loss("label directory byte out of range");
+      total += count;
+      if (total > num_facts) {
+        return data_loss("label directory fact counts exceed num_facts");
+      }
+      LabelIndex::MappedLabelEntry e;
+      e.label = static_cast<char>(label);
+      e.facts = {lfacts + facts_at, count};
+      e.by_source = {by_src + facts_at, count};
+      e.source_offset = {src_off + i * off_stride, off_stride};
+      e.by_target = {by_tgt + facts_at, count};
+      e.target_offset = {tgt_off + i * off_stride, off_stride};
+      entries.push_back(e);
+      facts_at += count;
+    }
+    RPQRES_RETURN_IF_ERROR(expect_size(kLabelFacts, facts_at * 4));
+    RPQRES_RETURN_IF_ERROR(expect_size(kLabelBySource, facts_at * 4));
+    RPQRES_RETURN_IF_ERROR(expect_size(kLabelByTarget, facts_at * 4));
+    if (total != num_facts) {
+      return data_loss("label directory covers " + std::to_string(total) +
+                       " facts, want " + std::to_string(num_facts));
+    }
+  }
+
+  LoadedSegment out;
+  out.db = GraphDb::FromMappedFlat(std::move(node_names), storage);
+  out.label_index = LabelIndex::FromMapped(entries, mapping);
+  out.meta = std::move(meta);
+  out.file_bytes = static_cast<int64_t>(size);
+  return out;
+}
+
+}  // namespace storage
+}  // namespace rpqres

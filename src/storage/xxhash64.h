@@ -1,0 +1,116 @@
+// rpqres — storage/xxhash64: XXH64 checksum for segment and journal
+// integrity.
+//
+// A faithful, dependency-free implementation of the XXH64 algorithm
+// (Yann Collet's xxHash, BSD-licensed reference at
+// github.com/Cyan4973/xxHash). Segments checksum every section and the
+// journal checksums every record with it; the implementation must stay
+// bit-identical to the spec so files survive toolchain changes.
+
+#ifndef RPQRES_STORAGE_XXHASH64_H_
+#define RPQRES_STORAGE_XXHASH64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rpqres {
+namespace storage {
+
+namespace xxhash_internal {
+
+inline constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t RotL(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t Read64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian hosts only (segment format is LE)
+}
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = RotL(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  acc ^= Round(0, val);
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+}  // namespace xxhash_internal
+
+/// XXH64 of `len` bytes at `data` with the given seed.
+inline uint64_t XxHash64(const void* data, size_t len, uint64_t seed = 0) {
+  using namespace xxhash_internal;  // NOLINT(build/namespaces)
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* const end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    const uint8_t* const limit = end - 32;
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed + 0;
+    uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = Round(v1, Read64(p)), p += 8;
+      v2 = Round(v2, Read64(p)), p += 8;
+      v3 = Round(v3, Read64(p)), p += 8;
+      v4 = Round(v4, Read64(p)), p += 8;
+    } while (p <= limit);
+    h = RotL(v1, 1) + RotL(v2, 7) + RotL(v3, 12) + RotL(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h ^= Round(0, Read64(p));
+    h = RotL(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Read32(p)) * kPrime1;
+    h = RotL(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= (*p) * kPrime5;
+    h = RotL(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace storage
+}  // namespace rpqres
+
+#endif  // RPQRES_STORAGE_XXHASH64_H_

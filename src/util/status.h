@@ -28,6 +28,7 @@ enum class StatusCode {
   kCancelled,
   kAborted,
   kResourceExhausted,
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -71,6 +72,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,8 +1,13 @@
 #include "workload/churn.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <memory>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "graphdb/label_index.h"
 #include "graphdb/serialization.h"
@@ -101,9 +106,29 @@ ChurnReport ChurnHarness::Run(uint64_t seed) {
   Language lang = Language::MustFromRegexString(instance->query.regex);
 
   // The delta-built lineage and its independently maintained flat twin.
-  DbRegistry registry(options_.registry);
+  DbRegistry::Options registry_options = options_.registry;
+  std::string storage_dir;
+  if (options_.persist) {
+    const std::filesystem::path root =
+        options_.storage_root.empty()
+            ? std::filesystem::temp_directory_path()
+            : std::filesystem::path(options_.storage_root);
+    storage_dir = (root / ("rpqres_churn_" + std::to_string(seed) + "_" +
+                           std::to_string(::getpid())))
+                      .string();
+    std::error_code ec;
+    std::filesystem::remove_all(storage_dir, ec);
+    registry_options.storage_dir = storage_dir;
+  }
+  auto registry = std::make_unique<DbRegistry>(registry_options);
   GraphDb reference = instance->db;
-  DbHandle latest = registry.Register(instance->db, "churn");
+  DbHandle latest = registry->Register(instance->db, "churn");
+  // Persist mode keeps every version's handle so the reopened registry
+  // can be compared snapshot-by-snapshot; the durable window starts at
+  // the version of the most recently written segment.
+  std::vector<DbHandle> history;
+  uint32_t last_segment_version = 1;
+  if (options_.persist) history.push_back(latest);
   // Scratch registry for the per-commit from-scratch rebuilds.
   DbRegistry rebuilt_registry;
 
@@ -119,7 +144,7 @@ ChurnReport ChurnHarness::Run(uint64_t seed) {
   int node_seq = 0;
 
   for (int commit = 1; commit <= options_.num_commits; ++commit) {
-    DeltaBatch batch = registry.BeginDelta(latest);
+    DeltaBatch batch = registry->BeginDelta(latest);
     const int ops = 1 + static_cast<int>(rng.NextBelow(
                             static_cast<uint64_t>(options_.max_ops_per_commit)));
     for (int op = 0; op < ops; ++op) {
@@ -171,7 +196,11 @@ ChurnReport ChurnHarness::Run(uint64_t seed) {
     const GraphDb& versioned = latest.db();
     if (versioned.is_versioned() == false && latest.version() > 1) {
       ++report.compactions;
+      // A compacting commit wrote a fresh base segment and reset the
+      // journal: versions below this one are no longer durable.
+      last_segment_version = latest.version();
     }
+    if (options_.persist) history.push_back(latest);
 
     // 1. Serialization byte-equality with the flat twin.
     std::string versioned_text = SerializeGraphDb(versioned);
@@ -254,6 +283,101 @@ ChurnReport ChurnHarness::Run(uint64_t seed) {
       fail(commit, "versioned witness invalid: " + witness.message());
       return report;
     }
+  }
+
+  // Persistence round trip: close the registry, reopen from disk, and
+  // require every durable version back bit for bit.
+  if (options_.persist) {
+    auto persist_fail = [&](const std::string& what) {
+      report.mismatches.push_back("seed " + std::to_string(seed) +
+                                  " persistence: " + what);
+    };
+    Status storage = registry->storage_status();
+    if (!storage.ok()) {
+      persist_fail("storage_status: " + storage.ToString());
+    } else {
+      registry.reset();  // closes journal writers; handles stay alive
+      Result<std::unique_ptr<DbRegistry>> reopened =
+          DbRegistry::OpenStorage(storage_dir);
+      if (!reopened.ok()) {
+        persist_fail("OpenStorage: " + reopened.status().ToString());
+      } else {
+        DbRegistry& restored_registry = **reopened;
+        for (const DbHandle& expected : history) {
+          // Versions below the last written segment were folded away by
+          // a compaction; only the durable window must come back.
+          if (expected.version() < last_segment_version) continue;
+          Result<DbHandle> restored = restored_registry.Resolve(
+              "churn@" + std::to_string(expected.version()));
+          const std::string at =
+              " at version " + std::to_string(expected.version());
+          if (!restored.ok()) {
+            persist_fail("Resolve" + at + ": " +
+                         restored.status().ToString());
+            break;
+          }
+          if (restored->id() != expected.id() ||
+              restored->lineage() != expected.lineage()) {
+            persist_fail("snapshot identity divergence" + at);
+            break;
+          }
+          if (SerializeGraphDb(restored->db()) !=
+              SerializeGraphDb(expected.db())) {
+            persist_fail("serialization divergence" + at);
+            break;
+          }
+          std::string index_diff = CompareIndexes(
+              restored->db(), *restored->label_index(), expected.db(),
+              *expected.label_index(), /*old_to_ref=*/nullptr);
+          if (!index_diff.empty()) {
+            persist_fail("index divergence" + at + ": " + index_diff);
+            break;
+          }
+          ++report.persisted_versions;
+        }
+        Result<DbHandle> restored_latest = restored_registry.Resolve("churn");
+        if (!restored_latest.ok() ||
+            restored_latest->version() != latest.version()) {
+          persist_fail("latest is version " +
+                       (restored_latest.ok()
+                            ? std::to_string(restored_latest->version())
+                            : restored_latest.status().ToString()) +
+                       ", want " + std::to_string(latest.version()));
+        } else if (report.ok()) {
+          // Engine answer on the restored data. Registering a copy under
+          // a scratch lineage forces a fresh solve (new ResultCache key)
+          // over the mmap-backed facts instead of a cache hit on the
+          // original (lineage, version).
+          DbRegistry scratch;
+          ResilienceRequest request;
+          request.regex = instance->query.regex;
+          request.semantics = instance->semantics;
+          request.db = scratch.Register(restored_latest->db());
+          ResilienceResponse restored_response = engine_.Evaluate(request);
+          request.db = latest;
+          ResilienceResponse memory_response = engine_.Evaluate(request);
+          if (IsInconclusive(restored_response.status.code()) ||
+              IsInconclusive(memory_response.status.code())) {
+            ++report.inconclusive;
+          } else if (restored_response.status.code() !=
+                     memory_response.status.code()) {
+            persist_fail("answer status divergence: restored " +
+                         restored_response.status.ToString() +
+                         " vs in-memory " +
+                         memory_response.status.ToString());
+          } else if (memory_response.status.ok() &&
+                     (restored_response.result.infinite !=
+                          memory_response.result.infinite ||
+                      (!memory_response.result.infinite &&
+                       restored_response.result.value !=
+                           memory_response.result.value))) {
+            persist_fail("answer value divergence on restored latest");
+          }
+        }
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(storage_dir, ec);
   }
   return report;
 }

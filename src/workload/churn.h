@@ -49,6 +49,17 @@ struct ChurnOptions {
   uint64_t max_exact_search_nodes = 200'000;
   /// Registry compaction tuning for the sequence's lineage.
   DbRegistry::Options registry;
+  /// When true, the sequence's registry persists to a fresh per-seed
+  /// directory under `storage_root`; after the final commit the registry
+  /// is destroyed and reopened with DbRegistry::OpenStorage, and every
+  /// version in the durable window (last written segment → latest) is
+  /// checked against its in-memory snapshot: identical (lineage,
+  /// version, snapshot id), byte-identical serialization, span-identical
+  /// label index, and equal engine answers on the latest version. The
+  /// directory is removed afterwards.
+  bool persist = false;
+  /// Root for per-seed storage directories; empty = the system temp dir.
+  std::string storage_root;
 };
 
 /// Outcome of one churn sequence.
@@ -62,6 +73,8 @@ struct ChurnReport {
   int compactions = 0;
   /// Answer checks skipped for exact-budget exhaustion.
   int inconclusive = 0;
+  /// Versions round-tripped through storage (persist mode only).
+  int persisted_versions = 0;
   /// True when the seed failed workload generation (nothing was checked).
   bool generation_failed = false;
   /// Human-readable, seed-stamped divergence descriptions; empty == pass.

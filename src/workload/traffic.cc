@@ -114,7 +114,7 @@ Status TrafficTrace::ApplyCommit(const TrafficOp& op, DbRegistry* registry) {
   // also exercises overlay removals and eventual compaction.
   if (rng.NextChance(3, 10)) {
     for (char label : kNoiseLabels) {
-      const std::vector<FactId>& facts = latest->label_index()->Facts(label);
+      const std::span<const FactId> facts = latest->label_index()->Facts(label);
       if (facts.empty()) continue;
       const Fact& victim =
           latest->db().fact(facts[rng.NextBelow(facts.size())]);

@@ -53,8 +53,10 @@ TEST(GraphDbTest, AdjacencyAndLabels) {
   FactId f1 = db.AddFact(u, 'a', v);
   FactId f2 = db.AddFact(u, 'b', w);
   FactId f3 = db.AddFact(v, 'a', w);
-  EXPECT_EQ(db.OutFacts(u), (std::vector<FactId>{f1, f2}));
-  EXPECT_EQ(db.InFacts(w), (std::vector<FactId>{f2, f3}));
+  EXPECT_EQ(std::vector<FactId>(db.OutFacts(u).begin(), db.OutFacts(u).end()),
+            (std::vector<FactId>{f1, f2}));
+  EXPECT_EQ(std::vector<FactId>(db.InFacts(w).begin(), db.InFacts(w).end()),
+            (std::vector<FactId>{f2, f3}));
   EXPECT_EQ(db.Labels(), (std::vector<char>{'a', 'b'}));
   EXPECT_EQ(db.TotalCost(Semantics::kSet), 3);
 }

@@ -178,18 +178,19 @@ TEST(LabelIndexIncrementalTest, SharesUntouchedLabelsAndPatchesTouched) {
                          /*first_new_fact=*/3);
   EXPECT_EQ(incremental.shared_labels(), 2);  // 'b' and 'x' untouched
   EXPECT_EQ(incremental.num_facts(), 3);
-  EXPECT_EQ(incremental.Facts('a'), (std::vector<FactId>{added}));
+  EXPECT_EQ(ToVector(incremental.Facts('a')), (std::vector<FactId>{added}));
   EXPECT_EQ(ToVector(incremental.FactsFrom('a', 1)),
             (std::vector<FactId>{added}));
   EXPECT_TRUE(incremental.FactsFrom('a', 0).empty());
   // Untouched labels answer through the shared base entry.
-  EXPECT_EQ(incremental.Facts('x'), base_index.Facts('x'));
+  EXPECT_EQ(ToVector(incremental.Facts('x')), ToVector(base_index.Facts('x')));
 
   // Equivalent to a full rebuild over the same overlay (same id space).
   LabelIndex full(overlay);
   EXPECT_EQ(incremental.labels(), full.labels());
   for (char label : full.labels()) {
-    EXPECT_EQ(incremental.Facts(label), full.Facts(label)) << label;
+    EXPECT_EQ(ToVector(incremental.Facts(label)), ToVector(full.Facts(label)))
+        << label;
     for (NodeId v = 0; v < overlay.num_nodes(); ++v) {
       EXPECT_EQ(ToVector(incremental.FactsFrom(label, v)),
                 ToVector(full.FactsFrom(label, v)));

@@ -34,6 +34,50 @@ TEST(ChurnEquivalenceTest, TwoHundredSeededSequences) {
   EXPECT_LT(generation_failures, 40);
 }
 
+// Persistence round trip: the same 200 sequences, with the registry
+// persisting every commit to a segment + journal. After each sequence
+// the registry is destroyed and reopened from disk, and every durable
+// version must come back byte-identical (serialization, index spans,
+// snapshot identity) with unchanged engine answers on the latest.
+TEST(ChurnEquivalenceTest, TwoHundredSeededSequencesPersistRoundTrip) {
+  ChurnOptions options;
+  options.engine.num_threads = 2;
+  options.persist = true;
+  ChurnHarness harness(options);
+  int persisted = 0;
+  for (uint64_t seed = 52000; seed < 52200; ++seed) {
+    ChurnReport report = harness.Run(seed);
+    persisted += report.persisted_versions;
+    for (const std::string& mismatch : report.mismatches) {
+      ADD_FAILURE() << mismatch;
+    }
+  }
+  // Every non-generation-failed sequence round-trips its durable window.
+  EXPECT_GT(persisted, 800);
+}
+
+// Compaction + persistence: aggressive folding keeps rewriting the base
+// segment and resetting the journal; the durable window (and only it)
+// must still round-trip.
+TEST(ChurnEquivalenceTest, PersistUnderAggressiveCompaction) {
+  ChurnOptions options;
+  options.engine.num_threads = 2;
+  options.persist = true;
+  options.registry.compaction_min_overlay = 2;
+  options.registry.compaction_fraction = 0.01;
+  options.num_commits = 8;
+  ChurnHarness harness(options);
+  int persisted = 0;
+  for (uint64_t seed = 53000; seed < 53040; ++seed) {
+    ChurnReport report = harness.Run(seed);
+    persisted += report.persisted_versions;
+    for (const std::string& mismatch : report.mismatches) {
+      ADD_FAILURE() << mismatch;
+    }
+  }
+  EXPECT_GT(persisted, 0);
+}
+
 // Aggressive compaction: the same equivalence must hold when commits keep
 // folding overlays back into flat bases (and the fold must happen).
 TEST(ChurnEquivalenceTest, SequencesUnderAggressiveCompaction) {
