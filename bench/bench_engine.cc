@@ -50,6 +50,22 @@
 // --persist asserts the 64k cold-load speedup floor and checksum
 // equality.
 //
+// Faults mode — `bench_engine --faults [output.json]` — prices the
+// failpoint instrumentation (src/fault/failpoints.h) on the persistent
+// commit path. Two interleaved commit storms over identical op streams:
+// one with the registry fully disabled (the production configuration —
+// every storage syscall pays one relaxed atomic load) and one with every
+// site armed at probability 0 (the full per-site evaluation runs on
+// every syscall, but no fault ever fires). The paired design cancels
+// clock drift; the mode self-gates: both storms and both reopened
+// directories must agree on the resilience checksum, zero fires may be
+// recorded, the disabled fast path's measured cost (ns per check times
+// checks per commit) must stay under 1% of the disabled commit p50, and
+// the armed-p0 p50 — the chaos-harness configuration, which pays a full
+// per-site spec evaluation on every storage syscall — gets a loose
+// 1.25x sanity bound against pathological regressions. Output:
+// BENCH_faults.json.
+//
 // Serve mode — `bench_engine --serve [--shards N] [output.json]` —
 // benchmarks the sharded front end instead: one seeded TrafficTrace
 // replayed through a Router at 1/4/16 shards (or {1, N} with --shards),
@@ -77,6 +93,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "fault/failpoints.h"
 #include "graphdb/generators.h"
 #include "graphdb/serialization.h"
 #include "serve/router.h"
@@ -677,6 +694,231 @@ int RunPersistBench(const std::string& output) {
 }
 
 // ---------------------------------------------------------------------------
+// Faults mode: the price of compiled-in failpoints on the commit path.
+
+struct FaultsRun {
+  std::string name;
+  int commits = 0;
+  double p50_micros = 0;   ///< per-commit (batch time / batch size)
+  double p95_micros = 0;
+  int64_t resilience_checksum = 0;  ///< ax*b on the final in-memory version
+  int64_t restored_checksum = 0;    ///< same query after OpenStorage
+};
+
+// One side of the paired storm: a persistent registry that receives the
+// same deterministic op stream as its twin, timed in batches.
+struct FaultsSide {
+  std::string dir;
+  std::unique_ptr<DbRegistry> registry;
+  DbHandle latest;
+  Rng ops_rng{0};
+  std::vector<double> commit_micros;
+};
+
+void ArmAllSitesAtZero() {
+  for (std::string_view site : fault::KnownSites()) {
+    fault::FailpointRegistry::Instance().Arm(
+        site, fault::FaultSpec::WithProbability(fault::FaultKind::kEIO,
+                                                /*probability=*/0.0,
+                                                /*seed=*/1));
+  }
+}
+
+int RunFaultsBench(const std::string& output) {
+  namespace fs = std::filesystem;
+  constexpr int kBatch = 16;
+  constexpr int kWarmupRounds = 3;
+  constexpr int kRounds = 40;
+  constexpr int kBaseFacts = 2000;
+  constexpr double kDisabledBudget = 0.01;  // fraction of the commit p50
+  constexpr double kArmedSanityBudget = 1.25;  // armed p50 vs disabled p50
+  constexpr double kArmedSlackMicros = 25.0;
+
+  fault::FailpointRegistry::Instance().ResetAll();
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  ResilienceEngine engine(engine_options);
+
+  FaultsSide sides[2];
+  const char* names[2] = {"failpoints_disabled", "failpoints_armed_p0"};
+  std::error_code ec;
+  for (int s = 0; s < 2; ++s) {
+    sides[s].dir = (fs::temp_directory_path() /
+                    ("rpqres_bench_faults_" + std::to_string(s) + "_" +
+                     std::to_string(::getpid())))
+                       .string();
+    fs::remove_all(sides[s].dir, ec);
+    DbRegistry::Options options;
+    options.storage_dir = sides[s].dir;
+    sides[s].registry = std::make_unique<DbRegistry>(options);
+    sides[s].latest =
+        sides[s].registry->Register(PersistBenchDb(kBaseFacts), "bench");
+    sides[s].ops_rng = Rng(987654321);  // identical streams on both sides
+  }
+
+  // Alternate sides round by round (paired design: drift hits both).
+  // Arming happens OUTSIDE the timed region; the armed side evaluates
+  // every site's spec on every storage syscall yet never fires.
+  for (int round = 0; round < kWarmupRounds + kRounds; ++round) {
+    const bool timed = round >= kWarmupRounds;
+    for (int s = 0; s < 2; ++s) {
+      FaultsSide& side = sides[s];
+      if (s == 1) {
+        ArmAllSitesAtZero();
+      } else {
+        fault::FailpointRegistry::Instance().ResetAll();
+      }
+      auto start = std::chrono::steady_clock::now();
+      for (int commit = 0; commit < kBatch; ++commit) {
+        const int nodes = side.latest.db().num_nodes();
+        NodeId u = static_cast<NodeId>(side.ops_rng.NextBelow(nodes));
+        NodeId v = static_cast<NodeId>(side.ops_rng.NextBelow(nodes));
+        DeltaBatch batch = side.registry->BeginDelta(side.latest);
+        (void)batch.AddFact(u, 'x', v);
+        Result<DbHandle> committed = batch.Commit();
+        if (!committed.ok()) {
+          std::fprintf(stderr, "error: faults bench commit failed: %s\n",
+                       committed.status().ToString().c_str());
+          return 1;
+        }
+        side.latest = *std::move(committed);
+      }
+      double batch_micros = MicrosSince(start);
+      if (timed) {
+        side.commit_micros.push_back(batch_micros / kBatch);
+      }
+    }
+  }
+  // The loop above ends on an armed batch whose per-site counters are
+  // still live: they price how many failpoint evaluations one commit
+  // performs on this configuration's storage path.
+  const int64_t armed_fires = fault::FailpointRegistry::Instance().TotalFires();
+  int64_t evals_last_batch = 0;
+  for (const fault::SiteStats& site :
+       fault::FailpointRegistry::Instance().Stats()) {
+    evals_last_batch += site.evaluations;
+  }
+  const double evals_per_commit =
+      static_cast<double>(evals_last_batch) / kBatch;
+  fault::FailpointRegistry::Instance().ResetAll();
+
+  // The disabled fast path, priced alone: one evaluation per storage
+  // syscall reduces to this relaxed load + branch.
+  double check_nanos = 0;
+  {
+    constexpr int kChecks = 1 << 20;
+    auto start = std::chrono::steady_clock::now();
+    int fired = 0;
+    for (int i = 0; i < kChecks; ++i) {
+      fired += fault::Check(fault::sites::kJournalWrite).fired() ? 1 : 0;
+    }
+    check_nanos = MicrosSince(start) * 1e3 / kChecks;
+    if (fired != 0) {
+      std::fprintf(stderr, "error: disabled failpoint fired\n");
+      return 1;
+    }
+  }
+
+  FaultsRun runs[2];
+  for (int s = 0; s < 2; ++s) {
+    runs[s].name = names[s];
+    runs[s].commits = static_cast<int>(sides[s].commit_micros.size()) * kBatch;
+    runs[s].p50_micros = Percentile(sides[s].commit_micros, 50);
+    runs[s].p95_micros = Percentile(sides[s].commit_micros, 95);
+    runs[s].resilience_checksum = PersistChecksum(engine, sides[s].latest);
+    if (!sides[s].registry->storage_status().ok()) {
+      std::fprintf(stderr, "error: %s storm degraded storage: %s\n",
+                   names[s],
+                   sides[s].registry->storage_status().ToString().c_str());
+      return 1;
+    }
+    sides[s].registry.reset();
+    Result<std::unique_ptr<DbRegistry>> reopened =
+        DbRegistry::OpenStorage(sides[s].dir);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "error: %s reopen failed: %s\n", names[s],
+                   reopened.status().ToString().c_str());
+      return 1;
+    }
+    Result<DbHandle> restored = (*reopened)->Resolve("bench@latest");
+    runs[s].restored_checksum =
+        restored.ok() ? PersistChecksum(engine, *restored) : -1;
+    fs::remove_all(sides[s].dir, ec);
+  }
+
+  const double ratio = runs[0].p50_micros > 0
+                           ? runs[1].p50_micros / runs[0].p50_micros
+                           : 0.0;
+  // The ISSUE gate: failpoints compiled in but DISABLED cost under 1% of
+  // a commit. Priced directly — measured ns per disabled check times the
+  // checks one commit actually performs, against the disabled p50.
+  const double disabled_overhead_fraction =
+      runs[0].p50_micros > 0
+          ? (check_nanos * evals_per_commit) / (runs[0].p50_micros * 1e3)
+          : 1.0;
+  const bool disabled_ok = disabled_overhead_fraction <= kDisabledBudget;
+  const bool armed_ok =
+      runs[1].p50_micros <=
+      runs[0].p50_micros * kArmedSanityBudget + kArmedSlackMicros;
+  const bool checksums_ok =
+      runs[0].resilience_checksum == runs[1].resilience_checksum &&
+      runs[0].resilience_checksum == runs[0].restored_checksum &&
+      runs[1].resilience_checksum == runs[1].restored_checksum;
+
+  for (const FaultsRun& run : runs) {
+    std::printf("faults %-22s %4d commits  p50 %8.2fus  p95 %8.2fus  "
+                "checksum %lld (restored %lld)\n",
+                run.name.c_str(), run.commits, run.p50_micros, run.p95_micros,
+                static_cast<long long>(run.resilience_checksum),
+                static_cast<long long>(run.restored_checksum));
+  }
+  std::printf(
+      "faults disabled check: %.2fns/op x %.1f/commit = %.4f%% of p50 "
+      "(budget %.0f%%)%s\n",
+      check_nanos, evals_per_commit, disabled_overhead_fraction * 100,
+      kDisabledBudget * 100, disabled_ok ? "" : "  DISABLED GATE FAILED");
+  std::printf("faults armed-p0 fires: %lld  p50 ratio: %.4fx "
+              "(sanity %.2fx + %.0fus)%s%s\n",
+              static_cast<long long>(armed_fires), ratio, kArmedSanityBudget,
+              kArmedSlackMicros, armed_ok ? "" : "  ARMED SANITY FAILED",
+              checksums_ok ? "" : "  CHECKSUM MISMATCH");
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"faults\",\n  \"sites\": "
+      << fault::KnownSites().size()
+      << ",\n  \"disabled_check_ns\": " << check_nanos
+      << ",\n  \"armed_p0_fires\": " << armed_fires << ",\n  \"runs\": [\n";
+  for (int s = 0; s < 2; ++s) {
+    out << "    {\"name\": \"" << runs[s].name
+        << "\", \"commits\": " << runs[s].commits
+        << ", \"p50_micros\": " << runs[s].p50_micros
+        << ", \"p95_micros\": " << runs[s].p95_micros
+        << ", \"resilience_checksum\": " << runs[s].resilience_checksum
+        << ", \"restored_checksum\": " << runs[s].restored_checksum << "}"
+        << (s == 0 ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"overhead\": {\"disabled_check_ns\": " << check_nanos
+      << ", \"checks_per_commit\": " << evals_per_commit
+      << ", \"disabled_fraction_of_p50\": " << disabled_overhead_fraction
+      << ", \"disabled_budget\": " << kDisabledBudget
+      << ", \"disabled_pass\": " << (disabled_ok ? "true" : "false")
+      << ", \"armed_p0_p50_x_disabled\": " << ratio
+      << ", \"armed_sanity_budget\": " << kArmedSanityBudget
+      << ", \"armed_pass\": " << (armed_ok ? "true" : "false")
+      << "},\n  \"checksums_equal\": " << (checksums_ok ? "true" : "false")
+      << "\n}\n";
+  std::ofstream json(output);
+  json << out.str();
+  if (!json) {
+    std::fprintf(stderr, "error: failed writing %s\n", output.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+  return (disabled_ok && armed_ok && checksums_ok && armed_fires == 0) ? 0
+                                                                       : 1;
+}
+
+// ---------------------------------------------------------------------------
 // Serve mode: sharded front-end throughput under seeded mixed traffic.
 
 // Per-shard engine configuration is FIXED across shard counts — the
@@ -1027,6 +1269,7 @@ int RunServeBench(int requested_shards, const std::string& output) {
 int main(int argc, char** argv) {
   bool serve_mode = false;
   bool persist_mode = false;
+  bool faults_mode = false;
   int serve_shards = 0;
   std::string output;
   for (int i = 1; i < argc; ++i) {
@@ -1035,11 +1278,16 @@ int main(int argc, char** argv) {
       serve_mode = true;
     } else if (arg == "--persist") {
       persist_mode = true;
+    } else if (arg == "--faults") {
+      faults_mode = true;
     } else if (arg == "--shards" && i + 1 < argc) {
       serve_shards = std::atoi(argv[++i]);
     } else {
       output = arg;
     }
+  }
+  if (faults_mode) {
+    return RunFaultsBench(output.empty() ? "BENCH_faults.json" : output);
   }
   if (persist_mode) {
     return RunPersistBench(output.empty() ? "BENCH_persist.json" : output);

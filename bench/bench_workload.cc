@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "fault/failpoints.h"
+#include "workload/chaos.h"
 #include "workload/churn.h"
 #include "workload/differential_oracle.h"
 
@@ -163,6 +165,68 @@ int RunChurn(uint64_t base_seed, int sequences, int threads) {
   return mismatches.empty() ? 0 : 1;
 }
 
+/// --chaos N: the crash-chaos sweep — N seeds per failpoint site, each
+/// seed forked, crashed at the site, reopened, and verified against an
+/// in-memory twin (see workload/chaos.h).
+int RunChaos(uint64_t base_seed, int seeds_per_site, int threads,
+             const std::string& only_site) {
+  workload::ChaosOptions options;
+  options.engine.num_threads = threads;
+  workload::ChaosHarness harness(options);
+  std::vector<std::string> sites;
+  if (only_site.empty()) {
+    for (std::string_view site : fault::KnownSites()) {
+      sites.emplace_back(site);
+    }
+  } else {
+    sites.push_back(only_site);
+  }
+  int64_t runs = 0, crashed = 0, clean = 0, generation_failures = 0,
+          inconclusive = 0;
+  std::vector<std::string> mismatches;
+  std::printf("%-28s %8s %8s %8s %10s\n", "site", "runs", "crashed", "clean",
+              "mismatch");
+  for (const std::string& site : sites) {
+    int64_t site_runs = 0, site_crashed = 0, site_clean = 0;
+    size_t site_mismatches = mismatches.size();
+    for (int i = 0; i < seeds_per_site; ++i) {
+      workload::ChaosReport report = harness.Run(site, base_seed + i);
+      if (report.generation_failed) {
+        ++generation_failures;
+        continue;
+      }
+      ++site_runs;
+      if (report.crashed) {
+        ++site_crashed;
+      } else if (report.exit_status == 0) {
+        ++site_clean;
+      }
+      inconclusive += report.inconclusive;
+      for (const std::string& mismatch : report.mismatches) {
+        mismatches.push_back(mismatch);
+      }
+    }
+    std::printf("%-28s %8lld %8lld %8lld %10zu\n", site.c_str(),
+                static_cast<long long>(site_runs),
+                static_cast<long long>(site_crashed),
+                static_cast<long long>(site_clean),
+                mismatches.size() - site_mismatches);
+    runs += site_runs;
+    crashed += site_crashed;
+    clean += site_clean;
+  }
+  std::printf(
+      "chaos: %lld runs, %lld crashed-as-injected, %lld clean, "
+      "%lld inconclusive, %lld gen-fail, %zu mismatches\n",
+      static_cast<long long>(runs), static_cast<long long>(crashed),
+      static_cast<long long>(clean), static_cast<long long>(inconclusive),
+      static_cast<long long>(generation_failures), mismatches.size());
+  for (const std::string& mismatch : mismatches) {
+    std::printf("CHAOS MISMATCH %s\n", mismatch.c_str());
+  }
+  return mismatches.empty() ? 0 : 1;
+}
+
 int Replay(DifferentialOracle& oracle, uint64_t seed) {
   Result<WorkloadInstance> instance = oracle.BuildInstance(seed);
   if (!instance.ok()) {
@@ -186,6 +250,8 @@ int Main(int argc, char** argv) {
   bool replay = false;
   uint64_t replay_seed = 0;
   int churn_sequences = 0;
+  int chaos_seeds = 0;
+  std::string chaos_site;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -214,12 +280,17 @@ int Main(int argc, char** argv) {
       replay_seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--churn") {
       churn_sequences = std::atoi(next());
+    } else if (arg == "--chaos") {
+      chaos_seeds = std::atoi(next());
+    } else if (arg == "--chaos-site") {
+      chaos_site = next();
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_workload [--seed N] [--per-class N] [--threads N]\n"
           "                      [--size-class 0|1|2] [--exact-budget N]\n"
           "                      [--no-minimize] [--out PATH]\n"
-          "                      | --replay SEED | --churn SEQUENCES\n");
+          "                      | --replay SEED | --churn SEQUENCES\n"
+          "                      | --chaos SEEDS_PER_SITE [--chaos-site S]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -248,6 +319,10 @@ int Main(int argc, char** argv) {
   if (churn_sequences > 0) {
     return RunChurn(options.base_seed, churn_sequences,
                     options.engine.num_threads);
+  }
+  if (chaos_seeds > 0) {
+    return RunChaos(options.base_seed, chaos_seeds, options.engine.num_threads,
+                    chaos_site);
   }
 
   DifferentialOracle oracle(options);

@@ -34,10 +34,19 @@ cold-load speedup must clear the floor — segments exist to make
 restart cheaper than reparsing, and a regression to ~1x means the
 mmap path quietly fell back to copying.
 
+Faults mode (`--faults`) validates a `bench_engine --faults` run (no
+.prom file): BENCH_faults.json must carry the paired commit storms
+(failpoints disabled vs every site armed at probability 0) with EQUAL
+resilience checksums across both storms and both post-reopen restores,
+zero recorded fires on the armed side, a passing disabled-path overhead
+gate (measured check cost under 1% of the commit p50), and the armed-p0
+sanity ratio within its budget.
+
 Usage:
   check_metrics_export.py BENCH_engine.json [BENCH_engine.prom]
   check_metrics_export.py --serve BENCH_serve.json [BENCH_serve.prom]
   check_metrics_export.py --persist BENCH_persist.json
+  check_metrics_export.py --faults BENCH_faults.json
 Exit status: 0 clean, 1 validation failure, 2 usage error.
 """
 
@@ -384,6 +393,62 @@ def check_persist_json(doc, failures):
         failures.append("persist json: journal_replay has no timing")
 
 
+def check_faults_json(doc, failures):
+    """Structure and gates of BENCH_faults.json."""
+    runs = {run.get("name"): run for run in doc.get("runs", [])}
+    for name in ("failpoints_disabled", "failpoints_armed_p0"):
+        if name not in runs:
+            failures.append(f"faults json: missing run '{name}'")
+    if len(failures) > 0 or len(runs) < 2:
+        return
+    disabled = runs["failpoints_disabled"]
+    armed = runs["failpoints_armed_p0"]
+    for name, run in runs.items():
+        if run.get("commits", 0) <= 0:
+            failures.append(f"faults run {name}: no timed commits")
+        p50, p95 = run.get("p50_micros", 0), run.get("p95_micros", 0)
+        if not 0 < p50 <= p95:
+            failures.append(
+                f"faults run {name}: implausible quantiles "
+                f"p50={p50} p95={p95}"
+            )
+        if run.get("resilience_checksum") != run.get("restored_checksum"):
+            failures.append(
+                f"faults run {name}: reopened directory answers differently "
+                f"(checksum {run.get('resilience_checksum')} vs restored "
+                f"{run.get('restored_checksum')})"
+            )
+    if disabled.get("resilience_checksum") != armed.get(
+            "resilience_checksum"):
+        failures.append(
+            "faults json: armed-p0 storm diverged from the disabled storm: "
+            f"checksum {armed.get('resilience_checksum')} != "
+            f"{disabled.get('resilience_checksum')}"
+        )
+    if doc.get("armed_p0_fires", -1) != 0:
+        failures.append(
+            f"faults json: armed-p0 recorded "
+            f"{doc.get('armed_p0_fires')} fires (want 0)"
+        )
+    if doc.get("sites", 0) <= 0:
+        failures.append("faults json: no failpoint sites registered")
+    overhead = doc.get("overhead", {})
+    if not overhead.get("disabled_pass", False):
+        failures.append(
+            "faults json: disabled-path overhead gate failed: "
+            f"{overhead.get('disabled_fraction_of_p50', 'missing')} of the "
+            f"commit p50 (budget {overhead.get('disabled_budget')})"
+        )
+    if not overhead.get("armed_pass", False):
+        failures.append(
+            "faults json: armed-p0 sanity ratio failed: "
+            f"{overhead.get('armed_p0_p50_x_disabled', 'missing')}x "
+            f"(budget {overhead.get('armed_sanity_budget')}x)"
+        )
+    if not doc.get("checksums_equal", False):
+        failures.append("faults json: bench reported checksums_equal=false")
+
+
 def main(argv):
     argv = list(argv)
     serve_mode = "--serve" in argv
@@ -392,7 +457,10 @@ def main(argv):
     persist_mode = "--persist" in argv
     if persist_mode:
         argv.remove("--persist")
-    if len(argv) < 2 or (serve_mode and persist_mode):
+    faults_mode = "--faults" in argv
+    if faults_mode:
+        argv.remove("--faults")
+    if len(argv) < 2 or serve_mode + persist_mode + faults_mode > 1:
         print(__doc__, file=sys.stderr)
         return 2
     json_path = argv[1]
@@ -401,6 +469,23 @@ def main(argv):
         doc = json.load(f)
 
     failures = []
+    if faults_mode:
+        check_faults_json(doc, failures)
+        if failures:
+            print("metrics export validation failed:", file=sys.stderr)
+            for failure in failures:
+                print(f"  * {failure}", file=sys.stderr)
+            return 1
+        overhead = doc.get("overhead", {})
+        print(
+            f"faults bench ok: {doc.get('sites')} sites, disabled check "
+            f"{overhead.get('disabled_check_ns', 0):.1f}ns "
+            f"({100 * overhead.get('disabled_fraction_of_p50', 0):.4f}% of "
+            "the commit p50), armed-p0 "
+            f"{overhead.get('armed_p0_p50_x_disabled', 0):.3f}x, "
+            "checksums equal"
+        )
+        return 0
     if persist_mode:
         check_persist_json(doc, failures)
         if failures:

@@ -4,11 +4,24 @@
 #include <charconv>
 #include <chrono>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "storage/segment.h"
 
 namespace rpqres {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 // ---------------------------------------------------------------------------
 // RegistryStorage — the on-disk side of a persistent registry. All fields
@@ -30,9 +43,29 @@ class RegistryStorage {
     if (first_error_.ok() && !status.ok()) first_error_ = status;
   }
 
+  /// Latches the error and moves health down the one-way machine:
+  /// corruption (kDataLoss) fails the registry, everything else degrades
+  /// it to read-only.
+  void Degrade(const Status& status) {
+    if (status.ok()) return;
+    LatchError(status);
+    if (status.code() == StatusCode::kDataLoss) {
+      health_ = HealthState::kFailed;
+    } else if (health_ == HealthState::kHealthy) {
+      health_ = HealthState::kDegraded;
+    }
+  }
+
+  void CountFault(const char* op) { ++fault_counts_[op]; }
+
   std::string dir_;
-  /// First write error — writes are best-effort, serving continues.
+  /// First write error; commits after it fail with kUnavailable.
   Status first_error_;
+  HealthState health_ = HealthState::kHealthy;
+  /// Failed write attempts by operation, for rpqres_storage_faults_total.
+  std::map<std::string, int64_t> fault_counts_;
+  /// Leftover *.tmp files the last Restore swept.
+  std::vector<std::string> swept_tmp_files_;
   /// Per-lineage open journal writers.
   std::map<uint64_t, storage::JournalWriter> writers_;
   /// Per-lineage on-disk segment sizes (for the gauges).
@@ -176,7 +209,10 @@ DbHandle DbRegistry::Register(GraphDb db, std::string name) {
     lineage_by_name_[snapshot->name] = snapshot->lineage;
   }
   ++stats_.registered;
-  if (storage_ != nullptr && !restoring_) {
+  // A degraded registry is read-only on disk: new lineages serve from
+  // memory only (no status channel on Register; health() says why).
+  if (storage_ != nullptr && !restoring_ &&
+      storage_->health_ == HealthState::kHealthy) {
     PersistNewSegmentLocked(*snapshot, /*reset_journal=*/false);
   }
   return DbHandle(std::move(snapshot));
@@ -215,6 +251,17 @@ Result<DbHandle> DbRegistry::CommitDelta(DeltaBatch* batch) {
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  // Degraded-mode shed: once a storage write has failed, later commits
+  // must not silently succeed without durability — fail them with the
+  // latched cause until the operator replaces the registry.
+  if (storage_ != nullptr && batch->record_ops_ &&
+      storage_->health_ != HealthState::kHealthy) {
+    ++stats_.commits_unavailable;
+    return Status::Unavailable(
+        "Commit: registry storage is " +
+        std::string(HealthStateName(storage_->health_)) +
+        " (first error: " + storage_->first_error_.ToString() + ")");
+  }
   auto lineage_it = lineages_.find(snapshot->lineage);
   if (lineage_it == lineages_.end()) {
     return Status::NotFound("Commit: lineage " +
@@ -239,14 +286,28 @@ Result<DbHandle> DbRegistry::CommitDelta(DeltaBatch* batch) {
   ++stats_.commits;
   if (snapshot->compacted) ++stats_.compactions;
   if (storage_ != nullptr && batch->record_ops_) {
+    Status persisted;
     if (snapshot->compacted) {
       // The fresh flat base subsumes the journal: write the new segment
       // first (atomic rename), then reset the journal. A crash between
       // the two leaves stale journal groups whose commit versions are at
       // or below the segment's — Restore skips those.
-      PersistNewSegmentLocked(*snapshot, /*reset_journal=*/true);
+      persisted = PersistNewSegmentLocked(*snapshot, /*reset_journal=*/true);
     } else {
-      PersistCommitLocked(parent.version, *snapshot, batch->oplog_);
+      persisted = PersistCommitLocked(parent.version, *snapshot,
+                                      batch->oplog_);
+    }
+    if (!persisted.ok()) {
+      // The durability write failed after retries: roll the publication
+      // back so the commit is never acknowledged. The version number is
+      // burned, not recycled (ResultCache keys must never alias).
+      snapshots_.erase(snapshot->id);
+      versions.erase(snapshot->version);
+      --stats_.commits;
+      if (snapshot->compacted) --stats_.compactions;
+      ++stats_.commits_unavailable;
+      return Status::Unavailable("Commit: rolled back, not durable: " +
+                                 persisted.ToString());
     }
   }
   return DbHandle(std::move(snapshot));
@@ -291,8 +352,33 @@ Result<DbHandle> DbRegistry::CommitReplayed(DeltaBatch* batch,
   return DbHandle(std::move(snapshot));
 }
 
-void DbRegistry::PersistNewSegmentLocked(const DbSnapshot& snapshot,
-                                         bool reset_journal) {
+template <typename Fn>
+Status DbRegistry::RetryStorageLocked(const char* op, Fn&& attempt) {
+  Status status = attempt();
+  int64_t backoff = options_.storage_retry_backoff_micros;
+  for (int retry = 0; retry < options_.storage_retry_attempts; ++retry) {
+    if (status.ok() || status.code() != StatusCode::kUnavailable) break;
+    // Transient (kUnavailable) by contract means a retry rewrites its
+    // whole payload, so a later clean attempt is fully durable.
+    storage_->CountFault(op);
+    ++stats_.storage_faults;
+    ++stats_.storage_retries;
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff *= 2;
+    }
+    status = attempt();
+  }
+  if (!status.ok()) {
+    storage_->CountFault(op);
+    ++stats_.storage_faults;
+    storage_->Degrade(status);
+  }
+  return status;
+}
+
+Status DbRegistry::PersistNewSegmentLocked(const DbSnapshot& snapshot,
+                                           bool reset_journal) {
   storage::SegmentMeta meta;
   meta.lineage = snapshot.lineage;
   meta.version = snapshot.version;
@@ -302,43 +388,52 @@ void DbRegistry::PersistNewSegmentLocked(const DbSnapshot& snapshot,
   // Register normally receives flat databases; an overlay handed to it
   // is persisted as its compacted live view (same serialization, fresh
   // fact-id space after a restart).
-  Status written =
-      snapshot.db.is_versioned()
-          ? storage::WriteSegment(storage_->SegmentPath(snapshot.lineage),
-                                  snapshot.db.Compact(), meta, &bytes)
-          : storage::WriteSegment(storage_->SegmentPath(snapshot.lineage),
-                                  snapshot.db, meta, &bytes);
-  if (!written.ok()) {
-    storage_->LatchError(written);
-    return;
-  }
+  Status written = RetryStorageLocked("segment_write", [&] {
+    return snapshot.db.is_versioned()
+               ? storage::WriteSegment(storage_->SegmentPath(snapshot.lineage),
+                                       snapshot.db.Compact(), meta, &bytes)
+               : storage::WriteSegment(storage_->SegmentPath(snapshot.lineage),
+                                       snapshot.db, meta, &bytes);
+  });
+  if (!written.ok()) return written;
   storage_->segment_bytes_[snapshot.lineage] = bytes;
   if (reset_journal) {
     auto it = storage_->writers_.find(snapshot.lineage);
     if (it != storage_->writers_.end() && it->second.open()) {
-      storage_->LatchError(it->second.Reset());
+      // A failed reset cannot un-commit: the fresh segment is already
+      // renamed into place, and Restore's skip rule ignores the stale
+      // groups the reset would have chopped. Degrade (no further commits)
+      // but report the commit durable.
+      RetryStorageLocked("journal_reset",
+                         [&] { return it->second.Reset(); });
     }
-    return;
+    return Status::OK();
   }
-  Result<storage::JournalWriter> writer = storage::JournalWriter::Open(
-      storage_->JournalPath(snapshot.lineage), snapshot.lineage);
-  if (!writer.ok()) {
-    storage_->LatchError(writer.status());
-    return;
-  }
-  storage_->writers_.insert_or_assign(snapshot.lineage,
-                                      std::move(*writer));
+  Status opened = RetryStorageLocked("journal_open", [&] {
+    Result<storage::JournalWriter> writer = storage::JournalWriter::Open(
+        storage_->JournalPath(snapshot.lineage), snapshot.lineage);
+    if (!writer.ok()) return writer.status();
+    storage_->writers_.insert_or_assign(snapshot.lineage, std::move(*writer));
+    return Status::OK();
+  });
+  // The base segment is durable either way; a missing journal writer only
+  // blocks future commits, which the health check already sheds.
+  (void)opened;
+  return Status::OK();
 }
 
-void DbRegistry::PersistCommitLocked(
+Status DbRegistry::PersistCommitLocked(
     uint32_t parent_version, const DbSnapshot& snapshot,
     const std::vector<storage::JournalOp>& oplog) {
   auto it = storage_->writers_.find(snapshot.lineage);
   if (it == storage_->writers_.end() || !it->second.open()) {
-    storage_->LatchError(Status::Internal(
+    Status missing = Status::Internal(
         "storage: no journal writer for lineage " +
-        std::to_string(snapshot.lineage)));
-    return;
+        std::to_string(snapshot.lineage));
+    storage_->CountFault("journal_append");
+    ++stats_.storage_faults;
+    storage_->Degrade(missing);
+    return missing;
   }
   std::vector<storage::JournalOp> group;
   group.reserve(oplog.size() + 2);
@@ -352,7 +447,8 @@ void DbRegistry::PersistCommitLocked(
   commit.version = snapshot.version;
   commit.snapshot_id = snapshot.id;
   group.push_back(std::move(commit));
-  storage_->LatchError(it->second.Append(group));
+  return RetryStorageLocked("journal_append",
+                            [&] { return it->second.Append(group); });
 }
 
 void DbRegistry::PersistDropLocked(uint64_t lineage, uint32_t version,
@@ -365,16 +461,24 @@ void DbRegistry::PersistDropLocked(uint64_t lineage, uint32_t version,
     std::filesystem::remove(storage_->JournalPath(lineage), ec);
     return;
   }
+  // Already degraded: the drop serves from memory only, like commits.
+  if (storage_->health_ != HealthState::kHealthy) return;
   auto it = storage_->writers_.find(lineage);
   if (it == storage_->writers_.end() || !it->second.open()) {
-    storage_->LatchError(Status::Internal(
-        "storage: no journal writer for lineage " + std::to_string(lineage)));
+    Status missing = Status::Internal(
+        "storage: no journal writer for lineage " + std::to_string(lineage));
+    storage_->CountFault("drop_append");
+    ++stats_.storage_faults;
+    storage_->Degrade(missing);
     return;
   }
   storage::JournalOp drop;
   drop.type = storage::JournalOp::Type::kDropVersion;
   drop.version = version;
-  storage_->LatchError(it->second.Append({drop}));
+  // The in-memory drop already happened; losing the drop record means
+  // the version resurfaces after a restart, which degraded health makes
+  // an operator-visible event rather than a silent divergence.
+  RetryStorageLocked("drop_append", [&] { return it->second.Append({drop}); });
 }
 
 bool DbRegistry::Unregister(uint64_t id) {
@@ -562,6 +666,9 @@ DbRegistry::Gauges DbRegistry::gauges() const {
       gauges.storage_journal_bytes += writer.bytes();
     }
     gauges.storage_replay_micros = storage_->replay_micros_;
+    gauges.storage_health = static_cast<int64_t>(storage_->health_);
+    gauges.storage_swept_tmp_files =
+        static_cast<int64_t>(storage_->swept_tmp_files_.size());
   }
   return gauges;
 }
@@ -569,6 +676,32 @@ DbRegistry::Gauges DbRegistry::gauges() const {
 Status DbRegistry::storage_status() const {
   std::lock_guard<std::mutex> lock(mu_);
   return storage_ != nullptr ? storage_->first_error_ : Status::OK();
+}
+
+HealthState DbRegistry::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return storage_ != nullptr ? storage_->health_ : HealthState::kHealthy;
+}
+
+std::vector<std::pair<std::string, int64_t>> DbRegistry::storage_fault_counts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  if (storage_ != nullptr) {
+    out.assign(storage_->fault_counts_.begin(), storage_->fault_counts_.end());
+  }
+  return out;
+}
+
+std::vector<std::string> DbRegistry::swept_tmp_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return storage_ != nullptr ? storage_->swept_tmp_files_
+                             : std::vector<std::string>();
+}
+
+void DbRegistry::DegradeStorageForTesting(const Status& cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (storage_ != nullptr) storage_->Degrade(cause);
 }
 
 Status DbRegistry::Restore() {
@@ -601,8 +734,13 @@ Status DbRegistry::Restore() {
        std::filesystem::directory_iterator(storage_->dir_, ec)) {
     const std::string filename = entry.path().filename().string();
     if (filename.ends_with(".tmp")) {
+      // An interrupted segment write whose rename never happened. Swept,
+      // but on the record: swept_tmp_files() and the
+      // storage_swept_tmp_files gauge report every name.
       std::error_code remove_ec;
       std::filesystem::remove(entry.path(), remove_ec);
+      std::lock_guard<std::mutex> lock(mu_);
+      storage_->swept_tmp_files_.push_back(filename);
       continue;
     }
     uint64_t lineage = 0;

@@ -52,6 +52,21 @@ namespace rpqres {
 
 class RegistryStorage;  // engine/db_registry.cc; owns the on-disk state
 
+/// Storage health of a persistent registry. Healthy registries serve and
+/// persist; a degraded registry is read-only (commits fail with
+/// kUnavailable, reads keep serving from memory); a failed registry saw
+/// storage corruption (kDataLoss) and should be drained. Non-persistent
+/// registries are always healthy. Transitions are one-way:
+/// healthy -> degraded -> failed.
+enum class HealthState {
+  kHealthy = 0,
+  kDegraded = 1,
+  kFailed = 2,
+};
+
+/// "healthy" / "degraded" / "failed".
+const char* HealthStateName(HealthState state);
+
 /// One immutable registered database version: the owned GraphDb (flat for
 /// version 1 and compacted versions, a copy-on-write overlay otherwise)
 /// plus everything precomputed for it. Shared (shared_ptr-to-const)
@@ -207,9 +222,17 @@ class DbRegistry {
     /// version) state — the durable history window is [version of the
     /// last written segment, latest]; versions older than the last
     /// compaction are only reachable while the process lives.
-    /// Storage write failures never fail serving: the first error is
-    /// latched and reported by storage_status().
+    /// Storage write failures never fail *reads*: after a failed write
+    /// the registry degrades to read-only (health() != kHealthy) and
+    /// every subsequent commit fails with kUnavailable carrying the
+    /// latched cause — a commit is only ever acknowledged durable.
     std::string storage_dir;
+    /// Transient storage errors (kUnavailable: EIO/ENOSPC-class, where a
+    /// retry rewrites its whole payload) are retried up to this many
+    /// times before the registry degrades. 0 disables retry.
+    int storage_retry_attempts = 3;
+    /// Backoff before the first retry, doubling per attempt.
+    int64_t storage_retry_backoff_micros = 1000;
   };
 
   struct Stats {
@@ -218,6 +241,9 @@ class DbRegistry {
     int64_t commits = 0;       ///< successful delta commits
     int64_t commit_conflicts = 0;  ///< commits refused with Aborted
     int64_t compactions = 0;   ///< commits that folded their overlay
+    int64_t storage_faults = 0;    ///< failed storage write attempts
+    int64_t storage_retries = 0;   ///< transient faults that were retried
+    int64_t commits_unavailable = 0;  ///< commits shed/rolled back kUnavailable
   };
 
   /// Instantaneous shape of the registry — the read-amplification signal
@@ -240,6 +266,8 @@ class DbRegistry {
     int64_t storage_journal_records = 0; ///< records across live journals
     int64_t storage_journal_bytes = 0;   ///< on-disk bytes across journals
     int64_t storage_replay_micros = 0;   ///< time the last Restore spent
+    int64_t storage_health = 0;          ///< HealthState as an integer
+    int64_t storage_swept_tmp_files = 0; ///< *.tmp files swept at Restore
   };
 
   DbRegistry();
@@ -298,10 +326,33 @@ class DbRegistry {
   bool persistent() const { return storage_ != nullptr; }
 
   /// First storage write error since construction (OK when none, or for a
-  /// non-persistent registry). Writes are best-effort: serving continues
-  /// in memory after a failed write, but durability is gone from the
-  /// failed operation on.
+  /// non-persistent registry). Once latched the registry is degraded:
+  /// reads keep serving from memory, but every subsequent commit fails
+  /// with kUnavailable carrying this status — commits never silently
+  /// lose durability.
   Status storage_status() const;
+
+  /// Storage health: kHealthy until the first permanent (post-retry)
+  /// write failure, then kDegraded (read-only); kFailed on storage
+  /// corruption (kDataLoss). Always kHealthy for non-persistent
+  /// registries.
+  HealthState health() const;
+
+  /// Failed storage write attempts by operation ("segment_write",
+  /// "journal_append", ...), for the rpqres_storage_faults_total counter
+  /// family. Empty for a healthy history.
+  std::vector<std::pair<std::string, int64_t>> storage_fault_counts() const;
+
+  /// Names of leftover *.tmp files the last Restore swept (an interrupted
+  /// segment write whose rename never happened). Surfaced instead of
+  /// deleting silently.
+  std::vector<std::string> swept_tmp_files() const;
+
+  /// Forces the health machine down as if `cause` came back from a
+  /// storage write (kDataLoss -> kFailed, else -> kDegraded). Lets tests
+  /// and drills exercise failed-shard routing without real corruption;
+  /// no-op for non-persistent registries or an OK status.
+  void DegradeStorageForTesting(const Status& cause);
 
   /// Restores this (empty, persistent) registry from its storage_dir:
   /// maps every lineage's base segment, replays its journal — cutting a
@@ -337,13 +388,21 @@ class DbRegistry {
   Result<DbHandle> CommitReplayed(DeltaBatch* batch, uint32_t version,
                                   uint64_t snapshot_id);
   /// Storage side of Register / a compacting commit / Unregister; all
-  /// called with mu_ held, all latch errors instead of failing serving.
-  void PersistNewSegmentLocked(const DbSnapshot& snapshot, bool reset_journal);
-  void PersistCommitLocked(uint32_t parent_version,
-                           const DbSnapshot& snapshot,
-                           const std::vector<storage::JournalOp>& oplog);
+  /// called with mu_ held. Transient failures are retried with backoff;
+  /// a permanent failure latches the error, degrades health, and is
+  /// returned so CommitDelta can roll the commit back.
+  Status PersistNewSegmentLocked(const DbSnapshot& snapshot,
+                                 bool reset_journal);
+  Status PersistCommitLocked(uint32_t parent_version,
+                             const DbSnapshot& snapshot,
+                             const std::vector<storage::JournalOp>& oplog);
   void PersistDropLocked(uint64_t lineage, uint32_t version,
                          bool lineage_gone);
+  /// Runs `attempt`, retrying transient (kUnavailable) failures up to
+  /// options_.storage_retry_attempts times with doubling backoff. Counts
+  /// every failed attempt under `op`; degrades health on final failure.
+  template <typename Fn>
+  Status RetryStorageLocked(const char* op, Fn&& attempt);
 
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;

@@ -922,6 +922,25 @@ obs::MetricsSnapshot ResilienceEngine::TakeMetricsSnapshot(
       add_gauge("rpqres_db_storage_replay_micros",
                 "Microseconds the last journal replay (Restore) took.",
                 static_cast<double>(g.storage_replay_micros));
+      add_gauge("rpqres_db_storage_health",
+                "Storage health (0 healthy, 1 degraded read-only, 2 failed).",
+                static_cast<double>(g.storage_health));
+      add_gauge("rpqres_db_storage_swept_tmp_files",
+                "Leftover *.tmp files swept by the last Restore.",
+                static_cast<double>(g.storage_swept_tmp_files));
+      // Emitted only once a write attempt has failed, so a fault-free
+      // deployment's exposition is unchanged.
+      const auto faults = registry->storage_fault_counts();
+      if (!faults.empty()) {
+        obs::CounterFamily::Snapshot family;
+        family.name = "rpqres_storage_faults_total";
+        family.help = "Failed storage write attempts by operation.";
+        family.label_key = "op";
+        for (const auto& [op, count] : faults) {
+          family.samples.push_back({op, count});
+        }
+        snapshot.counters.push_back(std::move(family));
+      }
     }
   }
   return snapshot;

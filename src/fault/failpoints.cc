@@ -1,0 +1,302 @@
+#include "fault/failpoints.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace rpqres::fault {
+
+namespace {
+
+// SplitMix64 step — same generator as util/rng.h, duplicated here so the
+// fault layer has no dependency on the rest of the library.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double ToUnitDouble(uint64_t r) {
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kEIO:
+      return "eio";
+    case FaultKind::kENOSPC:
+      return "enospc";
+    case FaultKind::kShortWrite:
+      return "short_write";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string_view>& KnownSites() {
+  static const std::vector<std::string_view> kAll = {
+      sites::kSegmentOpen,   sites::kSegmentWrite,  sites::kSegmentFsync,
+      sites::kSegmentClose,  sites::kSegmentRename, sites::kSegmentDirFsync,
+      sites::kSegmentMmap,   sites::kJournalOpen,   sites::kJournalWrite,
+      sites::kJournalFsync,  sites::kJournalTruncate, sites::kJournalClose,
+  };
+  return kAll;
+}
+
+struct FailpointRegistry::Impl {
+  struct SiteState {
+    FaultSpec spec;
+    bool armed = false;
+    uint64_t rng_state = 0;  // kWithProbability stream
+    int64_t evaluations = 0;
+    int64_t fires = 0;
+  };
+
+  mutable std::mutex mu;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+FailpointRegistry::FailpointRegistry() : impl_(new Impl) {}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* kInstance = new FailpointRegistry();
+  return *kInstance;
+}
+
+void FailpointRegistry::Arm(std::string_view site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::SiteState& state = impl_->sites[std::string(site)];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.spec = spec;
+  state.armed = true;
+  state.rng_state = spec.seed;
+  state.evaluations = 0;
+  state.fires = 0;
+}
+
+void FailpointRegistry::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->sites.find(site);
+  if (it == impl_->sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  int armed = 0;
+  for (const auto& [name, state] : impl_->sites) {
+    if (state.armed) ++armed;
+  }
+  impl_->sites.clear();
+  armed_count_.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+FaultVerdict FailpointRegistry::Evaluate(std::string_view site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->sites.find(site);
+  if (it == impl_->sites.end()) return FaultVerdict{};
+  Impl::SiteState& state = it->second;
+  ++state.evaluations;
+  if (!state.armed) return FaultVerdict{};
+
+  bool fire = false;
+  bool disarm_after = false;
+  switch (state.spec.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kOnNth:
+      fire = state.evaluations == static_cast<int64_t>(state.spec.nth);
+      disarm_after = fire;
+      break;
+    case Trigger::kOnce:
+      fire = true;
+      disarm_after = true;
+      break;
+    case Trigger::kWithProbability:
+      fire = ToUnitDouble(SplitMix64(state.rng_state)) < state.spec.probability;
+      break;
+  }
+  if (!fire) return FaultVerdict{};
+
+  ++state.fires;
+  if (disarm_after) {
+    state.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  FaultVerdict verdict;
+  verdict.kind = state.spec.kind;
+  verdict.fraction = state.spec.fraction;
+  verdict.err = state.spec.kind == FaultKind::kENOSPC ? ENOSPC : EIO;
+  return verdict;
+}
+
+std::vector<SiteStats> FailpointRegistry::Stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<SiteStats> out;
+  out.reserve(impl_->sites.size());
+  for (const auto& [name, state] : impl_->sites) {
+    SiteStats s;
+    s.site = name;
+    s.evaluations = state.evaluations;
+    s.fires = state.fires;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+int64_t FailpointRegistry::TotalFires() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  int64_t total = 0;
+  for (const auto& [name, state] : impl_->sites) total += state.fires;
+  return total;
+}
+
+namespace {
+
+// Writes as much of the buffer as the verdict allows. Returns the byte
+// count actually handed to ::write (clamped to [0, count]).
+size_t WriteFraction(int fd, const void* buf, size_t count, double fraction) {
+  size_t partial = static_cast<size_t>(static_cast<double>(count) * fraction);
+  partial = std::min(partial, count);
+  size_t done = 0;
+  const char* p = static_cast<const char*>(buf);
+  while (done < partial) {
+    ssize_t n = ::write(fd, p + done, partial - done);
+    if (n <= 0) break;  // best effort: the injected error wins anyway
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+[[noreturn]] void CrashHere() { ::_exit(kCrashExitStatus); }
+
+}  // namespace
+
+ssize_t Write(const char* site, int fd, const void* buf, size_t count) {
+  FaultVerdict v = Check(site);
+  switch (v.kind) {
+    case FaultKind::kNone:
+      return ::write(fd, buf, count);
+    case FaultKind::kEIO:
+    case FaultKind::kENOSPC:
+      errno = v.err;
+      return -1;
+    case FaultKind::kShortWrite: {
+      size_t done = WriteFraction(fd, buf, count, v.fraction);
+      if (done == 0 && count > 0) {
+        // A zero-byte "short write" would spin callers' loops; degrade to
+        // a one-byte write so progress stays visible.
+        done = WriteFraction(fd, buf, 1, 1.0);
+      }
+      return static_cast<ssize_t>(done);
+    }
+    case FaultKind::kTornWrite:
+      WriteFraction(fd, buf, count, v.fraction);
+      errno = v.err;
+      return -1;
+    case FaultKind::kCrash:
+      WriteFraction(fd, buf, count, v.fraction);
+      CrashHere();
+  }
+  errno = EIO;
+  return -1;
+}
+
+int Fsync(const char* site, int fd) {
+  FaultVerdict v = Check(site);
+  switch (v.kind) {
+    case FaultKind::kNone:
+      return ::fsync(fd);
+    case FaultKind::kCrash:
+      CrashHere();
+    default:
+      errno = v.err;
+      return -1;
+  }
+}
+
+int Rename(const char* site, const char* from, const char* to) {
+  FaultVerdict v = Check(site);
+  switch (v.kind) {
+    case FaultKind::kNone:
+      return ::rename(from, to);
+    case FaultKind::kCrash:
+      CrashHere();
+    default:
+      errno = v.err;
+      return -1;
+  }
+}
+
+int Open(const char* site, const char* path, int flags, mode_t mode) {
+  FaultVerdict v = Check(site);
+  switch (v.kind) {
+    case FaultKind::kNone:
+      return ::open(path, flags, mode);
+    case FaultKind::kCrash:
+      CrashHere();
+    default:
+      errno = v.err;
+      return -1;
+  }
+}
+
+int Close(const char* site, int fd) {
+  FaultVerdict v = Check(site);
+  switch (v.kind) {
+    case FaultKind::kNone:
+      return ::close(fd);
+    case FaultKind::kCrash:
+      CrashHere();
+    default:
+      // The descriptor is still closed for real — an injected close error
+      // models the kernel reporting a deferred write-back failure, not a
+      // leaked fd.
+      ::close(fd);
+      errno = v.err;
+      return -1;
+  }
+}
+
+int Ftruncate(const char* site, int fd, off_t length) {
+  FaultVerdict v = Check(site);
+  switch (v.kind) {
+    case FaultKind::kNone:
+      return ::ftruncate(fd, length);
+    case FaultKind::kCrash:
+      CrashHere();
+    default:
+      errno = v.err;
+      return -1;
+  }
+}
+
+void* Mmap(const char* site, void* addr, size_t length, int prot, int flags,
+           int fd, off_t offset) {
+  FaultVerdict v = Check(site);
+  switch (v.kind) {
+    case FaultKind::kNone:
+      return ::mmap(addr, length, prot, flags, fd, offset);
+    case FaultKind::kCrash:
+      CrashHere();
+    default:
+      errno = v.err;
+      return MAP_FAILED;
+  }
+}
+
+}  // namespace rpqres::fault

@@ -16,6 +16,8 @@ std::string_view AdmissionDecisionName(AdmissionDecision decision) {
       return "shed_shard_saturated";
     case AdmissionDecision::kShedTenantCap:
       return "shed_tenant_cap";
+    case AdmissionDecision::kShedShardUnavailable:
+      return "shed_shard_unavailable";
   }
   return "unknown";
 }
@@ -38,6 +40,9 @@ Status AdmissionStatus(AdmissionDecision decision, int shard) {
     case AdmissionDecision::kShedTenantCap:
       return Status::ResourceExhausted("shed at admission (" + where +
                                        "): tenant in-flight cap reached");
+    case AdmissionDecision::kShedShardUnavailable:
+      return Status::Unavailable("shed at admission (" + where +
+                                 "): shard storage unavailable");
   }
   return Status::Internal("unknown admission decision");
 }

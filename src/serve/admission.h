@@ -65,6 +65,9 @@ enum class AdmissionDecision {
   kShedDeadlineUnmeetable,  ///< predicted completion misses the deadline
   kShedShardSaturated,      ///< per-shard in-flight bound hit
   kShedTenantCap,           ///< per-tenant in-flight cap hit
+  kShedShardUnavailable,    ///< shard storage degraded/failed (router health
+                            ///< check, not the controller: commits shed on
+                            ///< degraded shards, everything on failed ones)
 };
 
 /// Stable lowercase name ("admitted", "shed_tenant_cap", ...) for the

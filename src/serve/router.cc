@@ -17,6 +17,8 @@ std::string_view ShedStatusLabel(const Status& status) {
       return "deadline_exceeded";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     default:
       return "error";
   }
@@ -74,8 +76,15 @@ std::future<ResilienceResponse> Router::Submit(ServeRequest serve) {
   obs::TraceContext trace;
   const int span = trace.Begin(obs::SpanKind::kAdmission);
   AdmissionController::Ticket ticket;
-  const AdmissionDecision decision = admission_.TryAdmit(
-      shard, serve.tenant, request.options.deadline, &ticket);
+  AdmissionDecision decision;
+  if (shards_->registry(shard).health() == HealthState::kFailed) {
+    // A failed shard cannot answer anything trustworthy; a degraded one
+    // still serves reads from memory, so only kFailed sheds here.
+    decision = AdmissionDecision::kShedShardUnavailable;
+  } else {
+    decision = admission_.TryAdmit(shard, serve.tenant,
+                                   request.options.deadline, &ticket);
+  }
   trace.End(span);
   admission_total_->WithLabel(AdmissionDecisionName(decision)).Increment();
 
@@ -95,6 +104,9 @@ std::future<ResilienceResponse> Router::Submit(ServeRequest serve) {
           break;
         case AdmissionDecision::kShedTenantCap:
           ++stats_.shed_tenant_cap;
+          break;
+        case AdmissionDecision::kShedShardUnavailable:
+          ++stats_.shed_shard_unavailable;
           break;
         case AdmissionDecision::kAdmitted:
           break;
@@ -153,6 +165,60 @@ std::vector<std::future<ResilienceResponse>> Router::SubmitBatch(
 
 ResilienceResponse Router::Evaluate(ServeRequest request) {
   return Submit(std::move(request)).get();
+}
+
+Result<DbHandle> Router::Commit(
+    std::string_view tenant, std::string_view db_ref,
+    const std::function<Status(DeltaBatch*)>& mutate) {
+  const int shard = shards_->ShardForRef(db_ref);
+  tenant_requests_->WithLabel(tenant).Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.commits_submitted;
+  }
+
+  const HealthState health = shards_->registry(shard).health();
+  if (health != HealthState::kHealthy) {
+    const Status status = Status::Unavailable(
+        "Commit shed: shard " + std::to_string(shard) + " storage is " +
+        std::string(HealthStateName(health)));
+    admission_total_
+        ->WithLabel(
+            AdmissionDecisionName(AdmissionDecision::kShedShardUnavailable))
+        .Increment();
+    tenant_sheds_->WithLabel(tenant).Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed_shard_unavailable;
+    }
+    // Synthetic shed record: no query ran, surface the write target and
+    // the health reason where the regex/algorithm would be.
+    obs::SlowQueryRecord record;
+    record.regex = "commit:" + std::string(db_ref);
+    record.semantics = "write";
+    record.status = std::string(ShedStatusLabel(status));
+    record.algorithm = std::string(
+        AdmissionDecisionName(AdmissionDecision::kShedShardUnavailable));
+    shed_log_.Push(std::move(record));
+    return status;
+  }
+
+  DbRegistry& registry = shards_->registry(shard);
+  Result<DbHandle> latest = registry.Resolve(db_ref);
+  if (!latest.ok()) return latest.status();
+  DeltaBatch batch = registry.BeginDelta(*latest);
+  const Status mutated = mutate(&batch);
+  if (!mutated.ok()) return mutated;
+  Result<DbHandle> committed = batch.Commit();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (committed.ok()) {
+      ++stats_.commits_applied;
+    } else if (committed.status().code() == StatusCode::kUnavailable) {
+      ++stats_.commits_unavailable;
+    }
+  }
+  return committed;
 }
 
 void Router::Drain() {
@@ -215,6 +281,11 @@ obs::MetricsSnapshot Router::TakeMetricsSnapshot() const {
         {"rpqres_router_shard_inflight",
          "Admitted requests currently in flight on the shard",
          static_cast<double>(admission_.shard_inflight(i)),
+         std::to_string(i)});
+    merged.gauges.push_back(
+        {"rpqres_shard_health",
+         "Shard storage health (0 healthy, 1 degraded read-only, 2 failed)",
+         static_cast<double>(static_cast<int>(shards_->registry(i).health())),
          std::to_string(i)});
   }
   merged.gauges.push_back({"rpqres_router_shed_log_entries",

@@ -34,6 +34,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -71,10 +72,21 @@ struct RouterStats {
   int64_t shed_deadline_unmeetable = 0;
   int64_t shed_shard_saturated = 0;
   int64_t shed_tenant_cap = 0;
+  /// Reads refused because the home shard's storage failed outright, plus
+  /// commits refused because it is degraded or failed. Degraded shards
+  /// still serve reads — only writes shed here.
+  int64_t shed_shard_unavailable = 0;
+
+  int64_t commits_submitted = 0;
+  int64_t commits_applied = 0;
+  /// Commits that reached a healthy-looking shard but came back
+  /// kUnavailable (storage faulted mid-commit; the registry rolled the
+  /// version back and degraded itself).
+  int64_t commits_unavailable = 0;
 
   int64_t sheds() const {
     return shed_deadline_expired + shed_deadline_unmeetable +
-           shed_shard_saturated + shed_tenant_cap;
+           shed_shard_saturated + shed_tenant_cap + shed_shard_unavailable;
   }
 };
 
@@ -101,6 +113,15 @@ class Router {
 
   /// Submit + wait, for synchronous callers.
   ResilienceResponse Evaluate(ServeRequest request);
+
+  /// Routes a write to `db_ref`'s home shard and applies `mutate` to a
+  /// fresh DeltaBatch on the lineage's latest version, committing the
+  /// result. Health-gated: a degraded or failed shard sheds the commit
+  /// with kUnavailable before any batch is built (reads keep flowing to
+  /// degraded shards via Submit). A commit that faults mid-flight comes
+  /// back kUnavailable too — the registry rolled it back and degraded.
+  Result<DbHandle> Commit(std::string_view tenant, std::string_view db_ref,
+                          const std::function<Status(DeltaBatch*)>& mutate);
 
   /// Blocks until no admitted request is in flight.
   void Drain();

@@ -4,10 +4,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "fault/failpoints.h"
 #include "storage/xxhash64.h"
 
 namespace rpqres {
@@ -22,7 +24,17 @@ constexpr size_t kRecordHeaderBytes = 12;  // u32 len + u64 checksum
 constexpr uint32_t kMaxPayload = 1 << 20;
 
 Status ErrnoStatus(const std::string& what, const std::string& path) {
-  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+  const int err = errno;
+  std::string msg = what + " '" + path + "': " + std::strerror(err);
+  // Media-full / I/O-class errors are transient: Append chops any torn
+  // bytes back to the last good group boundary before it returns, so a
+  // retried append rewrites its whole group and a later clean pass is
+  // durable. Anything else is an environment or programming error.
+  if (err == EIO || err == ENOSPC || err == EDQUOT || err == EAGAIN ||
+      err == ENOMEM) {
+    return Status::Unavailable(std::move(msg));
+  }
+  return Status::Internal(std::move(msg));
 }
 
 void PutBytes(std::vector<uint8_t>* buf, const void* src, size_t n) {
@@ -118,7 +130,8 @@ Status WriteAll(int fd, const uint8_t* data, size_t n,
                 const std::string& path) {
   size_t written = 0;
   while (written < n) {
-    ssize_t w = ::write(fd, data + written, n - written);
+    ssize_t w = fault::Write(fault::sites::kJournalWrite, fd, data + written,
+                             n - written);
     if (w < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("journal: write failed for", path);
@@ -126,6 +139,14 @@ Status WriteAll(int fd, const uint8_t* data, size_t n,
     written += static_cast<size_t>(w);
   }
   return Status::OK();
+}
+
+/// True iff the first `got` bytes of a journal file are consistent with a
+/// header that was torn mid-write (a prefix of the magic; the lineage
+/// bytes cannot be validated partially). Such files are recovered as
+/// empty journals rather than rejected as corrupt.
+bool IsTornHeaderPrefix(const uint8_t* data, size_t got) {
+  return std::memcmp(data, kMagic, std::min(got, sizeof(kMagic))) == 0;
 }
 
 }  // namespace
@@ -140,13 +161,14 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
 }
 
 JournalWriter::~JournalWriter() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) fault::Close(fault::sites::kJournalClose, fd_);
 }
 
 Result<JournalWriter> JournalWriter::Open(const std::string& path,
                                           uint64_t lineage, int64_t append_at,
                                           int64_t initial_records) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  int fd = fault::Open(fault::sites::kJournalOpen, path.c_str(),
+                       O_RDWR | O_CREAT, 0644);
   if (fd < 0) return ErrnoStatus("journal: cannot open", path);
   struct stat st;
   if (::fstat(fd, &st) != 0) {
@@ -156,19 +178,35 @@ Result<JournalWriter> JournalWriter::Open(const std::string& path,
   JournalWriter out;
   out.fd_ = fd;
   out.path_ = path;
-  if (st.st_size == 0) {
-    // Fresh journal: header only.
+  if (st.st_size < static_cast<int64_t>(kFileHeaderBytes)) {
+    // Empty file, or a header torn by a crash mid-creation: recover it as
+    // a fresh journal (header only). Anything that is not a prefix of the
+    // expected header is some other file and stays an error.
+    if (st.st_size > 0) {
+      uint8_t prefix[kFileHeaderBytes];
+      const ssize_t got = ::pread(fd, prefix, sizeof(prefix), 0);
+      if (got < 0) return ErrnoStatus("journal: cannot read header of", path);
+      if (!IsTornHeaderPrefix(prefix, static_cast<size_t>(got))) {
+        return Status::DataLoss("journal: '" + path +
+                                "' shorter than its header");
+      }
+      if (::ftruncate(fd, 0) != 0) {
+        return ErrnoStatus("journal: ftruncate failed for", path);
+      }
+      if (::lseek(fd, 0, SEEK_SET) < 0) {
+        return ErrnoStatus("journal: lseek failed for", path);
+      }
+    }
     std::vector<uint8_t> header;
     PutBytes(&header, kMagic, sizeof(kMagic));
     Put<uint64_t>(&header, lineage);
     Status s = WriteAll(fd, header.data(), header.size(), path);
     if (!s.ok()) return s;
-    if (::fsync(fd) != 0) return ErrnoStatus("journal: fsync failed for", path);
+    if (fault::Fsync(fault::sites::kJournalFsync, fd) != 0) {
+      return ErrnoStatus("journal: fsync failed for", path);
+    }
     out.bytes_ = static_cast<int64_t>(header.size());
     return out;
-  }
-  if (st.st_size < static_cast<int64_t>(kFileHeaderBytes)) {
-    return Status::DataLoss("journal: '" + path + "' shorter than its header");
   }
   uint8_t header[kFileHeaderBytes];
   if (::pread(fd, header, sizeof(header), 0) !=
@@ -193,10 +231,12 @@ Result<JournalWriter> JournalWriter::Open(const std::string& path,
   }
   if (end != st.st_size) {
     // Chop a recovered torn tail before the first new append.
-    if (::ftruncate(fd, end) != 0) {
+    if (fault::Ftruncate(fault::sites::kJournalTruncate, fd, end) != 0) {
       return ErrnoStatus("journal: ftruncate failed for", path);
     }
-    if (::fsync(fd) != 0) return ErrnoStatus("journal: fsync failed for", path);
+    if (fault::Fsync(fault::sites::kJournalFsync, fd) != 0) {
+      return ErrnoStatus("journal: fsync failed for", path);
+    }
   }
   if (::lseek(fd, end, SEEK_SET) < 0) {
     return ErrnoStatus("journal: lseek failed for", path);
@@ -220,9 +260,26 @@ Status JournalWriter::Append(const std::vector<JournalOp>& ops) {
     Put<uint64_t>(&buf, XxHash64(payload.data(), payload.size()));
     PutBytes(&buf, payload.data(), payload.size());
   }
-  RPQRES_RETURN_IF_ERROR(WriteAll(fd_, buf.data(), buf.size(), path_));
-  if (::fsync(fd_) != 0) {
-    return ErrnoStatus("journal: fsync failed for", path_);
+  Status status = WriteAll(fd_, buf.data(), buf.size(), path_);
+  if (status.ok() &&
+      fault::Fsync(fault::sites::kJournalFsync, fd_) != 0) {
+    status = ErrnoStatus("journal: fsync failed for", path_);
+  }
+  if (!status.ok()) {
+    // The failed group may have left torn bytes past the last good
+    // boundary. Chop the file back so a retried Append lands on clean
+    // framing; if the repair itself fails the writer is unusable and a
+    // retry could corrupt the journal mid-file, so close it.
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
+      const Status repair =
+          ErrnoStatus("journal: append repair failed for", path_);
+      ::close(fd_);
+      fd_ = -1;
+      return Status::Internal(repair.message() + " (after " +
+                              status.ToString() + ")");
+    }
+    return status;
   }
   bytes_ += static_cast<int64_t>(buf.size());
   records_ += static_cast<int64_t>(ops.size());
@@ -233,10 +290,11 @@ Status JournalWriter::Reset() {
   if (fd_ < 0) {
     return Status::FailedPrecondition("journal: Reset on a closed writer");
   }
-  if (::ftruncate(fd_, static_cast<off_t>(kFileHeaderBytes)) != 0) {
+  if (fault::Ftruncate(fault::sites::kJournalTruncate, fd_,
+                       static_cast<off_t>(kFileHeaderBytes)) != 0) {
     return ErrnoStatus("journal: ftruncate failed for", path_);
   }
-  if (::fsync(fd_) != 0) {
+  if (fault::Fsync(fault::sites::kJournalFsync, fd_) != 0) {
     return ErrnoStatus("journal: fsync failed for", path_);
   }
   if (::lseek(fd_, static_cast<off_t>(kFileHeaderBytes), SEEK_SET) < 0) {
@@ -274,7 +332,16 @@ Result<JournalContents> ReadJournal(const std::string& path,
   }
   ::close(fd);
   if (got < kFileHeaderBytes) {
-    return Status::DataLoss("journal: '" + path + "' shorter than its header");
+    // A header torn by a crash mid-creation reads back as an empty
+    // journal; JournalWriter::Open rewrites it. Anything else is corrupt.
+    if (!IsTornHeaderPrefix(file.data(), got)) {
+      return Status::DataLoss("journal: '" + path +
+                              "' shorter than its header");
+    }
+    JournalContents empty;
+    empty.lineage = expected_lineage;
+    empty.valid_bytes = static_cast<int64_t>(kFileHeaderBytes);
+    return empty;
   }
   if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::DataLoss("journal: '" + path + "' has a bad magic");

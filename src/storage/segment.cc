@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/failpoints.h"
 #include "storage/xxhash64.h"
 #include "util/check.h"
 
@@ -83,8 +84,17 @@ void PutI64(std::vector<uint8_t>* buf, int64_t v) {
 }
 
 Status ErrnoStatus(const std::string& what, const std::string& path) {
-  return Status::Internal(what + " '" + path + "': " +
-                          std::strerror(errno));
+  const int err = errno;
+  std::string msg = what + " '" + path + "': " + std::strerror(err);
+  // Media-full / I/O-class errors are transient from the registry's point
+  // of view: WriteSegment rewrites the whole temp file on every attempt,
+  // so a later clean pass is fully durable and retry-with-backoff is
+  // sound. Anything else is an environment or programming error.
+  if (err == EIO || err == ENOSPC || err == EDQUOT || err == EAGAIN ||
+      err == ENOMEM) {
+    return Status::Unavailable(std::move(msg));
+  }
+  return Status::Internal(std::move(msg));
 }
 
 /// An open mmap'ed file; the shared_ptr deleter unmaps it.
@@ -282,11 +292,14 @@ Status WriteSegment(const std::string& path, const GraphDb& db,
 
   // --- temp file + fsync + atomic rename ----------------------------------
   const std::string tmp_path = path + ".tmp";
-  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  int fd = fault::Open(fault::sites::kSegmentOpen, tmp_path.c_str(),
+                       O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("WriteSegment: cannot create", tmp_path);
   size_t written = 0;
   while (written < file.size()) {
-    ssize_t n = ::write(fd, file.data() + written, file.size() - written);
+    ssize_t n = fault::Write(fault::sites::kSegmentWrite,
+                             fd, file.data() + written,
+                             file.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
@@ -295,24 +308,36 @@ Status WriteSegment(const std::string& path, const GraphDb& db,
     }
     written += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (fault::Fsync(fault::sites::kSegmentFsync, fd) != 0) {
     ::close(fd);
     ::unlink(tmp_path.c_str());
     return ErrnoStatus("WriteSegment: fsync failed for", tmp_path);
   }
-  ::close(fd);
-  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+  // close() can surface deferred write-back errors; a segment that failed
+  // to close is not known durable.
+  if (fault::Close(fault::sites::kSegmentClose, fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    return ErrnoStatus("WriteSegment: close failed for", tmp_path);
+  }
+  if (fault::Rename(fault::sites::kSegmentRename, tmp_path.c_str(),
+                    path.c_str()) != 0) {
     ::unlink(tmp_path.c_str());
     return ErrnoStatus("WriteSegment: rename failed for", path);
   }
-  // fsync the directory so the rename itself is durable.
+  // fsync the directory so the rename itself is durable. Opening the
+  // directory stays best-effort (exotic filesystems), but once open, a
+  // failed fsync means the rename's durability is unknown — surface it;
+  // a retry reruns the whole (idempotent) temp-write + rename.
   const size_t slash = path.rfind('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash);
   int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {
-    ::fsync(dfd);
+    if (fault::Fsync(fault::sites::kSegmentDirFsync, dfd) != 0) {
+      ::close(dfd);
+      return ErrnoStatus("WriteSegment: directory fsync failed for", dir);
+    }
     ::close(dfd);
   }
   if (bytes_written != nullptr) {
@@ -338,7 +363,8 @@ Result<LoadedSegment> ReadSegment(const std::string& path) {
     return Status::DataLoss("ReadSegment: '" + path + "' is truncated (" +
                             std::to_string(size) + " bytes)");
   }
-  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  void* addr = fault::Mmap(fault::sites::kSegmentMmap, nullptr, size,
+                           PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // the mapping keeps the file referenced
   if (addr == MAP_FAILED) {
     return ErrnoStatus("ReadSegment: mmap failed for", path);

@@ -29,6 +29,7 @@ enum class StatusCode {
   kAborted,
   kResourceExhausted,
   kDataLoss,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -75,6 +76,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,0 +1,129 @@
+// rpqres — workload/chaos: fork-based crash-chaos sweep over failpoint
+// sites.
+//
+// The durability statement the storage stack makes is narrow and testable:
+// a commit acknowledged OK survives a process crash at ANY later point,
+// and whatever version a crashed process left behind restores to a state
+// byte-identical to the in-memory state that produced it. The chaos
+// harness turns that into an executable check per (site, seed):
+//
+//   1. fork() a child. The child arms exactly one failpoint site with a
+//      deterministic crash trigger (kCrash, fire-on-Nth with N derived
+//      from the seed), then runs a seeded commit storm against a fresh
+//      persistent DbRegistry — registry only, no engine threads — acking
+//      each durable version to a side file, and finally reopens its own
+//      storage (so read-path sites like segment.mmap crash too).
+//   2. the parent waits: exit 0 (site never reached its Nth evaluation)
+//      and exit kCrashExitStatus (crashed as injected) are both valid;
+//      anything else — another status, a signal, ASan abort — fails.
+//   3. the parent reopens the directory with DbRegistry::OpenStorage and
+//      checks, against an in-memory twin replaying the same seeded op
+//      stream to the restored version V:
+//        durability   V >= the last version the child acked;
+//        bytes        serialization of restored@V == twin@V;
+//        spans        the restored label index == twin's, span for span;
+//        answers      the engine's resilience answer on restored@V equals
+//                     the answer on twin@V.
+//
+// One uint64 seed fully determines the instance, the op stream, and the
+// crash point — a failing (site, seed) pair replays exactly.
+
+#ifndef RPQRES_WORKLOAD_CHAOS_H_
+#define RPQRES_WORKLOAD_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+namespace rpqres {
+namespace workload {
+
+/// Registry tuning for chaos storms: compact every few commits so the
+/// compaction crash window (segment rewritten, journal not yet reset) is
+/// part of every sweep, and skip retry backoff (crash faults never
+/// retry, but a zero backoff keeps accidental transient paths fast).
+inline DbRegistry::Options DefaultChaosRegistryOptions() {
+  DbRegistry::Options options;
+  options.compaction_min_overlay = 8;
+  options.compaction_fraction = 0.0;
+  options.storage_retry_backoff_micros = 0;
+  return options;
+}
+
+struct ChaosOptions {
+  /// Delta commits per child storm.
+  int num_commits = 8;
+  /// Ops per commit are drawn uniformly from [1, max_ops_per_commit].
+  int max_ops_per_commit = 8;
+  /// Op mix, in percent (the remainder are fact adds / bumps).
+  int remove_percent = 35;
+  int add_node_percent = 10;
+  /// The crash fires on the Nth evaluation of the armed site, with N
+  /// drawn from [1, max_crash_nth] per (site, seed). Larger values spread
+  /// crashes deeper into the storm; evaluations past the storm's actual
+  /// site-hit count simply never fire (the child exits 0). Rarely-hit
+  /// sites (segment.* fire once per register/compaction) crash on roughly
+  /// a third of seeds at the default.
+  uint64_t max_crash_nth = 6;
+  /// Seed → base instance derivation (same as churn / the oracle).
+  WorkloadOptions workload;
+  /// Engine configuration for the parent-side answer checks.
+  EngineOptions engine;
+  /// Exact-solver budget per answer check; exhausted pairs count
+  /// inconclusive, not as mismatches.
+  uint64_t max_exact_search_nodes = 200'000;
+  /// Registry options for both the child's persistent registry and the
+  /// parent's in-memory twin (identical compaction decisions matter).
+  DbRegistry::Options registry = DefaultChaosRegistryOptions();
+  /// Root for per-run storage directories; empty = the system temp dir.
+  std::string storage_root;
+};
+
+/// Outcome of one (site, seed) chaos run.
+struct ChaosReport {
+  uint64_t seed = 0;
+  std::string site;
+  /// True when the seed failed workload generation (nothing was run).
+  bool generation_failed = false;
+  /// True when the child crashed at the armed site (exit status 42).
+  bool crashed = false;
+  int exit_status = 0;
+  /// Last version the child acknowledged durable before exiting.
+  uint32_t restored_version = 0;  ///< latest version after reopen (0 = none)
+  uint32_t acked_version = 0;
+  /// Answer checks skipped for exact-budget exhaustion.
+  int inconclusive = 0;
+  /// Seed-stamped divergence descriptions; empty == pass.
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Reusable chaos runner (one parent-side engine across runs).
+class ChaosHarness {
+ public:
+  explicit ChaosHarness(ChaosOptions options = {});
+
+  /// Forks, crashes, reopens, and verifies one (site, seed) pair.
+  ChaosReport Run(std::string_view site, uint64_t seed);
+
+  /// Runs `seed` against every registered failpoint site
+  /// (fault::KnownSites()); one report per site.
+  std::vector<ChaosReport> RunAllSites(uint64_t seed);
+
+  const ChaosOptions& options() const { return options_; }
+  ResilienceEngine& engine() { return engine_; }
+
+ private:
+  ChaosOptions options_;
+  ResilienceEngine engine_;
+};
+
+}  // namespace workload
+}  // namespace rpqres
+
+#endif  // RPQRES_WORKLOAD_CHAOS_H_

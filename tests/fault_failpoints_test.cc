@@ -1,0 +1,261 @@
+// Failpoint registry semantics: zero-fire when disarmed, deterministic
+// triggers (on-Nth, once, seeded probability), per-site counters, and the
+// syscall wrappers' verdict behavior (EIO/ENOSPC skip the syscall, short
+// writes return short, torn writes land bytes then error, close always
+// releases the fd).
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/failpoints.h"
+
+namespace rpqres::fault {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FailpointsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().ResetAll(); }
+  void TearDown() override { FailpointRegistry::Instance().ResetAll(); }
+};
+
+int64_t EvaluationsAt(std::string_view site) {
+  for (const SiteStats& s : FailpointRegistry::Instance().Stats()) {
+    if (s.site == site) return s.evaluations;
+  }
+  return 0;
+}
+
+int64_t FiresAt(std::string_view site) {
+  for (const SiteStats& s : FailpointRegistry::Instance().Stats()) {
+    if (s.site == site) return s.fires;
+  }
+  return 0;
+}
+
+TEST_F(FailpointsTest, DisarmedIsInert) {
+  EXPECT_FALSE(FailpointRegistry::Instance().Enabled());
+  FaultVerdict verdict = Check(sites::kSegmentWrite);
+  EXPECT_FALSE(verdict.fired());
+  EXPECT_EQ(FailpointRegistry::Instance().TotalFires(), 0);
+}
+
+TEST_F(FailpointsTest, KnownSitesAreDistinctAndComplete) {
+  const std::vector<std::string_view>& sites = KnownSites();
+  EXPECT_EQ(sites.size(), 12u);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      EXPECT_NE(sites[i], sites[j]);
+    }
+  }
+}
+
+TEST_F(FailpointsTest, OnNthFiresExactlyOnceAtN) {
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+  reg.Arm(sites::kJournalWrite, FaultSpec::OnNth(FaultKind::kEIO, 3));
+  EXPECT_TRUE(reg.Enabled());
+  EXPECT_FALSE(Check(sites::kJournalWrite).fired());
+  EXPECT_FALSE(Check(sites::kJournalWrite).fired());
+  FaultVerdict third = Check(sites::kJournalWrite);
+  EXPECT_TRUE(third.fired());
+  EXPECT_EQ(third.kind, FaultKind::kEIO);
+  EXPECT_EQ(third.err, EIO);
+  // Auto-disarmed after the fire: later evaluations pass.
+  EXPECT_FALSE(Check(sites::kJournalWrite).fired());
+  EXPECT_EQ(FiresAt(sites::kJournalWrite), 1);
+  EXPECT_GE(EvaluationsAt(sites::kJournalWrite), 3);
+}
+
+TEST_F(FailpointsTest, OnceFiresOnFirstEvaluationOnly) {
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+  reg.Arm(sites::kSegmentFsync, FaultSpec::Once(FaultKind::kENOSPC));
+  FaultVerdict first = Check(sites::kSegmentFsync);
+  EXPECT_TRUE(first.fired());
+  EXPECT_EQ(first.err, ENOSPC);
+  EXPECT_FALSE(Check(sites::kSegmentFsync).fired());
+  EXPECT_EQ(reg.TotalFires(), 1);
+}
+
+TEST_F(FailpointsTest, ProbabilityStreamIsSeededAndDeterministic) {
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+  auto pattern = [&](uint64_t seed) {
+    reg.Arm(sites::kJournalFsync,
+            FaultSpec::WithProbability(FaultKind::kEIO, 0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(Check(sites::kJournalFsync).fired());
+    }
+    return fired;
+  };
+  std::vector<bool> a = pattern(7);
+  std::vector<bool> b = pattern(7);
+  EXPECT_EQ(a, b);
+  std::vector<bool> c = pattern(8);
+  EXPECT_NE(a, c);  // 2^-64 flake odds; a different stream must differ
+
+  reg.Arm(sites::kJournalFsync,
+          FaultSpec::WithProbability(FaultKind::kEIO, 0.0, 1));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(Check(sites::kJournalFsync).fired());
+  }
+  reg.Arm(sites::kJournalFsync,
+          FaultSpec::WithProbability(FaultKind::kEIO, 1.0, 1));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(Check(sites::kJournalFsync).fired());
+  }
+}
+
+TEST_F(FailpointsTest, ArmReplacesAndResetsCounters) {
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+  reg.Arm(sites::kSegmentWrite, FaultSpec::Always(FaultKind::kEIO));
+  EXPECT_TRUE(Check(sites::kSegmentWrite).fired());
+  reg.Arm(sites::kSegmentWrite, FaultSpec::OnNth(FaultKind::kEIO, 2));
+  EXPECT_FALSE(Check(sites::kSegmentWrite).fired());  // counters restarted
+  EXPECT_TRUE(Check(sites::kSegmentWrite).fired());
+  reg.Disarm(sites::kSegmentWrite);
+  EXPECT_FALSE(Check(sites::kSegmentWrite).fired());
+}
+
+// --- wrapper semantics ------------------------------------------------------
+
+struct TempFile {
+  std::string path;
+  int fd = -1;
+  TempFile() {
+    path = (fs::temp_directory_path() /
+            ("rpqres_failpoints_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++)))
+               .string();
+    fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  }
+  ~TempFile() {
+    if (fd >= 0) ::close(fd);
+    ::unlink(path.c_str());
+  }
+  std::string Contents() const {
+    std::string out(64, '\0');
+    ssize_t got = ::pread(fd, out.data(), out.size(), 0);
+    out.resize(got > 0 ? static_cast<size_t>(got) : 0);
+    return out;
+  }
+  static int counter;
+};
+int TempFile::counter = 0;
+
+TEST_F(FailpointsTest, WriteWrapperInjectsErrorsWithoutWriting) {
+  TempFile file;
+  ASSERT_GE(file.fd, 0);
+  FailpointRegistry::Instance().Arm(sites::kSegmentWrite,
+                                    FaultSpec::Always(FaultKind::kENOSPC));
+  errno = 0;
+  EXPECT_EQ(Write(sites::kSegmentWrite, file.fd, "payload", 7), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(file.Contents(), "");
+
+  FailpointRegistry::Instance().Disarm(sites::kSegmentWrite);
+  EXPECT_EQ(Write(sites::kSegmentWrite, file.fd, "payload", 7), 7);
+  EXPECT_EQ(file.Contents(), "payload");
+}
+
+TEST_F(FailpointsTest, ShortWriteLandsFractionAndReturnsShortCount) {
+  TempFile file;
+  ASSERT_GE(file.fd, 0);
+  FaultSpec spec = FaultSpec::Always(FaultKind::kShortWrite);
+  spec.fraction = 0.5;
+  FailpointRegistry::Instance().Arm(sites::kJournalWrite, spec);
+  ssize_t written = Write(sites::kJournalWrite, file.fd, "12345678", 8);
+  EXPECT_EQ(written, 4);
+  EXPECT_EQ(file.Contents(), "1234");
+}
+
+TEST_F(FailpointsTest, TornWriteLandsBytesThenErrors) {
+  TempFile file;
+  ASSERT_GE(file.fd, 0);
+  FaultSpec spec = FaultSpec::Always(FaultKind::kTornWrite);
+  spec.fraction = 0.25;
+  FailpointRegistry::Instance().Arm(sites::kJournalWrite, spec);
+  errno = 0;
+  EXPECT_EQ(Write(sites::kJournalWrite, file.fd, "12345678", 8), -1);
+  EXPECT_EQ(errno, EIO);
+  // The torn prefix reached the file even though the caller saw -1.
+  EXPECT_EQ(file.Contents(), "12");
+}
+
+TEST_F(FailpointsTest, FsyncRenameOpenFtruncateInjectErrors) {
+  TempFile file;
+  ASSERT_GE(file.fd, 0);
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+
+  reg.Arm(sites::kSegmentFsync, FaultSpec::Always(FaultKind::kEIO));
+  errno = 0;
+  EXPECT_EQ(Fsync(sites::kSegmentFsync, file.fd), -1);
+  EXPECT_EQ(errno, EIO);
+  reg.Disarm(sites::kSegmentFsync);
+  EXPECT_EQ(Fsync(sites::kSegmentFsync, file.fd), 0);
+
+  reg.Arm(sites::kSegmentRename, FaultSpec::Always(FaultKind::kENOSPC));
+  const std::string renamed = file.path + ".renamed";
+  errno = 0;
+  EXPECT_EQ(Rename(sites::kSegmentRename, file.path.c_str(), renamed.c_str()),
+            -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_TRUE(fs::exists(file.path));  // the rename never happened
+
+  reg.Arm(sites::kSegmentOpen, FaultSpec::Always(FaultKind::kEIO));
+  errno = 0;
+  EXPECT_EQ(Open(sites::kSegmentOpen, file.path.c_str(), O_RDONLY), -1);
+  EXPECT_EQ(errno, EIO);
+
+  ASSERT_EQ(::pwrite(file.fd, "12345678", 8, 0), 8);
+  reg.Arm(sites::kJournalTruncate, FaultSpec::Always(FaultKind::kEIO));
+  errno = 0;
+  EXPECT_EQ(Ftruncate(sites::kJournalTruncate, file.fd, 4), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(fs::file_size(file.path), 8u);  // still untruncated
+}
+
+TEST_F(FailpointsTest, CloseInjectsErrorButStillReleasesTheFd) {
+  TempFile file;
+  ASSERT_GE(file.fd, 0);
+  FailpointRegistry::Instance().Arm(sites::kJournalClose,
+                                    FaultSpec::Always(FaultKind::kEIO));
+  errno = 0;
+  EXPECT_EQ(Close(sites::kJournalClose, file.fd), -1);
+  EXPECT_EQ(errno, EIO);
+  // The fd must be gone regardless — callers never retry close(2).
+  errno = 0;
+  EXPECT_EQ(::fcntl(file.fd, F_GETFD), -1);
+  EXPECT_EQ(errno, EBADF);
+  file.fd = -1;  // keep the destructor from closing a recycled fd
+}
+
+TEST_F(FailpointsTest, MmapInjectsMapFailed) {
+  TempFile file;
+  ASSERT_GE(file.fd, 0);
+  ASSERT_EQ(::pwrite(file.fd, "12345678", 8, 0), 8);
+  FailpointRegistry::Instance().Arm(sites::kSegmentMmap,
+                                    FaultSpec::Always(FaultKind::kEIO));
+  errno = 0;
+  void* mapped =
+      Mmap(sites::kSegmentMmap, nullptr, 8, PROT_READ, MAP_PRIVATE, file.fd, 0);
+  EXPECT_EQ(mapped, MAP_FAILED);
+  EXPECT_EQ(errno, EIO);
+
+  FailpointRegistry::Instance().ResetAll();
+  mapped =
+      Mmap(sites::kSegmentMmap, nullptr, 8, PROT_READ, MAP_PRIVATE, file.fd, 0);
+  ASSERT_NE(mapped, MAP_FAILED);
+  EXPECT_EQ(std::memcmp(mapped, "12345678", 8), 0);
+  ::munmap(mapped, 8);
+}
+
+}  // namespace
+}  // namespace rpqres::fault
