@@ -70,7 +70,10 @@ int main() {
     DbHandle v2 = d1.Commit().ValueOrDie();
 
     DeltaBatch d2 = registry.BeginDelta(v2);
-    d2.RemoveFact(intake, 'a', review);
+    if (!d2.RemoveFact(intake, 'a', review).ok()) {
+      std::printf("remove failed\n");
+      return 1;
+    }
     d2.AddFact(intake, 'a', review, 2).ValueOrDie();
     DbHandle v3 = d2.Commit().ValueOrDie();
     serialized_v3 = SerializeGraphDb(v3.db());

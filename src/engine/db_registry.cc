@@ -89,7 +89,8 @@ DeltaBatch::DeltaBatch(DbRegistry* registry,
   // snapshot (db + label index) alive.
   work_ = GraphDb::MakeOverlay(
       std::shared_ptr<const GraphDb>(parent_, &parent_->db));
-  record_ops_ = registry_->persistent() && !registry_->restoring_;
+  MutexLock lock(registry_->mu_);
+  record_ops_ = registry_->storage_ != nullptr && !registry_->restoring_;
 }
 
 void DeltaBatch::TouchLabel(char label) {
@@ -198,7 +199,7 @@ DbHandle DbRegistry::Register(GraphDb db, std::string name) {
   snapshot->db = std::move(db);
   snapshot->label_index = LabelIndex(snapshot->db);
   snapshot->version = 1;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot->id = next_id_++;
   snapshot->lineage = snapshot->id;
   snapshots_.emplace(snapshot->id, snapshot);
@@ -213,7 +214,10 @@ DbHandle DbRegistry::Register(GraphDb db, std::string name) {
   // memory only (no status channel on Register; health() says why).
   if (storage_ != nullptr && !restoring_ &&
       storage_->health_ == HealthState::kHealthy) {
-    PersistNewSegmentLocked(*snapshot, /*reset_journal=*/false);
+    // Best-effort: Register has no status channel. A failed write has
+    // already latched the error and degraded health (health() says why);
+    // the lineage still serves from memory.
+    (void)PersistNewSegmentLocked(*snapshot, /*reset_journal=*/false);
   }
   return DbHandle(std::move(snapshot));
 }
@@ -250,7 +254,7 @@ Result<DbHandle> DbRegistry::CommitDelta(DeltaBatch* batch) {
                                        batch->touched_labels_, first_new_fact);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Degraded-mode shed: once a storage write has failed, later commits
   // must not silently succeed without durability — fail them with the
   // latched cause until the operator replaces the registry.
@@ -328,7 +332,7 @@ Result<DbHandle> DbRegistry::CommitReplayed(DeltaBatch* batch,
   snapshot->db = std::move(batch->work_);
   snapshot->label_index = LabelIndex(snapshot->db, parent.label_index,
                                      batch->touched_labels_, first_new_fact);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto lineage_it = lineages_.find(snapshot->lineage);
   if (lineage_it == lineages_.end()) {
     return Status::DataLoss("Restore: lineage " +
@@ -385,15 +389,16 @@ Status DbRegistry::PersistNewSegmentLocked(const DbSnapshot& snapshot,
   meta.snapshot_id = snapshot.id;
   meta.name = snapshot.name;
   int64_t bytes = 0;
+  const std::string segment_path = storage_->SegmentPath(snapshot.lineage);
   // Register normally receives flat databases; an overlay handed to it
   // is persisted as its compacted live view (same serialization, fresh
   // fact-id space after a restart).
   Status written = RetryStorageLocked("segment_write", [&] {
     return snapshot.db.is_versioned()
-               ? storage::WriteSegment(storage_->SegmentPath(snapshot.lineage),
-                                       snapshot.db.Compact(), meta, &bytes)
-               : storage::WriteSegment(storage_->SegmentPath(snapshot.lineage),
-                                       snapshot.db, meta, &bytes);
+               ? storage::WriteSegment(segment_path, snapshot.db.Compact(),
+                                       meta, &bytes)
+               : storage::WriteSegment(segment_path, snapshot.db, meta,
+                                       &bytes);
   });
   if (!written.ok()) return written;
   storage_->segment_bytes_[snapshot.lineage] = bytes;
@@ -404,18 +409,24 @@ Status DbRegistry::PersistNewSegmentLocked(const DbSnapshot& snapshot,
       // renamed into place, and Restore's skip rule ignores the stale
       // groups the reset would have chopped. Degrade (no further commits)
       // but report the commit durable.
-      RetryStorageLocked("journal_reset",
-                         [&] { return it->second.Reset(); });
+      (void)RetryStorageLocked("journal_reset",
+                               [&] { return it->second.Reset(); });
     }
     return Status::OK();
   }
+  const std::string journal_path = storage_->JournalPath(snapshot.lineage);
+  storage::JournalWriter journal_writer;
   Status opened = RetryStorageLocked("journal_open", [&] {
-    Result<storage::JournalWriter> writer = storage::JournalWriter::Open(
-        storage_->JournalPath(snapshot.lineage), snapshot.lineage);
+    Result<storage::JournalWriter> writer =
+        storage::JournalWriter::Open(journal_path, snapshot.lineage);
     if (!writer.ok()) return writer.status();
-    storage_->writers_.insert_or_assign(snapshot.lineage, std::move(*writer));
+    journal_writer = std::move(*writer);
     return Status::OK();
   });
+  if (journal_writer.open()) {
+    storage_->writers_.insert_or_assign(snapshot.lineage,
+                                        std::move(journal_writer));
+  }
   // The base segment is durable either way; a missing journal writer only
   // blocks future commits, which the health check already sheds.
   (void)opened;
@@ -478,11 +489,12 @@ void DbRegistry::PersistDropLocked(uint64_t lineage, uint32_t version,
   // The in-memory drop already happened; losing the drop record means
   // the version resurfaces after a restart, which degraded health makes
   // an operator-visible event rather than a silent divergence.
-  RetryStorageLocked("drop_append", [&] { return it->second.Append({drop}); });
+  (void)RetryStorageLocked("drop_append",
+                           [&] { return it->second.Append({drop}); });
 }
 
 bool DbRegistry::Unregister(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = snapshots_.find(id);
   if (it == snapshots_.end()) return false;
   const uint64_t lineage_id = it->second->lineage;
@@ -510,7 +522,7 @@ bool DbRegistry::Unregister(uint64_t id) {
 }
 
 int DbRegistry::UnregisterLineage(uint64_t lineage) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto lineage_it = lineages_.find(lineage);
   if (lineage_it == lineages_.end()) return 0;
   int dropped = 0;
@@ -531,13 +543,13 @@ int DbRegistry::UnregisterLineage(uint64_t lineage) {
 }
 
 DbHandle DbRegistry::Find(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = snapshots_.find(id);
   return it != snapshots_.end() ? DbHandle(it->second) : DbHandle();
 }
 
 DbHandle DbRegistry::Find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto name_it = lineage_by_name_.find(name);
   if (name_it == lineage_by_name_.end()) return DbHandle();
   auto lineage_it = lineages_.find(name_it->second);
@@ -548,7 +560,7 @@ DbHandle DbRegistry::Find(std::string_view name) const {
 }
 
 DbHandle DbRegistry::Latest(uint64_t lineage) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto lineage_it = lineages_.find(lineage);
   if (lineage_it == lineages_.end() || lineage_it->second.versions.empty()) {
     return DbHandle();
@@ -593,7 +605,7 @@ Result<DbHandle> DbRegistry::Resolve(std::string_view reference) const {
     return Status::InvalidArgument("Resolve: empty lineage name in '" +
                                    std::string(reference) + "'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto name_it = lineage_by_name_.find(name);
   if (name_it == lineage_by_name_.end()) {
     return Status::NotFound("Resolve: no lineage named '" +
@@ -631,17 +643,17 @@ Result<DbHandle> DbRegistry::Resolve(std::string_view reference) const {
 }
 
 size_t DbRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshots_.size();
 }
 
 DbRegistry::Stats DbRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 DbRegistry::Gauges DbRegistry::gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Gauges gauges;
   gauges.lineages = static_cast<int64_t>(lineages_.size());
   gauges.snapshots = static_cast<int64_t>(snapshots_.size());
@@ -674,18 +686,18 @@ DbRegistry::Gauges DbRegistry::gauges() const {
 }
 
 Status DbRegistry::storage_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return storage_ != nullptr ? storage_->first_error_ : Status::OK();
 }
 
 HealthState DbRegistry::health() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return storage_ != nullptr ? storage_->health_ : HealthState::kHealthy;
 }
 
 std::vector<std::pair<std::string, int64_t>> DbRegistry::storage_fault_counts()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, int64_t>> out;
   if (storage_ != nullptr) {
     out.assign(storage_->fault_counts_.begin(), storage_->fault_counts_.end());
@@ -694,13 +706,13 @@ std::vector<std::pair<std::string, int64_t>> DbRegistry::storage_fault_counts()
 }
 
 std::vector<std::string> DbRegistry::swept_tmp_files() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return storage_ != nullptr ? storage_->swept_tmp_files_
                              : std::vector<std::string>();
 }
 
 void DbRegistry::DegradeStorageForTesting(const Status& cause) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (storage_ != nullptr) storage_->Degrade(cause);
 }
 
@@ -710,7 +722,7 @@ Status DbRegistry::Restore() {
         "Restore: registry has no storage_dir configured");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!snapshots_.empty()) {
       return Status::FailedPrecondition(
           "Restore: registry is not empty (restore before serving)");
@@ -718,10 +730,16 @@ Status DbRegistry::Restore() {
     RPQRES_RETURN_IF_ERROR(storage_->first_error_);
   }
   struct RestoringGuard {
-    explicit RestoringGuard(bool* flag) : flag_(flag) { *flag_ = true; }
-    ~RestoringGuard() { *flag_ = false; }
-    bool* flag_;
-  } guard(&restoring_);
+    explicit RestoringGuard(DbRegistry* registry) : registry_(registry) {
+      MutexLock lock(registry_->mu_);
+      registry_->restoring_ = true;
+    }
+    ~RestoringGuard() {
+      MutexLock lock(registry_->mu_);
+      registry_->restoring_ = false;
+    }
+    DbRegistry* registry_;
+  } guard(this);
   const auto start = std::chrono::steady_clock::now();
 
   // Scan the directory: leftover temp files from an interrupted segment
@@ -729,9 +747,14 @@ Status DbRegistry::Restore() {
   // are collected per lineage.
   std::vector<std::pair<uint64_t, std::string>> segments;
   std::map<uint64_t, std::string> journals;
+  std::string dir;
+  {
+    MutexLock lock(mu_);
+    dir = storage_->dir_;
+  }
   std::error_code ec;
   for (const auto& entry :
-       std::filesystem::directory_iterator(storage_->dir_, ec)) {
+       std::filesystem::directory_iterator(dir, ec)) {
     const std::string filename = entry.path().filename().string();
     if (filename.ends_with(".tmp")) {
       // An interrupted segment write whose rename never happened. Swept,
@@ -739,7 +762,7 @@ Status DbRegistry::Restore() {
       // storage_swept_tmp_files gauge report every name.
       std::error_code remove_ec;
       std::filesystem::remove(entry.path(), remove_ec);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       storage_->swept_tmp_files_.push_back(filename);
       continue;
     }
@@ -766,7 +789,7 @@ Status DbRegistry::Restore() {
     }
   }
   if (ec) {
-    return Status::Internal("Restore: cannot scan '" + storage_->dir_ +
+    return Status::Internal("Restore: cannot scan '" + dir +
                             "': " + ec.message());
   }
   // Lineage ids are assigned in registration order, so ascending-id
@@ -801,7 +824,7 @@ Status DbRegistry::Restore() {
     snapshot->label_index = std::move(loaded.label_index);
     snapshot->compacted = segment_version > 1;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       snapshots_.emplace(snapshot->id, snapshot);
       Lineage& entry = lineages_[lineage];
       entry.name = snapshot->name;
@@ -827,7 +850,7 @@ Status DbRegistry::Restore() {
         if (group.is_drop) {
           uint64_t drop_id = 0;
           {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             auto lineage_it = lineages_.find(lineage);
             if (lineage_it != lineages_.end()) {
               auto version_it =
@@ -898,17 +921,21 @@ Status DbRegistry::Restore() {
     }
     // Reopen the journal for appending, chopping any torn tail; a lineage
     // without a journal file gets a fresh one.
-    const std::string journal_path = storage_->JournalPath(lineage);
+    std::string journal_path;
+    {
+      MutexLock lock(mu_);
+      journal_path = storage_->JournalPath(lineage);
+    }
     RPQRES_ASSIGN_OR_RETURN(
         storage::JournalWriter writer,
         storage::JournalWriter::Open(journal_path, lineage,
                                      journal_valid_bytes, journal_records));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     storage_->writers_.insert_or_assign(lineage, std::move(writer));
   }
 
   const auto elapsed = std::chrono::steady_clock::now() - start;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   storage_->replay_micros_ =
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
   return Status::OK();
@@ -928,7 +955,7 @@ Result<std::unique_ptr<DbRegistry>> DbRegistry::OpenStorage(std::string dir,
 }
 
 std::vector<uint64_t> DbRegistry::ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<uint64_t> out;
   out.reserve(snapshots_.size());
   for (const auto& [id, snapshot] : snapshots_) out.push_back(id);

@@ -37,16 +37,18 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "fault/failpoints.h"
 #include "graphdb/graph_db.h"
 #include "graphdb/label_index.h"
 #include "storage/journal.h"
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres {
 
@@ -278,47 +280,48 @@ class DbRegistry {
   /// lineage — builds its label index, and returns a handle. Ids are
   /// unique per registry, starting at 1. Names need not be unique;
   /// Find/Resolve see the most recently registered lineage per name.
-  DbHandle Register(GraphDb db, std::string name = "");
+  DbHandle Register(GraphDb db, std::string name = "") RPQRES_EXCLUDES(mu_);
 
   /// Starts a delta against `parent`'s version. An invalid parent yields
   /// an invalid batch (whose Commit fails with FailedPrecondition).
-  DeltaBatch BeginDelta(const DbHandle& parent);
+  DeltaBatch BeginDelta(const DbHandle& parent) RPQRES_EXCLUDES(mu_);
 
   /// Drops the registry's reference to snapshot `id`; returns false when
   /// absent. Handles already handed out stay valid. Dropping a lineage's
   /// latest version makes the highest remaining version latest; dropping
   /// the last version removes the lineage.
-  bool Unregister(uint64_t id);
+  bool Unregister(uint64_t id) RPQRES_EXCLUDES(mu_);
 
   /// Drops every version of `lineage`; returns how many were dropped.
-  int UnregisterLineage(uint64_t lineage);
+  int UnregisterLineage(uint64_t lineage) RPQRES_EXCLUDES(mu_);
 
   /// The handle for snapshot `id`, or an invalid handle when absent.
-  DbHandle Find(uint64_t id) const;
+  DbHandle Find(uint64_t id) const RPQRES_EXCLUDES(mu_);
 
   /// The latest version of the most recently registered lineage named
   /// `name`, or an invalid handle. (Prefer Resolve for @version access.)
-  DbHandle Find(std::string_view name) const;
+  DbHandle Find(std::string_view name) const RPQRES_EXCLUDES(mu_);
 
   /// Resolves "name", "name@latest", or "name@<version>" to a handle.
   /// NotFound for unknown names/versions, InvalidArgument for malformed
   /// references.
-  Result<DbHandle> Resolve(std::string_view reference) const;
+  Result<DbHandle> Resolve(std::string_view reference) const
+      RPQRES_EXCLUDES(mu_);
 
   /// The latest version of `lineage`, or an invalid handle.
-  DbHandle Latest(uint64_t lineage) const;
+  DbHandle Latest(uint64_t lineage) const RPQRES_EXCLUDES(mu_);
 
   /// Currently registered snapshot count across all lineages (not
   /// counting unregistered snapshots kept alive by outstanding handles).
-  size_t size() const;
+  size_t size() const RPQRES_EXCLUDES(mu_);
 
-  Stats stats() const;
-  Gauges gauges() const;
+  Stats stats() const RPQRES_EXCLUDES(mu_);
+  Gauges gauges() const RPQRES_EXCLUDES(mu_);
 
   const Options& options() const { return options_; }
 
   /// Snapshot ids currently registered, ascending (introspection).
-  std::vector<uint64_t> ids() const;
+  std::vector<uint64_t> ids() const RPQRES_EXCLUDES(mu_);
 
   // --- persistence ----------------------------------------------------------
 
@@ -330,29 +333,30 @@ class DbRegistry {
   /// reads keep serving from memory, but every subsequent commit fails
   /// with kUnavailable carrying this status — commits never silently
   /// lose durability.
-  Status storage_status() const;
+  Status storage_status() const RPQRES_EXCLUDES(mu_);
 
   /// Storage health: kHealthy until the first permanent (post-retry)
   /// write failure, then kDegraded (read-only); kFailed on storage
   /// corruption (kDataLoss). Always kHealthy for non-persistent
   /// registries.
-  HealthState health() const;
+  HealthState health() const RPQRES_EXCLUDES(mu_);
 
   /// Failed storage write attempts by operation ("segment_write",
   /// "journal_append", ...), for the rpqres_storage_faults_total counter
   /// family. Empty for a healthy history.
-  std::vector<std::pair<std::string, int64_t>> storage_fault_counts() const;
+  std::vector<std::pair<std::string, int64_t>> storage_fault_counts() const
+      RPQRES_EXCLUDES(mu_);
 
   /// Names of leftover *.tmp files the last Restore swept (an interrupted
   /// segment write whose rename never happened). Surfaced instead of
   /// deleting silently.
-  std::vector<std::string> swept_tmp_files() const;
+  std::vector<std::string> swept_tmp_files() const RPQRES_EXCLUDES(mu_);
 
   /// Forces the health machine down as if `cause` came back from a
   /// storage write (kDataLoss -> kFailed, else -> kDegraded). Lets tests
   /// and drills exercise failed-shard routing without real corruption;
   /// no-op for non-persistent registries or an OK status.
-  void DegradeStorageForTesting(const Status& cause);
+  void DegradeStorageForTesting(const Status& cause) RPQRES_EXCLUDES(mu_);
 
   /// Restores this (empty, persistent) registry from its storage_dir:
   /// maps every lineage's base segment, replays its journal — cutting a
@@ -360,7 +364,7 @@ class DbRegistry {
   /// version drops. Not thread-safe; call before serving. Unreadable or
   /// corrupt segments, and journals that do not match their segment,
   /// fail with kDataLoss.
-  Status Restore();
+  Status Restore() RPQRES_EXCLUDES(mu_);
 
   /// Constructs a persistent registry rooted at `dir` and Restore()s it.
   static Result<std::unique_ptr<DbRegistry>> OpenStorage(std::string dir);
@@ -382,40 +386,50 @@ class DbRegistry {
   };
 
   /// Publishes a finished batch (called by DeltaBatch::Commit).
-  Result<DbHandle> CommitDelta(DeltaBatch* batch);
+  Result<DbHandle> CommitDelta(DeltaBatch* batch) RPQRES_EXCLUDES(mu_);
   /// Publishes a replayed journal group as (version, snapshot_id) —
   /// never compacts, never journals (Restore only).
   Result<DbHandle> CommitReplayed(DeltaBatch* batch, uint32_t version,
-                                  uint64_t snapshot_id);
+                                  uint64_t snapshot_id) RPQRES_EXCLUDES(mu_);
   /// Storage side of Register / a compacting commit / Unregister; all
   /// called with mu_ held. Transient failures are retried with backoff;
   /// a permanent failure latches the error, degrades health, and is
   /// returned so CommitDelta can roll the commit back.
   Status PersistNewSegmentLocked(const DbSnapshot& snapshot,
-                                 bool reset_journal);
+                                 bool reset_journal) RPQRES_REQUIRES(mu_);
   Status PersistCommitLocked(uint32_t parent_version,
                              const DbSnapshot& snapshot,
-                             const std::vector<storage::JournalOp>& oplog);
+                             const std::vector<storage::JournalOp>& oplog)
+      RPQRES_REQUIRES(mu_);
   void PersistDropLocked(uint64_t lineage, uint32_t version,
-                         bool lineage_gone);
+                         bool lineage_gone) RPQRES_REQUIRES(mu_);
   /// Runs `attempt`, retrying transient (kUnavailable) failures up to
   /// options_.storage_retry_attempts times with doubling backoff. Counts
   /// every failed attempt under `op`; degrades health on final failure.
   template <typename Fn>
-  Status RetryStorageLocked(const char* op, Fn&& attempt);
+  Status RetryStorageLocked(const char* op, Fn&& attempt) RPQRES_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  std::map<uint64_t, std::shared_ptr<const DbSnapshot>> snapshots_;
-  std::map<uint64_t, Lineage> lineages_;
+  /// Lock order: mu_ is held across the Persist*Locked storage syscalls,
+  /// whose failpoint checks take the global FailpointRegistry mutex — so
+  /// mu_ always comes first and nothing that holds the failpoint mutex may
+  /// call back into the registry.
+  mutable Mutex mu_
+      RPQRES_ACQUIRED_BEFORE(fault::FailpointRegistry::Instance().AnnotationMu());
+  uint64_t next_id_ RPQRES_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, std::shared_ptr<const DbSnapshot>> snapshots_
+      RPQRES_GUARDED_BY(mu_);
+  std::map<uint64_t, Lineage> lineages_ RPQRES_GUARDED_BY(mu_);
   /// name -> lineage id of the most recent registration with that name.
-  std::map<std::string, uint64_t, std::less<>> lineage_by_name_;
+  std::map<std::string, uint64_t, std::less<>> lineage_by_name_
+      RPQRES_GUARDED_BY(mu_);
   Options options_;
-  Stats stats_;
-  /// Non-null iff options_.storage_dir is set.
-  std::unique_ptr<RegistryStorage> storage_;
+  Stats stats_ RPQRES_GUARDED_BY(mu_);
+  /// Non-null iff options_.storage_dir is set. The pointer itself is set
+  /// once in the constructor and stable; the pointee's mutable state is
+  /// guarded by mu_.
+  std::unique_ptr<RegistryStorage> storage_ RPQRES_PT_GUARDED_BY(mu_);
   /// True while Restore() replays the journal (suppresses re-journaling).
-  bool restoring_ = false;
+  bool restoring_ RPQRES_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rpqres

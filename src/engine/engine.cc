@@ -102,7 +102,7 @@ Result<std::shared_ptr<const CompiledQuery>> ResilienceEngine::CompileInternal(
   if (std::shared_ptr<const CompiledQuery> cached =
           cache_.Lookup(regex, semantics)) {
     if (was_cache_hit) *was_cache_hit = true;
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.cache_hits;
     return cached;
   }
@@ -110,7 +110,7 @@ Result<std::shared_ptr<const CompiledQuery>> ResilienceEngine::CompileInternal(
   {
     // Counted at the probe (before the compile can fail), matching the
     // plan cache's own hit/miss semantics.
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.cache_misses;
   }
   CompileOptions compile_options;
@@ -120,7 +120,7 @@ Result<std::shared_ptr<const CompiledQuery>> ResilienceEngine::CompileInternal(
                           CompileQuery(regex, semantics, compile_options));
   const size_t evicted = cache_.Insert(compiled);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.compilations;
     stats_.total_compile_micros += compiled->compile_micros;
     stats_.cache_evictions += static_cast<int64_t>(evicted);
@@ -210,7 +210,7 @@ std::vector<ResilienceResponse> ResilienceEngine::EvaluateBatch(
                     first_compile[i] ? query->compile_micros : 0);
       });
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.batches_run;
   return responses;
 }
@@ -443,7 +443,7 @@ std::vector<ResilienceResponse> ResilienceEngine::EvaluateDifferential(
         RunReference(*query, request, &response);
       });
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.batches_run;
   for (const ResilienceResponse& response : responses) {
     ++stats_.differentials_run;
@@ -463,7 +463,7 @@ std::future<ResilienceResponse> ResilienceEngine::Submit(
 std::future<ResilienceResponse> ResilienceEngine::Submit(
     ResilienceRequest request, ResponseCallback on_complete) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.submits;
   }
   auto promise = std::make_shared<std::promise<ResilienceResponse>>();
@@ -725,7 +725,7 @@ void ResilienceEngine::RecordInstance(const ResilienceResponse& response,
                                       const RecordContext& context) {
   const StatusCode code = response.status.code();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.instances_run;
     if (!response.status.ok()) ++stats_.errors;
     if (code == StatusCode::kDeadlineExceeded) ++stats_.deadline_exceeded;
@@ -814,7 +814,7 @@ void ResilienceEngine::RecordInstance(const ResilienceResponse& response,
 }
 
 EngineStats ResilienceEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
@@ -822,7 +822,7 @@ void ResilienceEngine::ResetStats() {
   cache_.ResetStats();
   result_cache_.ResetStats();
   metrics_.Reset();
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_ = EngineStats{};
 }
 
@@ -965,7 +965,7 @@ int64_t ResilienceEngine::InvalidateResults(uint64_t lineage,
   const int64_t dropped = version.has_value()
                               ? result_cache_.EraseVersion(lineage, *version)
                               : result_cache_.EraseLineage(lineage);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_.result_cache_invalidations += dropped;
   return dropped;
 }

@@ -39,7 +39,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -58,6 +57,8 @@
 #include "obs/trace.h"
 #include "resilience/resilience.h"
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace rpqres {
@@ -205,12 +206,12 @@ class ResilienceEngine {
   /// cross-field invariants (deadline_exceeded + cancelled <= errors <=
   /// instances_run, sum of instances_by_algorithm <= instances_run, ...)
   /// hold in every snapshot, never just at quiescence.
-  EngineStats stats() const;
+  EngineStats stats() const RPQRES_EXCLUDES(stats_mu_);
   /// Clears the EngineStats snapshot, the underlying cache counters, and
   /// every metric family (latency histograms included) atomically per
   /// component. The slow-query log is NOT cleared (it is a log, not a
   /// counter); use slow_queries() before resetting if needed.
-  void ResetStats();
+  void ResetStats() RPQRES_EXCLUDES(stats_mu_);
 
   /// Renders every engine metric — request/solve/phase latency histograms
   /// (p50/p95/p99 in the JSON form), disjoint-status request counters,
@@ -314,13 +315,14 @@ class ResilienceEngine {
   /// request qualifies, the slow-query log. A default-constructed context
   /// is valid (no trace, no telemetry).
   void RecordInstance(const ResilienceResponse& response,
-                      const RecordContext& context);
+                      const RecordContext& context)
+      RPQRES_EXCLUDES(stats_mu_);
 
   EngineOptions options_;
   PlanCache cache_;
   ResultCache result_cache_;
-  mutable std::mutex stats_mu_;
-  EngineStats stats_;
+  mutable Mutex stats_mu_;
+  EngineStats stats_ RPQRES_GUARDED_BY(stats_mu_);
   /// Metric families live in metrics_; the pointers below are stable
   /// (MetricsRegistry owns them) and set once in the constructor.
   obs::MetricsRegistry metrics_;

@@ -8,7 +8,7 @@ PlanCache::PlanCache(size_t capacity) : capacity_(std::max<size_t>(capacity, 1))
 
 std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
     const std::string& regex, Semantics semantics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(Key{regex, semantics});
   if (it == index_.end()) {
     ++stats_.misses;
@@ -21,7 +21,7 @@ std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
 
 size_t PlanCache::Insert(std::shared_ptr<const CompiledQuery> query) {
   Key key{query->regex, query->semantics};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.insertions;
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -42,22 +42,22 @@ size_t PlanCache::Insert(std::shared_ptr<const CompiledQuery> query) {
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void PlanCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = Stats{};
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
 }

@@ -11,12 +11,13 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "engine/compiled_query.h"
 #include "graphdb/graph_db.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres {
 
@@ -37,30 +38,32 @@ class PlanCache {
   /// Returns the cached plan and marks it most-recently-used, or nullptr
   /// (counted as hit/miss respectively).
   std::shared_ptr<const CompiledQuery> Lookup(const std::string& regex,
-                                              Semantics semantics);
+                                              Semantics semantics)
+      RPQRES_EXCLUDES(mu_);
 
   /// Inserts (or replaces) the plan for its own (regex, semantics) key,
   /// evicting the least-recently-used entry when over capacity. Returns
   /// how many entries were evicted, so the engine can fold evictions into
   /// its own consistent stats snapshot.
-  size_t Insert(std::shared_ptr<const CompiledQuery> query);
+  size_t Insert(std::shared_ptr<const CompiledQuery> query)
+      RPQRES_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const RPQRES_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
-  Stats stats() const;
-  void ResetStats();
+  Stats stats() const RPQRES_EXCLUDES(mu_);
+  void ResetStats() RPQRES_EXCLUDES(mu_);
   /// Drops all entries (stats are kept).
-  void Clear();
+  void Clear() RPQRES_EXCLUDES(mu_);
 
  private:
   using Key = std::pair<std::string, Semantics>;
   using Entry = std::pair<Key, std::shared_ptr<const CompiledQuery>>;
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::map<Key, std::list<Entry>::iterator> index_;
-  Stats stats_;
+  mutable Mutex mu_;
+  const size_t capacity_;  // immutable after construction
+  std::list<Entry> lru_ RPQRES_GUARDED_BY(mu_);  // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_ RPQRES_GUARDED_BY(mu_);
+  Stats stats_ RPQRES_GUARDED_BY(mu_);
 };
 
 }  // namespace rpqres

@@ -31,7 +31,7 @@ size_t ResultCache::EntryFootprintBytes(const ResultCacheKey& key,
 
 std::optional<CachedResult> ResultCache::Lookup(const ResultCacheKey& key) {
   if (!enabled()) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -52,7 +52,7 @@ void ResultCache::PopLru() {
 size_t ResultCache::Insert(ResultCacheKey key, CachedResult value) {
   if (!enabled()) return 0;
   const size_t footprint = EntryFootprintBytes(key, value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ += footprint - it->second->bytes;
@@ -82,7 +82,7 @@ size_t ResultCache::Insert(ResultCacheKey key, CachedResult value) {
 
 int64_t ResultCache::EraseMatching(uint64_t lineage,
                                    std::optional<uint32_t> version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.lineage == lineage &&
@@ -108,27 +108,27 @@ int64_t ResultCache::EraseVersion(uint64_t lineage, uint32_t version) {
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
 size_t ResultCache::size_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void ResultCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = Stats{};
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;

@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -28,6 +27,8 @@
 #include "engine/engine_stats.h"
 #include "graphdb/graph_db.h"
 #include "resilience/result.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres {
 
@@ -85,23 +86,25 @@ class ResultCache {
                                     const CachedResult& value);
 
   /// The cached answer, marked most-recently-used; nullopt on miss.
-  std::optional<CachedResult> Lookup(const ResultCacheKey& key);
+  std::optional<CachedResult> Lookup(const ResultCacheKey& key)
+      RPQRES_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) the answer, evicting LRU entries while over
   /// the entry or byte budget. Returns how many entries were evicted.
-  size_t Insert(ResultCacheKey key, CachedResult value);
+  size_t Insert(ResultCacheKey key, CachedResult value) RPQRES_EXCLUDES(mu_);
 
   /// Drops every entry of `lineage` (all versions); returns the count.
-  int64_t EraseLineage(uint64_t lineage);
+  int64_t EraseLineage(uint64_t lineage) RPQRES_EXCLUDES(mu_);
   /// Drops every entry of one (lineage, version); returns the count.
-  int64_t EraseVersion(uint64_t lineage, uint32_t version);
+  int64_t EraseVersion(uint64_t lineage, uint32_t version)
+      RPQRES_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const RPQRES_EXCLUDES(mu_);
   /// Accounted bytes across all retained entries (the cache-bytes gauge).
-  size_t size_bytes() const;
-  Stats stats() const;
-  void ResetStats();
-  void Clear();
+  size_t size_bytes() const RPQRES_EXCLUDES(mu_);
+  Stats stats() const RPQRES_EXCLUDES(mu_);
+  void ResetStats() RPQRES_EXCLUDES(mu_);
+  void Clear() RPQRES_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -110,16 +113,18 @@ class ResultCache {
     size_t bytes = 0;  ///< EntryFootprintBytes at insertion time
   };
 
-  int64_t EraseMatching(uint64_t lineage, std::optional<uint32_t> version);
-  void PopLru();
+  int64_t EraseMatching(uint64_t lineage, std::optional<uint32_t> version)
+      RPQRES_REQUIRES(mu_);
+  void PopLru() RPQRES_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  size_t max_bytes_;
-  size_t bytes_ = 0;
-  std::list<Entry> lru_;  // front = most recently used
-  std::map<ResultCacheKey, std::list<Entry>::iterator> index_;
-  Stats stats_;
+  mutable Mutex mu_;
+  const size_t capacity_;   // immutable after construction
+  const size_t max_bytes_;  // immutable after construction
+  size_t bytes_ RPQRES_GUARDED_BY(mu_) = 0;
+  std::list<Entry> lru_ RPQRES_GUARDED_BY(mu_);  // front = most recently used
+  std::map<ResultCacheKey, std::list<Entry>::iterator> index_
+      RPQRES_GUARDED_BY(mu_);
+  Stats stats_ RPQRES_GUARDED_BY(mu_);
 };
 
 }  // namespace rpqres

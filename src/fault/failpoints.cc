@@ -4,8 +4,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <map>
-#include <mutex>
 
 namespace rpqres::fault {
 
@@ -54,29 +52,16 @@ const std::vector<std::string_view>& KnownSites() {
   return kAll;
 }
 
-struct FailpointRegistry::Impl {
-  struct SiteState {
-    FaultSpec spec;
-    bool armed = false;
-    uint64_t rng_state = 0;  // kWithProbability stream
-    int64_t evaluations = 0;
-    int64_t fires = 0;
-  };
-
-  mutable std::mutex mu;
-  std::map<std::string, SiteState, std::less<>> sites;
-};
-
-FailpointRegistry::FailpointRegistry() : impl_(new Impl) {}
-
 FailpointRegistry& FailpointRegistry::Instance() {
+  // Heap-allocated and never freed: the registry must outlive every
+  // static-destruction-ordered caller (see the note in the header).
   static FailpointRegistry* kInstance = new FailpointRegistry();
   return *kInstance;
 }
 
 void FailpointRegistry::Arm(std::string_view site, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  Impl::SiteState& state = impl_->sites[std::string(site)];
+  MutexLock lock(mu_);
+  SiteState& state = sites_[std::string(site)];
   if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
   state.spec = spec;
   state.armed = true;
@@ -86,28 +71,28 @@ void FailpointRegistry::Arm(std::string_view site, const FaultSpec& spec) {
 }
 
 void FailpointRegistry::Disarm(std::string_view site) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  auto it = impl_->sites.find(site);
-  if (it == impl_->sites.end() || !it->second.armed) return;
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
   it->second.armed = false;
   armed_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void FailpointRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(mu_);
   int armed = 0;
-  for (const auto& [name, state] : impl_->sites) {
+  for (const auto& [name, state] : sites_) {
     if (state.armed) ++armed;
   }
-  impl_->sites.clear();
+  sites_.clear();
   armed_count_.fetch_sub(armed, std::memory_order_relaxed);
 }
 
 FaultVerdict FailpointRegistry::Evaluate(std::string_view site) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  auto it = impl_->sites.find(site);
-  if (it == impl_->sites.end()) return FaultVerdict{};
-  Impl::SiteState& state = it->second;
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return FaultVerdict{};
+  SiteState& state = it->second;
   ++state.evaluations;
   if (!state.armed) return FaultVerdict{};
 
@@ -145,10 +130,10 @@ FaultVerdict FailpointRegistry::Evaluate(std::string_view site) {
 }
 
 std::vector<SiteStats> FailpointRegistry::Stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(mu_);
   std::vector<SiteStats> out;
-  out.reserve(impl_->sites.size());
-  for (const auto& [name, state] : impl_->sites) {
+  out.reserve(sites_.size());
+  for (const auto& [name, state] : sites_) {
     SiteStats s;
     s.site = name;
     s.evaluations = state.evaluations;
@@ -159,9 +144,9 @@ std::vector<SiteStats> FailpointRegistry::Stats() const {
 }
 
 int64_t FailpointRegistry::TotalFires() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(mu_);
   int64_t total = 0;
-  for (const auto& [name, state] : impl_->sites) total += state.fires;
+  for (const auto& [name, state] : sites_) total += state.fires;
   return total;
 }
 

@@ -38,9 +38,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres::fault {
 
@@ -154,11 +159,11 @@ class FailpointRegistry {
 
   /// Arms `site` with `spec`, replacing any previous arming (counters for
   /// the site reset).
-  void Arm(std::string_view site, const FaultSpec& spec);
+  void Arm(std::string_view site, const FaultSpec& spec) RPQRES_EXCLUDES(mu_);
   /// Disarms `site`; evaluation counters for it are kept until ResetAll.
-  void Disarm(std::string_view site);
+  void Disarm(std::string_view site) RPQRES_EXCLUDES(mu_);
   /// Disarms every site and clears all counters.
-  void ResetAll();
+  void ResetAll() RPQRES_EXCLUDES(mu_);
 
   /// True iff at least one site is armed (relaxed load, hot path).
   bool Enabled() const {
@@ -166,18 +171,38 @@ class FailpointRegistry {
   }
 
   /// Slow path: resolves the verdict for one evaluation of `site`.
-  FaultVerdict Evaluate(std::string_view site);
+  FaultVerdict Evaluate(std::string_view site) RPQRES_EXCLUDES(mu_);
 
   /// Counters for every site that has been armed or evaluated.
-  std::vector<SiteStats> Stats() const;
+  std::vector<SiteStats> Stats() const RPQRES_EXCLUDES(mu_);
   /// Total fires across all sites since the last ResetAll.
-  int64_t TotalFires() const;
+  int64_t TotalFires() const RPQRES_EXCLUDES(mu_);
+
+  /// The registry's internal mutex, exposed ONLY as a name for lock-order
+  /// annotations (DbRegistry::mu_ is RPQRES_ACQUIRED_BEFORE this one:
+  /// commits hold the registry mutex across storage syscalls, whose
+  /// failpoint checks take this mutex). Never lock it directly.
+  Mutex& AnnotationMu() RPQRES_RETURN_CAPABILITY(mu_) { return mu_; }
 
  private:
-  FailpointRegistry();
-  struct Impl;
+  /// One site's armed spec + deterministic trigger state + counters.
+  struct SiteState {
+    FaultSpec spec;
+    bool armed = false;
+    uint64_t rng_state = 0;  // kWithProbability stream
+    int64_t evaluations = 0;
+    int64_t fires = 0;
+  };
+
+  FailpointRegistry() = default;
+
+  /// Hot-path gate, updated under mu_ but read with a relaxed load.
   std::atomic<int> armed_count_{0};
-  Impl* impl_;  // process-lifetime singleton state, never freed
+  mutable Mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_ RPQRES_GUARDED_BY(mu_);
+  // The Instance() singleton is heap-allocated and never freed, so this
+  // state has process lifetime — a crash-handler or atexit-ordered reader
+  // can still evaluate sites.
 };
 
 /// Evaluates `site` against the global registry. Returns a non-fired

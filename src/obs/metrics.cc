@@ -118,17 +118,17 @@ double LatencyHistogram::Snapshot::Quantile(double q) const {
 
 ShardedCounter& CounterFamily::WithLabel(std::string_view label) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    SharedReaderLock lock(mu_);
     auto it = cells_.find(label);
     if (it != cells_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   return cells_.try_emplace(std::string(label)).first->second;
 }
 
 CounterFamily::Snapshot CounterFamily::TakeSnapshot() const {
   Snapshot snapshot{name_, help_, label_key_, {}};
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  SharedReaderLock lock(mu_);
   snapshot.samples.reserve(cells_.size());
   for (const auto& [label, counter] : cells_) {
     snapshot.samples.push_back({label, counter.value()});
@@ -137,23 +137,23 @@ CounterFamily::Snapshot CounterFamily::TakeSnapshot() const {
 }
 
 void CounterFamily::Reset() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   for (auto& [label, counter] : cells_) counter.Reset();
 }
 
 LatencyHistogram& HistogramFamily::WithLabel(std::string_view label) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    SharedReaderLock lock(mu_);
     auto it = cells_.find(label);
     if (it != cells_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   return cells_.try_emplace(std::string(label)).first->second;
 }
 
 HistogramFamily::Snapshot HistogramFamily::TakeSnapshot() const {
   Snapshot snapshot{name_, help_, label_key_, {}};
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  SharedReaderLock lock(mu_);
   snapshot.series.reserve(cells_.size());
   for (const auto& [label, histogram] : cells_) {
     snapshot.series.push_back({label, histogram.TakeSnapshot()});
@@ -162,14 +162,14 @@ HistogramFamily::Snapshot HistogramFamily::TakeSnapshot() const {
 }
 
 void HistogramFamily::Reset() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   for (auto& [label, histogram] : cells_) histogram.Reset();
 }
 
 CounterFamily* MetricsRegistry::Counter(std::string_view name,
                                         std::string_view help,
                                         std::string_view label_key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& family : counters_) {
     if (family->name() == name) return family.get();
   }
@@ -181,7 +181,7 @@ CounterFamily* MetricsRegistry::Counter(std::string_view name,
 HistogramFamily* MetricsRegistry::Histogram(std::string_view name,
                                             std::string_view help,
                                             std::string_view label_key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& family : histograms_) {
     if (family->name() == name) return family.get();
   }
@@ -192,7 +192,7 @@ HistogramFamily* MetricsRegistry::Histogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& family : counters_) {
     snapshot.counters.push_back(family->TakeSnapshot());
@@ -205,7 +205,7 @@ MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& family : counters_) family->Reset();
   for (const auto& family : histograms_) family->Reset();
 }

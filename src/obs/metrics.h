@@ -24,11 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres::obs {
 
@@ -105,7 +106,7 @@ class CounterFamily {
 
   /// Returns the cell for `label`, creating it if needed. Allocation-free
   /// for labels already seen.
-  ShardedCounter& WithLabel(std::string_view label);
+  ShardedCounter& WithLabel(std::string_view label) RPQRES_EXCLUDES(mu_);
 
   struct Sample {
     std::string label;
@@ -130,8 +131,11 @@ class CounterFamily {
   std::string name_;
   std::string help_;
   std::string label_key_;
-  mutable std::shared_mutex mu_;  ///< guards the map shape, not the cells
-  std::map<std::string, ShardedCounter, std::less<>> cells_;
+  /// Guards the map shape, not the cells — a returned cell reference
+  /// stays valid (map nodes are stable) and records via its own atomics.
+  mutable rpqres::SharedMutex mu_;
+  std::map<std::string, ShardedCounter, std::less<>> cells_
+      RPQRES_GUARDED_BY(mu_);
 };
 
 /// Histogram series keyed by one label. Same cell semantics as
@@ -143,7 +147,7 @@ class HistogramFamily {
         help_(std::move(help)),
         label_key_(std::move(label_key)) {}
 
-  LatencyHistogram& WithLabel(std::string_view label);
+  LatencyHistogram& WithLabel(std::string_view label) RPQRES_EXCLUDES(mu_);
 
   struct Series {
     std::string label;
@@ -167,8 +171,9 @@ class HistogramFamily {
   std::string name_;
   std::string help_;
   std::string label_key_;
-  mutable std::shared_mutex mu_;
-  std::map<std::string, LatencyHistogram, std::less<>> cells_;
+  mutable rpqres::SharedMutex mu_;  ///< guards the map shape, not the cells
+  std::map<std::string, LatencyHistogram, std::less<>> cells_
+      RPQRES_GUARDED_BY(mu_);
 };
 
 /// One instantaneous measurement, produced at export time (cache sizes,
@@ -196,21 +201,23 @@ class MetricsRegistry {
   /// Creates (or returns the existing) family with this name. The
   /// returned pointer is stable for the registry's lifetime.
   CounterFamily* Counter(std::string_view name, std::string_view help,
-                         std::string_view label_key);
+                         std::string_view label_key) RPQRES_EXCLUDES(mu_);
   HistogramFamily* Histogram(std::string_view name, std::string_view help,
-                             std::string_view label_key);
+                             std::string_view label_key) RPQRES_EXCLUDES(mu_);
 
   /// Snapshot of all families (gauges left empty for the caller).
-  MetricsSnapshot TakeSnapshot() const;
+  MetricsSnapshot TakeSnapshot() const RPQRES_EXCLUDES(mu_);
 
   /// Zeroes every cell in every family (families and cells survive, so
   /// held pointers stay valid).
-  void Reset();
+  void Reset() RPQRES_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<CounterFamily>> counters_;
-  std::vector<std::unique_ptr<HistogramFamily>> histograms_;
+  mutable rpqres::Mutex mu_;
+  std::vector<std::unique_ptr<CounterFamily>> counters_
+      RPQRES_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<HistogramFamily>> histograms_
+      RPQRES_GUARDED_BY(mu_);
 };
 
 /// Merges per-shard engine snapshots into one fleet view. Every sample,

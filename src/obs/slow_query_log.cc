@@ -6,7 +6,7 @@ namespace rpqres::obs {
 
 void SlowQueryLog::Push(SlowQueryRecord record) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   record.sequence = next_sequence_++;
   ++total_recorded_;
   if (ring_.size() < capacity_) {
@@ -18,7 +18,7 @@ void SlowQueryLog::Push(SlowQueryRecord record) {
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Dump() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SlowQueryRecord> out;
   out.reserve(ring_.size());
   // Oldest first: once full, head_ points at the oldest record.
@@ -31,17 +31,17 @@ std::vector<SlowQueryRecord> SlowQueryLog::Dump() const {
 }
 
 size_t SlowQueryLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t SlowQueryLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_recorded_;
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
 }

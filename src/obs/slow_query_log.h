@@ -10,11 +10,12 @@
 #define RPQRES_OBS_SLOW_QUERY_LOG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres::obs {
 
@@ -47,25 +48,26 @@ class SlowQueryLog {
 
   /// Stores `record` (assigning its sequence), evicting the oldest entry
   /// once the ring is full. No-op when capacity is 0.
-  void Push(SlowQueryRecord record);
+  void Push(SlowQueryRecord record) RPQRES_EXCLUDES(mu_);
 
   /// All retained records, oldest first.
-  std::vector<SlowQueryRecord> Dump() const;
+  std::vector<SlowQueryRecord> Dump() const RPQRES_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const RPQRES_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
   /// Total records ever pushed, including those the ring evicted.
-  uint64_t total_recorded() const;
+  uint64_t total_recorded() const RPQRES_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() RPQRES_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable rpqres::Mutex mu_;
   const size_t capacity_;
-  uint64_t next_sequence_ = 1;
-  uint64_t total_recorded_ = 0;
-  std::vector<SlowQueryRecord> ring_;
-  size_t head_ = 0;  ///< next overwrite position once the ring is full
+  uint64_t next_sequence_ RPQRES_GUARDED_BY(mu_) = 1;
+  uint64_t total_recorded_ RPQRES_GUARDED_BY(mu_) = 0;
+  std::vector<SlowQueryRecord> ring_ RPQRES_GUARDED_BY(mu_);
+  /// Next overwrite position once the ring is full.
+  size_t head_ RPQRES_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rpqres::obs

@@ -61,11 +61,11 @@ AdmissionController::AdmissionController(int num_shards, int threads_per_shard,
 AdmissionController::TenantState& AdmissionController::Tenant(
     std::string_view tenant) {
   {
-    std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+    SharedReaderLock lock(tenants_mu_);
     auto it = tenants_.find(tenant);
     if (it != tenants_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(tenants_mu_);
+  SharedMutexLock lock(tenants_mu_);
   return tenants_.try_emplace(std::string(tenant)).first->second;
 }
 
@@ -139,7 +139,7 @@ int64_t AdmissionController::shard_inflight(int shard) const {
 }
 
 int64_t AdmissionController::tenant_inflight(std::string_view tenant) const {
-  std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+  SharedReaderLock lock(tenants_mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.inflight.load();
 }
@@ -150,7 +150,7 @@ obs::LatencyHistogram::Snapshot AdmissionController::ShardLatency(
 }
 
 std::vector<std::string> AdmissionController::tenants() const {
-  std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+  SharedReaderLock lock(tenants_mu_);
   std::vector<std::string> names;
   names.reserve(tenants_.size());
   for (const auto& [name, state] : tenants_) names.push_back(name);

@@ -32,15 +32,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres::serve {
 
@@ -109,11 +109,12 @@ class AdmissionController {
   void Complete(const Ticket& ticket, double total_micros);
 
   int64_t shard_inflight(int shard) const;
-  int64_t tenant_inflight(std::string_view tenant) const;
+  int64_t tenant_inflight(std::string_view tenant) const
+      RPQRES_EXCLUDES(tenants_mu_);
   /// Observed end-to-end latency of completed requests on `shard`.
   obs::LatencyHistogram::Snapshot ShardLatency(int shard) const;
   /// Tenants seen so far, sorted.
-  std::vector<std::string> tenants() const;
+  std::vector<std::string> tenants() const RPQRES_EXCLUDES(tenants_mu_);
 
   const AdmissionOptions& options() const { return options_; }
   int threads_per_shard() const { return threads_per_shard_; }
@@ -127,13 +128,18 @@ class AdmissionController {
     std::atomic<int64_t> inflight{0};
   };
 
-  TenantState& Tenant(std::string_view tenant);
+  TenantState& Tenant(std::string_view tenant) RPQRES_EXCLUDES(tenants_mu_);
 
   const AdmissionOptions options_;
   const int threads_per_shard_;
+  /// Set in the constructor, never resized; the cells are atomics plus a
+  /// wait-free histogram, so slot traffic never takes a lock.
   std::vector<std::unique_ptr<ShardState>> shards_;
-  mutable std::shared_mutex tenants_mu_;  ///< map shape, not the cells
-  std::map<std::string, TenantState, std::less<>> tenants_;
+  /// Guards the tenant map shape, not the cells (map nodes are stable and
+  /// each TenantState is one atomic).
+  mutable rpqres::SharedMutex tenants_mu_;
+  std::map<std::string, TenantState, std::less<>> tenants_
+      RPQRES_GUARDED_BY(tenants_mu_);
 };
 
 }  // namespace rpqres::serve

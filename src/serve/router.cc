@@ -68,7 +68,7 @@ std::future<ResilienceResponse> Router::Submit(ServeRequest serve) {
     request.registry = &shards_->registry(shard);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.submitted;
   }
   tenant_requests_->WithLabel(serve.tenant).Increment();
@@ -91,7 +91,7 @@ std::future<ResilienceResponse> Router::Submit(ServeRequest serve) {
   if (decision != AdmissionDecision::kAdmitted) {
     const Status status = AdmissionStatus(decision, shard);
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       switch (decision) {
         case AdmissionDecision::kShedDeadlineExpired:
           ++stats_.shed_deadline_expired;
@@ -125,7 +125,7 @@ std::future<ResilienceResponse> Router::Submit(ServeRequest serve) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.admitted;
   }
   inflight_.fetch_add(1);
@@ -142,14 +142,16 @@ std::future<ResilienceResponse> Router::Submit(ServeRequest serve) {
         admission_.Complete(ticket, micros);
         tenant_latency_->WithLabel(tenant).Record(micros);
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          MutexLock lock(stats_mu_);
           ++stats_.completed;
         }
         inflight_.fetch_sub(1);
         {
-          std::lock_guard<std::mutex> lock(drain_mu_);
+          // Empty critical section: pairs the decrement with Drain's
+          // locked re-check so the notify can't be missed.
+          MutexLock lock(drain_mu_);
         }
-        drain_cv_.notify_all();
+        drain_cv_.NotifyAll();
       });
 }
 
@@ -173,7 +175,7 @@ Result<DbHandle> Router::Commit(
   const int shard = shards_->ShardForRef(db_ref);
   tenant_requests_->WithLabel(tenant).Increment();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.commits_submitted;
   }
 
@@ -188,7 +190,7 @@ Result<DbHandle> Router::Commit(
         .Increment();
     tenant_sheds_->WithLabel(tenant).Increment();
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.shed_shard_unavailable;
     }
     // Synthetic shed record: no query ran, surface the write target and
@@ -211,7 +213,7 @@ Result<DbHandle> Router::Commit(
   if (!mutated.ok()) return mutated;
   Result<DbHandle> committed = batch.Commit();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     if (committed.ok()) {
       ++stats_.commits_applied;
     } else if (committed.status().code() == StatusCode::kUnavailable) {
@@ -222,8 +224,8 @@ Result<DbHandle> Router::Commit(
 }
 
 void Router::Drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [this] { return inflight_.load() == 0; });
+  MutexLock lock(drain_mu_);
+  while (inflight_.load() != 0) drain_cv_.Wait(drain_mu_);
 }
 
 void Router::RecordShed(AdmissionDecision decision, const ServeRequest& serve,
@@ -256,7 +258,7 @@ EngineStats Router::engine_stats() const {
 }
 
 RouterStats Router::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

@@ -32,11 +32,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,6 +43,8 @@
 #include "obs/slow_query_log.h"
 #include "serve/admission.h"
 #include "serve/sharded_registry.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres::serve {
 
@@ -124,11 +124,11 @@ class Router {
                           const std::function<Status(DeltaBatch*)>& mutate);
 
   /// Blocks until no admitted request is in flight.
-  void Drain();
+  void Drain() RPQRES_EXCLUDES(drain_mu_);
 
   /// Field-wise sum of every shard engine's EngineStats.
   EngineStats engine_stats() const;
-  RouterStats stats() const;
+  RouterStats stats() const RPQRES_EXCLUDES(stats_mu_);
 
   /// Fleet metrics: per-shard engine series tagged shard="i", shard="all"
   /// roll-ups, per-shard registry gauges, and router-level admission and
@@ -167,12 +167,16 @@ class Router {
 
   obs::SlowQueryLog shed_log_;
 
-  mutable std::mutex stats_mu_;
-  RouterStats stats_;
+  mutable rpqres::Mutex stats_mu_;
+  RouterStats stats_ RPQRES_GUARDED_BY(stats_mu_);
 
+  /// Admitted-but-not-completed count. Atomic (not guarded): completion
+  /// callbacks decrement it on engine workers; Drain reads it under
+  /// drain_mu_ only to pair with the condvar, the counter itself needs no
+  /// lock.
   std::atomic<int64_t> inflight_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  rpqres::Mutex drain_mu_;
+  rpqres::CondVar drain_cv_;
 };
 
 }  // namespace rpqres::serve

@@ -94,6 +94,10 @@ class ShardedRegistry {
   }
 
  private:
+  // Concurrency contract: shards_ is built in the constructor and never
+  // resized, so the vector itself needs no capability — all mutable state
+  // lives inside each shard's DbRegistry/ResilienceEngine, which carry
+  // their own annotated mutexes.
   struct Shard {
     // Registry first: engine destruction drains in-flight requests that
     // may still hold handles into the registry, so the registry must

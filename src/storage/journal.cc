@@ -152,6 +152,8 @@ bool IsTornHeaderPrefix(const uint8_t* data, size_t got) {
 }  // namespace
 
 JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  // invariant-ok(storage-raw-syscall): best-effort close of the writer
+  // being replaced; its durability state is already decided.
   if (fd_ >= 0) ::close(fd_);
   fd_ = std::exchange(other.fd_, -1);
   path_ = std::move(other.path_);
@@ -172,7 +174,7 @@ Result<JournalWriter> JournalWriter::Open(const std::string& path,
   if (fd < 0) return ErrnoStatus("journal: cannot open", path);
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+    ::close(fd);  // invariant-ok: error-path cleanup, open already failed
     return ErrnoStatus("journal: fstat failed for", path);
   }
   JournalWriter out;
@@ -190,6 +192,9 @@ Result<JournalWriter> JournalWriter::Open(const std::string& path,
         return Status::DataLoss("journal: '" + path +
                                 "' shorter than its header");
       }
+      // invariant-ok(storage-raw-syscall): recovery of a torn header is
+      // not a crash-swept site — adding one would shift the deterministic
+      // evaluation indices of kJournalTruncate triggers in replayed runs.
       if (::ftruncate(fd, 0) != 0) {
         return ErrnoStatus("journal: ftruncate failed for", path);
       }
@@ -270,11 +275,14 @@ Status JournalWriter::Append(const std::vector<JournalOp>& ops) {
     // boundary. Chop the file back so a retried Append lands on clean
     // framing; if the repair itself fails the writer is unusable and a
     // retry could corrupt the journal mid-file, so close it.
+    // invariant-ok(storage-raw-syscall): post-failure repair — the
+    // injected fault already won; sabotaging the chop-back too would
+    // only test the error message, not a new crash state.
     if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0 ||
         ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
       const Status repair =
           ErrnoStatus("journal: append repair failed for", path_);
-      ::close(fd_);
+      ::close(fd_);  // invariant-ok: writer is unusable either way
       fd_ = -1;
       return Status::Internal(repair.message() + " (after " +
                               status.ToString() + ")");
@@ -307,6 +315,9 @@ Status JournalWriter::Reset() {
 
 Result<JournalContents> ReadJournal(const std::string& path,
                                     uint64_t expected_lineage) {
+  // invariant-ok(storage-raw-syscall): read-only replay path — faults
+  // here model nothing the crash sweep cares about, and a site would
+  // shift kJournalOpen trigger indices for the write path.
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::NotFound("journal: cannot open '" + path + "': " +
@@ -314,7 +325,7 @@ Result<JournalContents> ReadJournal(const std::string& path,
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+    ::close(fd);  // invariant-ok: read-path cleanup
     return ErrnoStatus("journal: fstat failed for", path);
   }
   std::vector<uint8_t> file(static_cast<size_t>(st.st_size));
@@ -324,13 +335,13 @@ Result<JournalContents> ReadJournal(const std::string& path,
                         static_cast<off_t>(got));
     if (n < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
+      ::close(fd);  // invariant-ok: read-path cleanup
       return ErrnoStatus("journal: read failed for", path);
     }
     if (n == 0) break;
     got += static_cast<size_t>(n);
   }
-  ::close(fd);
+  ::close(fd);  // invariant-ok: read-only fd, nothing to make durable
   if (got < kFileHeaderBytes) {
     // A header torn by a crash mid-creation reads back as an empty
     // journal; JournalWriter::Open rewrites it. Anything else is corrupt.

@@ -302,14 +302,14 @@ Status WriteSegment(const std::string& path, const GraphDb& db,
                              file.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
+      ::close(fd);  // invariant-ok: error-path cleanup, write already failed
       ::unlink(tmp_path.c_str());
       return ErrnoStatus("WriteSegment: write failed for", tmp_path);
     }
     written += static_cast<size_t>(n);
   }
   if (fault::Fsync(fault::sites::kSegmentFsync, fd) != 0) {
-    ::close(fd);
+    ::close(fd);  // invariant-ok: error-path cleanup, fsync already failed
     ::unlink(tmp_path.c_str());
     return ErrnoStatus("WriteSegment: fsync failed for", tmp_path);
   }
@@ -332,13 +332,16 @@ Status WriteSegment(const std::string& path, const GraphDb& db,
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash);
+  // invariant-ok(storage-raw-syscall): best-effort directory open — some
+  // filesystems refuse O_DIRECTORY opens; the injectable durability step
+  // is the fsync below, which does go through its failpoint site.
   int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {
     if (fault::Fsync(fault::sites::kSegmentDirFsync, dfd) != 0) {
-      ::close(dfd);
+      ::close(dfd);  // invariant-ok: error-path cleanup, fsync already failed
       return ErrnoStatus("WriteSegment: directory fsync failed for", dir);
     }
-    ::close(dfd);
+    ::close(dfd);  // invariant-ok: read-only directory fd
   }
   if (bytes_written != nullptr) {
     *bytes_written = static_cast<int64_t>(file.size());
@@ -347,6 +350,8 @@ Status WriteSegment(const std::string& path, const GraphDb& db,
 }
 
 Result<LoadedSegment> ReadSegment(const std::string& path) {
+  // invariant-ok(storage-raw-syscall): read path — the injectable read
+  // failure mode is the mmap below, which goes through its site.
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::NotFound("ReadSegment: cannot open '" + path + "': " +
@@ -354,18 +359,20 @@ Result<LoadedSegment> ReadSegment(const std::string& path) {
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+    ::close(fd);  // invariant-ok: read-path cleanup
     return ErrnoStatus("ReadSegment: fstat failed for", path);
   }
   const size_t size = static_cast<size_t>(st.st_size);
   if (size < kHeaderBytes) {
-    ::close(fd);
+    ::close(fd);  // invariant-ok: read-path cleanup
     return Status::DataLoss("ReadSegment: '" + path + "' is truncated (" +
                             std::to_string(size) + " bytes)");
   }
   void* addr = fault::Mmap(fault::sites::kSegmentMmap, nullptr, size,
                            PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping keeps the file referenced
+  // invariant-ok(storage-raw-syscall): the mapping keeps the file
+  // referenced; closing a read-only fd has no durability consequence.
+  ::close(fd);
   if (addr == MAP_FAILED) {
     return ErrnoStatus("ReadSegment: mmap failed for", path);
   }

@@ -46,7 +46,9 @@ class CancelToken {
   void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
   /// True once cancelled, past the deadline, or the parent says stop.
-  bool ShouldStop() const {
+  /// Lock-free: relaxed atomic load plus immutable fields — no capability
+  /// to annotate, safe to poll from any thread.
+  [[nodiscard]] bool ShouldStop() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
     if (deadline_ && std::chrono::steady_clock::now() >= *deadline_) {
       return true;
@@ -56,7 +58,7 @@ class CancelToken {
 
   /// OK while running; Cancelled after RequestCancel; DeadlineExceeded
   /// once the deadline passed (explicit cancellation wins when both).
-  Status ToStatus() const {
+  [[nodiscard]] Status ToStatus() const {
     if (cancelled_.load(std::memory_order_relaxed)) {
       return Status::Cancelled("request cancelled");
     }

@@ -36,7 +36,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Outcome of a fallible operation: either OK or an error code + message.
-class Status {
+///
+/// Class-level [[nodiscard]]: ignoring a returned Status silently drops an
+/// error — PR-9's durability contract ("never acked-but-not-durable") is
+/// only as strong as the call sites that check. Intentional best-effort
+/// discards must be explicit: `(void)DoThing();` with a comment saying
+/// why dropping the error is sound.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -102,8 +108,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result aborts with a diagnostic (programming error).
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,131 @@
+#ifndef RPQRES_UTIL_SYNC_H_
+#define RPQRES_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+// Annotated synchronization primitives.
+//
+// Clang Thread Safety Analysis only tracks lock types that carry the
+// `capability` attribute; libstdc++'s std::mutex / std::lock_guard are
+// invisible to it. These thin wrappers (same layout, fully inline, zero
+// overhead) give every lock in the tree a name the analysis understands.
+// All concurrent classes in src/ hold an rpqres::Mutex or
+// rpqres::SharedMutex and lock it through MutexLock / SharedMutexLock /
+// SharedReaderLock — never a bare std::mutex.
+
+namespace rpqres {
+
+class CondVar;
+
+// Exclusive mutex. Wraps std::mutex; adds the capability annotation.
+class RPQRES_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RPQRES_ACQUIRE() { mu_.lock(); }
+  void Unlock() RPQRES_RELEASE() { mu_.unlock(); }
+  bool TryLock() RPQRES_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Escape hatch for interop (e.g. std::unique_lock inside CondVar).
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Reader/writer mutex. Wraps std::shared_mutex.
+class RPQRES_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() RPQRES_ACQUIRE() { mu_.lock(); }
+  void Unlock() RPQRES_RELEASE() { mu_.unlock(); }
+  void LockShared() RPQRES_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RPQRES_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock (std::lock_guard equivalent).
+class RPQRES_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RPQRES_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RPQRES_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII exclusive lock over a SharedMutex (writer lock).
+class RPQRES_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) RPQRES_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~SharedMutexLock() RPQRES_RELEASE() { mu_.Unlock(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared lock over a SharedMutex (reader lock).
+class RPQRES_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) RPQRES_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~SharedReaderLock() RPQRES_RELEASE() { mu_.UnlockShared(); }
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable bound to rpqres::Mutex. Waits are written as explicit
+//   while (!condition) cv.Wait(mu);
+// loops so the analysis sees every guarded read inside the locked region
+// (predicate lambdas are analyzed as separate, lock-free functions and
+// would be flagged).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, sleeps, and re-acquires `mu` before
+  // returning. The lock is held across the call from the analysis's point
+  // of view, matching the caller's locked scope.
+  void Wait(Mutex& mu) RPQRES_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rpqres
+
+#endif  // RPQRES_UTIL_SYNC_H_

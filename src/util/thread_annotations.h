@@ -1,0 +1,104 @@
+#ifndef RPQRES_UTIL_THREAD_ANNOTATIONS_H_
+#define RPQRES_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to the clang `capability` attribute family when compiling
+// with a clang that supports them (every clang since 3.5), and to nothing
+// otherwise — GCC builds see plain C++ and stay warning-free. The repo's
+// lint CI job compiles all of src/ with
+//   -Wthread-safety -Werror=thread-safety
+// so a guarded member touched outside its mutex, or a `*Locked()` helper
+// called without the lock, is a build break, not a code-review hope.
+//
+// Conventions used throughout the tree:
+//   * lock-guarded members:            T member_ RPQRES_GUARDED_BY(mu_);
+//   * pointee guarded, pointer stable: T* p_ RPQRES_PT_GUARDED_BY(mu_);
+//   * private helpers named *Locked(): RPQRES_REQUIRES(mu_)
+//   * public entry points that lock:   RPQRES_EXCLUDES(mu_) (optional but
+//     catches self-deadlock at call sites the analysis can see)
+//   * documented lock order:           RPQRES_ACQUIRED_BEFORE/_AFTER
+//
+// The analysis only understands annotated lock types, so the tree locks
+// through rpqres::Mutex / rpqres::MutexLock (util/sync.h), never raw
+// std::mutex / std::lock_guard.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RPQRES_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RPQRES_THREAD_ANNOTATION
+#define RPQRES_THREAD_ANNOTATION(x)  // no-op on GCC and old clang
+#endif
+
+// -- Type annotations --------------------------------------------------------
+
+// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define RPQRES_CAPABILITY(x) RPQRES_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class whose construction acquires and destruction releases.
+#define RPQRES_SCOPED_CAPABILITY RPQRES_THREAD_ANNOTATION(scoped_lockable)
+
+// -- Member annotations ------------------------------------------------------
+
+// Member may only be read/written while `x` is held.
+#define RPQRES_GUARDED_BY(x) RPQRES_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer member itself is stable; the pointee may only be dereferenced
+// while `x` is held.
+#define RPQRES_PT_GUARDED_BY(x) RPQRES_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Documented (and, under -Wthread-safety-beta, enforced) lock ordering.
+#define RPQRES_ACQUIRED_BEFORE(...) \
+  RPQRES_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RPQRES_ACQUIRED_AFTER(...) \
+  RPQRES_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// -- Function annotations ----------------------------------------------------
+
+// Caller must hold the capability (exclusively / shared) on entry; the
+// function does not change the lock state.
+#define RPQRES_REQUIRES(...) \
+  RPQRES_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RPQRES_REQUIRES_SHARED(...) \
+  RPQRES_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it on return.
+#define RPQRES_ACQUIRE(...) \
+  RPQRES_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RPQRES_ACQUIRE_SHARED(...) \
+  RPQRES_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability held on entry.
+#define RPQRES_RELEASE(...) \
+  RPQRES_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RPQRES_RELEASE_SHARED(...) \
+  RPQRES_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RPQRES_RELEASE_GENERIC(...) \
+  RPQRES_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `b`.
+#define RPQRES_TRY_ACQUIRE(b, ...) \
+  RPQRES_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+#define RPQRES_TRY_ACQUIRE_SHARED(b, ...) \
+  RPQRES_THREAD_ANNOTATION(try_acquire_shared_capability(b, __VA_ARGS__))
+
+// Caller must NOT hold the capability (self-deadlock guard).
+#define RPQRES_EXCLUDES(...) \
+  RPQRES_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Dynamic assertion that the capability is held (no static proof needed).
+#define RPQRES_ASSERT_CAPABILITY(x) \
+  RPQRES_THREAD_ANNOTATION(assert_capability(x))
+
+// Function returns a reference to the capability guarding its result.
+#define RPQRES_RETURN_CAPABILITY(x) RPQRES_THREAD_ANNOTATION(lock_returned(x))
+
+// Opt a function out of the analysis entirely. Every use in this tree
+// MUST carry an inline justification comment on the preceding line;
+// scripts/check_invariants.py counts and enforces this.
+#define RPQRES_NO_THREAD_SAFETY_ANALYSIS \
+  RPQRES_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // RPQRES_UTIL_THREAD_ANNOTATIONS_H_

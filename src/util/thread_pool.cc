@@ -15,25 +15,25 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(int64_t n,
@@ -44,12 +44,15 @@ void ThreadPool::ParallelFor(int64_t n,
   // concurrent ParallelFor calls don't block on each other's work.
   struct CallState {
     std::atomic<int64_t> next{0};
-    std::mutex mu;
-    std::condition_variable done;
-    int64_t remaining = 0;  // indices not yet completed; guarded by mu
+    Mutex mu;
+    CondVar done;
+    int64_t remaining RPQRES_GUARDED_BY(mu) = 0;  // indices not yet completed
   };
   auto state = std::make_shared<CallState>();
-  state->remaining = n;
+  {
+    MutexLock lock(state->mu);
+    state->remaining = n;
+  }
   int tasks = static_cast<int>(
       std::min<int64_t>(n, static_cast<int64_t>(num_threads())));
   for (int t = 0; t < tasks; ++t) {
@@ -60,13 +63,13 @@ void ThreadPool::ParallelFor(int64_t n,
         fn(i);
         ++completed;
       }
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       state->remaining -= completed;
-      if (state->remaining == 0) state->done.notify_all();
+      if (state->remaining == 0) state->done.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&state] { return state->remaining == 0; });
+  MutexLock lock(state->mu);
+  while (state->remaining != 0) state->done.Wait(state->mu);
 }
 
 int ThreadPool::DefaultNumThreads() {
@@ -78,17 +81,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mu_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -10,13 +10,14 @@
 #ifndef RPQRES_UTIL_THREAD_POOL_H_
 #define RPQRES_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace rpqres {
 
@@ -35,10 +36,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks (unbounded queue).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) RPQRES_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() RPQRES_EXCLUDES(mu_);
 
   /// Runs fn(0) ... fn(n - 1) across the pool and blocks until all are
   /// done. Indices are handed out dynamically, so uneven per-index costs
@@ -56,15 +57,16 @@ class ThreadPool {
   static int DefaultNumThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() RPQRES_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  int64_t in_flight_ = 0;  // queued + currently executing tasks
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ RPQRES_GUARDED_BY(mu_);
+  // Queued + currently executing tasks.
+  int64_t in_flight_ RPQRES_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ RPQRES_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // set in ctor, joined in dtor
 };
 
 }  // namespace rpqres

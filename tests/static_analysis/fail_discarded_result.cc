@@ -1,0 +1,17 @@
+// MUST FAIL (gcc and clang, -Werror=unused-result): discards a
+// rpqres::Result<T>. Same gate as fail_discarded_status.cc, for the
+// value-carrying variant — dropping a Result loses both the value and
+// any error it carried.
+
+#include "util/status.h"
+
+namespace {
+
+rpqres::Result<int> ParseCount() { return 42; }
+
+}  // namespace
+
+int main() {
+  ParseCount();  // BUG: result (and any error) silently dropped.
+  return 0;
+}

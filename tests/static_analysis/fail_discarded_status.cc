@@ -1,0 +1,22 @@
+// MUST FAIL (gcc and clang, -Werror=unused-result): discards the
+// rpqres::Status returned by a commit-shaped call. Expected diagnostic:
+//   error: ignoring returned value of type 'rpqres::Status',
+//          declared with attribute 'nodiscard' [-Werror=unused-result]
+//
+// Guards the class-level [[nodiscard]] on Status: a dropped commit
+// error is exactly the "acked but not durable" bug PR-9 closed.
+
+#include "util/status.h"
+
+namespace {
+
+rpqres::Status CommitDurably() {
+  return rpqres::Status::Unavailable("disk on fire");
+}
+
+}  // namespace
+
+int main() {
+  CommitDurably();  // BUG: error silently dropped.
+  return 0;
+}

@@ -1,0 +1,33 @@
+// MUST FAIL (clang, -Werror=thread-safety): calls a *Locked() helper —
+// annotated RPQRES_REQUIRES(mu_) per the repo convention — without
+// holding the mutex. Expected diagnostic:
+//   warning: calling function 'EvictLocked' requires holding mutex 'mu_'
+//
+// Guards the convention that private *Locked helpers declare their
+// precondition and that callers can't skip the lock.
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Cache {
+ public:
+  void Clear() {  // BUG: calls the REQUIRES helper with mu_ unheld.
+    EvictLocked();
+  }
+
+ private:
+  void EvictLocked() RPQRES_REQUIRES(mu_) { entries_ = 0; }
+
+  rpqres::Mutex mu_;
+  int entries_ RPQRES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Cache c;
+  c.Clear();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// MUST FAIL (clang, -Werror=thread-safety): writes a GUARDED_BY member
+// without holding its mutex. Expected diagnostic:
+//   warning: writing variable 'hits_' requires holding mutex 'mu_'
+//
+// This is the core contract of the annotation layer: if this fixture
+// ever compiles, -Wthread-safety is no longer enforcing GUARDED_BY.
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {  // BUG: no MutexLock — unguarded write to hits_.
+    ++hits_;
+  }
+
+ private:
+  rpqres::Mutex mu_;
+  long hits_ RPQRES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

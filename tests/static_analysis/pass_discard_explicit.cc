@@ -1,0 +1,23 @@
+// MUST COMPILE (gcc and clang, -Werror=unused-result): positive control
+// for the discarded-Status fixtures. An *intentional* best-effort
+// discard is written as an explicit (void) cast with a justifying
+// comment — the repo-wide convention for the handful of call sites
+// (e.g. DbRegistry's degraded-mode persist path) where dropping the
+// error is sound.
+
+#include "util/status.h"
+
+namespace {
+
+rpqres::Status PersistBestEffort() {
+  return rpqres::Status::Unavailable("disk still on fire");
+}
+
+}  // namespace
+
+int main() {
+  // Best-effort: failure here only delays persistence, it does not lose
+  // acked data — the journal replay covers it.
+  (void)PersistBestEffort();
+  return 0;
+}

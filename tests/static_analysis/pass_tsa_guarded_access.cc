@@ -1,0 +1,28 @@
+// MUST COMPILE (clang, -Werror=thread-safety): positive control for
+// fail_tsa_unguarded_access.cc — identical shape, but the guarded write
+// happens under a MutexLock, so the analysis is satisfied.
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() RPQRES_EXCLUDES(mu_) {
+    rpqres::MutexLock lock(mu_);
+    ++hits_;
+  }
+
+ private:
+  rpqres::Mutex mu_;
+  long hits_ RPQRES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

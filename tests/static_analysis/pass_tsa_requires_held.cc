@@ -1,0 +1,30 @@
+// MUST COMPILE (clang, -Werror=thread-safety): positive control for
+// fail_tsa_missing_requires.cc — the caller takes the lock before
+// invoking the REQUIRES-annotated helper.
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Cache {
+ public:
+  void Clear() RPQRES_EXCLUDES(mu_) {
+    rpqres::MutexLock lock(mu_);
+    EvictLocked();
+  }
+
+ private:
+  void EvictLocked() RPQRES_REQUIRES(mu_) { entries_ = 0; }
+
+  rpqres::Mutex mu_;
+  int entries_ RPQRES_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Cache c;
+  c.Clear();
+  return 0;
+}
